@@ -1,0 +1,74 @@
+// Command benchreport regenerates every table and figure of the
+// reproduction's evaluation (E1–E12 plus the design ablations) and prints
+// them as aligned text, optionally writing CSV files per experiment.
+//
+// Usage:
+//
+//	benchreport [-quick] [-seed N] [-only E1,E7] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweep sizes (seconds instead of minutes)")
+	seed := flag.Int64("seed", 2007, "base random seed (experiments are deterministic per seed)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failures := 0
+	for _, e := range experiments.All() {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		tab, err := e.Run(*seed, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %s failed: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		if err := tab.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: print %s: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(tab.ID)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+				failures++
+				continue
+			}
+			if err := tab.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: csv %s: %v\n", tab.ID, err)
+				failures++
+			}
+			f.Close()
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// Command framedump inspects a binary frame file written by the frameio
+// container: metadata, geometry, intensity statistics, the drift profile,
+// and optionally one m/z column as CSV.
+//
+// Usage:
+//
+//	framedump [-column N] [-profile] frame.htims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/frameio"
+)
+
+func main() {
+	column := flag.Int("column", -1, "print this m/z column as CSV")
+	profile := flag.Bool("profile", false, "print the summed drift profile as CSV")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: framedump [flags] frame.htims")
+		os.Exit(1)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "framedump: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	frame, meta, err := frameio.Read(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "framedump: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("geometry: %d drift bins x %d m/z bins (%d cells)\n",
+		frame.DriftBins, frame.TOFBins, len(frame.Data))
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("meta %s = %s\n", k, meta[k])
+	}
+	var total, max float64
+	nonzero := 0
+	for _, v := range frame.Data {
+		total += v
+		if v > max {
+			max = v
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	fmt.Printf("total counts %.4g, max cell %.4g, occupancy %.1f%%\n",
+		total, max, 100*float64(nonzero)/float64(len(frame.Data)))
+
+	if *profile {
+		for _, v := range frame.DriftProfile() {
+			fmt.Printf("%g\n", v)
+		}
+	}
+	if *column >= 0 {
+		if *column >= frame.TOFBins {
+			fmt.Fprintf(os.Stderr, "framedump: column %d out of range [0,%d)\n", *column, frame.TOFBins)
+			os.Exit(1)
+		}
+		for _, v := range frame.DriftVector(*column) {
+			fmt.Printf("%g\n", v)
+		}
+	}
+}

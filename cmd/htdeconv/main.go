@@ -1,0 +1,114 @@
+// Command htdeconv deconvolves a multiplexed drift waveform read from a CSV
+// file (one value per line, or comma-separated) and writes the recovered
+// arrival-time distribution to stdout as CSV.  The waveform length must be
+// k·(2^n − 1) for the configured order and oversampling.
+//
+// Usage:
+//
+//	htdeconv -order N [-oversample K] [-defect D] [-decoder fht|standard|wiener]
+//	         [-lambda L] input.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/hadamard"
+	"repro/internal/prs"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "htdeconv: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func readWaveform(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []float64
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		for _, field := range strings.Split(text, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	order := flag.Int("order", 9, "m-sequence order")
+	oversample := flag.Int("oversample", 1, "bins per sequence element")
+	defect := flag.Int("defect", 0, "defect bins per open run")
+	decoder := flag.String("decoder", "fht", "decoder: fht, standard or wiener")
+	lambda := flag.Float64("lambda", 0, "Wiener regularization")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail("usage: htdeconv [flags] input.csv")
+	}
+	y, err := readWaveform(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+
+	seq, err := prs.MSequence(*order)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *oversample > 1 {
+		seq = seq.Oversample(*oversample)
+	}
+	if *defect > 0 {
+		seq = seq.Modify(*defect)
+	}
+	if len(y) != len(seq) {
+		fail("waveform length %d does not match sequence length %d", len(y), len(seq))
+	}
+
+	var dec hadamard.Decoder
+	switch *decoder {
+	case "fht":
+		if *oversample > 1 || *defect > 0 {
+			fail("fht decoder requires a plain m-sequence; use -decoder wiener")
+		}
+		dec, err = hadamard.NewFHTDecoder(*order)
+	case "standard":
+		dec, err = hadamard.NewStandardDecoder(seq)
+	case "wiener":
+		dec, err = hadamard.NewWienerDecoder(seq, *lambda)
+	default:
+		fail("unknown decoder %q", *decoder)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	x, err := dec.Decode(y)
+	if err != nil {
+		fail("%v", err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, v := range x {
+		fmt.Fprintf(w, "%g\n", v)
+	}
+}

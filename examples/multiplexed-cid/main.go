@@ -1,0 +1,104 @@
+// Multiplexed CID: the most advanced acquisition the library models.
+// Peptide precursors traverse the drift tube, dissociate post-mobility, and
+// their b/y fragments — acquired in the same multiplexed frame — are
+// assigned back to precursors purely by drift-profile correlation, giving
+// sequence-level identification without an isolation quadrupole.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/peaks"
+	"repro/internal/physics"
+)
+
+func main() {
+	peptides := []string{"LVNELTEFAK", "HLVDEPQNLIK", "YLYEIAR"}
+	cfg := core.ReferenceConfig(instrument.ModeMultiplexedTrap)
+	cfg.TOF.Bins = 4096
+	cfg.TOF.MinMZ = 150
+	cfg.TOF.MaxMZ = 2500
+	cfg.Detector.GainCounts = 2
+	cond := cfg.Tube.Conditions
+
+	var mix instrument.Mixture
+	type target struct {
+		seq     string
+		precMZ  float64
+		queries []peaks.FragmentQuery
+	}
+	var targets []target
+	for _, seq := range peptides {
+		p, err := chem.NewPeptide(seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		const z = 2
+		precMZ, _ := p.MZ(z)
+		precCCS, _ := p.CCS(z)
+		// Surviving precursor.
+		if err := mix.AddAnalyte(instrument.Analyte{
+			Name: seq, MassDa: p.MonoisotopicMass(), Z: z,
+			MZ: precMZ, CCSM2: precCCS, Abundance: 0.4,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		// Post-drift fragments: same mobility as the precursor.
+		kPrec, err := physics.Mobility(p.MonoisotopicMass(), z, precCCS, cond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frags, err := chem.DominantFragments(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tg := target{seq: seq, precMZ: precMZ}
+		for _, fr := range frags {
+			mz, _ := fr.MZ(1)
+			if cfg.TOF.BinOf(mz) < 0 {
+				continue
+			}
+			ccs, err := physics.CCSFromMobility(fr.NeutralMassDa, 1, kPrec, cond)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := mix.AddAnalyte(instrument.Analyte{
+				Name: seq + "/" + fr.Name(), MassDa: fr.NeutralMassDa, Z: 1,
+				MZ: mz, CCSM2: ccs, Abundance: 0.6 / float64(len(frags)),
+			}); err != nil {
+				log.Fatal(err)
+			}
+			tg.queries = append(tg.queries, peaks.FragmentQuery{Name: fr.Name(), MZ: mz})
+		}
+		targets = append(targets, tg)
+	}
+
+	exp := &core.Experiment{Mixture: mix, SourceRate: 4e7, Config: cfg}
+	res, err := exp.Run(rand.New(rand.NewSource(9)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one multiplexed acquisition: %d analytes (precursors + fragments), utilization %.0f%%\n\n",
+		len(mix.Analytes), 100*res.Stats.Utilization)
+
+	for _, tg := range targets {
+		matches, err := peaks.AssignFragments(res.Decoded, cfg.TOF, tg.precMZ, tg.queries, 0.5, 3.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s precursor m/z %8.2f: %d/%d fragments correlated\n",
+			tg.seq, tg.precMZ, len(matches), len(tg.queries))
+		for i, m := range matches {
+			if i >= 4 {
+				fmt.Printf("    ... and %d more\n", len(matches)-4)
+				break
+			}
+			fmt.Printf("    %-4s m/z %8.2f  corr %.3f  SNR %6.1f\n", m.Name, m.MZ, m.Correlation, m.SNR)
+		}
+	}
+}

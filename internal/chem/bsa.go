@@ -1,0 +1,66 @@
+// bsa.go embeds reference sequences and model peptides used by the
+// reproduction workloads: the mature bovine serum albumin chain (the digest
+// standard used in the PNNL multiplexed-IMS papers) and a panel of standard
+// ESI calibrant peptides.
+package chem
+
+import "strings"
+
+// bsaMature is the mature bovine serum albumin chain (UniProt P02769,
+// residues 25–607 of the precursor; 583 residues, average mass ≈ 66.4 kDa).
+const bsaMature = `
+DTHKSEIAHRFKDLGEEHFKGLVLIAFSQYLQQCPFDEHVKLVNELTEFAKTCVADESHA
+GCEKSLHTLFGDELCKVASLRETYGDMADCCEKQEPERNECFLSHKDDSPDLPKLKPDPN
+TLCDEFKADEKKFWGKYLYEIARRHPYFYAPELLYYANKYNGVFQECCQAEDKGACLLPK
+IETMREKVLTSSARQRLRCASIQKFGERALKAWSVARLSQKFPKAEFVEVTKLVTDLTKV
+HKECCHGDLLECADDRADLAKYICDNQDTISSKLKECCDKPLLEKSHCIAEVEKDAIPEN
+LPPLTADFAEDKDVCKNYQEAKDAFLGSFLYEYSRRHPEYAVSVLLRLAKEYEATLEECC
+AKDDPHACYSTVFDKLKHLVDEPQNLIKQNCDQFEKLGEYGFQNALIVRYTRKVPQVSTP
+TLVEVSRSLGKVGTRCCTKPESERMPCTEDYLSLILNRLCVLHEKTPVSEKVTKCCTESL
+VNRRPCFSALTPDETYVPKAFDEKLFTFHADICTLPDTEKQIKKQTALVELLKHKPKATE
+EQLKTVMENFVAFVDKCCAADDKEACFAVEGPKLVVSTQTALA`
+
+// BSA returns the mature bovine serum albumin protein.
+func BSA() Protein {
+	pr, err := NewProtein("BSA", strings.Join(strings.Fields(bsaMature), ""))
+	if err != nil {
+		panic("chem: embedded BSA sequence invalid: " + err.Error())
+	}
+	return pr
+}
+
+// StandardPeptide is a named model peptide with a literature identity.
+type StandardPeptide struct {
+	Name    string
+	Peptide Peptide
+}
+
+// StandardPeptides returns the panel of well-characterized calibrant
+// peptides used in the reproduction's spiking experiments (sequences as
+// commonly used in ESI/IMS work; pyroglutamate and amidation are modeled as
+// the unmodified chains).
+func StandardPeptides() []StandardPeptide {
+	defs := []struct{ name, seq string }{
+		{"bradykinin", "RPPGFSPFR"},
+		{"angiotensin I", "DRVYIHPFHL"},
+		{"angiotensin II", "DRVYIHPF"},
+		{"substance P", "RPKPQQFFGLM"},
+		{"fibrinopeptide A", "ADSGEGDFLAEGGGVR"},
+		{"neurotensin", "QLYENKPRRPYIL"},
+		{"leucine enkephalin", "YGGFL"},
+		{"methionine enkephalin", "YGGFM"},
+		{"kemptide", "LRRASLG"},
+		{"renin substrate", "DRVYIHPFHLLVYS"},
+		{"bombesin", "QRLGNQWAVGHLM"},
+		{"melittin", "GIGAVLKVLTTGLPALISWIKRKRQQ"},
+	}
+	out := make([]StandardPeptide, len(defs))
+	for i, d := range defs {
+		p, err := NewPeptide(d.seq)
+		if err != nil {
+			panic("chem: embedded standard peptide invalid: " + err.Error())
+		}
+		out[i] = StandardPeptide{Name: d.name, Peptide: p}
+	}
+	return out
+}

@@ -1,0 +1,603 @@
+package chem
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestElementMasses(t *testing.T) {
+	// Carbon-12 defines the scale.
+	if Carbon.MonoisotopicMass() != 12.0 {
+		t.Error("12C must be exactly 12")
+	}
+	// Average masses match standard atomic weights within 1e-3.
+	cases := []struct {
+		el   Element
+		want float64
+	}{
+		{Hydrogen, 1.008}, {Carbon, 12.011}, {NitrogenE, 14.007}, {Oxygen, 15.999}, {Sulfur, 32.066},
+	}
+	for _, c := range cases {
+		if got := c.el.AverageMass(); math.Abs(got-c.want) > 5e-3 {
+			t.Errorf("%s average mass = %g, want ~%g", c.el.Symbol, got, c.want)
+		}
+	}
+	// Abundances sum to ~1.
+	for _, el := range []Element{Hydrogen, Carbon, NitrogenE, Oxygen, Sulfur} {
+		var sum float64
+		for _, iso := range el.Isotopes {
+			sum += iso.Abundance
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			t.Errorf("%s isotope abundances sum to %g", el.Symbol, sum)
+		}
+	}
+}
+
+func TestFormulaArithmetic(t *testing.T) {
+	f := Formula{C: 2, H: 4, O: 1}
+	g := Formula{C: 1, H: 2, N: 3, S: 1}
+	sum := f.Add(g)
+	if sum != (Formula{C: 3, H: 6, N: 3, O: 1, S: 1}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if f.Scale(3) != (Formula{C: 6, H: 12, O: 3}) {
+		t.Errorf("Scale = %+v", f.Scale(3))
+	}
+	if !f.Valid() {
+		t.Error("positive formula should be valid")
+	}
+	if (Formula{C: -1}).Valid() {
+		t.Error("negative formula should be invalid")
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{Formula{C: 6, H: 12, O: 6}, "C6H12O6"},
+		{Formula{H: 2, O: 1}, "H2O"},
+		{Formula{C: 1, H: 1, N: 1, O: 1, S: 1}, "CHNOS"},
+		{Formula{}, "∅"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("String(%+v) = %s, want %s", c.f, got, c.want)
+		}
+	}
+}
+
+// TestWaterMass: H2O monoisotopic = 18.0105646.
+func TestWaterMass(t *testing.T) {
+	if got := WaterFormula.MonoisotopicMass(); math.Abs(got-18.0105646) > 1e-5 {
+		t.Errorf("water mono mass = %g", got)
+	}
+}
+
+// TestGlycineMass: glycine free amino acid = residue + water = 75.03203 Da.
+func TestGlycineMass(t *testing.T) {
+	p, err := NewPeptide("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MonoisotopicMass(); math.Abs(got-75.03203) > 1e-4 {
+		t.Errorf("glycine mass = %g, want 75.03203", got)
+	}
+}
+
+// TestBradykininMass: the classic reference — bradykinin (RPPGFSPFR)
+// monoisotopic [M+H]+ = 1060.5692.
+func TestBradykininMass(t *testing.T) {
+	p, err := NewPeptide("RPPGFSPFR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := p.MZ(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mh-1060.5692) > 2e-3 {
+		t.Errorf("bradykinin [M+H]+ = %g, want 1060.5692", mh)
+	}
+	mh2, _ := p.MZ(2)
+	want2 := (p.MonoisotopicMass() + 2*ProtonMassDa) / 2
+	if math.Abs(mh2-want2) > 1e-9 {
+		t.Errorf("bradykinin 2+ mz = %g, want %g", mh2, want2)
+	}
+}
+
+// TestAngiotensinIIMass: angiotensin II (DRVYIHPF) mono [M+H]+ = 1046.5418.
+func TestAngiotensinIIMass(t *testing.T) {
+	p, _ := NewPeptide("DRVYIHPF")
+	mh, _ := p.MZ(1)
+	if math.Abs(mh-1046.5418) > 2e-3 {
+		t.Errorf("angiotensin II [M+H]+ = %g, want 1046.5418", mh)
+	}
+}
+
+func TestPeptideValidation(t *testing.T) {
+	if _, err := NewPeptide(""); err == nil {
+		t.Error("empty peptide should fail")
+	}
+	if _, err := NewPeptide("AXZ"); err == nil {
+		t.Error("invalid residues should fail")
+	}
+	p, err := NewPeptide(" acdefg ")
+	if err != nil {
+		t.Fatalf("lower case with spaces should normalize: %v", err)
+	}
+	if p.Sequence != "ACDEFG" {
+		t.Errorf("normalized sequence = %s", p.Sequence)
+	}
+	if _, err := p.MZ(0); err == nil {
+		t.Error("zero charge should fail")
+	}
+}
+
+// TestMassAdditivity: mass of concatenated chain = sum of residue chains
+// minus the extra water.  Property-based over random sequences.
+func TestMassAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	letters := "ACDEFGHIKLMNPQRSTVWY"
+	randSeq := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(b)
+	}
+	f := func(la, lb uint8) bool {
+		a := randSeq(int(la%20) + 1)
+		b := randSeq(int(lb%20) + 1)
+		pa, _ := NewPeptide(a)
+		pb, _ := NewPeptide(b)
+		pab, _ := NewPeptide(a + b)
+		lhs := pab.MonoisotopicMass()
+		rhs := pa.MonoisotopicMass() + pb.MonoisotopicMass() - WaterFormula.MonoisotopicMass()
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBasicSites(t *testing.T) {
+	p, _ := NewPeptide("GAGA")
+	if p.BasicSites() != 1 {
+		t.Errorf("no basic residues: %d sites, want 1 (N-terminus)", p.BasicSites())
+	}
+	p2, _ := NewPeptide("RKHGA")
+	if p2.BasicSites() != 4 {
+		t.Errorf("RKH: %d sites, want 4", p2.BasicSites())
+	}
+}
+
+func TestChargeStates(t *testing.T) {
+	p, _ := NewPeptide("LVNELTEFAK") // tryptic BSA peptide
+	states := p.ChargeStates()
+	if len(states) == 0 {
+		t.Fatal("no charge states")
+	}
+	var sum float64
+	maxZ := 0
+	for _, cs := range states {
+		if cs.Z <= 0 {
+			t.Errorf("non-positive charge %d", cs.Z)
+		}
+		if cs.Fraction < 0 || cs.Fraction > 1 {
+			t.Errorf("fraction %g out of range", cs.Fraction)
+		}
+		sum += cs.Fraction
+		if cs.Z > maxZ {
+			maxZ = cs.Z
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %g", sum)
+	}
+	if maxZ > p.BasicSites() {
+		t.Errorf("max charge %d exceeds basic sites %d", maxZ, p.BasicSites())
+	}
+	// A typical 10-residue tryptic peptide is predominantly 2+.
+	best := states[0]
+	for _, cs := range states {
+		if cs.Fraction > best.Fraction {
+			best = cs
+		}
+	}
+	if best.Z != 2 {
+		t.Errorf("dominant charge = %d, want 2 for a 10-mer tryptic peptide", best.Z)
+	}
+}
+
+func TestCCS(t *testing.T) {
+	p, _ := NewPeptide("DRVYIHPFHL") // angiotensin I
+	ccs2, err := p.CCS(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Literature: angiotensin I 2+ CCS in N2 is ~330 Å².
+	ccsA2 := ccs2 * 1e20
+	if ccsA2 < 250 || ccsA2 > 420 {
+		t.Errorf("angiotensin I 2+ CCS = %g Å², want 250-420", ccsA2)
+	}
+	// CCS grows with charge and mass.
+	ccs3, _ := p.CCS(3)
+	if ccs3 <= ccs2 {
+		t.Error("CCS should grow with charge")
+	}
+	bigger, _ := NewPeptide("DRVYIHPFHLDRVYIHPFHL")
+	ccsBig, _ := bigger.CCS(2)
+	if ccsBig <= ccs2 {
+		t.Error("CCS should grow with mass")
+	}
+	if _, err := p.CCS(0); err == nil {
+		t.Error("zero charge should fail")
+	}
+	// High charge states use the extrapolated prefactor.
+	ccs5, _ := p.CCS(5)
+	if ccs5 <= ccs3 {
+		t.Error("CCS should keep growing at high charge")
+	}
+}
+
+func TestTrypticDigestOfKnownSequence(t *testing.T) {
+	pr, err := NewProtein("toy", "AAAKBBBRCCCKPDDDR") // B invalid!
+	if err == nil {
+		t.Fatal("B should be rejected")
+	}
+	pr, err = NewProtein("toy", "AAAKGGGRCCCKPDDDR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peps, err := pr.Digest(Trypsin{}, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cleavage after K (pos 3), after R (pos 7); K at pos 11 is followed by
+	// P — no cleavage; final R is the C-terminus.
+	want := []string{"AAAK", "GGGR", "CCCKPDDDR"}
+	if len(peps) != len(want) {
+		t.Fatalf("got %d peptides %v, want %v", len(peps), peps, want)
+	}
+	for i, w := range want {
+		if peps[i].Sequence != w {
+			t.Errorf("peptide %d = %s, want %s", i, peps[i].Sequence, w)
+		}
+		if peps[i].MissedCleavages != 0 {
+			t.Errorf("peptide %d has %d missed cleavages", i, peps[i].MissedCleavages)
+		}
+	}
+}
+
+// TestDigestReassembly: with no missed cleavages and no length filters, the
+// concatenation of tryptic peptides reproduces the protein.
+func TestDigestReassembly(t *testing.T) {
+	pr := BSA()
+	peps, err := pr.Digest(Trypsin{}, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, p := range peps {
+		sb.WriteString(p.Sequence)
+	}
+	if sb.String() != pr.Sequence {
+		t.Error("tryptic peptides do not reassemble the protein")
+	}
+	// Start offsets must be consistent.
+	for _, p := range peps {
+		if pr.Sequence[p.Start:p.Start+p.Len()] != p.Sequence {
+			t.Fatalf("peptide start offset wrong for %s", p.Sequence)
+		}
+	}
+}
+
+func TestDigestMissedCleavages(t *testing.T) {
+	pr, _ := NewProtein("toy", "AAAKGGGRCCCC")
+	peps, _ := pr.Digest(Trypsin{}, 1, 1, 0)
+	seqs := map[string]int{}
+	for _, p := range peps {
+		seqs[p.Sequence] = p.MissedCleavages
+	}
+	for _, want := range []string{"AAAK", "GGGR", "CCCC", "AAAKGGGR", "GGGRCCCC"} {
+		if _, ok := seqs[want]; !ok {
+			t.Errorf("missing peptide %s in %v", want, seqs)
+		}
+	}
+	if seqs["AAAKGGGR"] != 1 {
+		t.Error("AAAKGGGR should record one missed cleavage")
+	}
+	if _, err := pr.Digest(Trypsin{}, -1, 0, 0); err == nil {
+		t.Error("negative missed cleavages should fail")
+	}
+}
+
+func TestDigestLengthFilters(t *testing.T) {
+	pr, _ := NewProtein("toy", "AAAKGGGGGGGGGGRCK")
+	peps, _ := pr.Digest(Trypsin{}, 0, 5, 0)
+	for _, p := range peps {
+		if p.Len() < 5 {
+			t.Errorf("peptide %s below min length", p.Sequence)
+		}
+	}
+	peps, _ = pr.Digest(Trypsin{}, 0, 1, 5)
+	for _, p := range peps {
+		if p.Len() > 5 {
+			t.Errorf("peptide %s above max length", p.Sequence)
+		}
+	}
+}
+
+func TestPepsinDigest(t *testing.T) {
+	pr, _ := NewProtein("toy", "AAFAALAAWAAYAA")
+	peps, _ := pr.Digest(Pepsin{}, 0, 1, 0)
+	want := []string{"AAF", "AAL", "AAW", "AAY", "AA"}
+	if len(peps) != len(want) {
+		t.Fatalf("pepsin: got %v", peps)
+	}
+	for i, w := range want {
+		if peps[i].Sequence != w {
+			t.Errorf("pepsin peptide %d = %s, want %s", i, peps[i].Sequence, w)
+		}
+	}
+	if (Pepsin{}).Name() != "pepsin" || (Trypsin{}).Name() != "trypsin" {
+		t.Error("enzyme names wrong")
+	}
+}
+
+// TestBSAProperties: the embedded BSA chain must have the canonical length
+// and mass, and digest into the tens of detectable tryptic peptides used in
+// the proteome-screen experiments.
+func TestBSAProperties(t *testing.T) {
+	pr := BSA()
+	if got := len(pr.Sequence); got != 583 {
+		t.Errorf("BSA length = %d, want 583", got)
+	}
+	if avg := pr.AverageMass(); avg < 66000 || avg > 67000 {
+		t.Errorf("BSA average mass = %g, want ~66.4 kDa", avg)
+	}
+	peps, err := pr.Digest(Trypsin{}, 0, 6, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peps) < 30 || len(peps) > 70 {
+		t.Errorf("BSA detectable tryptic peptides = %d, want 30-70", len(peps))
+	}
+	// The classic BSA marker peptides must be present.
+	seqs := map[string]bool{}
+	for _, p := range peps {
+		seqs[p.Sequence] = true
+	}
+	for _, marker := range []string{"LVNELTEFAK", "HLVDEPQNLIK", "YLYEIAR"} {
+		if !seqs[marker] {
+			t.Errorf("marker peptide %s missing from BSA digest", marker)
+		}
+	}
+}
+
+func TestIsotopicEnvelopeWater(t *testing.T) {
+	env := WaterFormula.IsotopicEnvelope(1e-9)
+	if len(env) < 2 {
+		t.Fatalf("water envelope has %d peaks", len(env))
+	}
+	// Monoisotopic peak dominates at ~99.7%.
+	if env[0].Abundance < 0.99 {
+		t.Errorf("water monoisotopic abundance = %g", env[0].Abundance)
+	}
+	if math.Abs(env[0].MassDa-18.0105646) > 1e-4 {
+		t.Errorf("water monoisotopic mass = %g", env[0].MassDa)
+	}
+	var sum float64
+	for _, p := range env {
+		sum += p.Abundance
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("envelope abundances sum to %g", sum)
+	}
+}
+
+// TestIsotopicEnvelopePeptide: for a ~1 kDa peptide the M+1 peak is roughly
+// half the monoisotopic peak (about 50 carbons × 1.07%).
+func TestIsotopicEnvelopePeptide(t *testing.T) {
+	p, _ := NewPeptide("RPPGFSPFR")
+	f := p.Formula()
+	env := f.IsotopicEnvelope(1e-8)
+	if len(env) < 3 {
+		t.Fatalf("envelope has %d peaks", len(env))
+	}
+	if env[0].Abundance < env[1].Abundance {
+		t.Error("monoisotopic should dominate M+1 at 1 kDa")
+	}
+	ratio := env[1].Abundance / env[0].Abundance
+	if ratio < 0.4 || ratio > 0.75 {
+		t.Errorf("M+1/M ratio = %g, want 0.4-0.75 for ~1 kDa", ratio)
+	}
+	// Peaks spaced ~1.003 Da apart.
+	spacing := env[1].MassDa - env[0].MassDa
+	if math.Abs(spacing-1.003) > 0.01 {
+		t.Errorf("isotope spacing = %g, want ~1.003", spacing)
+	}
+	// Envelope is sorted by mass.
+	for i := 1; i < len(env); i++ {
+		if env[i].MassDa <= env[i-1].MassDa {
+			t.Fatal("envelope not sorted")
+		}
+	}
+}
+
+// TestIsotopicEnvelopeLargeProtein: for intact BSA the monoisotopic peak is
+// negligible and the envelope is centred near the average mass.
+func TestIsotopicEnvelopeLargeProtein(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large convolution")
+	}
+	f := Peptide{Sequence: BSA().Sequence}.Formula()
+	env := f.IsotopicEnvelope(1e-6)
+	if len(env) < 10 {
+		t.Fatalf("BSA envelope has %d peaks", len(env))
+	}
+	best := env[0]
+	for _, p := range env {
+		if p.Abundance > best.Abundance {
+			best = p
+		}
+	}
+	avg := f.AverageMass()
+	if math.Abs(best.MassDa-avg) > 3 {
+		t.Errorf("envelope apex %g differs from average mass %g by more than 3 Da", best.MassDa, avg)
+	}
+}
+
+func TestInvalidFormulaEnvelope(t *testing.T) {
+	if env := (Formula{C: -1}).IsotopicEnvelope(1e-6); env != nil {
+		t.Error("invalid formula should yield nil envelope")
+	}
+}
+
+func TestDecoy(t *testing.T) {
+	p, _ := NewPeptide("LVNELTEFAK")
+	d := p.Decoy()
+	if d.Sequence != "AFETLENVLK" {
+		t.Errorf("decoy = %s, want AFETLENVLK", d.Sequence)
+	}
+	// Same composition, same mass.
+	if math.Abs(d.MonoisotopicMass()-p.MonoisotopicMass()) > 1e-9 {
+		t.Error("decoy mass differs from target")
+	}
+	// C-terminal residue preserved (tryptic terminus).
+	if d.Sequence[len(d.Sequence)-1] != 'K' {
+		t.Error("decoy must preserve C-terminal residue")
+	}
+	short, _ := NewPeptide("AK")
+	if short.Decoy().Sequence != "AK" {
+		t.Error("2-mers are their own decoys")
+	}
+}
+
+func TestSyntheticProtein(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	pr, err := SyntheticProtein(rng, "syn", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Sequence) != 500 {
+		t.Errorf("length = %d", len(pr.Sequence))
+	}
+	if err := ValidateSequence(pr.Sequence); err != nil {
+		t.Errorf("synthetic sequence invalid: %v", err)
+	}
+	// Determinism.
+	rng2 := rand.New(rand.NewSource(32))
+	pr2, _ := SyntheticProtein(rng2, "syn", 500)
+	if pr.Sequence != pr2.Sequence {
+		t.Error("synthetic protein not deterministic in seed")
+	}
+	// Leucine should be the most common residue over a long sequence.
+	rngL := rand.New(rand.NewSource(33))
+	long, _ := SyntheticProtein(rngL, "long", 100000)
+	counts := map[byte]int{}
+	for i := 0; i < len(long.Sequence); i++ {
+		counts[long.Sequence[i]]++
+	}
+	for aa, c := range counts {
+		if aa != 'L' && c > counts['L'] {
+			t.Errorf("residue %c (%d) more common than L (%d)", aa, c, counts['L'])
+		}
+	}
+	if _, err := SyntheticProtein(rng, "bad", 0); err == nil {
+		t.Error("zero length should fail")
+	}
+}
+
+func TestComplexMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	m, err := ComplexMatrix(rng, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) < 100 {
+		t.Errorf("matrix has only %d peptides", len(m))
+	}
+	for _, ap := range m {
+		if ap.Abundance <= 0 {
+			t.Fatal("non-positive abundance")
+		}
+		if ap.Peptide.Len() < 6 || ap.Peptide.Len() > 30 {
+			t.Fatalf("peptide length %d outside filter", ap.Peptide.Len())
+		}
+	}
+	if _, err := ComplexMatrix(rng, 0, 1); err == nil {
+		t.Error("zero proteins should fail")
+	}
+	if _, err := ComplexMatrix(rng, 1, -1); err == nil {
+		t.Error("negative spread should fail")
+	}
+}
+
+func TestSpikeLevels(t *testing.T) {
+	levels := SpikeLevels(4, 1000, 0.1)
+	want := []float64{1000, 100, 10, 1}
+	for i := range want {
+		if math.Abs(levels[i]-want[i]) > 1e-9 {
+			t.Errorf("level %d = %g, want %g", i, levels[i], want[i])
+		}
+	}
+}
+
+func TestStandardPeptides(t *testing.T) {
+	sp := StandardPeptides()
+	if len(sp) < 10 {
+		t.Fatalf("only %d standard peptides", len(sp))
+	}
+	names := map[string]bool{}
+	for _, s := range sp {
+		if names[s.Name] {
+			t.Errorf("duplicate standard peptide %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.Peptide.Len() == 0 {
+			t.Errorf("%s has empty sequence", s.Name)
+		}
+	}
+	if !names["bradykinin"] || !names["angiotensin I"] {
+		t.Error("canonical calibrants missing")
+	}
+}
+
+func TestResidueFormulaErrors(t *testing.T) {
+	if _, err := ResidueFormula('Z'); err == nil {
+		t.Error("Z should be unknown")
+	}
+	f, err := ResidueFormula('W')
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tryptophan residue C11H10N2O = 186.079 Da.
+	if math.Abs(f.MonoisotopicMass()-186.07931) > 1e-4 {
+		t.Errorf("W residue mass = %g", f.MonoisotopicMass())
+	}
+}
+
+func BenchmarkBSADigest(b *testing.B) {
+	pr := BSA()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Digest(Trypsin{}, 2, 6, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIsotopicEnvelope(b *testing.B) {
+	p, _ := NewPeptide("LVNELTEFAKTCVADESHAGCEK")
+	f := p.Formula()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.IsotopicEnvelope(1e-6)
+	}
+}

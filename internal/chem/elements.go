@@ -1,0 +1,221 @@
+// Package chem provides the biochemistry substrate for realistic workloads:
+// elemental isotope distributions, amino-acid residue formulas, peptide and
+// protein mass calculation, tryptic digestion, electrospray charge-state
+// assignment, isotopic envelope computation, and collision-cross-section
+// estimation for peptide ions.  The embedded bovine serum albumin sequence
+// reproduces the digest workloads used throughout the PNNL IMS-TOF papers.
+package chem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Isotope is a single isotopic species of an element.
+type Isotope struct {
+	MassDa    float64 // exact mass in Da
+	Abundance float64 // natural fractional abundance (0..1)
+}
+
+// Element is a chemical element with its natural isotope distribution,
+// ordered by increasing mass.  The first entry is the monoisotopic species
+// for all elements used here.
+type Element struct {
+	Symbol   string
+	Isotopes []Isotope
+}
+
+// The elements occurring in unmodified peptides.
+var (
+	Hydrogen  = Element{"H", []Isotope{{1.0078250319, 0.999885}, {2.0141017780, 0.000115}}}
+	Carbon    = Element{"C", []Isotope{{12.0, 0.9893}, {13.0033548378, 0.0107}}}
+	NitrogenE = Element{"N", []Isotope{{14.0030740052, 0.99632}, {15.0001088984, 0.00368}}}
+	Oxygen    = Element{"O", []Isotope{{15.9949146221, 0.99757}, {16.9991315, 0.00038}, {17.9991604, 0.00205}}}
+	Sulfur    = Element{"S", []Isotope{{31.97207069, 0.9493}, {32.97145850, 0.0076}, {33.96786683, 0.0429}, {35.96708088, 0.0002}}}
+)
+
+// MonoisotopicMass returns the mass of the lightest (first) isotope.
+func (e Element) MonoisotopicMass() float64 { return e.Isotopes[0].MassDa }
+
+// AverageMass returns the abundance-weighted mean isotopic mass.
+func (e Element) AverageMass() float64 {
+	var m, w float64
+	for _, iso := range e.Isotopes {
+		m += iso.MassDa * iso.Abundance
+		w += iso.Abundance
+	}
+	return m / w
+}
+
+// Formula is an elemental composition: counts of C, H, N, O and S atoms.
+type Formula struct {
+	C, H, N, O, S int
+}
+
+// Add returns the element-wise sum of two formulas.
+func (f Formula) Add(g Formula) Formula {
+	return Formula{f.C + g.C, f.H + g.H, f.N + g.N, f.O + g.O, f.S + g.S}
+}
+
+// Scale returns the formula with every count multiplied by k.
+func (f Formula) Scale(k int) Formula {
+	return Formula{f.C * k, f.H * k, f.N * k, f.O * k, f.S * k}
+}
+
+// MonoisotopicMass returns the monoisotopic mass of the formula in Da.
+func (f Formula) MonoisotopicMass() float64 {
+	return float64(f.C)*Carbon.MonoisotopicMass() +
+		float64(f.H)*Hydrogen.MonoisotopicMass() +
+		float64(f.N)*NitrogenE.MonoisotopicMass() +
+		float64(f.O)*Oxygen.MonoisotopicMass() +
+		float64(f.S)*Sulfur.MonoisotopicMass()
+}
+
+// AverageMass returns the average (chemical) mass of the formula in Da.
+func (f Formula) AverageMass() float64 {
+	return float64(f.C)*Carbon.AverageMass() +
+		float64(f.H)*Hydrogen.AverageMass() +
+		float64(f.N)*NitrogenE.AverageMass() +
+		float64(f.O)*Oxygen.AverageMass() +
+		float64(f.S)*Sulfur.AverageMass()
+}
+
+// Valid reports whether all counts are non-negative.
+func (f Formula) Valid() bool {
+	return f.C >= 0 && f.H >= 0 && f.N >= 0 && f.O >= 0 && f.S >= 0
+}
+
+// String renders the formula in Hill notation (C, H, then alphabetical).
+func (f Formula) String() string {
+	out := ""
+	app := func(sym string, n int) {
+		switch {
+		case n == 1:
+			out += sym
+		case n > 1:
+			out += fmt.Sprintf("%s%d", sym, n)
+		}
+	}
+	app("C", f.C)
+	app("H", f.H)
+	app("N", f.N)
+	app("O", f.O)
+	app("S", f.S)
+	if out == "" {
+		return "∅"
+	}
+	return out
+}
+
+// elementCounts lists the formula as (element, count) pairs for iteration,
+// skipping zero counts.
+func (f Formula) elementCounts() []struct {
+	El    Element
+	Count int
+} {
+	all := []struct {
+		El    Element
+		Count int
+	}{
+		{Carbon, f.C}, {Hydrogen, f.H}, {NitrogenE, f.N}, {Oxygen, f.O}, {Sulfur, f.S},
+	}
+	out := all[:0]
+	for _, e := range all {
+		if e.Count > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IsotopePeak is one peak of an isotopic envelope.
+type IsotopePeak struct {
+	MassDa    float64 // exact mass of this isotopologue cluster
+	Abundance float64 // relative abundance, envelope normalized to sum 1
+}
+
+// IsotopicEnvelope computes the isotopic distribution of the formula by
+// iterated polynomial convolution of the elemental distributions, pruning
+// species below pruneBelow relative abundance (e.g. 1e-6).  Peaks within
+// half a unit mass are merged; the result is sorted by mass and normalized
+// to unit total abundance.
+func (f Formula) IsotopicEnvelope(pruneBelow float64) []IsotopePeak {
+	if !f.Valid() {
+		return nil
+	}
+	dist := []IsotopePeak{{0, 1}}
+	for _, ec := range f.elementCounts() {
+		single := make([]IsotopePeak, len(ec.El.Isotopes))
+		for i, iso := range ec.El.Isotopes {
+			single[i] = IsotopePeak{iso.MassDa, iso.Abundance}
+		}
+		// Convolve count times using binary exponentiation of distributions.
+		powered := distPower(single, ec.Count, pruneBelow)
+		dist = convolveDist(dist, powered, pruneBelow)
+	}
+	return normalizeDist(dist)
+}
+
+func distPower(d []IsotopePeak, k int, prune float64) []IsotopePeak {
+	result := []IsotopePeak{{0, 1}}
+	base := d
+	for k > 0 {
+		if k&1 == 1 {
+			result = convolveDist(result, base, prune)
+		}
+		base = convolveDist(base, base, prune)
+		k >>= 1
+	}
+	return result
+}
+
+func convolveDist(a, b []IsotopePeak, prune float64) []IsotopePeak {
+	type bucket struct {
+		mass, ab float64
+	}
+	buckets := map[int]bucket{}
+	for _, pa := range a {
+		for _, pb := range b {
+			ab := pa.Abundance * pb.Abundance
+			if ab < prune*1e-3 {
+				continue
+			}
+			m := pa.MassDa + pb.MassDa
+			key := int(m*2 + 0.5) // half-Dalton buckets
+			bk := buckets[key]
+			bk.mass += m * ab // abundance-weighted mass accumulation
+			bk.ab += ab
+			buckets[key] = bk
+		}
+	}
+	out := make([]IsotopePeak, 0, len(buckets))
+	for _, bk := range buckets {
+		if bk.ab < prune {
+			continue
+		}
+		out = append(out, IsotopePeak{bk.mass / bk.ab, bk.ab})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MassDa < out[j].MassDa })
+	return out
+}
+
+func normalizeDist(d []IsotopePeak) []IsotopePeak {
+	var total float64
+	for _, p := range d {
+		total += p.Abundance
+	}
+	if total == 0 {
+		return d
+	}
+	out := make([]IsotopePeak, len(d))
+	for i, p := range d {
+		out[i] = IsotopePeak{p.MassDa, p.Abundance / total}
+	}
+	return out
+}
+
+// ProtonMassDa is the mass added per charge in positive-mode ESI.
+const ProtonMassDa = 1.00727646688
+
+// WaterFormula is H2O, the mass added when residues condense into a chain.
+var WaterFormula = Formula{H: 2, O: 1}

@@ -1,0 +1,130 @@
+// fragments.go: collision-induced dissociation chemistry.  CID of a
+// protonated peptide cleaves the backbone amide bonds, producing the b ion
+// series (N-terminal fragments) and the y ion series (C-terminal fragments
+// retaining the new N-terminus' proton plus water) — the sequence ladder
+// that tandem mass spectrometry reads.
+package chem
+
+import "fmt"
+
+// FragmentKind distinguishes the ion series.
+type FragmentKind byte
+
+const (
+	// BIon is an N-terminal fragment (residues 1..i, acylium form).
+	BIon FragmentKind = 'b'
+	// YIon is a C-terminal fragment (residues i+1..n plus water).
+	YIon FragmentKind = 'y'
+)
+
+// Fragment is one backbone fragment ion of a peptide.
+type Fragment struct {
+	Kind FragmentKind
+	// Index is the series index: b2 has Index 2 (first two residues),
+	// y3 the last three.
+	Index int
+	// Sequence is the fragment's residue span.
+	Sequence string
+	// NeutralMassDa is the neutral fragment mass (for b ions, the acylium
+	// neutral equivalent M such that the 1+ ion is M + proton).
+	NeutralMassDa float64
+}
+
+// MZ returns the fragment's m/z at the given positive charge.
+func (f Fragment) MZ(z int) (float64, error) {
+	if z <= 0 {
+		return 0, fmt.Errorf("chem: fragment charge %d must be positive", z)
+	}
+	return (f.NeutralMassDa + float64(z)*ProtonMassDa) / float64(z), nil
+}
+
+// Name renders "b4" / "y7".
+func (f Fragment) Name() string { return fmt.Sprintf("%c%d", f.Kind, f.Index) }
+
+// BYIons returns the full b and y series of the peptide: b1..b(n−1) and
+// y1..y(n−1).  (b1 ions are rarely observed but included for completeness;
+// callers may filter.)
+func BYIons(p Peptide) ([]Fragment, error) {
+	n := p.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("chem: peptide %q too short to fragment", p.Sequence)
+	}
+	out := make([]Fragment, 0, 2*(n-1))
+	// b series: cumulative residue masses.
+	var acc float64
+	for i := 1; i < n; i++ {
+		f, err := ResidueFormula(p.Sequence[i-1])
+		if err != nil {
+			return nil, err
+		}
+		acc += f.MonoisotopicMass()
+		out = append(out, Fragment{
+			Kind:          BIon,
+			Index:         i,
+			Sequence:      p.Sequence[:i],
+			NeutralMassDa: acc,
+		})
+	}
+	// y series: cumulative from the C terminus plus water.
+	acc = WaterFormula.MonoisotopicMass()
+	for i := 1; i < n; i++ {
+		f, err := ResidueFormula(p.Sequence[n-i])
+		if err != nil {
+			return nil, err
+		}
+		acc += f.MonoisotopicMass()
+		out = append(out, Fragment{
+			Kind:          YIon,
+			Index:         i,
+			Sequence:      p.Sequence[n-i:],
+			NeutralMassDa: acc,
+		})
+	}
+	return out, nil
+}
+
+// DominantFragments returns the subset of the b/y series most prominent in
+// low-energy CID of tryptic peptides: y ions of length ≥ 2 and b ions of
+// length ≥ 2, excluding the near-complete fragments (index > n−2) whose
+// m/z crowds the precursor.
+func DominantFragments(p Peptide) ([]Fragment, error) {
+	all, err := BYIons(p)
+	if err != nil {
+		return nil, err
+	}
+	n := p.Len()
+	var out []Fragment
+	for _, f := range all {
+		if f.Index >= 2 && f.Index <= n-2 {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chem: peptide %q yields no dominant fragments", p.Sequence)
+	}
+	return out, nil
+}
+
+// FragmentComplementarity checks the b/y mass relationship:
+// b_i + y_(n−i) = M + water for every complementary pair — a structural
+// invariant used by tests and by spectrum validation.
+func FragmentComplementarity(p Peptide, frags []Fragment) error {
+	n := p.Len()
+	total := p.MonoisotopicMass()
+	byIdx := map[string]Fragment{}
+	for _, f := range frags {
+		byIdx[f.Name()] = f
+	}
+	for i := 1; i < n; i++ {
+		b, okB := byIdx[fmt.Sprintf("b%d", i)]
+		y, okY := byIdx[fmt.Sprintf("y%d", n-i)]
+		if !okB || !okY {
+			continue
+		}
+		sum := b.NeutralMassDa + y.NeutralMassDa
+		if diff := sum - total; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("chem: b%d + y%d = %.6f, want %.6f", i, n-i, sum, total)
+		}
+	}
+	return nil
+}

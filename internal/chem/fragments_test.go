@@ -1,0 +1,138 @@
+package chem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBYIonsCount(t *testing.T) {
+	p, _ := NewPeptide("LVNELTEFAK")
+	frags, err := BYIons(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 18 { // 9 b + 9 y for a 10-mer
+		t.Fatalf("fragments %d, want 18", len(frags))
+	}
+	var bs, ys int
+	for _, f := range frags {
+		switch f.Kind {
+		case BIon:
+			bs++
+		case YIon:
+			ys++
+		}
+		if f.Index < 1 || f.Index > 9 {
+			t.Errorf("fragment %s index out of range", f.Name())
+		}
+		if f.NeutralMassDa <= 0 {
+			t.Errorf("fragment %s non-positive mass", f.Name())
+		}
+	}
+	if bs != 9 || ys != 9 {
+		t.Errorf("b %d y %d", bs, ys)
+	}
+}
+
+// TestClassicYIons: the universal tryptic anchors — y1 of K = 147.1128,
+// y1 of R = 175.1190 (singly protonated).
+func TestClassicYIons(t *testing.T) {
+	pk, _ := NewPeptide("AK")
+	frags, _ := BYIons(pk)
+	for _, f := range frags {
+		if f.Kind == YIon && f.Index == 1 {
+			mz, err := f.MZ(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(mz-147.11281) > 1e-3 {
+				t.Errorf("y1(K) = %g, want 147.1128", mz)
+			}
+			if f.Sequence != "K" {
+				t.Errorf("y1 sequence %q", f.Sequence)
+			}
+		}
+	}
+	pr, _ := NewPeptide("AR")
+	frags, _ = BYIons(pr)
+	for _, f := range frags {
+		if f.Kind == YIon && f.Index == 1 {
+			mz, _ := f.MZ(1)
+			if math.Abs(mz-175.11895) > 1e-3 {
+				t.Errorf("y1(R) = %g, want 175.1190", mz)
+			}
+		}
+	}
+}
+
+// TestB2Ion: b2 of "AG..." = A + G residues + proton = 129.0659 at 1+.
+func TestB2Ion(t *testing.T) {
+	p, _ := NewPeptide("AGK")
+	frags, _ := BYIons(p)
+	for _, f := range frags {
+		if f.Kind == BIon && f.Index == 2 {
+			mz, _ := f.MZ(1)
+			if math.Abs(mz-129.06585) > 1e-3 {
+				t.Errorf("b2(AG) = %g, want 129.0659", mz)
+			}
+			if f.Sequence != "AG" {
+				t.Errorf("b2 sequence %q", f.Sequence)
+			}
+		}
+	}
+}
+
+// TestFragmentComplementarity: b_i + y_(n-i) = M for every pair, across a
+// spread of peptides.
+func TestFragmentComplementarity(t *testing.T) {
+	for _, seq := range []string{"LVNELTEFAK", "RPPGFSPFR", "HLVDEPQNLIK", "ADSGEGDFLAEGGGVR"} {
+		p, _ := NewPeptide(seq)
+		frags, err := BYIons(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := FragmentComplementarity(p, frags); err != nil {
+			t.Errorf("%s: %v", seq, err)
+		}
+	}
+}
+
+func TestDominantFragments(t *testing.T) {
+	p, _ := NewPeptide("LVNELTEFAK")
+	dom, err := DominantFragments(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range dom {
+		if f.Index < 2 || f.Index > p.Len()-2 {
+			t.Errorf("dominant fragment %s outside [2, n-2]", f.Name())
+		}
+	}
+	all, _ := BYIons(p)
+	if len(dom) >= len(all) {
+		t.Error("dominant set should be a strict subset")
+	}
+	// Too-short peptides.
+	tiny, _ := NewPeptide("AG")
+	if _, err := BYIons(Peptide{Sequence: "A"}); err == nil {
+		t.Error("1-mer should not fragment")
+	}
+	if _, err := DominantFragments(tiny); err == nil {
+		t.Error("2-mer has no dominant fragments")
+	}
+}
+
+func TestFragmentMZErrors(t *testing.T) {
+	f := Fragment{Kind: BIon, Index: 2, NeutralMassDa: 200}
+	if _, err := f.MZ(0); err == nil {
+		t.Error("zero charge should fail")
+	}
+	mz2, _ := f.MZ(2)
+	want := (200 + 2*ProtonMassDa) / 2
+	if math.Abs(mz2-want) > 1e-9 {
+		t.Errorf("2+ fragment m/z %g, want %g", mz2, want)
+	}
+	if f.Name() != "b2" {
+		t.Errorf("name %q", f.Name())
+	}
+}

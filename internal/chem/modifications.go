@@ -1,0 +1,155 @@
+// modifications.go: post-translational and chemical modifications.  A
+// Modification changes a peptide's elemental composition; ModifiedPeptide
+// couples a peptide with its applied modifications so masses, m/z and
+// isotope envelopes reflect the modified form.
+package chem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Modification is a named elemental delta applied per modified residue.
+type Modification struct {
+	Name string
+	// Target is the one-letter residue the modification attaches to, or 0
+	// for termini/any.
+	Target byte
+	// Delta is the composition change (may include negative counts for
+	// losses, e.g. water loss).
+	Delta Formula
+	// DeltaMassDa caches the monoisotopic shift.
+	DeltaMassDa float64
+}
+
+// Common modifications in proteomics workflows.
+var (
+	// Carbamidomethyl is the iodoacetamide alkylation of cysteine
+	// (+57.02146 Da), applied during standard digest preparation.
+	Carbamidomethyl = mustMod("carbamidomethyl", 'C', Formula{C: 2, H: 3, N: 1, O: 1})
+	// OxidationMet is methionine oxidation (+15.99491 Da).
+	OxidationMet = mustMod("oxidation", 'M', Formula{O: 1})
+	// PhosphoST is serine/threonine phosphorylation (+79.96633 Da = HPO3).
+	// The Formula type tracks CHNOS only; the phosphorus atom enters
+	// through an explicit monoisotopic mass correction in mustMod, keeping
+	// the formula system closed over CHNOS.
+	PhosphoST = mustMod("phospho", 'S', Formula{H: 1, O: 3})
+)
+
+// phosphorusMassDa is the monoisotopic mass of 31P.
+const phosphorusMassDa = 30.97376151
+
+func mustMod(name string, target byte, delta Formula) Modification {
+	m := Modification{Name: name, Target: target, Delta: delta}
+	m.DeltaMassDa = delta.MonoisotopicMass()
+	if name == "phospho" {
+		// HPO3: the P atom is outside the CHNOS formula system.
+		m.DeltaMassDa += phosphorusMassDa
+	}
+	return m
+}
+
+// ModifiedPeptide is a peptide with modifications applied at specific
+// zero-based residue positions.
+type ModifiedPeptide struct {
+	Peptide Peptide
+	// Sites maps residue position to the applied modification.
+	Sites map[int]Modification
+}
+
+// NewModifiedPeptide validates the sites against the sequence.
+func NewModifiedPeptide(p Peptide, sites map[int]Modification) (ModifiedPeptide, error) {
+	for pos, mod := range sites {
+		if pos < 0 || pos >= p.Len() {
+			return ModifiedPeptide{}, fmt.Errorf("chem: modification site %d outside peptide of %d residues", pos, p.Len())
+		}
+		if mod.Target != 0 && p.Sequence[pos] != mod.Target && !(mod.Name == "phospho" && p.Sequence[pos] == 'T') {
+			return ModifiedPeptide{}, fmt.Errorf("chem: %s targets %c but residue %d is %c",
+				mod.Name, mod.Target, pos, p.Sequence[pos])
+		}
+	}
+	copied := make(map[int]Modification, len(sites))
+	for k, v := range sites {
+		copied[k] = v
+	}
+	return ModifiedPeptide{Peptide: p, Sites: copied}, nil
+}
+
+// MonoisotopicMass returns the modified monoisotopic mass.
+func (mp ModifiedPeptide) MonoisotopicMass() float64 {
+	m := mp.Peptide.MonoisotopicMass()
+	for _, mod := range mp.Sites {
+		m += mod.DeltaMassDa
+	}
+	return m
+}
+
+// MZ returns the modified [M + z·H]^z+ mass-to-charge ratio.
+func (mp ModifiedPeptide) MZ(z int) (float64, error) {
+	if z <= 0 {
+		return 0, fmt.Errorf("chem: charge %d must be positive", z)
+	}
+	return (mp.MonoisotopicMass() + float64(z)*ProtonMassDa) / float64(z), nil
+}
+
+// String renders the modified peptide as SEQ with site annotations,
+// e.g. "LVNELTEFAK [oxidation@5]".
+func (mp ModifiedPeptide) String() string {
+	if len(mp.Sites) == 0 {
+		return mp.Peptide.Sequence
+	}
+	var anns []string
+	for pos := 0; pos < mp.Peptide.Len(); pos++ {
+		if mod, ok := mp.Sites[pos]; ok {
+			anns = append(anns, fmt.Sprintf("%s@%d", mod.Name, pos))
+		}
+	}
+	return mp.Peptide.Sequence + " [" + strings.Join(anns, ",") + "]"
+}
+
+// CarbamidomethylateAll returns the peptide with every cysteine alkylated —
+// the standard preparation state of a tryptic digest.
+func CarbamidomethylateAll(p Peptide) ModifiedPeptide {
+	sites := map[int]Modification{}
+	for i := 0; i < p.Len(); i++ {
+		if p.Sequence[i] == 'C' {
+			sites[i] = Carbamidomethyl
+		}
+	}
+	return ModifiedPeptide{Peptide: p, Sites: sites}
+}
+
+// Variants enumerates modification states of a peptide: for each candidate
+// site of the modification, present or absent, up to maxSites applied
+// (combinatorially bounded for search-space control).
+func Variants(p Peptide, mod Modification, maxSites int) []ModifiedPeptide {
+	var candidates []int
+	for i := 0; i < p.Len(); i++ {
+		r := p.Sequence[i]
+		if r == mod.Target || (mod.Name == "phospho" && (r == 'S' || r == 'T')) {
+			candidates = append(candidates, i)
+		}
+	}
+	out := []ModifiedPeptide{{Peptide: p, Sites: map[int]Modification{}}}
+	if maxSites < 1 {
+		return out
+	}
+	// Breadth-first subset enumeration bounded by maxSites.
+	var rec func(start, used int, current map[int]Modification)
+	rec = func(start, used int, current map[int]Modification) {
+		if used == maxSites {
+			return
+		}
+		for ci := start; ci < len(candidates); ci++ {
+			next := make(map[int]Modification, len(current)+1)
+			for k, v := range current {
+				next[k] = v
+			}
+			next[candidates[ci]] = mod
+			out = append(out, ModifiedPeptide{Peptide: p, Sites: next})
+			rec(ci+1, used+1, next)
+		}
+	}
+	rec(0, 0, map[int]Modification{})
+	return out
+}

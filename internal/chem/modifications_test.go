@@ -1,0 +1,168 @@
+package chem
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModificationMassDeltas(t *testing.T) {
+	cases := []struct {
+		mod  Modification
+		want float64
+	}{
+		{Carbamidomethyl, 57.02146},
+		{OxidationMet, 15.99491},
+		{PhosphoST, 79.96633},
+	}
+	for _, c := range cases {
+		if math.Abs(c.mod.DeltaMassDa-c.want) > 1e-4 {
+			t.Errorf("%s delta = %g, want %g", c.mod.Name, c.mod.DeltaMassDa, c.want)
+		}
+	}
+}
+
+func TestModifiedPeptideMass(t *testing.T) {
+	p, _ := NewPeptide("TCVADESHAGCEK") // two cysteines at 1 and 10
+	mp := CarbamidomethylateAll(p)
+	if len(mp.Sites) != 2 {
+		t.Fatalf("alkylated %d sites, want 2", len(mp.Sites))
+	}
+	want := p.MonoisotopicMass() + 2*Carbamidomethyl.DeltaMassDa
+	if math.Abs(mp.MonoisotopicMass()-want) > 1e-9 {
+		t.Errorf("modified mass %g, want %g", mp.MonoisotopicMass(), want)
+	}
+	mz, err := mp.MZ(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMZ := (want + 2*ProtonMassDa) / 2
+	if math.Abs(mz-wantMZ) > 1e-9 {
+		t.Errorf("modified m/z %g, want %g", mz, wantMZ)
+	}
+	if _, err := mp.MZ(0); err == nil {
+		t.Error("zero charge should fail")
+	}
+}
+
+func TestNewModifiedPeptideValidation(t *testing.T) {
+	p, _ := NewPeptide("LVNELTEFAK")
+	// M oxidation on a peptide without M.
+	if _, err := NewModifiedPeptide(p, map[int]Modification{0: OxidationMet}); err == nil {
+		t.Error("oxidation on L should fail")
+	}
+	// Out of range.
+	if _, err := NewModifiedPeptide(p, map[int]Modification{99: OxidationMet}); err == nil {
+		t.Error("site out of range should fail")
+	}
+	// Phospho accepts both S and T.
+	pt, _ := NewPeptide("ASTK")
+	if _, err := NewModifiedPeptide(pt, map[int]Modification{1: PhosphoST}); err != nil {
+		t.Errorf("phospho on S: %v", err)
+	}
+	if _, err := NewModifiedPeptide(pt, map[int]Modification{2: PhosphoST}); err != nil {
+		t.Errorf("phospho on T: %v", err)
+	}
+	// Sites map is copied.
+	sites := map[int]Modification{1: PhosphoST}
+	mp, _ := NewModifiedPeptide(pt, sites)
+	delete(sites, 1)
+	if len(mp.Sites) != 1 {
+		t.Error("sites must be copied")
+	}
+}
+
+func TestModifiedPeptideString(t *testing.T) {
+	p, _ := NewPeptide("AMK")
+	mp, _ := NewModifiedPeptide(p, map[int]Modification{1: OxidationMet})
+	s := mp.String()
+	if !strings.Contains(s, "AMK") || !strings.Contains(s, "oxidation@1") {
+		t.Errorf("string = %q", s)
+	}
+	plain, _ := NewModifiedPeptide(p, nil)
+	if plain.String() != "AMK" {
+		t.Errorf("unmodified string = %q", plain.String())
+	}
+}
+
+func TestVariants(t *testing.T) {
+	p, _ := NewPeptide("ASTSK") // S at 1, 3; T at 2 → 3 phospho candidates
+	vs := Variants(p, PhosphoST, 2)
+	// Subsets of size 0,1,2 of 3 candidates: 1 + 3 + 3 = 7.
+	if len(vs) != 7 {
+		t.Fatalf("variants %d, want 7", len(vs))
+	}
+	// All variants are distinct site sets and valid.
+	seen := map[string]bool{}
+	for _, v := range vs {
+		key := v.String()
+		if seen[key] {
+			t.Errorf("duplicate variant %s", key)
+		}
+		seen[key] = true
+		if len(v.Sites) > 2 {
+			t.Errorf("variant %s exceeds maxSites", key)
+		}
+	}
+	// Mass ladder: each added phospho adds the delta.
+	base := vs[0].MonoisotopicMass()
+	for _, v := range vs {
+		want := base + float64(len(v.Sites))*PhosphoST.DeltaMassDa
+		if math.Abs(v.MonoisotopicMass()-want) > 1e-9 {
+			t.Errorf("variant %s mass %g, want %g", v.String(), v.MonoisotopicMass(), want)
+		}
+	}
+	// maxSites 0: only the unmodified form.
+	if got := Variants(p, PhosphoST, 0); len(got) != 1 {
+		t.Errorf("maxSites 0 variants %d", len(got))
+	}
+	// Peptide with no candidate sites.
+	pn, _ := NewPeptide("GAVLK")
+	if got := Variants(pn, PhosphoST, 3); len(got) != 1 {
+		t.Errorf("no-site variants %d", len(got))
+	}
+}
+
+func TestAdditionalEnzymes(t *testing.T) {
+	pr, _ := NewProtein("toy", "AAKPGGKEEFWAYLPR")
+	// LysC cleaves after every K, including K before P.
+	lys, _ := pr.Digest(LysC{}, 0, 1, 0)
+	var lysSeqs []string
+	for _, p := range lys {
+		lysSeqs = append(lysSeqs, p.Sequence)
+	}
+	if strings.Join(lysSeqs, "|") != "AAK|PGGK|EEFWAYLPR" {
+		t.Errorf("lys-c: %v", lysSeqs)
+	}
+	// GluC cleaves after E.
+	glu, _ := pr.Digest(GluC{}, 0, 1, 0)
+	var gluSeqs []string
+	for _, p := range glu {
+		gluSeqs = append(gluSeqs, p.Sequence)
+	}
+	if strings.Join(gluSeqs, "|") != "AAKPGGKE|E|FWAYLPR" {
+		t.Errorf("glu-c: %v", gluSeqs)
+	}
+	// Chymotrypsin: after F, W, Y unless before P (Y at 12 precedes L, F
+	// at 9 precedes W...).
+	chy, _ := pr.Digest(Chymotrypsin{}, 0, 1, 0)
+	var chySeqs []string
+	for _, p := range chy {
+		chySeqs = append(chySeqs, p.Sequence)
+	}
+	if strings.Join(chySeqs, "|") != "AAKPGGKEEF|W|AY|LPR" {
+		t.Errorf("chymotrypsin: %v", chySeqs)
+	}
+	if (LysC{}).Name() != "lys-c" || (GluC{}).Name() != "glu-c" || (Chymotrypsin{}).Name() != "chymotrypsin" {
+		t.Error("enzyme names wrong")
+	}
+}
+
+// TestChymotrypsinProlineRule: no cleavage when the aromatic precedes P.
+func TestChymotrypsinProlineRule(t *testing.T) {
+	pr, _ := NewProtein("toy", "AAFPGGK")
+	peps, _ := pr.Digest(Chymotrypsin{}, 0, 1, 0)
+	if len(peps) != 1 || peps[0].Sequence != "AAFPGGK" {
+		t.Errorf("F before P should not cleave: %v", peps)
+	}
+}

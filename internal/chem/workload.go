@@ -1,0 +1,102 @@
+// workload.go generates synthetic proteome-scale workloads: random proteins
+// with realistic amino-acid composition and log-normally distributed
+// abundances.  These stand in for the blood-plasma and bacterial-lysate
+// matrices of the original experiments (see DESIGN.md substitution table).
+package chem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// aaFrequency is the average amino-acid composition of vertebrate proteins
+// (UniProt statistics, normalized); used to synthesize realistic sequences.
+var aaFrequency = []struct {
+	Code byte
+	Freq float64
+}{
+	{'A', 0.0825}, {'R', 0.0553}, {'N', 0.0406}, {'D', 0.0545},
+	{'C', 0.0137}, {'Q', 0.0393}, {'E', 0.0675}, {'G', 0.0707},
+	{'H', 0.0227}, {'I', 0.0596}, {'L', 0.0966}, {'K', 0.0584},
+	{'M', 0.0242}, {'F', 0.0386}, {'P', 0.0470}, {'S', 0.0656},
+	{'T', 0.0534}, {'W', 0.0108}, {'Y', 0.0292}, {'V', 0.0687},
+}
+
+// SyntheticProtein generates a random protein of the given length with
+// natural amino-acid frequencies, deterministically from rng.
+func SyntheticProtein(rng *rand.Rand, name string, length int) (Protein, error) {
+	if length <= 0 {
+		return Protein{}, fmt.Errorf("chem: protein length %d must be positive", length)
+	}
+	var cum [20]float64
+	total := 0.0
+	for i, af := range aaFrequency {
+		total += af.Freq
+		cum[i] = total
+	}
+	b := make([]byte, length)
+	for i := range b {
+		r := rng.Float64() * total
+		for j, c := range cum {
+			if r <= c {
+				b[i] = aaFrequency[j].Code
+				break
+			}
+		}
+		if b[i] == 0 {
+			b[i] = 'L'
+		}
+	}
+	return NewProtein(name, string(b))
+}
+
+// AbundantPeptide couples a peptide with a relative molar abundance.
+type AbundantPeptide struct {
+	Peptide   Peptide
+	Abundance float64 // relative molar abundance, arbitrary units
+}
+
+// ComplexMatrix digests nProteins synthetic proteins (length drawn uniformly
+// from [200, 800)) with trypsin and assigns each protein a log-normal
+// abundance spanning roughly sigmaDecades orders of magnitude — a stand-in
+// for blood plasma or a whole-cell lysate.  Peptides inherit their parent
+// protein's abundance.  The output is deterministic in rng.
+func ComplexMatrix(rng *rand.Rand, nProteins int, sigmaDecades float64) ([]AbundantPeptide, error) {
+	if nProteins <= 0 {
+		return nil, fmt.Errorf("chem: need at least one matrix protein")
+	}
+	if sigmaDecades < 0 {
+		return nil, fmt.Errorf("chem: negative abundance spread")
+	}
+	var out []AbundantPeptide
+	for i := 0; i < nProteins; i++ {
+		length := 200 + rng.Intn(600)
+		pr, err := SyntheticProtein(rng, fmt.Sprintf("matrix-%03d", i), length)
+		if err != nil {
+			return nil, err
+		}
+		abundance := math.Pow(10, rng.NormFloat64()*sigmaDecades/2)
+		peps, err := pr.Digest(Trypsin{}, 0, 6, 30)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range peps {
+			out = append(out, AbundantPeptide{Peptide: p, Abundance: abundance})
+		}
+	}
+	return out, nil
+}
+
+// SpikeLevels returns the concentrations (in the caller's units) for an
+// n-point serial dilution starting at top with the given fold step, e.g.
+// SpikeLevels(20, 1e4, 0.5) for a 20-peptide two-fold dilution series.
+func SpikeLevels(n int, top, fold float64) []float64 {
+	out := make([]float64, n)
+	v := top
+	for i := range out {
+		out[i] = v
+		v *= fold
+	}
+	return out
+}

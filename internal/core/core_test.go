@@ -1,0 +1,335 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/instrument"
+	"repro/internal/peaks"
+)
+
+// fastConfig shrinks the reference configuration for unit tests.
+func fastConfig(mode instrument.Mode) instrument.Config {
+	cfg := ReferenceConfig(mode)
+	cfg.SequenceOrder = 6
+	cfg.TOF.Bins = 256
+	cfg.TOF.MaxMZ = 1700
+	cfg.BinWidthS = 4e-4
+	cfg.Frames = 2
+	return cfg
+}
+
+func testExperiment(t testing.TB, mode instrument.Mode) *Experiment {
+	t.Helper()
+	var mix instrument.Mixture
+	for _, def := range []struct {
+		name, seq string
+		ab        float64
+	}{
+		{"bradykinin", "RPPGFSPFR", 1},
+		{"angiotensin II", "DRVYIHPF", 0.5},
+	} {
+		p, err := chem.NewPeptide(def.seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mix.AddPeptide(def.name, p, def.ab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Experiment{
+		Mixture:    mix,
+		SourceRate: 2e7,
+		Config:     fastConfig(mode),
+	}
+}
+
+func TestDecoderKindString(t *testing.T) {
+	for kind, want := range map[DecoderKind]string{
+		DecoderAuto: "auto", DecoderFHT: "fht", DecoderStandard: "standard", DecoderWiener: "wiener",
+	} {
+		if kind.String() != want {
+			t.Errorf("%v != %s", kind, want)
+		}
+	}
+	if DecoderKind(42).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestRunSignalAveraging(t *testing.T) {
+	exp := testExperiment(t, instrument.ModeSignalAveraging)
+	res, err := exp.Run(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decoded != res.Raw {
+		t.Error("SA mode should alias the raw frame")
+	}
+	if res.Stats.Utilization > 0.05 {
+		t.Errorf("SA utilization %g too high", res.Stats.Utilization)
+	}
+	if len(res.Sequence) != 63 {
+		t.Errorf("sequence length %d", len(res.Sequence))
+	}
+}
+
+func TestRunMultiplexedAllDecoders(t *testing.T) {
+	for _, kind := range []DecoderKind{DecoderAuto, DecoderFHT, DecoderStandard, DecoderWiener} {
+		exp := testExperiment(t, instrument.ModeMultiplexed)
+		exp.Decoder = kind
+		res, err := exp.Run(rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Decoded == res.Raw {
+			t.Fatalf("%v: MP mode must deconvolve", kind)
+		}
+		// The decoded frame must localize bradykinin 2+ at its drift bin:
+		// SNR well above 5.
+		rep, err := AnalyteSNR(res.Decoded, exp.Config.TOF, exp.Config.Tube, exp.Config.BinWidthS, exp.Mixture.Analytes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SNR < 5 {
+			t.Errorf("%v: decoded SNR %g too low", kind, rep.SNR)
+		}
+	}
+}
+
+func TestRunModifiedSequenceAutoPicksWiener(t *testing.T) {
+	exp := testExperiment(t, instrument.ModeMultiplexedTrap)
+	exp.Config.Oversample = 2
+	exp.Config.Defect = 1
+	exp.Config.BinWidthS = 2e-4 // keep cycle duration comparable
+	res, err := exp.Run(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyteSNR(res.Decoded, exp.Config.TOF, exp.Config.Tube, exp.Config.BinWidthS, exp.Mixture.Analytes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SNR < 5 {
+		t.Errorf("modified-sequence decode SNR %g too low", rep.SNR)
+	}
+	// Explicit FHT on a modified sequence must be rejected.
+	exp.Decoder = DecoderFHT
+	if _, err := exp.Run(rand.New(rand.NewSource(4))); err == nil {
+		t.Error("FHT on modified sequence should fail")
+	}
+}
+
+func TestMultiplexingGainOverSignalAveraging(t *testing.T) {
+	// Equal acquisition time (same frame count), detector-noise-limited
+	// beam (single-ion response at the ADC noise level): the trapped
+	// multiplexed mode must clearly beat signal averaging in SNR — the
+	// paper series' headline result.  Averaged over seeds for stability.
+	gainConfig := func(mode instrument.Mode) instrument.Config {
+		cfg := ReferenceConfig(mode)
+		cfg.SequenceOrder = 8
+		cfg.TOF.Bins = 256
+		cfg.TOF.MaxMZ = 1700
+		cfg.BinWidthS = 1e-4
+		cfg.Frames = 4
+		cfg.Detector.GainCounts = 1
+		return cfg
+	}
+	var snrSA, snrMP float64
+	const trials = 3
+	for seed := int64(5); seed < 5+trials; seed++ {
+		sa := testExperiment(t, instrument.ModeSignalAveraging)
+		sa.Config = gainConfig(instrument.ModeSignalAveraging)
+		sa.SourceRate = 3e5
+		resSA, err := sa.Run(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp := testExperiment(t, instrument.ModeMultiplexedTrap)
+		mp.Config = gainConfig(instrument.ModeMultiplexedTrap)
+		mp.SourceRate = 3e5
+		resMP, err := mp.Run(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := sa.Mixture.Analytes[1] // bradykinin 2+, the dominant state
+		repSA, err := AnalyteSNR(resSA.Decoded, sa.Config.TOF, sa.Config.Tube, sa.Config.BinWidthS, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repMP, err := AnalyteSNR(resMP.Decoded, mp.Config.TOF, mp.Config.Tube, mp.Config.BinWidthS, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snrSA += repSA.SNR
+		snrMP += repMP.SNR
+	}
+	gain := snrMP / snrSA
+	if gain < 1.5 {
+		t.Errorf("multiplexing gain %g, want > 1.5 (SA SNR %g, MP SNR %g)", gain, snrSA/trials, snrMP/trials)
+	}
+}
+
+func TestTruthAndNormalizedError(t *testing.T) {
+	exp := testExperiment(t, instrument.ModeMultiplexed)
+	truth, err := exp.Truth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := exp.Mixture.Analytes[0]
+	col := exp.Config.TOF.BinOf(a.MZ)
+	e, err := NormalizedColumnError(res.Decoded, truth, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 0.6 {
+		t.Errorf("normalized column error %g too large", e)
+	}
+	// Error API guards.
+	if _, err := NormalizedColumnError(nil, truth, 0); err == nil {
+		t.Error("nil frame")
+	}
+	if _, err := NormalizedColumnError(res.Decoded, truth, -1); err == nil {
+		t.Error("bad column")
+	}
+	small := instrument.NewFrame(4, 4)
+	if _, err := NormalizedColumnError(small, truth, 0); err == nil {
+		t.Error("geometry mismatch")
+	}
+}
+
+func TestDenoisedColumnError(t *testing.T) {
+	exp := testExperiment(t, instrument.ModeMultiplexed)
+	truth, err := exp.Truth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(rand.New(rand.NewSource(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := exp.Mixture.Analytes[0]
+	col := exp.Config.TOF.BinOf(a.MZ)
+	den, err := DenoisedColumnError(res.Decoded, truth, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := NormalizedColumnError(res.Decoded, truth, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if den > raw {
+		t.Errorf("denoised error %g should not exceed raw error %g", den, raw)
+	}
+	if _, err := DenoisedColumnError(nil, truth, 0); err == nil {
+		t.Error("nil frame")
+	}
+	if _, err := DenoisedColumnError(res.Decoded, truth, -1); err == nil {
+		t.Error("bad column")
+	}
+	small := instrument.NewFrame(4, 4)
+	if _, err := DenoisedColumnError(small, truth, 0); err == nil {
+		t.Error("geometry mismatch")
+	}
+}
+
+func TestAnalyteSNRErrors(t *testing.T) {
+	exp := testExperiment(t, instrument.ModeMultiplexed)
+	res, _ := exp.Run(rand.New(rand.NewSource(7)))
+	a := exp.Mixture.Analytes[0]
+	if _, err := AnalyteSNR(nil, exp.Config.TOF, exp.Config.Tube, exp.Config.BinWidthS, a); err == nil {
+		t.Error("nil frame")
+	}
+	if _, err := AnalyteSNR(res.Decoded, exp.Config.TOF, exp.Config.Tube, 0, a); err == nil {
+		t.Error("zero bin width")
+	}
+	out := a
+	out.MZ = 1e6
+	if _, err := AnalyteSNR(res.Decoded, exp.Config.TOF, exp.Config.Tube, exp.Config.BinWidthS, out); err == nil {
+		t.Error("out-of-range m/z")
+	}
+}
+
+func TestSNRGainEdge(t *testing.T) {
+	if !math.IsInf(SNRGain(SNRReport{SNR: 5}, SNRReport{SNR: 0}), 1) {
+		t.Error("zero denominator should give +Inf")
+	}
+	if got := SNRGain(SNRReport{SNR: 10}, SNRReport{SNR: 2}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("gain %g", got)
+	}
+}
+
+func TestIdentifyEndToEnd(t *testing.T) {
+	exp := testExperiment(t, instrument.ModeMultiplexedTrap)
+	res, err := exp.Run(rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := map[string]chem.Peptide{}
+	for _, def := range []struct{ name, seq string }{
+		{"bradykinin", "RPPGFSPFR"},
+		{"angiotensin II", "DRVYIHPF"},
+	} {
+		p, _ := chem.NewPeptide(def.seq)
+		named[def.name] = p
+	}
+	cands, err := peaks.CandidatesFromPeptides(named, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := Identify(res.Decoded, exp.Config.TOF, cands, 8, 1200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(id.Features) == 0 {
+		t.Fatal("no features found")
+	}
+	if id.UniqueTargets < 1 {
+		t.Errorf("identified %d targets, want >= 1", id.UniqueTargets)
+	}
+	if id.FDR > 0.5 {
+		t.Errorf("FDR %g implausibly high", id.FDR)
+	}
+	// Bad inputs propagate.
+	if _, err := Identify(nil, exp.Config.TOF, cands, 8, 100, 2); err == nil {
+		t.Error("nil frame")
+	}
+	if _, err := Identify(res.Decoded, exp.Config.TOF, cands, 8, 0, 2); err == nil {
+		t.Error("zero tolerance")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	exp := testExperiment(t, instrument.ModeMultiplexed)
+	exp.SourceRate = 0
+	if _, err := exp.Run(rand.New(rand.NewSource(9))); err == nil {
+		t.Error("zero source rate should fail")
+	}
+	exp = testExperiment(t, instrument.ModeMultiplexed)
+	exp.Config.Frames = 0
+	if _, err := exp.Run(rand.New(rand.NewSource(10))); err == nil {
+		t.Error("invalid config should fail")
+	}
+	exp = testExperiment(t, instrument.ModeMultiplexed)
+	exp.Decoder = DecoderKind(42)
+	if _, err := exp.Run(rand.New(rand.NewSource(11))); err == nil {
+		t.Error("unknown decoder should fail")
+	}
+}
+
+func BenchmarkExperimentMultiplexed(b *testing.B) {
+	exp := testExperiment(b, instrument.ModeMultiplexed)
+	rng := rand.New(rand.NewSource(12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// calibration.go: the end-to-end CCS calibration experiment (E19): calibrant
+// peptides with known cross sections are acquired in one multiplexed run,
+// their decoded arrival times fit the single-field calibration, and the
+// cross sections of "unknown" peptides in the same frame are recovered from
+// their measured drift times.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/physics"
+)
+
+// E19CCSCalibration measures how accurately the platform recovers collision
+// cross sections through a calibrant fit — the structural-measurement use
+// of IMS that motivates drift-time fidelity in the first place.
+func E19CCSCalibration(seed int64, quick bool) (*Table, error) {
+	frames := 8
+	if quick {
+		frames = 4
+	}
+	t := &Table{
+		ID:      "E19",
+		Title:   "CCS recovery through single-field calibration on one multiplexed acquisition",
+		Columns: []string{"peptide", "role", "z", "true CCS (A^2)", "measured CCS (A^2)", "error %"},
+		Notes: []string{
+			"calibrants fit t_d = a*(CCS*sqrt(mu)/z) + t0; unknowns inverted through the fit",
+			"drift-bin quantization bounds the achievable accuracy (~0.5 bin)",
+		},
+	}
+	calibrants := []string{"RPPGFSPFR", "DRVYIHPFHL", "ADSGEGDFLAEGGGVR", "QLYENKPRRPYIL"}
+	unknowns := []string{"DRVYIHPF", "LRRASLG", "RPKPQQFFGLM"}
+
+	cfg := gainConfig(instrument.ModeMultiplexedTrap, 8)
+	cfg.TOF.Bins = 2048
+	cfg.TOF.MaxMZ = 2500
+	cfg.Frames = frames
+	cfg.Detector.GainCounts = 2
+
+	var mix instrument.Mixture
+	type ion struct {
+		name string
+		a    instrument.Analyte
+		cal  bool
+	}
+	var ions []ion
+	add := func(seq string, cal bool) error {
+		p, err := chem.NewPeptide(seq)
+		if err != nil {
+			return err
+		}
+		// Use the dominant charge state only, so each ion has one drift
+		// peak.
+		states := p.ChargeStates()
+		best := states[0]
+		for _, cs := range states {
+			if cs.Fraction > best.Fraction {
+				best = cs
+			}
+		}
+		mz, err := p.MZ(best.Z)
+		if err != nil {
+			return err
+		}
+		ccs, err := p.CCS(best.Z)
+		if err != nil {
+			return err
+		}
+		a := instrument.Analyte{
+			Name: seq, MassDa: p.MonoisotopicMass(), Z: best.Z,
+			MZ: mz, CCSM2: ccs, Abundance: 1,
+		}
+		if err := mix.AddAnalyte(a); err != nil {
+			return err
+		}
+		ions = append(ions, ion{name: seq, a: a, cal: cal})
+		return nil
+	}
+	for _, seq := range calibrants {
+		if err := add(seq, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, seq := range unknowns {
+		if err := add(seq, false); err != nil {
+			return nil, err
+		}
+	}
+
+	exp := &core.Experiment{Mixture: mix, SourceRate: 1e7, Config: cfg}
+	res, err := exp.Run(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+
+	// Measured drift time: apex of the decoded column near the expected
+	// bin, at sub-bin precision via the SNR report's apex.
+	measure := func(a instrument.Analyte) (float64, error) {
+		rep, err := core.AnalyteSNR(res.Decoded, cfg.TOF, cfg.Tube, cfg.BinWidthS, a)
+		if err != nil {
+			return 0, err
+		}
+		if rep.SNR < 3 {
+			return 0, fmt.Errorf("experiments: calibrant %s below detection (SNR %.1f)", a.Name, rep.SNR)
+		}
+		return (float64(rep.DriftBin) + 0.5) * cfg.BinWidthS, nil
+	}
+
+	var pts []physics.CalPoint
+	for _, io := range ions {
+		if !io.cal {
+			continue
+		}
+		td, err := measure(io.a)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, physics.CalPoint{
+			DriftTimeS: td, CCSM2: io.a.CCSM2, MassDa: io.a.MassDa, Z: io.a.Z,
+		})
+	}
+	calib, err := physics.FitCalibration(pts, cfg.Tube.Conditions.Gas)
+	if err != nil {
+		return nil, err
+	}
+	for _, io := range ions {
+		td, err := measure(io.a)
+		if err != nil {
+			return nil, err
+		}
+		got, err := calib.CCS(td, io.a.MassDa, io.a.Z)
+		if err != nil {
+			return nil, err
+		}
+		role := "unknown"
+		if io.cal {
+			role = "calibrant"
+		}
+		errPct := 100 * math.Abs(got-io.a.CCSM2) / io.a.CCSM2
+		t.AddRow(io.name, role, io.a.Z, io.a.CCSM2*1e20, got*1e20, errPct)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("calibration fit residual %.3f%%", 100*calib.RMSRel))
+	return t, nil
+}
+
+// E20IsotopeFidelity checks spectral accuracy: the measured M+1/M isotope
+// ratio of singly charged peptides across the mass range against the
+// theoretical envelope — the standard spectral-accuracy validation of a TOF
+// data path.
+func E20IsotopeFidelity(seed int64, quick bool) (*Table, error) {
+	peptides := []string{"YGGFL", "RPPGFSPFR", "DRVYIHPFHL", "ADSGEGDFLAEGGGVR"}
+	if quick {
+		peptides = []string{"YGGFL", "DRVYIHPFHL"}
+	}
+	t := &Table{
+		ID:      "E20",
+		Title:   "Isotope-envelope fidelity: measured vs theoretical M+1/M ratio (1+ ions)",
+		Columns: []string{"peptide", "mass (Da)", "theory M+1/M", "measured M+1/M", "deviation %"},
+		Notes:   []string{"measured from one multiplexed acquisition after deconvolution"},
+	}
+	cfg := gainConfig(instrument.ModeMultiplexedTrap, 8)
+	cfg.TOF.Bins = 8192 // resolve 1+ isotopes
+	cfg.TOF.MaxMZ = 2500
+	cfg.Frames = 8
+	cfg.Detector.GainCounts = 2
+
+	var mix instrument.Mixture
+	type entry struct {
+		name   string
+		mass   float64
+		mz     float64
+		theory float64
+	}
+	var entries []entry
+	for _, seq := range peptides {
+		p, err := chem.NewPeptide(seq)
+		if err != nil {
+			return nil, err
+		}
+		mz, err := p.MZ(1)
+		if err != nil {
+			return nil, err
+		}
+		ccs, err := p.CCS(1)
+		if err != nil {
+			return nil, err
+		}
+		base := instrument.Analyte{
+			Name: seq, MassDa: p.MonoisotopicMass(), Z: 1,
+			MZ: mz, CCSM2: ccs, Abundance: 1,
+		}
+		a, err := base.WithIsotopes(p.Formula(), 1e-5)
+		if err != nil {
+			return nil, err
+		}
+		if err := mix.AddAnalyte(a); err != nil {
+			return nil, err
+		}
+		env := p.Formula().IsotopicEnvelope(1e-6)
+		if len(env) < 2 {
+			return nil, fmt.Errorf("experiments: envelope too small for %s", seq)
+		}
+		entries = append(entries, entry{
+			name: seq, mass: p.MonoisotopicMass(), mz: mz,
+			theory: env[1].Abundance / env[0].Abundance,
+		})
+	}
+
+	exp := &core.Experiment{Mixture: mix, SourceRate: 2e7, Config: cfg}
+	res, err := exp.Run(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	// Apex above the column median: robust against the positive-clipped
+	// noise floor that would inflate weak-column sums.
+	colSum := func(mzv float64) float64 {
+		col := cfg.TOF.BinOf(mzv)
+		if col < 0 {
+			return 0
+		}
+		vec := res.Decoded.DriftVector(col)
+		sorted := append([]float64(nil), vec...)
+		sortFloats(sorted)
+		med := sorted[len(sorted)/2]
+		max := 0.0
+		for _, v := range vec {
+			if v-med > max {
+				max = v - med
+			}
+		}
+		return max
+	}
+	for _, e := range entries {
+		mono := colSum(e.mz)
+		mPlus1 := colSum(e.mz + 1.0033)
+		if mono <= 0 {
+			return nil, fmt.Errorf("experiments: no monoisotopic signal for %s", e.name)
+		}
+		ratio := mPlus1 / mono
+		t.AddRow(e.name, e.mass, e.theory, ratio, 100*math.Abs(ratio-e.theory)/e.theory)
+	}
+	return t, nil
+}

@@ -1,0 +1,82 @@
+// helpers.go: shared workload builders and measurement utilities for the
+// experiment suite.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/instrument"
+)
+
+// standardMixture builds the nine-peptide calibrant mixture used by the
+// signal-quality experiments (all standard peptides that fall inside the
+// recorded m/z range).
+func standardMixture(maxPeptides int) (instrument.Mixture, error) {
+	var mix instrument.Mixture
+	stds := chem.StandardPeptides()
+	if maxPeptides > 0 && maxPeptides < len(stds) {
+		stds = stds[:maxPeptides]
+	}
+	for _, s := range stds {
+		if err := mix.AddPeptide(s.Name, s.Peptide, 1.0); err != nil {
+			return instrument.Mixture{}, err
+		}
+	}
+	return mix, nil
+}
+
+// gainConfig is the detector-noise-limited configuration used for SNR-gain
+// measurements: single-ion response at the ADC noise level.
+func gainConfig(mode instrument.Mode, order int) instrument.Config {
+	cfg := instrument.DefaultConfig()
+	cfg.Mode = mode
+	cfg.SequenceOrder = order
+	cfg.TOF.Bins = 256
+	cfg.TOF.MaxMZ = 1700
+	cfg.BinWidthS = 1e-4
+	cfg.Frames = 4
+	cfg.Detector.GainCounts = 1
+	return cfg
+}
+
+// meanAnalyteSNR runs the experiment `trials` times with consecutive seeds
+// and returns the mean SNR of the selected analyte.
+func meanAnalyteSNR(exp *core.Experiment, analyte instrument.Analyte, seed int64, trials int) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("experiments: trials %d must be >= 1", trials)
+	}
+	var sum float64
+	for t := int64(0); t < int64(trials); t++ {
+		res, err := exp.Run(rand.New(rand.NewSource(seed + t)))
+		if err != nil {
+			return 0, err
+		}
+		rep, err := core.AnalyteSNR(res.Decoded, exp.Config.TOF, exp.Config.Tube, exp.Config.BinWidthS, analyte)
+		if err != nil {
+			return 0, err
+		}
+		sum += rep.SNR
+	}
+	return sum / float64(trials), nil
+}
+
+// dominantAnalyte returns the analyte with the largest abundance whose m/z
+// is inside the recorded range.
+func dominantAnalyte(mix instrument.Mixture, tof instrument.TOF) (instrument.Analyte, error) {
+	best := -1
+	for i, a := range mix.Analytes {
+		if tof.BinOf(a.MZ) < 0 {
+			continue
+		}
+		if best < 0 || a.Abundance > mix.Analytes[best].Abundance {
+			best = i
+		}
+	}
+	if best < 0 {
+		return instrument.Analyte{}, fmt.Errorf("experiments: no analyte inside the recorded m/z range")
+	}
+	return mix.Analytes[best], nil
+}

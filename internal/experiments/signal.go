@@ -1,0 +1,328 @@
+// signal.go: the signal-quality experiments — multiplexing gain (E1),
+// deconvolution fidelity (E2), ion utilization (E6), modified-PRS
+// enhancement (E8).
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/hadamard"
+	"repro/internal/instrument"
+	"repro/internal/prs"
+)
+
+// E1MultiplexingGain reproduces the SNR-gain-versus-sequence-order table:
+// conventional signal averaging vs. multiplexed vs. trapped multiplexed at
+// equal acquisition time, with the detector-noise-limited theoretical gain
+// (N+1)/(2√N) for reference.
+func E1MultiplexingGain(seed int64, quick bool) (*Table, error) {
+	orders := []int{6, 7, 8, 9}
+	trials := 5
+	if quick {
+		orders = []int{6, 8}
+		trials = 2
+	}
+	t := &Table{
+		ID:      "E1",
+		Title:   "SNR gain of multiplexed acquisition over signal averaging vs PRS order (equal time)",
+		Columns: []string{"order", "N", "SA SNR", "MP SNR", "trap SNR", "MP gain", "trap gain", "theory (N+1)/2sqrtN"},
+		Notes: []string{
+			"companion papers report ~10x for the trapped multiplexed mode at order 8-9 in the detector-noise limit",
+			"measured gains fall below theory as analyte shot noise grows relative to ADC noise",
+		},
+	}
+	p, err := chem.NewPeptide("RPPGFSPFR") // bradykinin
+	if err != nil {
+		return nil, err
+	}
+	for _, order := range orders {
+		n := 1<<order - 1
+		var snr [3]float64
+		for mi, mode := range []instrument.Mode{instrument.ModeSignalAveraging, instrument.ModeMultiplexed, instrument.ModeMultiplexedTrap} {
+			var mix instrument.Mixture
+			if err := mix.AddPeptide("bradykinin", p, 1); err != nil {
+				return nil, err
+			}
+			exp := &core.Experiment{
+				Mixture:    mix,
+				SourceRate: 3e5,
+				Config:     gainConfig(mode, order),
+			}
+			a := mix.Analytes[1] // 2+ dominant state
+			s, err := meanAnalyteSNR(exp, a, seed, trials)
+			if err != nil {
+				return nil, err
+			}
+			snr[mi] = s
+		}
+		theory := float64(n+1) / (2 * math.Sqrt(float64(n)))
+		t.AddRow(order, n, snr[0], snr[1], snr[2], snr[1]/snr[0], snr[2]/snr[0], theory)
+	}
+	return t, nil
+}
+
+// E2DeconvolutionFidelity reproduces the reconstruction-fidelity figure:
+// normalized reconstruction error of the recovered arrival distribution as
+// detector noise grows, for the naive simplex decode versus the enhanced
+// modulation-aware decode, on the trapped multiplexed instrument.
+func E2DeconvolutionFidelity(seed int64, quick bool) (*Table, error) {
+	noises := []float64{0.5, 1, 2, 4, 8}
+	trials := 3
+	if quick {
+		noises = []float64{1, 4}
+		trials = 1
+	}
+	t := &Table{
+		ID:      "E2",
+		Title:   "Reconstruction error vs ADC noise: naive simplex decode vs enhanced (modulation-aware) decode",
+		Columns: []string{"ADC noise (counts)", "naive err", "enhanced err", "improvement"},
+		Notes: []string{
+			"errors are relative RMS of the normalized drift profile against the noise-free truth",
+			"the enhancement corresponds to the PNNL-developed deconvolution of the abstract",
+		},
+	}
+	mix, err := standardMixture(4)
+	if err != nil {
+		return nil, err
+	}
+	for _, noise := range noises {
+		var errNaive, errEnh float64
+		for trial := int64(0); trial < int64(trials); trial++ {
+			cfg := gainConfig(instrument.ModeMultiplexedTrap, 8)
+			cfg.ADC.BaselineSigma = noise
+			cfg.Detector.GainCounts = 2
+			// Disable equalized release so the naive decoder faces the
+			// full weighted-modulation mismatch it historically had.
+			cfgNaive := cfg
+			cfgNaive.Trap.EqualizeRelease = false
+			for which, c := range map[string]instrument.Config{"naive": cfgNaive, "enhanced": cfg} {
+				exp := &core.Experiment{Mixture: mix, SourceRate: 1e6, Config: c}
+				if which == "naive" {
+					exp.Decoder = core.DecoderStandard
+				} else {
+					exp.Decoder = core.DecoderAuto
+				}
+				res, err := exp.Run(rand.New(rand.NewSource(seed + trial)))
+				if err != nil {
+					return nil, err
+				}
+				truth, err := exp.Truth()
+				if err != nil {
+					return nil, err
+				}
+				a, err := dominantAnalyte(mix, c.TOF)
+				if err != nil {
+					return nil, err
+				}
+				col := c.TOF.BinOf(a.MZ)
+				e, err := core.DenoisedColumnError(res.Decoded, truth, col)
+				if err != nil {
+					return nil, err
+				}
+				if which == "naive" {
+					errNaive += e
+				} else {
+					errEnh += e
+				}
+			}
+		}
+		errNaive /= float64(trials)
+		errEnh /= float64(trials)
+		t.AddRow(noise, errNaive, errEnh, errNaive/errEnh)
+	}
+	return t, nil
+}
+
+// E6IonUtilization reproduces the duty-cycle figure: the fraction of
+// source-generated ions injected into the drift tube per mode, with the
+// trap raising utilization beyond the Hadamard 50 % bound (Clowers et al.
+// 2008 reported >50 %; Belov et al. 2007 ~50 % for beam multiplexing;
+// conventional SA is ~1/N).
+func E6IonUtilization(seed int64, quick bool) (*Table, error) {
+	orders := []int{6, 8, 10}
+	if quick {
+		orders = []int{6, 8}
+	}
+	t := &Table{
+		ID:      "E6",
+		Title:   "Ion utilization (injected/generated) by acquisition mode and PRS order",
+		Columns: []string{"order", "N", "SA", "multiplexed", "multiplexed+trap"},
+		Notes:   []string{"expected: SA ~ 1/N, MP ~ 0.5, trap+MP approaching the trapping efficiency (0.9)"},
+	}
+	mix, err := standardMixture(3)
+	if err != nil {
+		return nil, err
+	}
+	for _, order := range orders {
+		var util [3]float64
+		for mi, mode := range []instrument.Mode{instrument.ModeSignalAveraging, instrument.ModeMultiplexed, instrument.ModeMultiplexedTrap} {
+			cfg := gainConfig(mode, order)
+			src, err := instrument.NewESISource(mix, 1e6)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := instrument.New(cfg, src)
+			if err != nil {
+				return nil, err
+			}
+			_, stats, err := inst.ExpectedDetections(0)
+			if err != nil {
+				return nil, err
+			}
+			util[mi] = stats.Utilization
+		}
+		t.AddRow(order, 1<<order-1, util[0], util[1], util[2])
+	}
+	return t, nil
+}
+
+// E8ModifiedPRS reproduces the modified-sequence table (Clowers et al.
+// 2008): against a strongly non-ideal gate, compare (a) the naive simplex
+// decode, (b) the sample-calibrated weighting-matrix decode, and (c) the
+// oversampled defect-modified sequence with regularized decoding — the
+// scheme that removes the need for sample-specific weights — plus the gate
+// pulses per unit time each scheme achieves.
+func E8ModifiedPRS(seed int64, quick bool) (*Table, error) {
+	trials := 3
+	if quick {
+		trials = 1
+	}
+	t := &Table{
+		ID:      "E8",
+		Title:   "Gate non-ideality handling: naive vs weighting-matrix vs modified PRS (oversample 2, defect 1)",
+		Columns: []string{"scheme", "pulses/cycle-ms", "recon err", "SNR"},
+		Notes: []string{
+			"companion paper reports up to 13x SNR enhancement and 2x gate pulses per unit time for modified sequences",
+			"the weighting matrix is calibrated on the same sample (its historical weakness)",
+		},
+	}
+	p, err := chem.NewPeptide("DRVYIHPFHL") // angiotensin I
+	if err != nil {
+		return nil, err
+	}
+	var mix instrument.Mixture
+	if err := mix.AddPeptide("angiotensin I", p, 1); err != nil {
+		return nil, err
+	}
+	// The gate's switching transient fully depletes the first bin of every
+	// opening — the non-ideality the defect modification is designed to
+	// absorb: driving an oversampled PRS through this gate produces exactly
+	// the defect-modified sequence as the effective modulation, which is
+	// known a priori (drive sequence + rise width), unlike a weighting
+	// matrix that must be calibrated per sample.
+	badGate := instrument.Gate{OpenTransmission: 0.9, ClosedLeakage: 0.002, RiseBins: 1, RiseDepth: 1.0}
+
+	type scheme struct {
+		name       string
+		oversample int
+		decoder    core.DecoderKind
+		calibrate  bool
+	}
+	schemes := []scheme{
+		{"naive simplex", 1, core.DecoderStandard, false},
+		{"weighting matrix", 1, core.DecoderStandard, true},
+		{"modified PRS + enhanced", 2, core.DecoderAuto, false},
+	}
+	for _, sc := range schemes {
+		var sumErr, sumSNR float64
+		var pulsesPerMS float64
+		for trial := int64(0); trial < int64(trials); trial++ {
+			cfg := gainConfig(instrument.ModeMultiplexed, 8)
+			cfg.Gate = badGate
+			cfg.Oversample = sc.oversample
+			cfg.BinWidthS = 2e-4
+			if sc.oversample > 1 {
+				// Same cycle duration; the extraction rate follows the
+				// finer gating bins.
+				cfg.BinWidthS /= float64(sc.oversample)
+				cfg.TOF.ExtractionPeriodS = cfg.BinWidthS
+			}
+			cfg.Detector.GainCounts = 2
+			exp := &core.Experiment{Mixture: mix, SourceRate: 1e7, Config: cfg, Decoder: sc.decoder, WienerLambda: 0.5}
+			res, err := exp.Run(rand.New(rand.NewSource(seed + trial)))
+			if err != nil {
+				return nil, err
+			}
+			seq, err := cfg.Sequence()
+			if err != nil {
+				return nil, err
+			}
+			// Effective open bins: run-start bins are consumed by the
+			// gate transient.
+			effective := seq.Modify(cfg.Gate.RiseBins)
+			pulsesPerMS = float64(effective.Ones()) / (cfg.CycleDuration() * 1e3)
+			truth, err := exp.Truth()
+			if err != nil {
+				return nil, err
+			}
+			a := mix.Analytes[1]
+			col := cfg.TOF.BinOf(a.MZ)
+			decoded := res.Decoded
+			if sc.calibrate {
+				decoded, err = applyWeightCalibration(res, truth, seq, col)
+				if err != nil {
+					return nil, err
+				}
+			}
+			e, err := core.DenoisedColumnError(decoded, truth, col)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := core.AnalyteSNR(decoded, cfg.TOF, cfg.Tube, cfg.BinWidthS, a)
+			if err != nil {
+				return nil, err
+			}
+			sumErr += e
+			sumSNR += rep.SNR
+		}
+		t.AddRow(sc.name, pulsesPerMS, sumErr/float64(trials), sumSNR/float64(trials))
+	}
+	return t, nil
+}
+
+// applyWeightCalibration re-decodes one column of the raw frame through a
+// WeightedDecoder calibrated against the known truth — the historical
+// sample-specific weighting-matrix correction.
+func applyWeightCalibration(res *core.Result, truth *instrument.Frame, seq prs.Sequence, col int) (*instrument.Frame, error) {
+	base, err := hadamard.NewStandardDecoder(seq)
+	if err != nil {
+		return nil, err
+	}
+	wd := hadamard.NewWeightedDecoder(base)
+	// Calibrate on the truth column: encode it with the ideal sequence to
+	// obtain the calibrant observation, then decode the real data.
+	truthCol := truth.DriftVector(col)
+	// Scale truth to match the raw data amplitude before calibration.
+	raw := res.Raw.DriftVector(col)
+	var sumRaw, sumTruth float64
+	for i := range raw {
+		sumRaw += raw[i]
+		sumTruth += truthCol[i]
+	}
+	scaled := make([]float64, len(truthCol))
+	if sumTruth > 0 {
+		for i := range scaled {
+			scaled[i] = truthCol[i] * sumRaw / (sumTruth * float64(seq.Ones()))
+		}
+	}
+	if err := wd.Calibrate(scaled, raw, 0.05); err != nil {
+		return nil, err
+	}
+	x, err := wd.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	out := instrument.NewFrame(res.Raw.DriftBins, res.Raw.TOFBins)
+	copy(out.Data, res.Decoded.Data)
+	out.SetDriftVector(col, x)
+	return out, nil
+}
+
+// theoreticalGain is exported for documentation and tests: the ideal
+// detector-noise-limited multiplexing gain (N+1)/(2√N).
+func theoreticalGain(n int) float64 {
+	return float64(n+1) / (2 * math.Sqrt(float64(n)))
+}

@@ -1,0 +1,60 @@
+// storage.go: the data-format experiment (E17), reproducing the goals of
+// the companion PNNL format work (an efficient binary representation for
+// mass spectrometry data): size of one acquired frame across encodings.
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/frameio"
+	"repro/internal/instrument"
+)
+
+// E17FrameFormat compares storage encodings of an acquired multiplexed
+// frame: naive CSV text, raw float64 binary, and the delta-varint binary of
+// the frameio container.
+func E17FrameFormat(seed int64, quick bool) (*Table, error) {
+	tofBins := 2048
+	frames := 4
+	if quick {
+		tofBins = 512
+		frames = 2
+	}
+	t := &Table{
+		ID:      "E17",
+		Title:   "Frame storage size by encoding (one accumulated multiplexed frame)",
+		Columns: []string{"encoding", "bytes", "vs raw", "vs csv"},
+		Notes: []string{
+			"delta-varint exploits the integral, column-correlated structure of accumulated ADC counts",
+		},
+	}
+	mix, err := standardMixture(6)
+	if err != nil {
+		return nil, err
+	}
+	cfg := gainConfig(instrument.ModeMultiplexedTrap, 8)
+	cfg.TOF.Bins = tofBins
+	cfg.Frames = frames
+	exp := &core.Experiment{Mixture: mix, SourceRate: 5e6, Config: cfg}
+	res, err := exp.Run(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	rawSize, err := frameio.EncodedSize(res.Raw, frameio.Raw)
+	if err != nil {
+		return nil, err
+	}
+	deltaSize, err := frameio.EncodedSize(res.Raw, frameio.Delta)
+	if err != nil {
+		return nil, err
+	}
+	csvSize := frameio.CSVSize(res.Raw)
+	add := func(name string, size int64) {
+		t.AddRow(name, size, float64(size)/float64(rawSize), float64(size)/float64(csvSize))
+	}
+	add("csv", csvSize)
+	add("raw float64", rawSize)
+	add("delta varint", deltaSize)
+	return t, nil
+}

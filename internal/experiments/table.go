@@ -1,0 +1,152 @@
+// Package experiments implements the reproduction's evaluation: one
+// function per table/figure (E1–E12 in DESIGN.md) plus the design-choice
+// ablations.  Each experiment returns a Table that cmd/benchreport renders
+// and bench_test.go exercises; every experiment takes an explicit seed and
+// a quick flag (reduced sweep sizes for CI) and is fully deterministic.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one reproduced table or figure (figures are reported as their
+// underlying data series).
+type Table struct {
+	ID      string   // experiment id, e.g. "E1"
+	Title   string   // what the table shows
+	Columns []string // column headers
+	Rows    [][]string
+	Notes   []string // caveats, expected values from the companion papers
+}
+
+// AddRow appends a formatted row; values are rendered with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%-*s", widths[i], c))
+		}
+		return sb.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(line(t.Columns)))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as CSV (header row first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Runner is the registry signature of an experiment.
+type Runner func(seed int64, quick bool) (*Table, error)
+
+// All returns the experiment registry in report order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"E1", E1MultiplexingGain},
+		{"E2", E2DeconvolutionFidelity},
+		{"E3", E3FPGAvsCPU},
+		{"E4", E4CPUScaling},
+		{"E5", E5DataPath},
+		{"E6", E6IonUtilization},
+		{"E7", E7DynamicRange},
+		{"E8", E8ModifiedPRS},
+		{"E9", E9PeptideIDs},
+		{"E10", E10FixedPoint},
+		{"E11", E11SpaceCharge},
+		{"E12", E12AGC},
+		{"E13", E13DetectionDynamicRange},
+		{"E14", E14LCGradient},
+		{"E15", E15StreamingDynamics},
+		{"E16", E16MultiplexedCID},
+		{"E17", E17FrameFormat},
+		{"E18", E18ClusterScaling},
+		{"E19", E19CCSCalibration},
+		{"E20", E20IsotopeFidelity},
+		{"A1", AblationDirectVsFHT},
+		{"A2", AblationAccumulatePlacement},
+	}
+}

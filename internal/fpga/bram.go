@@ -1,0 +1,91 @@
+// bram.go models on-chip block RAM: fixed word width, fixed depth,
+// dual-port read-modify-write at one update per cycle per bank, and
+// saturating accumulation — the storage substrate of the capture and
+// accumulation cores.
+package fpga
+
+import "fmt"
+
+// BRAM is one block-RAM bank holding unsigned accumulator words.
+type BRAM struct {
+	Name     string
+	WordBits int // accumulator word width
+	Depth    int // number of words
+
+	data      []int64
+	reads     int64
+	writes    int64
+	overflows int64
+}
+
+// NewBRAM constructs a bank.
+func NewBRAM(name string, wordBits, depth int) (*BRAM, error) {
+	if wordBits < 1 || wordBits > 62 {
+		return nil, fmt.Errorf("fpga: BRAM %q word width %d out of range [1,62]", name, wordBits)
+	}
+	if depth <= 0 {
+		return nil, fmt.Errorf("fpga: BRAM %q depth %d must be positive", name, depth)
+	}
+	return &BRAM{Name: name, WordBits: wordBits, Depth: depth, data: make([]int64, depth)}, nil
+}
+
+// Max returns the saturation value of one word.
+func (b *BRAM) Max() int64 { return int64(1)<<b.WordBits - 1 }
+
+// Read returns the word at addr.
+func (b *BRAM) Read(addr int) (int64, error) {
+	if addr < 0 || addr >= b.Depth {
+		return 0, fmt.Errorf("fpga: BRAM %q read address %d out of range [0,%d)", b.Name, addr, b.Depth)
+	}
+	b.reads++
+	return b.data[addr], nil
+}
+
+// Write stores v at addr, clipping to the word range.
+func (b *BRAM) Write(addr int, v int64) error {
+	if addr < 0 || addr >= b.Depth {
+		return fmt.Errorf("fpga: BRAM %q write address %d out of range [0,%d)", b.Name, addr, b.Depth)
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > b.Max() {
+		v = b.Max()
+		b.overflows++
+	}
+	b.writes++
+	b.data[addr] = v
+	return nil
+}
+
+// Accumulate performs the read-modify-write v[addr] += delta with
+// saturation, the one-cycle operation of an accumulator bank.
+func (b *BRAM) Accumulate(addr int, delta int64) error {
+	v, err := b.Read(addr)
+	if err != nil {
+		return err
+	}
+	return b.Write(addr, v+delta)
+}
+
+// Clear zeroes the bank.
+func (b *BRAM) Clear() {
+	for i := range b.data {
+		b.data[i] = 0
+	}
+}
+
+// Snapshot copies the contents out.
+func (b *BRAM) Snapshot() []int64 {
+	out := make([]int64, b.Depth)
+	copy(out, b.data)
+	return out
+}
+
+// Stats reports access counters.
+func (b *BRAM) Stats() (reads, writes, overflows int64) {
+	return b.reads, b.writes, b.overflows
+}
+
+// Bits returns the total storage in bits, for resource reports.
+func (b *BRAM) Bits() int { return b.WordBits * b.Depth }

@@ -1,0 +1,162 @@
+// Package fpga models the FPGA component of the paper's hybrid application
+// at a cycle-approximate, data-exact level: Q-format fixed-point arithmetic
+// (the word widths block RAM affords), block-RAM accumulator banks, a
+// clocked pipeline with FIFO backpressure, and the three processing cores
+// the abstract names — data capture, accumulation, and the enhanced
+// Hadamard-transform deconvolution with its scatter/gather memory
+// addressing logic.
+package fpga
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a signed Qm.n fixed-point representation: m integer bits
+// (excluding sign) and n fractional bits, stored in an int64.
+type Format struct {
+	IntBits  int
+	FracBits int
+}
+
+// Q returns a validated format.
+func Q(intBits, fracBits int) (Format, error) {
+	if intBits < 0 || fracBits < 0 {
+		return Format{}, fmt.Errorf("fpga: negative field widths Q%d.%d", intBits, fracBits)
+	}
+	if intBits+fracBits == 0 || intBits+fracBits > 62 {
+		return Format{}, fmt.Errorf("fpga: total width %d out of range [1,62]", intBits+fracBits)
+	}
+	return Format{IntBits: intBits, FracBits: fracBits}, nil
+}
+
+// MustQ is Q but panics on invalid widths; for static configurations.
+func MustQ(intBits, fracBits int) Format {
+	f, err := Q(intBits, fracBits)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Width returns the total significant width excluding sign.
+func (f Format) Width() int { return f.IntBits + f.FracBits }
+
+// Max returns the largest representable raw value.
+func (f Format) Max() int64 { return int64(1)<<f.Width() - 1 }
+
+// Min returns the most negative representable raw value.
+func (f Format) Min() int64 { return -(int64(1) << f.Width()) }
+
+// scale returns 2^FracBits.
+func (f Format) scale() float64 { return math.Ldexp(1, f.FracBits) }
+
+// FromFloat converts a float to the nearest representable raw value,
+// saturating at the format bounds.  The second result reports whether
+// saturation occurred.
+func (f Format) FromFloat(v float64) (int64, bool) {
+	r := math.Round(v * f.scale())
+	if r > float64(f.Max()) {
+		return f.Max(), true
+	}
+	if r < float64(f.Min()) {
+		return f.Min(), true
+	}
+	return int64(r), false
+}
+
+// ToFloat converts a raw value back to float.
+func (f Format) ToFloat(raw int64) float64 {
+	return float64(raw) / f.scale()
+}
+
+// Add returns the saturating sum of two raw values.
+func (f Format) Add(a, b int64) (int64, bool) {
+	s := a + b
+	if s > f.Max() {
+		return f.Max(), true
+	}
+	if s < f.Min() {
+		return f.Min(), true
+	}
+	return s, false
+}
+
+// Sub returns the saturating difference of two raw values.
+func (f Format) Sub(a, b int64) (int64, bool) {
+	return f.Add(a, -b)
+}
+
+// Mul returns the saturating product of two raw values with
+// round-to-nearest at the discarded fractional bits.
+func (f Format) Mul(a, b int64) (int64, bool) {
+	// Full product carries 2·FracBits fractional bits.
+	p := a * b
+	half := int64(0)
+	if f.FracBits > 0 {
+		half = int64(1) << (f.FracBits - 1)
+	}
+	if p >= 0 {
+		p = (p + half) >> f.FracBits
+	} else {
+		p = -((-p + half) >> f.FracBits)
+	}
+	if p > f.Max() {
+		return f.Max(), true
+	}
+	if p < f.Min() {
+		return f.Min(), true
+	}
+	return p, false
+}
+
+// Shr returns the raw value arithmetically shifted right by k with
+// round-to-nearest — the per-stage scaling of a normalized butterfly.
+func (f Format) Shr(a int64, k int) int64 {
+	if k <= 0 {
+		return a
+	}
+	half := int64(1) << (k - 1)
+	if a >= 0 {
+		return (a + half) >> k
+	}
+	return -((-a + half) >> k)
+}
+
+// Quantize rounds a float through the format and back, reporting the
+// representation error — handy for precision studies.
+func (f Format) Quantize(v float64) (float64, float64) {
+	raw, _ := f.FromFloat(v)
+	q := f.ToFloat(raw)
+	return q, q - v
+}
+
+// EpsilonLSB returns the value of one least-significant bit.
+func (f Format) EpsilonLSB() float64 { return 1 / f.scale() }
+
+// String renders the format as Qm.n.
+func (f Format) String() string { return fmt.Sprintf("Q%d.%d", f.IntBits, f.FracBits) }
+
+// Vector converts a float slice into raw fixed-point values, returning the
+// count of saturated elements.
+func (f Format) Vector(x []float64) ([]int64, int) {
+	out := make([]int64, len(x))
+	sat := 0
+	for i, v := range x {
+		r, s := f.FromFloat(v)
+		out[i] = r
+		if s {
+			sat++
+		}
+	}
+	return out, sat
+}
+
+// Floats converts raw values back to floats.
+func (f Format) Floats(raw []int64) []float64 {
+	out := make([]float64, len(raw))
+	for i, r := range raw {
+		out[i] = f.ToFloat(r)
+	}
+	return out
+}

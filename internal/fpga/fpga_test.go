@@ -1,0 +1,570 @@
+package fpga
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hadamard"
+	"repro/internal/prs"
+)
+
+func TestQFormatConstruction(t *testing.T) {
+	if _, err := Q(-1, 4); err == nil {
+		t.Error("negative int bits")
+	}
+	if _, err := Q(4, -1); err == nil {
+		t.Error("negative frac bits")
+	}
+	if _, err := Q(0, 0); err == nil {
+		t.Error("zero width")
+	}
+	if _, err := Q(40, 40); err == nil {
+		t.Error("over-wide format")
+	}
+	f, err := Q(15, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Width() != 23 || f.String() != "Q15.8" {
+		t.Errorf("format %v width %d", f, f.Width())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustQ should panic on invalid widths")
+		}
+	}()
+	MustQ(0, 0)
+}
+
+func TestFixedRoundTrip(t *testing.T) {
+	f := MustQ(15, 8)
+	for _, v := range []float64{0, 1, -1, 3.14159, -2.71828, 100.125, -100.125} {
+		raw, sat := f.FromFloat(v)
+		if sat {
+			t.Fatalf("%g saturated unexpectedly", v)
+		}
+		back := f.ToFloat(raw)
+		if math.Abs(back-v) > f.EpsilonLSB()/2+1e-12 {
+			t.Errorf("round trip %g -> %g", v, back)
+		}
+	}
+}
+
+func TestFixedSaturation(t *testing.T) {
+	f := MustQ(3, 2) // range [-8, 7.75]
+	raw, sat := f.FromFloat(100)
+	if !sat || f.ToFloat(raw) != 7.75 {
+		t.Errorf("positive saturation: %g, sat=%v", f.ToFloat(raw), sat)
+	}
+	raw, sat = f.FromFloat(-100)
+	if !sat || f.ToFloat(raw) != -8 {
+		t.Errorf("negative saturation: %g, sat=%v", f.ToFloat(raw), sat)
+	}
+	// Add saturates.
+	a, _ := f.FromFloat(7)
+	s, sat := f.Add(a, a)
+	if !sat || f.ToFloat(s) != 7.75 {
+		t.Error("add should saturate")
+	}
+	d, sat := f.Sub(f.Min(), a)
+	if !sat || d != f.Min() {
+		t.Error("sub should saturate at min")
+	}
+}
+
+func TestFixedMul(t *testing.T) {
+	f := MustQ(15, 8)
+	a, _ := f.FromFloat(3.5)
+	b, _ := f.FromFloat(-2.25)
+	p, sat := f.Mul(a, b)
+	if sat {
+		t.Fatal("unexpected saturation")
+	}
+	if got := f.ToFloat(p); math.Abs(got-(-7.875)) > f.EpsilonLSB() {
+		t.Errorf("3.5 * -2.25 = %g", got)
+	}
+	// Saturating product.
+	big, _ := f.FromFloat(30000)
+	_, sat = f.Mul(big, big)
+	if !sat {
+		t.Error("large product should saturate")
+	}
+}
+
+func TestFixedShrRounding(t *testing.T) {
+	f := MustQ(15, 0)
+	if f.Shr(5, 1) != 3 { // 2.5 rounds to 3
+		t.Errorf("Shr(5,1) = %d", f.Shr(5, 1))
+	}
+	if f.Shr(-5, 1) != -3 {
+		t.Errorf("Shr(-5,1) = %d", f.Shr(-5, 1))
+	}
+	if f.Shr(4, 2) != 1 {
+		t.Errorf("Shr(4,2) = %d", f.Shr(4, 2))
+	}
+	if f.Shr(7, 0) != 7 {
+		t.Error("zero shift should be identity")
+	}
+}
+
+// Property: quantization error is bounded by half an LSB inside the range.
+func TestQuantizeErrorBound(t *testing.T) {
+	f := MustQ(10, 6)
+	check := func(v float64) bool {
+		v = math.Mod(v, 1000) // keep in range
+		_, e := f.Quantize(v)
+		return math.Abs(e) <= f.EpsilonLSB()/2+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	f := MustQ(7, 4)
+	in := []float64{1.5, -2.25, 500} // 500 saturates Q7.4 (max ~127.9)
+	raw, sat := f.Vector(in)
+	if sat != 1 {
+		t.Errorf("saturated count %d, want 1", sat)
+	}
+	out := f.Floats(raw)
+	if math.Abs(out[0]-1.5) > 1e-9 || math.Abs(out[1]+2.25) > 1e-9 {
+		t.Error("vector round trip failed")
+	}
+}
+
+func TestBRAMBasics(t *testing.T) {
+	b, err := NewBRAM("t", 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Max() != 255 || b.Bits() != 128 {
+		t.Errorf("max %d bits %d", b.Max(), b.Bits())
+	}
+	if err := b.Write(3, 100); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Read(3)
+	if err != nil || v != 100 {
+		t.Errorf("read %d, %v", v, err)
+	}
+	// Saturation.
+	if err := b.Write(3, 1000); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = b.Read(3)
+	if v != 255 {
+		t.Errorf("saturated write = %d", v)
+	}
+	_, _, ovf := b.Stats()
+	if ovf != 1 {
+		t.Errorf("overflows %d, want 1", ovf)
+	}
+	// Negative clips to zero without counting overflow.
+	b.Write(4, -5)
+	if v, _ := b.Read(4); v != 0 {
+		t.Error("negative write should clip to 0")
+	}
+	// Accumulate.
+	b.Clear()
+	b.Accumulate(0, 200)
+	b.Accumulate(0, 100)
+	if v, _ := b.Read(0); v != 255 {
+		t.Errorf("accumulate saturation = %d", v)
+	}
+	// Bounds.
+	if _, err := b.Read(-1); err == nil {
+		t.Error("negative read address")
+	}
+	if err := b.Write(16, 0); err == nil {
+		t.Error("out-of-range write address")
+	}
+	if err := b.Accumulate(99, 1); err == nil {
+		t.Error("out-of-range accumulate")
+	}
+	// Constructor errors.
+	if _, err := NewBRAM("x", 0, 4); err == nil {
+		t.Error("zero word bits")
+	}
+	if _, err := NewBRAM("x", 8, 0); err == nil {
+		t.Error("zero depth")
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	f, err := NewFIFO("q", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Push(Token{ID: 1}) || !f.Push(Token{ID: 2}) {
+		t.Fatal("pushes should succeed")
+	}
+	if f.Push(Token{ID: 3}) {
+		t.Fatal("third push should fail")
+	}
+	tok, ok := f.Pop()
+	if !ok || tok.ID != 1 {
+		t.Fatal("FIFO order broken")
+	}
+	pushes, pops, stalls, maxDepth := f.Stats()
+	if pushes != 2 || pops != 1 || stalls != 1 || maxDepth != 2 {
+		t.Errorf("stats %d %d %d %d", pushes, pops, stalls, maxDepth)
+	}
+	if _, err := NewFIFO("bad", 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	f.Pop()
+	if _, ok := f.Pop(); ok {
+		t.Error("pop from empty should fail")
+	}
+}
+
+func TestPipelineFlow(t *testing.T) {
+	q1, _ := NewFIFO("q1", 4)
+	q2, _ := NewFIFO("q2", 4)
+	double := func(tok Token) Token {
+		tok.Payload = tok.Payload.(int) * 2
+		return tok
+	}
+	src := &Stage{Name: "src", II: 1, Out: q1}
+	mid := &Stage{Name: "mid", II: 1, Latency: 2, In: q1, Out: q2, Process: double}
+	sink := &Stage{Name: "sink", II: 1, In: q2}
+	p, err := NewPipeline(src, mid, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for !p.Feed(src, Token{ID: i, Words: 1, Payload: i}) {
+			p.Step(1)
+		}
+		p.Step(1)
+	}
+	cycles, ok := p.RunUntilDrained(1000)
+	if !ok {
+		t.Fatal("pipeline failed to drain")
+	}
+	if cycles <= 0 {
+		t.Error("draining should consume cycles")
+	}
+	if s := sink.Stats(); s.Accepted != 5 {
+		t.Errorf("sink accepted %d, want 5", s.Accepted)
+	}
+	if s := mid.Stats(); s.Emitted != 5 {
+		t.Errorf("mid emitted %d, want 5", s.Emitted)
+	}
+}
+
+// TestPipelineBackpressure: a slow downstream stage must stall the upstream
+// producer, and the bottleneck report must name the producer that blocks.
+func TestPipelineBackpressure(t *testing.T) {
+	q1, _ := NewFIFO("q1", 1)
+	q2, _ := NewFIFO("q2", 1)
+	fast := &Stage{Name: "fast", II: 1, In: q1, Out: q2}
+	slow := &Stage{Name: "slow", II: 10, In: q2}
+	p, _ := NewPipeline(fast, slow)
+	for i := 0; i < 8; i++ {
+		q1.Push(Token{ID: i})
+		p.Step(3)
+	}
+	p.RunUntilDrained(1000)
+	if s := fast.Stats(); s.OutputStalls == 0 {
+		t.Error("fast stage should have stalled on the slow consumer")
+	}
+	if b := p.Bottleneck(); b.Name != "fast" {
+		t.Errorf("bottleneck = %s, want fast (it blocks on slow)", b.Name)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(); err == nil {
+		t.Error("empty pipeline")
+	}
+	if _, err := NewPipeline(&Stage{Name: "", II: 1}); err == nil {
+		t.Error("unnamed stage")
+	}
+	if _, err := NewPipeline(&Stage{Name: "a", II: 1}, &Stage{Name: "a", II: 1}); err == nil {
+		t.Error("duplicate names")
+	}
+	if _, err := NewPipeline(&Stage{Name: "a"}); err == nil {
+		t.Error("missing II")
+	}
+	if _, err := NewPipeline(&Stage{Name: "a", II: 1, Latency: -1}); err == nil {
+		t.Error("negative latency")
+	}
+}
+
+func TestPipelineIIFor(t *testing.T) {
+	q, _ := NewFIFO("q", 2)
+	st := &Stage{
+		Name:  "sized",
+		IIFor: func(tok Token) int { return tok.Words },
+		In:    q,
+	}
+	p, _ := NewPipeline(st)
+	q.Push(Token{ID: 0, Words: 5})
+	q.Push(Token{ID: 1, Words: 5})
+	cycles, ok := p.RunUntilDrained(100)
+	if !ok {
+		t.Fatal("did not drain")
+	}
+	// Two 5-cycle tokens take >= 10 cycles.
+	if cycles < 10 {
+		t.Errorf("drained in %d cycles, want >= 10", cycles)
+	}
+}
+
+func TestCaptureCore(t *testing.T) {
+	c, err := NewCaptureCore(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []int64{0, 1, 2, 3, 4, 5, 0, 9}
+	cycles := c.Capture(samples)
+	if cycles != 2 { // 8 samples at 4/cycle
+		t.Errorf("cycles %d, want 2", cycles)
+	}
+	want := []int64{0, 0, 0, 3, 4, 5, 0, 9}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("sample %d = %d, want %d", i, samples[i], want[i])
+		}
+	}
+	kept, dropped := c.Stats()
+	if kept != 4 || dropped != 4 {
+		t.Errorf("kept %d dropped %d", kept, dropped)
+	}
+	if _, err := NewCaptureCore(0, 0); err == nil {
+		t.Error("zero parallelism")
+	}
+	if _, err := NewCaptureCore(1, -1); err == nil {
+		t.Error("negative threshold")
+	}
+	// Threshold 0 keeps everything.
+	c0, _ := NewCaptureCore(1, 0)
+	s := []int64{1, 0, 2}
+	c0.Capture(s)
+	if s[1] != 0 || s[0] != 1 {
+		t.Error("threshold-0 capture should pass samples through")
+	}
+}
+
+func TestAccumulatorCore(t *testing.T) {
+	a, err := NewAccumulatorCore(4, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Depth() != 64 {
+		t.Errorf("depth %d", a.Depth())
+	}
+	block := make([]int64, 64)
+	for i := range block {
+		block[i] = int64(i)
+	}
+	cycles, err := a.Accumulate(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 16 { // 64 words over 4 banks
+		t.Errorf("cycles %d, want 16", cycles)
+	}
+	if _, err := a.Accumulate(block); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Snapshot()
+	for i := range block {
+		if snap[i] != 2*int64(i) {
+			t.Fatalf("word %d = %d, want %d", i, snap[i], 2*i)
+		}
+	}
+	a.Clear()
+	for _, v := range a.Snapshot() {
+		if v != 0 {
+			t.Fatal("clear failed")
+		}
+	}
+	// Overflow accounting.
+	hot := make([]int64, 4)
+	hot[0] = 1 << 20
+	a.Accumulate(hot)
+	if a.Overflows() != 1 {
+		t.Errorf("overflows %d, want 1", a.Overflows())
+	}
+	if a.StorageBits() != 64*16 {
+		t.Errorf("storage bits %d", a.StorageBits())
+	}
+	// Errors.
+	if _, err := a.Accumulate(make([]int64, 100)); err == nil {
+		t.Error("oversize block")
+	}
+	if _, err := NewAccumulatorCore(0, 8, 8); err == nil {
+		t.Error("zero banks")
+	}
+	if _, err := NewAccumulatorCore(8, 8, 4); err == nil {
+		t.Error("depth below banks")
+	}
+}
+
+// TestFHTCoreMatchesReference: with a wide format the fixed-point transform
+// matches the float64 decoder to quantization precision.
+func TestFHTCoreMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	core, err := NewFHTCore(7, MustQ(40, 12), GrowthSaturate, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, core.Len())
+	for i := range y {
+		y[i] = rng.Float64() * 1000
+	}
+	got, cycles, err := core.Deconvolve(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != core.CyclesPerFrame() {
+		t.Error("cycle accounting inconsistent")
+	}
+	want, err := core.ReferenceDeconvolve(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := hadamard.ReconstructionError(got, want)
+	if e > 1e-4 {
+		t.Errorf("wide-format error %g vs reference", e)
+	}
+	if core.Saturations() != 0 {
+		t.Errorf("unexpected saturations: %d", core.Saturations())
+	}
+}
+
+// TestFHTCoreRoundTripThroughEncoder: fixed-point decode of an encoded
+// signal recovers the signal.
+func TestFHTCoreRoundTripThroughEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	order := 8
+	s := prs.MustMSequence(order)
+	x := make([]float64, len(s))
+	for i := 0; i < 5; i++ {
+		x[rng.Intn(len(x))] = 100 + rng.Float64()*900
+	}
+	y, err := hadamard.Encode(s, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, _ := NewFHTCore(order, MustQ(44, 10), GrowthSaturate, 8, 4)
+	got, _, err := core.Deconvolve(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := hadamard.ReconstructionError(got, x)
+	if e > 1e-3 {
+		t.Errorf("round-trip error %g", e)
+	}
+}
+
+// TestFHTCoreNarrowFormatDegrades: an 8-bit-fraction narrow format must show
+// larger reconstruction error than a wide one — the paper's precision trade.
+func TestFHTCoreNarrowFormatDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	order := 7
+	s := prs.MustMSequence(order)
+	x := make([]float64, len(s))
+	for i := range x {
+		x[i] = rng.Float64() * 100
+	}
+	y, _ := hadamard.Encode(s, x)
+	wide, _ := NewFHTCore(order, MustQ(40, 12), GrowthSaturate, 4, 2)
+	narrow, _ := NewFHTCore(order, MustQ(12, 0), GrowthScalePerStage, 4, 2)
+	gw, _, _ := wide.Deconvolve(y)
+	gn, _, _ := narrow.Deconvolve(y)
+	ew, _ := hadamard.ReconstructionError(gw, x)
+	en, _ := hadamard.ReconstructionError(gn, x)
+	if en <= ew {
+		t.Errorf("narrow error %g should exceed wide error %g", en, ew)
+	}
+}
+
+// TestFHTCoreScalePerStageAvoidsSaturation: with large accumulated inputs,
+// the saturate policy overflows while per-stage scaling does not.
+func TestFHTCoreScalePerStageAvoidsSaturation(t *testing.T) {
+	order := 9
+	s := prs.MustMSequence(order)
+	x := make([]float64, len(s))
+	for i := range x {
+		x[i] = 1000 // hot everywhere: worst-case growth
+	}
+	y, _ := hadamard.Encode(s, x)
+	sat, _ := NewFHTCore(order, MustQ(20, 0), GrowthSaturate, 4, 2)
+	scaled, _ := NewFHTCore(order, MustQ(20, 0), GrowthScalePerStage, 4, 2)
+	sat.Deconvolve(y)
+	scaled.Deconvolve(y)
+	if sat.Saturations() == 0 {
+		t.Error("saturate policy should overflow on hot input")
+	}
+	if scaled.Saturations() != 0 {
+		t.Errorf("scaled policy saturated %d times", scaled.Saturations())
+	}
+	scaled.ResetStats()
+	if scaled.Saturations() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestFHTCoreCycleScaling(t *testing.T) {
+	slow, _ := NewFHTCore(8, MustQ(30, 8), GrowthSaturate, 1, 1)
+	fast, _ := NewFHTCore(8, MustQ(30, 8), GrowthSaturate, 8, 8)
+	if fast.CyclesPerFrame() >= slow.CyclesPerFrame() {
+		t.Error("more butterfly units should reduce cycles")
+	}
+	// Roughly 8x fewer butterfly cycles.
+	ratio := float64(slow.CyclesPerFrame()) / float64(fast.CyclesPerFrame())
+	if ratio < 4 {
+		t.Errorf("parallel speedup %g too small", ratio)
+	}
+}
+
+func TestFHTCoreErrors(t *testing.T) {
+	if _, err := NewFHTCore(1, MustQ(20, 8), GrowthSaturate, 1, 1); err == nil {
+		t.Error("bad order")
+	}
+	if _, err := NewFHTCore(6, MustQ(20, 8), GrowthSaturate, 0, 1); err == nil {
+		t.Error("zero butterfly units")
+	}
+	if _, err := NewFHTCore(6, MustQ(20, 8), GrowthSaturate, 1, 0); err == nil {
+		t.Error("zero mem ports")
+	}
+	core, _ := NewFHTCore(6, MustQ(20, 8), GrowthSaturate, 1, 1)
+	if _, _, err := core.Deconvolve(make([]float64, 10)); err == nil {
+		t.Error("length mismatch")
+	}
+}
+
+func BenchmarkFHTCoreDeconvolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(53))
+	core, _ := NewFHTCore(10, MustQ(40, 8), GrowthSaturate, 8, 4)
+	y := make([]float64, core.Len())
+	for i := range y {
+		y[i] = rng.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Deconvolve(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccumulatorCore(b *testing.B) {
+	a, _ := NewAccumulatorCore(8, 32, 2048)
+	block := make([]int64, 2048)
+	for i := range block {
+		block[i] = int64(i % 255)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Accumulate(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

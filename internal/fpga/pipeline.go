@@ -1,0 +1,262 @@
+// pipeline.go is the clocked dataflow model: tokens move through stages
+// connected by bounded FIFOs, with per-stage initiation intervals and
+// latencies, and stall accounting under backpressure.  It approximates FPGA
+// behaviour at the granularity the paper's evaluation needs — sustained
+// throughput, bottleneck location and buffer occupancy — without gate-level
+// detail.
+package fpga
+
+import (
+	"fmt"
+)
+
+// Token is a unit of work moving through the pipeline (e.g. one captured
+// sample block or one frame).
+type Token struct {
+	ID      int
+	Words   int // payload size in memory words, for bandwidth accounting
+	Payload interface{}
+}
+
+// FIFO is a bounded queue between stages.
+type FIFO struct {
+	Name     string
+	Capacity int
+
+	q          []Token
+	pushes     int64
+	pops       int64
+	fullStalls int64
+	maxDepth   int
+}
+
+// NewFIFO constructs a bounded FIFO.
+func NewFIFO(name string, capacity int) (*FIFO, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("fpga: FIFO %q capacity %d must be positive", name, capacity)
+	}
+	return &FIFO{Name: name, Capacity: capacity}, nil
+}
+
+// Push appends a token; false (and a stall count) if full.
+func (f *FIFO) Push(t Token) bool {
+	if len(f.q) >= f.Capacity {
+		f.fullStalls++
+		return false
+	}
+	f.q = append(f.q, t)
+	f.pushes++
+	if len(f.q) > f.maxDepth {
+		f.maxDepth = len(f.q)
+	}
+	return true
+}
+
+// Pop removes the head token; ok=false if empty.
+func (f *FIFO) Pop() (Token, bool) {
+	if len(f.q) == 0 {
+		return Token{}, false
+	}
+	t := f.q[0]
+	f.q = f.q[1:]
+	f.pops++
+	return t, true
+}
+
+// Len returns the current occupancy.
+func (f *FIFO) Len() int { return len(f.q) }
+
+// Stats reports lifetime counters.
+func (f *FIFO) Stats() (pushes, pops, fullStalls int64, maxDepth int) {
+	return f.pushes, f.pops, f.fullStalls, f.maxDepth
+}
+
+// Stage is a processing element: it accepts one token every II cycles (when
+// input is available and output has room), applies Process, and emits the
+// result Latency cycles later.
+type Stage struct {
+	Name string
+	// II is the initiation interval: minimum cycles between accepted
+	// tokens.  For data-dependent intervals set IIFor.
+	II int
+	// IIFor, if non-nil, returns the initiation interval for a specific
+	// token (e.g. cycles proportional to token words).
+	IIFor func(Token) int
+	// Latency is the additional delay from acceptance to emission.
+	Latency int
+	// Process transforms the token (may be nil for pure movement).
+	Process func(Token) Token
+	// In is the input FIFO; nil makes the stage a source driven by Feed.
+	In *FIFO
+	// Out is the output FIFO; nil makes the stage a sink.
+	Out *FIFO
+
+	// busyUntil is the cycle at which the stage can accept again.
+	busyUntil int64
+	// pending holds a processed token awaiting emission.
+	pending      *Token
+	pendingAt    int64
+	accepted     int64
+	emitted      int64
+	inputStalls  int64 // cycles idle for lack of input
+	outputStalls int64 // cycles blocked on a full output FIFO
+}
+
+// StageStats is a snapshot of a stage's counters.
+type StageStats struct {
+	Name         string
+	Accepted     int64
+	Emitted      int64
+	InputStalls  int64
+	OutputStalls int64
+}
+
+// Stats returns the stage counters.
+func (s *Stage) Stats() StageStats {
+	return StageStats{Name: s.Name, Accepted: s.accepted, Emitted: s.emitted, InputStalls: s.inputStalls, OutputStalls: s.outputStalls}
+}
+
+// tick advances the stage one cycle.
+func (s *Stage) tick(cycle int64) {
+	// Emission first: a pending token whose latency elapsed moves to Out.
+	if s.pending != nil && cycle >= s.pendingAt {
+		if s.Out == nil {
+			s.emitted++
+			s.pending = nil
+		} else if s.Out.Push(*s.pending) {
+			s.emitted++
+			s.pending = nil
+		} else {
+			s.outputStalls++
+			return // blocked; cannot accept either
+		}
+	}
+	if cycle < s.busyUntil || s.pending != nil {
+		return // still processing or holding
+	}
+	if s.In == nil {
+		return // source stages are fed externally
+	}
+	t, ok := s.In.Pop()
+	if !ok {
+		s.inputStalls++
+		return
+	}
+	s.accept(t, cycle)
+}
+
+// accept starts processing a token at the given cycle.
+func (s *Stage) accept(t Token, cycle int64) {
+	ii := s.II
+	if s.IIFor != nil {
+		ii = s.IIFor(t)
+	}
+	if ii < 1 {
+		ii = 1
+	}
+	if s.Process != nil {
+		t = s.Process(t)
+	}
+	s.busyUntil = cycle + int64(ii)
+	done := cycle + int64(ii) + int64(s.Latency)
+	s.pending = &t
+	s.pendingAt = done
+	s.accepted++
+}
+
+// Pipeline is an ordered set of stages sharing a clock.
+type Pipeline struct {
+	Stages []*Stage
+	cycle  int64
+}
+
+// NewPipeline validates stage wiring (each non-source stage needs an input
+// FIFO) and returns the pipeline.
+func NewPipeline(stages ...*Stage) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("fpga: empty pipeline")
+	}
+	names := map[string]bool{}
+	for _, st := range stages {
+		if st.Name == "" {
+			return nil, fmt.Errorf("fpga: unnamed stage")
+		}
+		if names[st.Name] {
+			return nil, fmt.Errorf("fpga: duplicate stage %q", st.Name)
+		}
+		names[st.Name] = true
+		if st.II < 1 && st.IIFor == nil {
+			return nil, fmt.Errorf("fpga: stage %q needs II >= 1 or IIFor", st.Name)
+		}
+		if st.Latency < 0 {
+			return nil, fmt.Errorf("fpga: stage %q negative latency", st.Name)
+		}
+	}
+	return &Pipeline{Stages: stages}, nil
+}
+
+// Cycle returns the current clock cycle.
+func (p *Pipeline) Cycle() int64 { return p.cycle }
+
+// Feed pushes a token into a source stage (one with In == nil) if it is
+// free; returns false when the stage is busy.
+func (p *Pipeline) Feed(stage *Stage, t Token) bool {
+	if stage.pending != nil || p.cycle < stage.busyUntil {
+		return false
+	}
+	stage.accept(t, p.cycle)
+	return true
+}
+
+// Step advances the clock n cycles.  Stages tick in reverse order so
+// downstream stages free FIFO space before upstream stages push — matching
+// the simultaneous-update semantics of clocked hardware.
+func (p *Pipeline) Step(n int) {
+	for i := 0; i < n; i++ {
+		for j := len(p.Stages) - 1; j >= 0; j-- {
+			p.Stages[j].tick(p.cycle)
+		}
+		p.cycle++
+	}
+}
+
+// RunUntilDrained steps until every FIFO is empty and no stage holds a
+// pending token, or maxCycles elapse.  Returns the cycles consumed and
+// whether draining completed.
+func (p *Pipeline) RunUntilDrained(maxCycles int64) (int64, bool) {
+	start := p.cycle
+	for p.cycle-start < maxCycles {
+		if p.drained() {
+			return p.cycle - start, true
+		}
+		p.Step(1)
+	}
+	return p.cycle - start, p.drained()
+}
+
+func (p *Pipeline) drained() bool {
+	for _, st := range p.Stages {
+		if st.pending != nil {
+			return false
+		}
+		if st.In != nil && st.In.Len() > 0 {
+			return false
+		}
+		if st.Out != nil && st.Out.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bottleneck returns the stage with the highest output-stall count — the
+// structural bottleneck under sustained load.
+func (p *Pipeline) Bottleneck() StageStats {
+	best := p.Stages[0].Stats()
+	for _, st := range p.Stages[1:] {
+		if s := st.Stats(); s.OutputStalls > best.OutputStalls {
+			best = s
+		}
+	}
+	return best
+}

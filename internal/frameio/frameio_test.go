@@ -1,0 +1,303 @@
+package frameio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/instrument"
+)
+
+func countsFrame(rng *rand.Rand, drift, tof int) *instrument.Frame {
+	f := instrument.NewFrame(drift, tof)
+	for i := range f.Data {
+		// Sparse integral counts, as an accumulated ADC frame holds.
+		if rng.Intn(4) == 0 {
+			f.Data[i] = float64(rng.Intn(5000))
+		}
+	}
+	return f
+}
+
+func framesEqual(a, b *instrument.Frame) bool {
+	if a.DriftBins != b.DriftBins || a.TOFBins != b.TOFBins || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripBothEncodings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := countsFrame(rng, 63, 32)
+	meta := Metadata{"mode": "multiplexed+trap", "order": "8", "seed": "42"}
+	for _, enc := range []Encoding{Raw, Delta} {
+		var buf bytes.Buffer
+		if err := Write(&buf, f, meta, enc); err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		got, gotMeta, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		if !framesEqual(got, f) {
+			t.Fatalf("%v: round trip corrupted frame", enc)
+		}
+		if len(gotMeta) != len(meta) || gotMeta["mode"] != "multiplexed+trap" || gotMeta["order"] != "8" {
+			t.Fatalf("%v: metadata %v", enc, gotMeta)
+		}
+	}
+}
+
+func TestRawHandlesNonIntegral(t *testing.T) {
+	f := instrument.NewFrame(4, 4)
+	f.Data[5] = 3.14159
+	var buf bytes.Buffer
+	if err := Write(&buf, f, nil, Raw); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[5] != 3.14159 {
+		t.Error("raw round trip lost precision")
+	}
+	// Delta must reject it.
+	if err := Write(&buf, f, nil, Delta); err == nil {
+		t.Error("delta encoding should reject non-integral cells")
+	}
+}
+
+// TestDeltaCompression: accumulated count frames shrink well below raw and
+// CSV sizes.
+func TestDeltaCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := countsFrame(rng, 255, 64)
+	rawSize, err := EncodedSize(f, Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaSize, err := EncodedSize(f, Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltaSize >= rawSize/2 {
+		t.Errorf("delta %d bytes should be well below raw %d", deltaSize, rawSize)
+	}
+	// And the estimate matches the actual written payload closely.
+	var buf bytes.Buffer
+	if err := Write(&buf, f, nil, Delta); err != nil {
+		t.Fatal(err)
+	}
+	overhead := int64(8 + 4 + 4 + 4 + 1 + 1) // magic+lens+geometry+enc+meta count
+	if got := int64(buf.Len()); got < deltaSize || got > deltaSize+overhead+16 {
+		t.Errorf("written %d bytes vs estimated payload %d", got, deltaSize)
+	}
+	if CSVSize(f) <= deltaSize {
+		t.Error("CSV should be larger than delta")
+	}
+	if CSVSize(nil) != 0 {
+		t.Error("nil frame CSV size")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := countsFrame(rng, 15, 8)
+	var buf bytes.Buffer
+	if err := Write(&buf, f, Metadata{"k": "v"}, Delta); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated payload.
+	if _, _, err := Read(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Empty input.
+	if _, _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Unknown encoding byte: rebuild with a patched encoding.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, f, nil, Raw); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf2.Bytes()
+	// encoding byte position: 8 magic + 4 hlen + hlen + 4 + 4.
+	hlen := int(uint32(raw[8]) | uint32(raw[9])<<8 | uint32(raw[10])<<16 | uint32(raw[11])<<24)
+	encPos := 8 + 4 + hlen + 8
+	raw[encPos] = 99
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("unknown encoding accepted")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, nil, nil, Raw); err == nil {
+		t.Error("nil frame accepted")
+	}
+	f := instrument.NewFrame(2, 2)
+	if err := Write(&bytes.Buffer{}, f, nil, Encoding(7)); err == nil {
+		t.Error("unknown encoding accepted")
+	}
+	if err := Write(&bytes.Buffer{}, f, Metadata{"": "v"}, Raw); err == nil {
+		t.Error("empty metadata key accepted")
+	}
+	if _, err := EncodedSize(nil, Raw); err == nil {
+		t.Error("nil frame size accepted")
+	}
+	if _, err := EncodedSize(f, Encoding(7)); err == nil {
+		t.Error("unknown encoding size accepted")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if Raw.String() != "raw" || Delta.String() != "delta" {
+		t.Error("encoding names wrong")
+	}
+	if !strings.Contains(Encoding(9).String(), "9") {
+		t.Error("unknown encoding should render its value")
+	}
+}
+
+// Property: any frame of integral counts survives a Delta round trip.
+func TestDeltaRoundTripProperty(t *testing.T) {
+	f := func(seed int64, drift, tof uint8) bool {
+		d := int(drift%16) + 1
+		to := int(tof%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		frame := countsFrame(rng, d, to)
+		var buf bytes.Buffer
+		if err := Write(&buf, frame, nil, Delta); err != nil {
+			return false
+		}
+		got, _, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return framesEqual(got, frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	f := countsFrame(rng, 511, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, f, nil, Delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	f := countsFrame(rng, 511, 256)
+	var buf bytes.Buffer
+	if err := Write(&buf, f, nil, Delta); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// failWriter errors after allowing n bytes.
+type failWriter struct {
+	remaining int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errShort
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }
+
+func TestWriteIOErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := countsFrame(rng, 8, 8)
+	// Probe several truncation points: magic, header, geometry, payload.
+	for _, allow := range []int{0, 4, 10, 14, 20, 30} {
+		for _, enc := range []Encoding{Raw, Delta} {
+			if err := Write(&failWriter{remaining: allow}, f, Metadata{"k": "v"}, enc); err == nil {
+				t.Errorf("allow=%d enc=%v: expected write error", allow, enc)
+			}
+		}
+	}
+}
+
+func TestReadBoundsRejection(t *testing.T) {
+	// Oversized header length.
+	var buf bytes.Buffer
+	buf.Write([]byte("HTIMSFR1"))
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // huge header length
+	if _, _, err := Read(&buf); err == nil {
+		t.Error("oversized header accepted")
+	}
+	// Zero geometry.
+	rng := rand.New(rand.NewSource(7))
+	f := countsFrame(rng, 4, 4)
+	var good bytes.Buffer
+	if err := Write(&good, f, nil, Raw); err != nil {
+		t.Fatal(err)
+	}
+	raw := good.Bytes()
+	// Patch drift bins (just after magic + 4-byte header len + 1-byte
+	// header body [count=0]) to zero.
+	hlen := int(uint32(raw[8]) | uint32(raw[9])<<8 | uint32(raw[10])<<16 | uint32(raw[11])<<24)
+	geoPos := 8 + 4 + hlen
+	for i := 0; i < 4; i++ {
+		raw[geoPos+i] = 0
+	}
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("zero drift bins accepted")
+	}
+}
+
+func TestMetadataTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := countsFrame(rng, 4, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, f, Metadata{"key": "value"}, Raw); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Shrink the declared header length so metadata decoding truncates.
+	raw[8] = 2
+	raw[9], raw[10], raw[11] = 0, 0, 0
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated metadata accepted")
+	}
+}

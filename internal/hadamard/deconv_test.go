@@ -1,0 +1,520 @@
+package hadamard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prs"
+)
+
+func randSignal(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+	}
+	return x
+}
+
+func floatsClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, order := range []int{4, 6, 8} {
+		s := prs.MustMSequence(order)
+		x := randSignal(rng, len(s))
+		fast, err := Encode(s, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := EncodeNaive(s, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floatsClose(fast, slow, 1e-6) {
+			t.Errorf("order %d: FFT encode does not match naive encode", order)
+		}
+	}
+}
+
+func TestEncodeLengthMismatch(t *testing.T) {
+	s := prs.MustMSequence(4)
+	if _, err := Encode(s, make([]float64, 3)); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := EncodeNaive(s, make([]float64, 3)); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+// TestStandardDecoderRoundTrip: decode(encode(x)) == x exactly (to float
+// precision) for m-sequences — the core guarantee of HT-IMS.
+func TestStandardDecoderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, order := range []int{3, 5, 7, 9} {
+		s := prs.MustMSequence(order)
+		d, err := NewStandardDecoder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randSignal(rng, len(s))
+		y, _ := Encode(s, x)
+		got, err := d.Decode(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floatsClose(got, x, 1e-6) {
+			t.Errorf("order %d: standard decode round trip failed", order)
+		}
+	}
+}
+
+// TestStandardDecoderRotatedSequence: the closed-form inverse is valid for
+// any cyclic rotation of an m-sequence.
+func TestStandardDecoderRotatedSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := prs.MustMSequence(6).Rotate(17)
+	d, err := NewStandardDecoder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randSignal(rng, len(s))
+	y, _ := Encode(s, x)
+	got, _ := d.Decode(y)
+	if !floatsClose(got, x, 1e-6) {
+		t.Error("rotated m-sequence round trip failed")
+	}
+}
+
+func TestStandardDecoderNaiveMatchesFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := prs.MustMSequence(6)
+	d, _ := NewStandardDecoder(s)
+	y := randSignal(rng, len(s))
+	fast, _ := d.Decode(y)
+	slow, _ := d.DecodeNaive(y)
+	if !floatsClose(fast, slow, 1e-6) {
+		t.Error("naive decode does not match FFT decode")
+	}
+}
+
+func TestStandardDecoderRejectsBadInput(t *testing.T) {
+	s := prs.MustMSequence(4)
+	d, _ := NewStandardDecoder(s)
+	if _, err := d.Decode(make([]float64, 3)); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := d.DecodeNaive(make([]float64, 3)); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := NewStandardDecoder(prs.Sequence{0, 0, 0}); err == nil {
+		t.Error("expected invalid-sequence error")
+	}
+}
+
+// TestFHTDecoderMatchesStandard: the FWHT-permutation decoder computes the
+// identical exact inverse.
+func TestFHTDecoderMatchesStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, order := range []int{3, 4, 5, 6, 7, 8, 9, 10, 11, 12} {
+		s := prs.MustMSequence(order)
+		std, _ := NewStandardDecoder(s)
+		fht, err := NewFHTDecoder(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fht.Len() != len(s) || fht.Order() != order {
+			t.Fatalf("order %d: decoder geometry wrong", order)
+		}
+		y := randSignal(rng, len(s))
+		a, _ := std.Decode(y)
+		b, err := fht.Decode(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floatsClose(a, b, 1e-6) {
+			t.Errorf("order %d: FHT decode disagrees with standard decode", order)
+		}
+	}
+}
+
+func TestFHTDecoderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	order := 8
+	s := prs.MustMSequence(order)
+	d, _ := NewFHTDecoder(order)
+	x := randSignal(rng, len(s))
+	y, _ := Encode(s, x)
+	got, _ := d.Decode(y)
+	if !floatsClose(got, x, 1e-6) {
+		t.Error("FHT decoder round trip failed")
+	}
+}
+
+func TestFHTDecoderRejects(t *testing.T) {
+	if _, err := NewFHTDecoder(1); err == nil {
+		t.Error("order 1 should be rejected")
+	}
+	d, _ := NewFHTDecoder(5)
+	if _, err := d.Decode(make([]float64, 30)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestFHTDecoderPermutationsAreCopies(t *testing.T) {
+	d, _ := NewFHTDecoder(5)
+	s1, g1 := d.Permutations()
+	s1[0] = -999
+	g1[0] = -999
+	s2, g2 := d.Permutations()
+	if s2[0] == -999 || g2[0] == -999 {
+		t.Error("Permutations must return copies")
+	}
+	if d.Scale() >= 0 {
+		t.Error("scale must be negative (-2/(N+1))")
+	}
+}
+
+// TestWienerDecoderExactForMSequence: with λ=0 and a true m-sequence the
+// Wiener decoder is an exact inverse.
+func TestWienerDecoderExactForMSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	s := prs.MustMSequence(7)
+	d, err := NewWienerDecoder(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randSignal(rng, len(s))
+	y, _ := Encode(s, x)
+	got, _ := d.Decode(y)
+	if !floatsClose(got, x, 1e-6) {
+		t.Error("Wiener λ=0 round trip failed for m-sequence")
+	}
+}
+
+// TestWienerDecoderHandlesModifiedSequence: the defect-modified oversampled
+// sequence is not an m-sequence, the simplex inverse is wrong for it, but
+// the regularized circulant inverse still recovers the signal.
+func TestWienerDecoderHandlesModifiedSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := prs.MustMSequence(6).Oversample(3).Modify(1)
+	d, err := NewWienerDecoder(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MinModulation() <= 0 {
+		t.Fatal("modified sequence should have an invertible spectrum")
+	}
+	x := randSignal(rng, len(s))
+	y, _ := Encode(s, x)
+	got, _ := d.Decode(y)
+	if !floatsClose(got, x, 1e-5) {
+		t.Error("Wiener decode failed on modified sequence")
+	}
+}
+
+// TestOversampledSequenceIsSingular: plain oversampling introduces exact
+// Fourier zeros — the reason the PNNL defect modification exists.
+func TestOversampledSequenceIsSingular(t *testing.T) {
+	s := prs.MustMSequence(6).Oversample(2)
+	d, err := NewWienerDecoder(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm := d.MinModulation(); mm > 1e-9 {
+		t.Errorf("oversampled sequence min modulation = %g, want ~0 (singular)", mm)
+	}
+	if d.ConditionNumber() < 1e9 {
+		t.Errorf("oversampled sequence condition number %g, want effectively singular (>= 1e9)", d.ConditionNumber())
+	}
+	// The defect modification must repair the conditioning.
+	mod := prs.MustMSequence(6).Oversample(2).Modify(1)
+	dm, _ := NewWienerDecoder(mod, 0)
+	if dm.MinModulation() <= 1e-9 {
+		t.Error("defect modification failed to remove spectral zeros")
+	}
+}
+
+func TestWienerDecoderRejects(t *testing.T) {
+	if _, err := NewWienerDecoder(prs.Sequence{1, 1, 1}, 0); err == nil {
+		t.Error("constant sequence should be rejected")
+	}
+	if _, err := NewWienerDecoder(prs.MustMSequence(4), -1); err == nil {
+		t.Error("negative lambda should be rejected")
+	}
+	d, _ := NewWienerDecoder(prs.MustMSequence(4), 0)
+	if _, err := d.Decode(make([]float64, 3)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+// TestWienerRegularizationShrinks: λ>0 attenuates output relative to exact
+// inversion (bias-variance trade).
+func TestWienerRegularizationShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	s := prs.MustMSequence(6)
+	x := randSignal(rng, len(s))
+	y, _ := Encode(s, x)
+	exact, _ := NewWienerDecoder(s, 0)
+	reg, _ := NewWienerDecoder(s, 100)
+	xe, _ := exact.Decode(y)
+	xr, _ := reg.Decode(y)
+	var ee, er float64
+	for i := range xe {
+		ee += xe[i] * xe[i]
+		er += xr[i] * xr[i]
+	}
+	if er >= ee {
+		t.Errorf("regularized energy %g not below exact energy %g", er, ee)
+	}
+}
+
+func TestWeightedDecoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	s := prs.MustMSequence(6)
+	base, _ := NewStandardDecoder(s)
+	w := NewWeightedDecoder(base)
+	if w.Len() != len(s) {
+		t.Fatal("weighted decoder length mismatch")
+	}
+	// Uncalibrated: identity weights.
+	x := randSignal(rng, len(s))
+	y, _ := Encode(s, x)
+	got, err := w.Decode(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := base.Decode(y)
+	if !floatsClose(got, ref, 1e-9) {
+		t.Error("uncalibrated weighted decoder should match base")
+	}
+	// Simulate a systematic per-bin gain error the base decoder cannot see:
+	// the "instrument" attenuates the decoded estimate by a smooth factor.
+	distort := func(v []float64) []float64 {
+		out := make([]float64, len(v))
+		for i := range v {
+			out[i] = v[i] * (0.5 + 0.4*math.Sin(float64(i)/7))
+		}
+		return out
+	}
+	yObs, _ := Encode(s, distort(x))
+	if err := w.Calibrate(x, yObs, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = w.Decode(yObs)
+	if e, _ := ReconstructionError(got, x); e > 0.05 {
+		t.Errorf("calibrated weighted decode error %g, want < 0.05", e)
+	}
+	ws := w.Weights()
+	ws[0] = 1e9
+	if w.Weights()[0] == 1e9 {
+		t.Error("Weights must return a copy")
+	}
+}
+
+func TestWeightedDecoderCalibrateErrors(t *testing.T) {
+	s := prs.MustMSequence(4)
+	base, _ := NewStandardDecoder(s)
+	w := NewWeightedDecoder(base)
+	if err := w.Calibrate(make([]float64, 3), make([]float64, 3), 0.1); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestReconstructionError(t *testing.T) {
+	e, err := ReconstructionError([]float64{1, 2}, []float64{1, 2})
+	if err != nil || e != 0 {
+		t.Errorf("identical vectors: error %g, %v", e, err)
+	}
+	e, _ = ReconstructionError([]float64{2, 4}, []float64{1, 2})
+	if math.Abs(e-1) > 1e-12 {
+		t.Errorf("doubled vector: error %g, want 1", e)
+	}
+	if _, err := ReconstructionError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	e, _ = ReconstructionError([]float64{0, 0}, []float64{0, 0})
+	if e != 0 {
+		t.Errorf("zero vs zero: error %g, want 0", e)
+	}
+	e, _ = ReconstructionError([]float64{1, 0}, []float64{0, 0})
+	if !math.IsInf(e, 1) {
+		t.Errorf("nonzero vs zero truth: error %g, want +Inf", e)
+	}
+}
+
+// Property: decoding is linear — decode(a·y1 + y2) == a·decode(y1) + decode(y2).
+func TestDecodeLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	s := prs.MustMSequence(6)
+	d, _ := NewStandardDecoder(s)
+	f := func(scale uint8) bool {
+		a := float64(scale%16) + 1
+		y1 := randSignal(rng, len(s))
+		y2 := randSignal(rng, len(s))
+		mix := make([]float64, len(s))
+		for i := range mix {
+			mix[i] = a*y1[i] + y2[i]
+		}
+		lhs, _ := d.Decode(mix)
+		x1, _ := d.Decode(y1)
+		x2, _ := d.Decode(y2)
+		for i := range lhs {
+			if math.Abs(lhs[i]-(a*x1[i]+x2[i])) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FWHT is an involution up to N.
+func TestFWHTInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := randSignal(rng, n)
+		orig := make([]float64, n)
+		copy(orig, x)
+		if err := FWHT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := InverseFWHT(x); err != nil {
+			t.Fatal(err)
+		}
+		if !floatsClose(x, orig, 1e-9) {
+			t.Errorf("n=%d: InverseFWHT(FWHT(x)) != x", n)
+		}
+	}
+}
+
+func TestFWHTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := randSignal(rng, 32)
+	want, err := NaiveWHT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(x))
+	copy(got, x)
+	if err := FWHT(got); err != nil {
+		t.Fatal(err)
+	}
+	if !floatsClose(got, want, 1e-9) {
+		t.Error("FWHT does not match naive WHT")
+	}
+}
+
+func TestFWHTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FWHT(make([]float64, 31)); err == nil {
+		t.Error("expected error for length 31")
+	}
+	if _, err := NaiveWHT(make([]float64, 31)); err == nil {
+		t.Error("expected error for length 31")
+	}
+	if err := FWHT(nil); err != nil {
+		t.Error("FWHT(nil) should be a no-op")
+	}
+}
+
+// The multiplexing advantage in one test: with additive detector noise of
+// fixed variance per bin, the multiplexed measurement yields a lower-error
+// reconstruction than a single-pulse measurement of the same total duration.
+func TestMultiplexingAdvantageUnderDetectorNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	order := 8
+	s := prs.MustMSequence(order)
+	n := len(s)
+	x := make([]float64, n)
+	x[40] = 1000 // single narrow arrival peak
+	noiseSD := 5.0
+
+	d, _ := NewStandardDecoder(s)
+	trials := 50
+	var errMP, errSA float64
+	for trial := 0; trial < trials; trial++ {
+		// Multiplexed: one cycle of N bins, (N+1)/2 pulses.
+		y, _ := Encode(s, x)
+		for i := range y {
+			y[i] += rng.NormFloat64() * noiseSD
+		}
+		xm, _ := d.Decode(y)
+		e1, _ := ReconstructionError(xm, x)
+		errMP += e1
+		// Signal averaging: one pulse per cycle, same per-bin noise, same
+		// number of cycles (1): signal recorded directly.
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = x[i] + rng.NormFloat64()*noiseSD
+		}
+		e2, _ := ReconstructionError(ys, x)
+		errSA += e2
+	}
+	if errMP >= errSA {
+		t.Errorf("multiplexed error %g should beat single-pulse error %g under detector-limited noise", errMP/float64(trials), errSA/float64(trials))
+	}
+}
+
+func BenchmarkStandardDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	s := prs.MustMSequence(10)
+	d, _ := NewStandardDecoder(s)
+	y := randSignal(rng, len(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFHTDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	d, _ := NewFHTDecoder(10)
+	y := randSignal(rng, d.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(26))
+	s := prs.MustMSequence(10)
+	d, _ := NewStandardDecoder(s)
+	y := randSignal(rng, len(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DecodeNaive(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWienerDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(27))
+	s := prs.MustMSequence(9).Oversample(2).Modify(1)
+	d, _ := NewWienerDecoder(s, 1e-3)
+	y := randSignal(rng, len(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// fft.go implements the discrete Fourier transform machinery that backs the
+// fast circulant solvers in this package.  Sequence lengths in HT-IMS are
+// 2^n − 1 (odd), so a power-of-two radix-2 transform alone is insufficient;
+// arbitrary lengths are handled with Bluestein's chirp-z algorithm, which
+// reduces a length-N DFT to a circular convolution of length ≥ 2N−1 that is
+// evaluated with the radix-2 transform.
+package hadamard
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// fftRadix2 computes the in-place DFT of x, whose length must be a power of
+// two.  If inverse is true the inverse transform is computed, including the
+// 1/N normalization.
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("hadamard: fftRadix2 length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// FFT returns the length-N discrete Fourier transform of x for any N ≥ 1,
+// using radix-2 when N is a power of two and Bluestein's algorithm otherwise.
+// The input is not modified.
+func FFT(x []complex128) []complex128 {
+	return dft(x, false)
+}
+
+// IFFT returns the inverse DFT of x (normalized by 1/N).  The input is not
+// modified.
+func IFFT(x []complex128) []complex128 {
+	return dft(x, true)
+}
+
+func dft(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fftRadix2(out, inverse)
+		return out
+	}
+	bluestein(out, inverse)
+	return out
+}
+
+// bluestein computes the in-place DFT of x of arbitrary length via the
+// chirp-z transform.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign * i*pi*k^2/n).  k^2 mod 2n keeps the argument
+	// bounded and exact for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(k2)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	// b must be symmetric: b[m-k] = b[k] for the circular convolution to
+	// realize the linear chirp correlation.
+	for k := 1; k < n; k++ {
+		b[m-k] = b[k]
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * chirp[k]
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for k := range x {
+			x[k] *= inv
+		}
+	}
+}
+
+// CircularConvolve returns the cyclic convolution of two equal-length real
+// vectors: out[i] = sum_j a[j] * b[(i-j) mod N].
+func CircularConvolve(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("hadamard: convolve length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return nil, nil
+	}
+	fa := realToComplex(a)
+	fb := realToComplex(b)
+	Fa := FFT(fa)
+	Fb := FFT(fb)
+	for i := range Fa {
+		Fa[i] *= Fb[i]
+	}
+	return complexToReal(IFFT(Fa)), nil
+}
+
+// CircularCorrelate returns the cyclic cross-correlation
+// out[i] = sum_j a[j] * b[(j+i) mod N], the operation performed when a
+// multiplexed arrival-time waveform is decoded against the gating sequence.
+func CircularCorrelate(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("hadamard: correlate length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return nil, nil
+	}
+	Fa := FFT(realToComplex(a))
+	Fb := FFT(realToComplex(b))
+	for i := range Fa {
+		Fa[i] = cmplx.Conj(Fa[i]) * Fb[i]
+	}
+	return complexToReal(IFFT(Fa)), nil
+}
+
+func realToComplex(x []float64) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	return out
+}
+
+func complexToReal(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// NaiveDFT computes the DFT by direct O(N^2) summation.  It exists as a
+// reference implementation for tests and ablation benchmarks.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			acc += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = acc
+	}
+	return out
+}

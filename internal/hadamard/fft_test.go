@@ -1,0 +1,226 @@
+package hadamard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const fftTol = 1e-9
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(real(a[i])-real(b[i])) > tol || math.Abs(imag(a[i])-imag(b[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFTPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randComplex(rng, n)
+		got := FFT(x)
+		want := NaiveDFT(x)
+		if !complexClose(got, want, 1e-7) {
+			t.Errorf("n=%d: FFT does not match naive DFT", n)
+		}
+	}
+}
+
+// TestFFTMatchesNaiveDFTOddLengths exercises the Bluestein path with the
+// 2^n−1 lengths used by HT-IMS, plus assorted awkward sizes.
+func TestFFTMatchesNaiveDFTOddLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 7, 15, 31, 63, 127, 6, 12, 100, 255} {
+		x := randComplex(rng, n)
+		got := FFT(x)
+		want := NaiveDFT(x)
+		if !complexClose(got, want, 1e-6) {
+			t.Errorf("n=%d: FFT does not match naive DFT (Bluestein path)", n)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 7, 8, 31, 100, 127, 511} {
+		x := randComplex(rng, n)
+		back := IFFT(FFT(x))
+		if !complexClose(back, x, fftTol*float64(n)) {
+			t.Errorf("n=%d: IFFT(FFT(x)) != x", n)
+		}
+	}
+}
+
+func TestFFTDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randComplex(rng, 31)
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	FFT(x)
+	IFFT(x)
+	if !complexClose(x, orig, 0) {
+		t.Error("FFT or IFFT modified its input")
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if out := FFT(nil); len(out) != 0 {
+		t.Error("FFT(nil) should be empty")
+	}
+	if out := IFFT([]complex128{}); len(out) != 0 {
+		t.Error("IFFT(empty) should be empty")
+	}
+}
+
+// TestFFTLinearity is a property-based check: FFT(a·x + b·z) == a·FFT(x) + b·FFT(z).
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(aRe, aIm, bRe, bIm float64) bool {
+		// Constrain magnitudes so the tolerance stays meaningful.
+		a := complex(math.Mod(aRe, 10), math.Mod(aIm, 10))
+		b := complex(math.Mod(bRe, 10), math.Mod(bIm, 10))
+		n := 31
+		x := randComplex(rng, n)
+		z := randComplex(rng, n)
+		mix := make([]complex128, n)
+		for i := range mix {
+			mix[i] = a*x[i] + b*z[i]
+		}
+		lhs := FFT(mix)
+		fx, fz := FFT(x), FFT(z)
+		rhs := make([]complex128, n)
+		for i := range rhs {
+			rhs[i] = a*fx[i] + b*fz[i]
+		}
+		return complexClose(lhs, rhs, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFFTParseval: energy is preserved up to the 1/N convention.
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{8, 31, 127} {
+		x := randComplex(rng, n)
+		X := FFT(x)
+		var et, ef float64
+		for i := range x {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		if math.Abs(ef-float64(n)*et) > 1e-6*ef {
+			t.Errorf("n=%d: Parseval violated: freq energy %g, want %g", n, ef, float64(n)*et)
+		}
+	}
+}
+
+func TestFFTImpulseIsFlat(t *testing.T) {
+	x := make([]complex128, 31)
+	x[0] = 1
+	X := FFT(x)
+	for i, v := range X {
+		if math.Abs(real(v)-1) > fftTol || math.Abs(imag(v)) > fftTol {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestCircularConvolve(t *testing.T) {
+	a := []float64{1, 2, 0, 1}
+	b := []float64{3, 0, 1, 0}
+	// out[i] = sum_j a[j] b[(i-j) mod 4]
+	want := []float64{1*3 + 2*0 + 0*1 + 1*0, 2*3 + 1*0 + 1*1 + 0*0, 1*1 + 2*0 + 0*3 + 1*0, 1*3 + 0*0 + 2*1 + 1*0}
+	got, err := CircularConvolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCircularConvolveCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 31
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = rng.Float64(), rng.Float64()
+	}
+	ab, _ := CircularConvolve(a, b)
+	ba, _ := CircularConvolve(b, a)
+	for i := range ab {
+		if math.Abs(ab[i]-ba[i]) > 1e-9 {
+			t.Fatalf("convolution not commutative at %d", i)
+		}
+	}
+}
+
+func TestCircularCorrelate(t *testing.T) {
+	a := []float64{1, 0, 2}
+	b := []float64{4, 5, 6}
+	// out[i] = sum_j a[j] b[(j+i) mod 3]
+	want := []float64{1*4 + 0*5 + 2*6, 1*5 + 0*6 + 2*4, 1*6 + 0*4 + 2*5}
+	got, err := CircularCorrelate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("corr[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveLengthMismatch(t *testing.T) {
+	if _, err := CircularConvolve([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := CircularCorrelate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	out, err := CircularConvolve(nil, nil)
+	if err != nil || out != nil {
+		t.Errorf("empty convolve: got %v, %v", out, err)
+	}
+}
+
+func BenchmarkFFTPow2(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := randComplex(rng, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randComplex(rng, 1023) // 2^10 - 1: the HT-IMS case
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

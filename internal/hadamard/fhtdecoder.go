@@ -1,0 +1,174 @@
+// fhtdecoder.go implements the exact simplex-matrix inverse through a fast
+// Walsh–Hadamard transform with LFSR-derived permutations.  This is the
+// deconvolution algorithm realized by the FPGA component of the paper's
+// hybrid application: a scatter permutation, an in-place FWHT butterfly
+// network, and a gather permutation — all integer-friendly and free of
+// multiplications except the final scale.
+//
+// Derivation.  Let the m-sequence be s[t] = e·(Aᵗ·state₀) over GF(2)ⁿ, where
+// A is the LFSR update matrix, state₀ the seed, and e the output-bit
+// selector.  Then s[i+j] = uᵢ·vⱼ with uᵢ = (Aᵀ)ⁱe and vⱼ = Aʲ·state₀, so the
+// simplex matrix S[i][j] = s[i+j] embeds into the natural-order Hadamard
+// matrix H[2ⁿ]: (−1)^(uᵢ·vⱼ) = H[int(uᵢ)][int(vⱼ)].  Substituting into the
+// closed-form inverse S⁻¹ = 2/(N+1)(2Sᵀ−J) collapses to
+//
+//	x[j] = −2/(N+1) · FWHT(Y)[int(vⱼ)],   Y[int(uᵢ)] = y[i], Y[0] = 0.
+//
+// For the physical convolution model y = s ⊛ x the column states are walked
+// backwards: vⱼ = A^(N−j)·state₀.
+package hadamard
+
+import (
+	"fmt"
+
+	"repro/internal/prs"
+)
+
+// FHTDecoder is the fast-Hadamard-transform simplex decoder.  It is exact
+// for the canonical m-sequence produced by prs.MSequence(order) (seed 1) and
+// costs one scatter, one FWHT of size 2ⁿ, and one gather per frame.
+type FHTDecoder struct {
+	order   int
+	n       int   // sequence length 2^order − 1
+	m       int   // transform size 2^order
+	scatter []int // scatter[i] = int(u_i): position of y[i] in the FWHT input
+	gather  []int // gather[j] = int(v_{-j}): FWHT output index for x[j]
+	scale   float64
+}
+
+// NewFHTDecoder constructs the decoder for the canonical m-sequence of the
+// given order (as produced by prs.MSequence, i.e. LFSR seed 1).
+func NewFHTDecoder(order int) (*FHTDecoder, error) {
+	taps, err := prs.Taps(order)
+	if err != nil {
+		return nil, err
+	}
+	n := 1<<order - 1
+	m := n + 1
+	mask := uint32(m - 1)
+	// Effective feedback mask of the right-shift Fibonacci register (see
+	// prs.feedbackMask): bit i = recurrence coefficient c_i.
+	fb := ((taps << 1) | 1) & mask
+
+	// Column states v_j = A^j · state0 : the Fibonacci LFSR state orbit.
+	states := make([]uint32, n)
+	st := uint32(1) // prs.MSequence seed
+	for j := 0; j < n; j++ {
+		states[j] = st
+		bit := popcount32(st&fb) & 1
+		st >>= 1
+		st |= bit << (order - 1)
+	}
+
+	// Row functionals u_i = (Aᵀ)^i · e with e selecting bit 0.  The
+	// transpose of a Fibonacci update is a Galois-configuration step:
+	// u' = (u << 1) XOR (taps if the top bit of u is set), masked to n bits.
+	scatter := make([]int, n)
+	u := uint32(1)
+	top := uint32(1) << (order - 1)
+	for i := 0; i < n; i++ {
+		scatter[i] = int(u)
+		feedback := u & top
+		u = (u << 1) & mask
+		if feedback != 0 {
+			u ^= fb
+		}
+	}
+
+	// Convolution model: x[j] reads the FWHT output at int(v_{(N−j) mod N}).
+	gather := make([]int, n)
+	for j := 0; j < n; j++ {
+		gather[j] = int(states[(n-j)%n])
+	}
+
+	d := &FHTDecoder{
+		order:   order,
+		n:       n,
+		m:       m,
+		scatter: scatter,
+		gather:  gather,
+		scale:   -2.0 / float64(n+1),
+	}
+	if err := d.selfCheck(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// selfCheck verifies the permutations are bijections onto 1..2ⁿ−1; a failure
+// indicates an inconsistent tap table and would silently corrupt decodes.
+func (d *FHTDecoder) selfCheck() error {
+	for name, perm := range map[string][]int{"scatter": d.scatter, "gather": d.gather} {
+		seen := make([]bool, d.m)
+		for _, p := range perm {
+			if p <= 0 || p >= d.m {
+				return fmt.Errorf("hadamard: %s index %d out of range (order %d)", name, p, d.order)
+			}
+			if seen[p] {
+				return fmt.Errorf("hadamard: %s index %d repeated (order %d)", name, p, d.order)
+			}
+			seen[p] = true
+		}
+	}
+	return nil
+}
+
+// Order returns the m-sequence order the decoder was built for.
+func (d *FHTDecoder) Order() int { return d.order }
+
+// Len implements Decoder.
+func (d *FHTDecoder) Len() int { return d.n }
+
+// Decode implements Decoder.
+func (d *FHTDecoder) Decode(y []float64) ([]float64, error) {
+	if len(y) != d.n {
+		return nil, fmt.Errorf("hadamard: decode length %d, want %d", len(y), d.n)
+	}
+	work := make([]float64, d.m)
+	d.DecodeInto(y, work)
+	x := make([]float64, d.n)
+	for j := 0; j < d.n; j++ {
+		x[j] = work[d.gather[j]] * d.scale
+	}
+	return x, nil
+}
+
+// DecodeInto runs scatter + FWHT into the caller-provided work buffer of
+// length 2ⁿ, leaving the un-gathered transform there.  It exists so the FPGA
+// core model can reuse buffers and apply fixed-point arithmetic to the same
+// dataflow; most callers want Decode.
+func (d *FHTDecoder) DecodeInto(y []float64, work []float64) {
+	for i := range work {
+		work[i] = 0
+	}
+	for i, p := range d.scatter {
+		work[p] = y[i]
+	}
+	// Length is a power of two by construction; FWHT cannot fail.
+	if err := FWHT(work); err != nil {
+		panic(err)
+	}
+}
+
+// Permutations exposes copies of the scatter and gather index tables.  The
+// FPGA model uses them as its address-generation ROMs, which is exactly the
+// "memory addressing logic" the paper's abstract refers to.
+func (d *FHTDecoder) Permutations() (scatter, gather []int) {
+	s := make([]int, d.n)
+	g := make([]int, d.n)
+	copy(s, d.scatter)
+	copy(g, d.gather)
+	return s, g
+}
+
+// Scale returns the final multiplicative constant −2/(N+1).
+func (d *FHTDecoder) Scale() float64 { return d.scale }
+
+func popcount32(v uint32) uint32 {
+	var c uint32
+	for v != 0 {
+		c += v & 1
+		v >>= 1
+	}
+	return c
+}

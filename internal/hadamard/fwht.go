@@ -1,0 +1,73 @@
+// fwht.go provides the fast Walsh–Hadamard transform and its direct (slow)
+// reference, used both by the CPU decoding path and as the arithmetic model
+// for the FPGA deconvolution core.
+package hadamard
+
+import "fmt"
+
+// FWHT performs the in-place fast Walsh–Hadamard transform (natural /
+// Hadamard ordering) of x, whose length must be a power of two.  The
+// transform is its own inverse up to a factor of N: FWHT(FWHT(x)) == N·x.
+func FWHT(x []float64) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("hadamard: FWHT length %d is not a power of two", n)
+	}
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h * 2 {
+			for j := i; j < i+h; j++ {
+				a, b := x[j], x[j+h]
+				x[j], x[j+h] = a+b, a-b
+			}
+		}
+	}
+	return nil
+}
+
+// InverseFWHT performs the in-place inverse Walsh–Hadamard transform,
+// i.e. FWHT followed by division by N.
+func InverseFWHT(x []float64) error {
+	if err := FWHT(x); err != nil {
+		return err
+	}
+	inv := 1 / float64(len(x))
+	for i := range x {
+		x[i] *= inv
+	}
+	return nil
+}
+
+// NaiveWHT computes the Walsh–Hadamard transform by explicit O(N^2)
+// summation using the (−1)^(popcount(i AND j)) kernel.  Reference for tests
+// and the direct-vs-fast ablation benchmark.
+func NaiveWHT(x []float64) ([]float64, error) {
+	n := len(x)
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("hadamard: NaiveWHT length %d is not a power of two", n)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := 0; j < n; j++ {
+			if popcountParity(i&j) == 0 {
+				acc += x[j]
+			} else {
+				acc -= x[j]
+			}
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+func popcountParity(v int) int {
+	p := 0
+	for v != 0 {
+		p ^= v & 1
+		v >>= 1
+	}
+	return p
+}

@@ -1,0 +1,376 @@
+// Package hybrid is the paper's artifact: the Cray XD1 hybrid application
+// that couples a CPU-resident software host with the FPGA data-processing
+// component.  The FPGA side captures the digitizer stream, accumulates
+// repeated IMS cycles in block RAM, and deconvolves the multiplexed
+// waveforms with the enhanced Hadamard transform core; the software side
+// streams data to the FPGA over the RapidArray fabric and collects results.
+//
+// The package provides both analytic capacity planning (AnalyzeDataPath,
+// AnalyzeOffload — where do the bytes and cycles go, does the design keep
+// up with the instrument in real time) and an executable path
+// (HybridDeconvolveFrame — actually moving frame data through the modeled
+// cores, with simulated wall-clock accounting).
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fpga"
+	"repro/internal/instrument"
+	"repro/internal/xd1"
+)
+
+// DataPathConfig describes the capture/accumulate front end.
+type DataPathConfig struct {
+	Node xd1.Node
+	// NativeSampleRate is the digitizer's raw conversion rate, samples/s
+	// (8-bit samples).  Streaming this rate to the host is the ablation
+	// case; the capture core rebins it to SamplesPerSpectrum per
+	// extraction on the fly.
+	NativeSampleRate float64
+	// SamplesPerSpectrum is the rebinned samples per TOF extraction
+	// (= m/z bins).
+	SamplesPerSpectrum int
+	// SpectraPerSec is the TOF extraction rate (1/extraction period).
+	SpectraPerSec float64
+	// DriftBins is the multiplexed sequence length: the accumulator holds
+	// DriftBins × SamplesPerSpectrum words.
+	DriftBins int
+	// CyclesAccumulated is how many IMS cycles are summed on-FPGA before a
+	// frame is shipped to the host.
+	CyclesAccumulated int
+	// AccumWordBytes is the accumulated word width shipped to the host.
+	AccumWordBytes int
+	// CaptureSamplesPerCycle is the capture core ingest parallelism.
+	CaptureSamplesPerCycle int
+	// AccumBanks is the accumulation core bank count.
+	AccumBanks int
+}
+
+// DefaultDataPathConfig mirrors the reference instrument: 2048-sample
+// spectra at 10 kHz, an order-9 sequence, 32-bit accumulator words.
+func DefaultDataPathConfig() DataPathConfig {
+	return DataPathConfig{
+		Node:                   xd1.DefaultNode(),
+		NativeSampleRate:       2e9, // 2 GS/s, 8-bit
+		SamplesPerSpectrum:     2048,
+		SpectraPerSec:          1e4,
+		DriftBins:              511,
+		CyclesAccumulated:      10,
+		AccumWordBytes:         4,
+		CaptureSamplesPerCycle: 16, // 128-bit ingest bus
+		AccumBanks:             8,
+	}
+}
+
+// Validate reports the first problem.
+func (c DataPathConfig) Validate() error {
+	if err := c.Node.Validate(); err != nil {
+		return err
+	}
+	if c.SamplesPerSpectrum < 1 || c.DriftBins < 1 || c.CyclesAccumulated < 1 {
+		return fmt.Errorf("hybrid: geometry must be positive (samples %d, bins %d, cycles %d)",
+			c.SamplesPerSpectrum, c.DriftBins, c.CyclesAccumulated)
+	}
+	if c.SpectraPerSec <= 0 {
+		return fmt.Errorf("hybrid: spectra rate %g must be positive", c.SpectraPerSec)
+	}
+	if c.NativeSampleRate <= 0 {
+		return fmt.Errorf("hybrid: native sample rate %g must be positive", c.NativeSampleRate)
+	}
+	if c.AccumWordBytes < 1 || c.AccumWordBytes > 8 {
+		return fmt.Errorf("hybrid: accumulator word bytes %d out of [1,8]", c.AccumWordBytes)
+	}
+	if c.CaptureSamplesPerCycle < 1 || c.AccumBanks < 1 {
+		return fmt.Errorf("hybrid: core parallelism must be positive")
+	}
+	return nil
+}
+
+// DataPathReport is the byte/cycle budget of the capture front end.
+type DataPathReport struct {
+	// RawByteRate is the digitizer's native output, bytes/s (one byte per
+	// sample).
+	RawByteRate float64
+	// RawFabricUtilization is RawByteRate over fabric bandwidth — what
+	// streaming raw samples to the host would cost (the ablation case).
+	RawFabricUtilization float64
+	// FrameBytes is one accumulated frame.
+	FrameBytes float64
+	// FramesPerSec is the accumulated frame output rate.
+	FramesPerSec float64
+	// AccumulatedByteRate is the post-accumulation stream, bytes/s.
+	AccumulatedByteRate float64
+	// AccumulatedFabricUtilization is the post-accumulation link load.
+	AccumulatedFabricUtilization float64
+	// ReductionFactor is raw rate over accumulated rate.
+	ReductionFactor float64
+	// CaptureCyclesPerSec and AccumCyclesPerSec are FPGA cycle demands.
+	CaptureCyclesPerSec float64
+	AccumCyclesPerSec   float64
+	// FPGAUtilization is demanded cycles over available cycles.
+	FPGAUtilization float64
+	// BRAMBitsNeeded is the accumulator storage requirement.
+	BRAMBitsNeeded int
+	// BRAMOK reports whether the accumulator fits the device.
+	BRAMOK bool
+	// RealTime reports whether the front end keeps up with the digitizer.
+	RealTime bool
+}
+
+// AnalyzeDataPath computes the capture/accumulation budget.
+func AnalyzeDataPath(c DataPathConfig) (DataPathReport, error) {
+	if err := c.Validate(); err != nil {
+		return DataPathReport{}, err
+	}
+	var r DataPathReport
+	binnedPerSec := float64(c.SamplesPerSpectrum) * c.SpectraPerSec
+	r.RawByteRate = c.NativeSampleRate // 8-bit samples
+	r.RawFabricUtilization = c.Node.Fabric.Utilization(r.RawByteRate)
+
+	words := float64(c.DriftBins) * float64(c.SamplesPerSpectrum)
+	r.FrameBytes = words * float64(c.AccumWordBytes)
+	cycleDuration := float64(c.DriftBins) / c.SpectraPerSec // one extraction per drift bin
+	frameDuration := cycleDuration * float64(c.CyclesAccumulated)
+	r.FramesPerSec = 1 / frameDuration
+	r.AccumulatedByteRate = r.FrameBytes * r.FramesPerSec
+	r.AccumulatedFabricUtilization = c.Node.Fabric.Utilization(r.AccumulatedByteRate)
+	if r.AccumulatedByteRate > 0 {
+		r.ReductionFactor = r.RawByteRate / r.AccumulatedByteRate
+	}
+
+	r.CaptureCyclesPerSec = c.NativeSampleRate / float64(c.CaptureSamplesPerCycle)
+	r.AccumCyclesPerSec = binnedPerSec / float64(c.AccumBanks)
+	r.FPGAUtilization = (r.CaptureCyclesPerSec + r.AccumCyclesPerSec) / c.Node.FPGA.ClockHz
+
+	r.BRAMBitsNeeded = int(words) * c.AccumWordBytes * 8
+	r.BRAMOK = r.BRAMBitsNeeded <= c.Node.FPGA.BRAMBits
+	r.RealTime = r.FPGAUtilization <= 1 && r.AccumulatedFabricUtilization <= 1
+	return r, nil
+}
+
+// OffloadConfig describes the deconvolution offload.
+type OffloadConfig struct {
+	Node xd1.Node
+	// Order is the m-sequence order of the FHT core.
+	Order int
+	// Format is the core's fixed-point precision.
+	Format fpga.Format
+	// Growth is the bit-growth policy.
+	Growth fpga.GrowthPolicy
+	// ButterflyUnits and MemPorts set core parallelism.
+	ButterflyUnits int
+	MemPorts       int
+	// TOFColumns is how many m/z columns each frame carries (each column
+	// is one deconvolution).
+	TOFColumns int
+	// WordBytes is the per-value transfer size across the fabric.
+	WordBytes int
+	// DMABurstBytes is the DMA descriptor size.
+	DMABurstBytes float64
+}
+
+// DefaultOffloadConfig mirrors the reference design: order 9, Q23.8
+// arithmetic, 4 butterfly units.
+func DefaultOffloadConfig() OffloadConfig {
+	return OffloadConfig{
+		Node:           xd1.DefaultNode(),
+		Order:          9,
+		Format:         fpga.MustQ(23, 8),
+		Growth:         fpga.GrowthSaturate,
+		ButterflyUnits: 4,
+		MemPorts:       2,
+		TOFColumns:     2048,
+		WordBytes:      4,
+		DMABurstBytes:  4096,
+	}
+}
+
+// Validate reports the first problem.
+func (c OffloadConfig) Validate() error {
+	if err := c.Node.Validate(); err != nil {
+		return err
+	}
+	if c.TOFColumns < 1 {
+		return fmt.Errorf("hybrid: TOF columns %d must be positive", c.TOFColumns)
+	}
+	if c.WordBytes < 1 || c.WordBytes > 8 {
+		return fmt.Errorf("hybrid: word bytes %d out of [1,8]", c.WordBytes)
+	}
+	if c.DMABurstBytes <= 0 {
+		return fmt.Errorf("hybrid: DMA burst %g must be positive", c.DMABurstBytes)
+	}
+	return nil
+}
+
+// OffloadReport is the frame-rate budget of the deconvolution offload.
+type OffloadReport struct {
+	// ColumnCycles is FPGA cycles per column deconvolution.
+	ColumnCycles int64
+	// ComputeTimeS is FPGA time per frame (all columns).
+	ComputeTimeS float64
+	// TransferInS and TransferOutS are per-frame DMA times.
+	TransferInS  float64
+	TransferOutS float64
+	// FrameTimeS is the steady-state per-frame time with double buffering
+	// (max of compute and transfer stages).
+	FrameTimeS float64
+	// FramesPerSec is 1/FrameTimeS.
+	FramesPerSec float64
+	// Bottleneck names the limiting stage: "compute", "transfer-in" or
+	// "transfer-out".
+	Bottleneck string
+}
+
+// AnalyzeOffload computes the steady-state offload budget.
+func AnalyzeOffload(c OffloadConfig) (OffloadReport, error) {
+	if err := c.Validate(); err != nil {
+		return OffloadReport{}, err
+	}
+	core, err := fpga.NewFHTCore(c.Order, c.Format, c.Growth, c.ButterflyUnits, c.MemPorts)
+	if err != nil {
+		return OffloadReport{}, err
+	}
+	dma, err := xd1.NewDMA(c.Node.Fabric, c.DMABurstBytes)
+	if err != nil {
+		return OffloadReport{}, err
+	}
+	var r OffloadReport
+	r.ColumnCycles = core.CyclesPerFrame()
+	r.ComputeTimeS = c.Node.FPGA.CyclesToSeconds(r.ColumnCycles * int64(c.TOFColumns))
+	frameBytes := float64(core.Len()) * float64(c.TOFColumns) * float64(c.WordBytes)
+	r.TransferInS = dma.TransferTime(frameBytes)
+	r.TransferOutS = dma.TransferTime(frameBytes)
+	r.FrameTimeS = math.Max(r.ComputeTimeS, math.Max(r.TransferInS, r.TransferOutS))
+	r.FramesPerSec = 1 / r.FrameTimeS
+	switch r.FrameTimeS {
+	case r.ComputeTimeS:
+		r.Bottleneck = "compute"
+	case r.TransferInS:
+		r.Bottleneck = "transfer-in"
+	default:
+		r.Bottleneck = "transfer-out"
+	}
+	return r, nil
+}
+
+// HybridResult is the outcome of pushing one frame through the modeled
+// hybrid pipeline.
+type HybridResult struct {
+	Decoded *instrument.Frame
+	// SimulatedTimeS is the modeled wall time on the XD1 (transfers +
+	// FPGA compute, double buffered).
+	SimulatedTimeS float64
+	// Saturations counts fixed-point overflow events during the frame.
+	Saturations int64
+	Report      OffloadReport
+}
+
+// HybridDeconvolveFrame runs a frame through the modeled FPGA offload: each
+// m/z column is deconvolved by the fixed-point FHT core (data-exact), and
+// the simulated wall time is the steady-state double-buffered budget.
+func HybridDeconvolveFrame(f *instrument.Frame, c OffloadConfig) (*HybridResult, error) {
+	if f == nil {
+		return nil, fmt.Errorf("hybrid: nil frame")
+	}
+	cfg := c
+	cfg.TOFColumns = f.TOFBins
+	rep, err := AnalyzeOffload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	core, err := fpga.NewFHTCore(cfg.Order, cfg.Format, cfg.Growth, cfg.ButterflyUnits, cfg.MemPorts)
+	if err != nil {
+		return nil, err
+	}
+	if core.Len() != f.DriftBins {
+		return nil, fmt.Errorf("hybrid: core length %d != frame drift bins %d", core.Len(), f.DriftBins)
+	}
+	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
+	for t := 0; t < f.TOFBins; t++ {
+		x, _, err := core.Deconvolve(f.DriftVector(t))
+		if err != nil {
+			return nil, err
+		}
+		out.SetDriftVector(t, x)
+	}
+	return &HybridResult{
+		Decoded:        out,
+		SimulatedTimeS: rep.FrameTimeS,
+		Saturations:    core.Saturations(),
+		Report:         rep,
+	}, nil
+}
+
+// SoftwareEstimate models the pure-CPU baseline on the same node: the
+// measured per-frame CPU time on the simulation host is scaled to the XD1
+// Opteron by clock ratio and divided across its cores (the embarrassingly
+// parallel column loop).
+type SoftwareEstimate struct {
+	// MeasuredFrameS is the benchmarked per-frame time on the simulation
+	// host with one thread.
+	MeasuredFrameS float64
+	// HostClockHz is the simulation host clock used for scaling.
+	HostClockHz float64
+}
+
+// FrameTimeOn estimates per-frame wall time on the target CPU.
+func (s SoftwareEstimate) FrameTimeOn(cpu xd1.CPU) (float64, error) {
+	if s.MeasuredFrameS <= 0 || s.HostClockHz <= 0 {
+		return 0, fmt.Errorf("hybrid: software estimate needs positive measurement and clock")
+	}
+	if err := cpu.Validate(); err != nil {
+		return 0, err
+	}
+	scaled := s.MeasuredFrameS * s.HostClockHz / cpu.ClockHz
+	return scaled / float64(cpu.Cores), nil
+}
+
+// ClusterReport describes multi-node scaling of the deconvolution offload:
+// each XD1 node processes whole frames independently; a collection host
+// gathers decoded frames over its own fabric link, which eventually caps
+// the aggregate.
+type ClusterReport struct {
+	Nodes        int
+	PerNodeFPS   float64
+	AggregateFPS float64
+	HostLimitFPS float64
+	Efficiency   float64 // aggregate / (nodes × per-node)
+	LimitedBy    string  // "compute" or "host-link"
+}
+
+// AnalyzeCluster evaluates the offload across nodes, with decoded frames
+// collected over hostLink.
+func AnalyzeCluster(c OffloadConfig, nodes int, hostLink xd1.Fabric) (ClusterReport, error) {
+	if nodes < 1 {
+		return ClusterReport{}, fmt.Errorf("hybrid: nodes %d must be >= 1", nodes)
+	}
+	if err := hostLink.Validate(); err != nil {
+		return ClusterReport{}, err
+	}
+	node, err := AnalyzeOffload(c)
+	if err != nil {
+		return ClusterReport{}, err
+	}
+	core, err := fpga.NewFHTCore(c.Order, c.Format, c.Growth, c.ButterflyUnits, c.MemPorts)
+	if err != nil {
+		return ClusterReport{}, err
+	}
+	frameBytes := float64(core.Len()) * float64(c.TOFColumns) * float64(c.WordBytes)
+	hostLimit := hostLink.BandwidthBytes / frameBytes
+	agg := float64(nodes) * node.FramesPerSec
+	limitedBy := "compute"
+	if agg > hostLimit {
+		agg = hostLimit
+		limitedBy = "host-link"
+	}
+	return ClusterReport{
+		Nodes:        nodes,
+		PerNodeFPS:   node.FramesPerSec,
+		AggregateFPS: agg,
+		HostLimitFPS: hostLimit,
+		Efficiency:   agg / (float64(nodes) * node.FramesPerSec),
+		LimitedBy:    limitedBy,
+	}, nil
+}

@@ -1,0 +1,302 @@
+package hybrid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fpga"
+	"repro/internal/hadamard"
+	"repro/internal/instrument"
+	"repro/internal/prs"
+	"repro/internal/xd1"
+)
+
+func TestAnalyzeDataPathReference(t *testing.T) {
+	r, err := AnalyzeDataPath(DefaultDataPathConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The digitizer runs at its native 2 GS/s.
+	if math.Abs(r.RawByteRate-2e9) > 1 {
+		t.Errorf("raw byte rate %g", r.RawByteRate)
+	}
+	// On-FPGA rebinning plus accumulation collapses the stream by orders
+	// of magnitude.
+	if r.ReductionFactor < 50 {
+		t.Errorf("reduction factor %g, want > 50", r.ReductionFactor)
+	}
+	if !r.RealTime {
+		t.Error("reference front end must keep up in real time")
+	}
+	if r.RawFabricUtilization <= r.AccumulatedFabricUtilization {
+		t.Error("accumulation must reduce fabric load")
+	}
+	if r.FPGAUtilization <= 0 || r.FPGAUtilization > 1 {
+		t.Errorf("FPGA utilization %g out of (0,1]", r.FPGAUtilization)
+	}
+	if !r.BRAMOK {
+		t.Log("accumulator exceeds on-chip BRAM: spills to attached QDR (as on the real XD1)")
+	}
+	if r.FramesPerSec <= 0 || r.FrameBytes <= 0 {
+		t.Error("frame geometry not computed")
+	}
+}
+
+// TestAnalyzeDataPathMoreAveragingMoreReduction: accumulating more cycles
+// on-FPGA increases the data reduction factor proportionally.
+func TestAnalyzeDataPathMoreAveragingMoreReduction(t *testing.T) {
+	base := DefaultDataPathConfig()
+	r1, _ := AnalyzeDataPath(base)
+	base.CyclesAccumulated *= 4
+	r4, _ := AnalyzeDataPath(base)
+	if math.Abs(r4.ReductionFactor/r1.ReductionFactor-4) > 0.01 {
+		t.Errorf("reduction ratio %g, want 4", r4.ReductionFactor/r1.ReductionFactor)
+	}
+}
+
+func TestAnalyzeDataPathNativeRateValidation(t *testing.T) {
+	bad := DefaultDataPathConfig()
+	bad.NativeSampleRate = 0
+	if _, err := AnalyzeDataPath(bad); err == nil {
+		t.Error("zero native rate should fail")
+	}
+}
+
+func TestAnalyzeDataPathValidation(t *testing.T) {
+	bad := DefaultDataPathConfig()
+	bad.SamplesPerSpectrum = 0
+	if _, err := AnalyzeDataPath(bad); err == nil {
+		t.Error("zero samples")
+	}
+	bad = DefaultDataPathConfig()
+	bad.SpectraPerSec = 0
+	if _, err := AnalyzeDataPath(bad); err == nil {
+		t.Error("zero rate")
+	}
+	bad = DefaultDataPathConfig()
+	bad.AccumWordBytes = 9
+	if _, err := AnalyzeDataPath(bad); err == nil {
+		t.Error("wide words")
+	}
+	bad = DefaultDataPathConfig()
+	bad.AccumBanks = 0
+	if _, err := AnalyzeDataPath(bad); err == nil {
+		t.Error("zero banks")
+	}
+	bad = DefaultDataPathConfig()
+	bad.Node.Fabric.BandwidthBytes = 0
+	if _, err := AnalyzeDataPath(bad); err == nil {
+		t.Error("invalid node")
+	}
+}
+
+func TestAnalyzeOffloadReference(t *testing.T) {
+	r, err := AnalyzeOffload(DefaultOffloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ColumnCycles <= 0 || r.ComputeTimeS <= 0 {
+		t.Fatal("compute budget not computed")
+	}
+	if r.FramesPerSec <= 0 {
+		t.Fatal("frame rate not computed")
+	}
+	// The frame time is the max of the stages.
+	max := math.Max(r.ComputeTimeS, math.Max(r.TransferInS, r.TransferOutS))
+	if r.FrameTimeS != max {
+		t.Error("frame time should be the slowest stage (double buffering)")
+	}
+	if r.Bottleneck == "" {
+		t.Error("bottleneck not named")
+	}
+	// The reference instrument produces ~2 accumulated frames/s; the
+	// offload must beat that with margin (real-time requirement).
+	if r.FramesPerSec < 2 {
+		t.Errorf("offload sustains %g frames/s, below instrument rate", r.FramesPerSec)
+	}
+}
+
+// TestOffloadParallelismHelps: more butterfly units raise the frame rate
+// until transfers dominate.
+func TestOffloadParallelismHelps(t *testing.T) {
+	slow := DefaultOffloadConfig()
+	slow.ButterflyUnits = 1
+	fast := DefaultOffloadConfig()
+	fast.ButterflyUnits = 16
+	fast.MemPorts = 8
+	rs, _ := AnalyzeOffload(slow)
+	rf, _ := AnalyzeOffload(fast)
+	if rf.FramesPerSec <= rs.FramesPerSec {
+		t.Errorf("16 butterflies (%g fps) should beat 1 (%g fps)", rf.FramesPerSec, rs.FramesPerSec)
+	}
+}
+
+func TestAnalyzeOffloadValidation(t *testing.T) {
+	bad := DefaultOffloadConfig()
+	bad.TOFColumns = 0
+	if _, err := AnalyzeOffload(bad); err == nil {
+		t.Error("zero columns")
+	}
+	bad = DefaultOffloadConfig()
+	bad.WordBytes = 0
+	if _, err := AnalyzeOffload(bad); err == nil {
+		t.Error("zero word bytes")
+	}
+	bad = DefaultOffloadConfig()
+	bad.DMABurstBytes = 0
+	if _, err := AnalyzeOffload(bad); err == nil {
+		t.Error("zero burst")
+	}
+	bad = DefaultOffloadConfig()
+	bad.Order = 1
+	if _, err := AnalyzeOffload(bad); err == nil {
+		t.Error("bad order")
+	}
+}
+
+func TestHybridDeconvolveFrame(t *testing.T) {
+	order := 7
+	s := prs.MustMSequence(order)
+	n := len(s)
+	rng := rand.New(rand.NewSource(90))
+	cols := 16
+	truth := instrument.NewFrame(n, cols)
+	enc := instrument.NewFrame(n, cols)
+	for c := 0; c < cols; c++ {
+		x := make([]float64, n)
+		x[rng.Intn(n)] = 100 + rng.Float64()*900
+		y, _ := hadamard.Encode(s, x)
+		truth.SetDriftVector(c, x)
+		enc.SetDriftVector(c, y)
+	}
+	cfg := DefaultOffloadConfig()
+	cfg.Order = order
+	cfg.Format = fpga.MustQ(40, 10)
+	res, err := HybridDeconvolveFrame(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedTimeS <= 0 {
+		t.Error("no simulated time")
+	}
+	if res.Saturations != 0 {
+		t.Errorf("saturations %d with wide format", res.Saturations)
+	}
+	for c := 0; c < cols; c++ {
+		e, _ := hadamard.ReconstructionError(res.Decoded.DriftVector(c), truth.DriftVector(c))
+		if e > 1e-3 {
+			t.Fatalf("column %d error %g", c, e)
+		}
+	}
+}
+
+func TestHybridDeconvolveFrameErrors(t *testing.T) {
+	if _, err := HybridDeconvolveFrame(nil, DefaultOffloadConfig()); err == nil {
+		t.Error("nil frame")
+	}
+	f := instrument.NewFrame(10, 4) // not 2^n-1 drift bins
+	cfg := DefaultOffloadConfig()
+	cfg.Order = 7
+	if _, err := HybridDeconvolveFrame(f, cfg); err == nil {
+		t.Error("geometry mismatch")
+	}
+	bad := DefaultOffloadConfig()
+	bad.WordBytes = 0
+	if _, err := HybridDeconvolveFrame(instrument.NewFrame(127, 4), bad); err == nil {
+		t.Error("invalid config")
+	}
+}
+
+func TestSoftwareEstimate(t *testing.T) {
+	est := SoftwareEstimate{MeasuredFrameS: 0.1, HostClockHz: 3e9}
+	// On a 1.5 GHz, 2-core target: 0.1 × 2 / 2 = 0.1 s.
+	got, err := est.FrameTimeOn(xd1.CPU{Cores: 2, ClockHz: 1.5e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("frame time %g, want 0.1", got)
+	}
+	// More cores help linearly.
+	got4, _ := est.FrameTimeOn(xd1.CPU{Cores: 4, ClockHz: 1.5e9})
+	if math.Abs(got4-0.05) > 1e-12 {
+		t.Errorf("4-core frame time %g, want 0.05", got4)
+	}
+	if _, err := est.FrameTimeOn(xd1.CPU{}); err == nil {
+		t.Error("invalid CPU")
+	}
+	if _, err := (SoftwareEstimate{}).FrameTimeOn(xd1.OpteronSMP()); err == nil {
+		t.Error("empty estimate")
+	}
+}
+
+func BenchmarkHybridDeconvolveFrame(b *testing.B) {
+	order := 9
+	s := prs.MustMSequence(order)
+	n := len(s)
+	rng := rand.New(rand.NewSource(91))
+	cols := 64
+	enc := instrument.NewFrame(n, cols)
+	for c := 0; c < cols; c++ {
+		x := make([]float64, n)
+		x[rng.Intn(n)] = 500
+		y, _ := hadamard.Encode(s, x)
+		enc.SetDriftVector(c, y)
+	}
+	cfg := DefaultOffloadConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HybridDeconvolveFrame(enc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAnalyzeCluster(t *testing.T) {
+	cfg := DefaultOffloadConfig()
+	host := xd1.RapidArray()
+	r1, err := AnalyzeCluster(cfg, 1, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Efficiency < 0.99 || r1.LimitedBy != "compute" {
+		t.Errorf("single node should be compute-limited at full efficiency: %+v", r1)
+	}
+	// Scaling is linear until the host link saturates.
+	prev := r1.AggregateFPS
+	sawHostLimit := false
+	for nodes := 2; nodes <= 64; nodes *= 2 {
+		r, err := AnalyzeCluster(cfg, nodes, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.AggregateFPS < prev {
+			t.Errorf("%d nodes: aggregate decreased", nodes)
+		}
+		if r.LimitedBy == "host-link" {
+			sawHostLimit = true
+			if r.AggregateFPS > r.HostLimitFPS*1.0001 {
+				t.Errorf("aggregate %g exceeds host limit %g", r.AggregateFPS, r.HostLimitFPS)
+			}
+			if r.Efficiency >= 1 {
+				t.Errorf("host-limited efficiency %g should be below 1", r.Efficiency)
+			}
+		}
+		prev = r.AggregateFPS
+	}
+	if !sawHostLimit {
+		t.Error("host link never saturated up to 64 nodes — collection model inert")
+	}
+	if _, err := AnalyzeCluster(cfg, 0, host); err == nil {
+		t.Error("zero nodes")
+	}
+	if _, err := AnalyzeCluster(cfg, 2, xd1.Fabric{}); err == nil {
+		t.Error("invalid host link")
+	}
+	bad := cfg
+	bad.Order = 1
+	if _, err := AnalyzeCluster(bad, 2, host); err == nil {
+		t.Error("invalid offload")
+	}
+}

@@ -1,0 +1,203 @@
+// stream.go: the executable streaming simulation of the FPGA data path —
+// the clocked pipeline (capture → accumulate → deconvolve → DMA-out) fed at
+// the instrument's production rate, with FIFO backpressure and stall
+// accounting.  Where AnalyzeOffload gives the steady-state budget, this
+// model shows the dynamics: queue depths, the stage that actually stalls,
+// and whether the design keeps up when fed in real time.
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/fpga"
+)
+
+// StreamConfig describes the streaming simulation.
+type StreamConfig struct {
+	Offload OffloadConfig
+	// Columns is the number of m/z columns (one token each) to stream.
+	Columns int
+	// ArrivalInterval is the FPGA cycles between column arrivals from the
+	// instrument (0 = back-to-back, the saturation test).
+	ArrivalInterval int64
+	// FIFODepth bounds each inter-stage queue.
+	FIFODepth int
+	// CaptureSamplesPerCycle and AccumBanks parallelize the front stages.
+	CaptureSamplesPerCycle int
+	AccumBanks             int
+}
+
+// DefaultStreamConfig streams 2048 columns of the reference offload with
+// 4-deep FIFOs.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		Offload:                DefaultOffloadConfig(),
+		Columns:                2048,
+		ArrivalInterval:        0,
+		FIFODepth:              4,
+		CaptureSamplesPerCycle: 4,
+		AccumBanks:             4,
+	}
+}
+
+// Validate reports the first problem.
+func (c StreamConfig) Validate() error {
+	if err := c.Offload.Validate(); err != nil {
+		return err
+	}
+	if c.Columns < 1 {
+		return fmt.Errorf("hybrid: stream needs >= 1 column")
+	}
+	if c.ArrivalInterval < 0 {
+		return fmt.Errorf("hybrid: negative arrival interval")
+	}
+	if c.FIFODepth < 1 {
+		return fmt.Errorf("hybrid: FIFO depth %d must be >= 1", c.FIFODepth)
+	}
+	if c.CaptureSamplesPerCycle < 1 || c.AccumBanks < 1 {
+		return fmt.Errorf("hybrid: stage parallelism must be positive")
+	}
+	return nil
+}
+
+// StageReport summarizes one pipeline stage after the run.
+type StageReport struct {
+	Name         string
+	Accepted     int64
+	InputStalls  int64
+	OutputStalls int64
+}
+
+// StreamReport is the outcome of a streaming simulation.
+type StreamReport struct {
+	Columns        int
+	TotalCycles    int64
+	CyclesPerCol   float64
+	ThroughputCols float64 // columns/s at the FPGA clock
+	Stages         []StageReport
+	// Bottleneck is the stage with the most output stalls (the producer
+	// blocked by its consumer), or the structurally slowest stage when
+	// nothing stalled.
+	Bottleneck string
+	// RealTime reports whether the sustained rate meets the arrival rate.
+	RealTime bool
+}
+
+// SimulateStream pushes `Columns` column tokens through the clocked
+// capture→accumulate→deconvolve→DMA pipeline and reports the dynamics.
+func SimulateStream(c StreamConfig) (StreamReport, error) {
+	if err := c.Validate(); err != nil {
+		return StreamReport{}, err
+	}
+	core, err := fpga.NewFHTCore(c.Offload.Order, c.Offload.Format, c.Offload.Growth,
+		c.Offload.ButterflyUnits, c.Offload.MemPorts)
+	if err != nil {
+		return StreamReport{}, err
+	}
+	n := core.Len()
+
+	q1, err := fpga.NewFIFO("capture→accum", c.FIFODepth)
+	if err != nil {
+		return StreamReport{}, err
+	}
+	q2, err := fpga.NewFIFO("accum→fht", c.FIFODepth)
+	if err != nil {
+		return StreamReport{}, err
+	}
+	q3, err := fpga.NewFIFO("fht→dma", c.FIFODepth)
+	if err != nil {
+		return StreamReport{}, err
+	}
+
+	captureII := int((int64(n) + int64(c.CaptureSamplesPerCycle) - 1) / int64(c.CaptureSamplesPerCycle))
+	accumII := int((int64(n) + int64(c.AccumBanks) - 1) / int64(c.AccumBanks))
+	fhtII := int(core.CyclesPerFrame())
+	// DMA cycles per column: column bytes over the fabric, in FPGA cycles.
+	colBytes := float64(n * c.Offload.WordBytes)
+	dmaSeconds := c.Offload.Node.Fabric.TransferTime(colBytes)
+	dmaII := int(c.Offload.Node.FPGA.SecondsToCycles(dmaSeconds))
+	if dmaII < 1 {
+		dmaII = 1
+	}
+
+	capture := &fpga.Stage{Name: "capture", II: captureII, Out: q1}
+	accum := &fpga.Stage{Name: "accumulate", II: accumII, In: q1, Out: q2}
+	fht := &fpga.Stage{Name: "deconvolve", II: fhtII, In: q2, Out: q3}
+	dma := &fpga.Stage{Name: "dma-out", II: dmaII, In: q3}
+
+	p, err := fpga.NewPipeline(capture, accum, fht, dma)
+	if err != nil {
+		return StreamReport{}, err
+	}
+
+	fed := 0
+	var nextArrival int64
+	maxCycles := int64(c.Columns+16) * int64(fhtII+captureII+accumII+dmaII+int(c.ArrivalInterval)+4)
+	for p.Cycle() < maxCycles {
+		if fed < c.Columns && p.Cycle() >= nextArrival {
+			if p.Feed(capture, fpga.Token{ID: fed, Words: n}) {
+				fed++
+				nextArrival = p.Cycle() + c.ArrivalInterval
+			}
+		}
+		if fed == c.Columns {
+			if done, ok := p.RunUntilDrained(maxCycles - p.Cycle()); ok {
+				_ = done
+				break
+			}
+			break
+		}
+		p.Step(1)
+	}
+
+	var rep StreamReport
+	rep.Columns = c.Columns
+	rep.TotalCycles = p.Cycle()
+	rep.CyclesPerCol = float64(p.Cycle()) / float64(c.Columns)
+	rep.ThroughputCols = c.Offload.Node.FPGA.ClockHz / rep.CyclesPerCol
+	for _, st := range []*fpga.Stage{capture, accum, fht, dma} {
+		s := st.Stats()
+		rep.Stages = append(rep.Stages, StageReport{
+			Name:         s.Name,
+			Accepted:     s.Accepted,
+			InputStalls:  s.InputStalls,
+			OutputStalls: s.OutputStalls,
+		})
+		if s.Accepted != int64(c.Columns) {
+			return StreamReport{}, fmt.Errorf("hybrid: stage %s accepted %d of %d columns (pipeline wedged)",
+				s.Name, s.Accepted, c.Columns)
+		}
+	}
+	// Bottleneck: the consumer downstream of the stage with the most
+	// output stalls (a stalled producer is blocked BY its consumer); fall
+	// back to the largest initiation interval when nothing stalled.
+	best := -1
+	var bestStalls int64 = -1
+	for i, s := range rep.Stages {
+		if s.OutputStalls > bestStalls {
+			bestStalls = s.OutputStalls
+			best = i
+		}
+	}
+	if bestStalls > 0 && best+1 < len(rep.Stages) {
+		rep.Bottleneck = rep.Stages[best+1].Name
+	} else {
+		iis := []struct {
+			name string
+			ii   int
+		}{{"capture", captureII}, {"accumulate", accumII}, {"deconvolve", fhtII}, {"dma-out", dmaII}}
+		worst := iis[0]
+		for _, s := range iis[1:] {
+			if s.ii > worst.ii {
+				worst = s
+			}
+		}
+		rep.Bottleneck = worst.name
+	}
+	if c.ArrivalInterval > 0 {
+		rep.RealTime = rep.CyclesPerCol <= float64(c.ArrivalInterval)*1.05
+	} else {
+		rep.RealTime = true
+	}
+	return rep, nil
+}

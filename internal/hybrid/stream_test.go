@@ -1,0 +1,129 @@
+package hybrid
+
+import (
+	"testing"
+)
+
+func TestSimulateStreamSaturated(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	cfg.Columns = 64
+	rep, err := SimulateStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Columns != 64 || rep.TotalCycles <= 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	// Under saturation the steady-state cycles/column approaches the
+	// slowest stage's initiation interval (the FHT core here).
+	if rep.Bottleneck != "deconvolve" {
+		t.Errorf("bottleneck %q, want deconvolve", rep.Bottleneck)
+	}
+	// Back-pressure must be visible upstream of the bottleneck.
+	var upstreamStalled bool
+	for _, s := range rep.Stages {
+		if (s.Name == "capture" || s.Name == "accumulate") && s.OutputStalls > 0 {
+			upstreamStalled = true
+		}
+		if s.Accepted != 64 {
+			t.Errorf("stage %s accepted %d", s.Name, s.Accepted)
+		}
+	}
+	if !upstreamStalled {
+		t.Error("expected upstream stages to stall on the deconvolve core")
+	}
+	if rep.ThroughputCols <= 0 {
+		t.Error("no throughput computed")
+	}
+}
+
+// TestSimulateStreamMatchesBudget: the dynamic simulation's steady-state
+// cycles/column agrees with the analytic compute budget within 20 %.
+func TestSimulateStreamMatchesBudget(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	cfg.Columns = 128
+	rep, err := SimulateStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := cfg.Offload
+	off.TOFColumns = 1
+	budget, err := AnalyzeOffload(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rep.CyclesPerCol / float64(budget.ColumnCycles)
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("dynamic %.1f cycles/col vs budget %d (ratio %.2f)", rep.CyclesPerCol, budget.ColumnCycles, ratio)
+	}
+}
+
+// TestSimulateStreamRealTime: fed at a slow arrival rate the pipeline keeps
+// up; fed faster than the core it does not.
+func TestSimulateStreamRealTime(t *testing.T) {
+	slow := DefaultStreamConfig()
+	slow.Columns = 32
+	slow.ArrivalInterval = 10000 // far slower than the ~1-2k cycle core
+	rep, err := SimulateStream(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RealTime {
+		t.Error("slow arrivals should be real-time")
+	}
+	// No stalls when the pipeline idles between arrivals.
+	for _, s := range rep.Stages {
+		if s.OutputStalls > 0 {
+			t.Errorf("stage %s stalled %d times at slow arrivals", s.Name, s.OutputStalls)
+		}
+	}
+	fast := DefaultStreamConfig()
+	fast.Columns = 32
+	fast.ArrivalInterval = 100 // faster than the core can drain
+	rep2, err := SimulateStream(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.RealTime {
+		t.Error("over-fast arrivals should not be real-time")
+	}
+}
+
+func TestSimulateStreamValidation(t *testing.T) {
+	bad := DefaultStreamConfig()
+	bad.Columns = 0
+	if _, err := SimulateStream(bad); err == nil {
+		t.Error("zero columns")
+	}
+	bad = DefaultStreamConfig()
+	bad.ArrivalInterval = -1
+	if _, err := SimulateStream(bad); err == nil {
+		t.Error("negative arrival interval")
+	}
+	bad = DefaultStreamConfig()
+	bad.FIFODepth = 0
+	if _, err := SimulateStream(bad); err == nil {
+		t.Error("zero FIFO depth")
+	}
+	bad = DefaultStreamConfig()
+	bad.CaptureSamplesPerCycle = 0
+	if _, err := SimulateStream(bad); err == nil {
+		t.Error("zero capture parallelism")
+	}
+	bad = DefaultStreamConfig()
+	bad.Offload.Order = 1
+	if _, err := SimulateStream(bad); err == nil {
+		t.Error("bad offload")
+	}
+}
+
+func BenchmarkSimulateStream(b *testing.B) {
+	cfg := DefaultStreamConfig()
+	cfg.Columns = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateStream(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

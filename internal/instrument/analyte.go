@@ -1,0 +1,208 @@
+// Package instrument simulates the advanced ion mobility mass spectrometer
+// end to end: an electrospray ion source with optional LC elution, an
+// electrodynamic ion funnel trap with automated gain control, a
+// pseudorandom-sequence-driven ion gate, an IMS drift tube with diffusion
+// and space-charge physics, an orthogonal time-of-flight mass analyzer, and
+// a multichannel-plate detector digitized by an 8-bit ADC.  Its output is
+// the raw accumulated frame stream the paper's FPGA component captures.
+package instrument
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/chem"
+)
+
+// Analyte is one ionic species delivered by the source: a specific peptide
+// (or other molecule) at a specific charge state.
+type Analyte struct {
+	Name      string
+	MassDa    float64 // neutral monoisotopic mass
+	Z         int     // positive charge state
+	MZ        float64 // mass-to-charge ratio, Th
+	CCSM2     float64 // ion-neutral collision cross section, m²
+	Abundance float64 // relative ion current contribution, arbitrary units
+	// Isotopes optionally carries the isotopic envelope as (m/z offset
+	// from MZ, fractional abundance) pairs; when nil the analyte is
+	// treated as a single peak at MZ.  Populate with WithIsotopes.
+	Isotopes []IsotopePeakMZ
+}
+
+// IsotopePeakMZ is one isotopologue peak of an analyte in m/z space.
+type IsotopePeakMZ struct {
+	OffsetMZ float64 // m/z offset from the monoisotopic peak
+	Fraction float64 // fraction of the analyte's intensity
+}
+
+// WithIsotopes attaches the isotopic envelope of the given elemental
+// formula to the analyte, pruning species below pruneBelow fractional
+// abundance.  The envelope's mass spacing is divided by the charge so the
+// offsets are in m/z.
+func (a Analyte) WithIsotopes(f chem.Formula, pruneBelow float64) (Analyte, error) {
+	if a.Z <= 0 {
+		return Analyte{}, fmt.Errorf("instrument: analyte %q needs a positive charge for isotopes", a.Name)
+	}
+	env := f.IsotopicEnvelope(pruneBelow)
+	if len(env) == 0 {
+		return Analyte{}, fmt.Errorf("instrument: empty isotopic envelope for %q", a.Name)
+	}
+	mono := env[0].MassDa
+	out := a
+	out.Isotopes = make([]IsotopePeakMZ, len(env))
+	for i, p := range env {
+		out.Isotopes[i] = IsotopePeakMZ{
+			OffsetMZ: (p.MassDa - mono) / float64(a.Z),
+			Fraction: p.Abundance,
+		}
+	}
+	return out, nil
+}
+
+// Validate reports a descriptive error for an unusable analyte.
+func (a Analyte) Validate() error {
+	if a.MassDa <= 0 {
+		return fmt.Errorf("instrument: analyte %q mass %g must be positive", a.Name, a.MassDa)
+	}
+	if a.Z <= 0 {
+		return fmt.Errorf("instrument: analyte %q charge %d must be positive", a.Name, a.Z)
+	}
+	if a.MZ <= 0 {
+		return fmt.Errorf("instrument: analyte %q m/z %g must be positive", a.Name, a.MZ)
+	}
+	if a.CCSM2 <= 0 {
+		return fmt.Errorf("instrument: analyte %q CCS %g must be positive", a.Name, a.CCSM2)
+	}
+	if a.Abundance < 0 {
+		return fmt.Errorf("instrument: analyte %q abundance %g must be non-negative", a.Name, a.Abundance)
+	}
+	return nil
+}
+
+// AnalytesFromPeptide expands a peptide into one Analyte per plausible ESI
+// charge state, splitting the given abundance across states by their
+// electrospray populations.  Charge states below minFraction of the total
+// are dropped to keep workloads compact.
+func AnalytesFromPeptide(name string, p chem.Peptide, abundance, minFraction float64) ([]Analyte, error) {
+	if abundance < 0 {
+		return nil, fmt.Errorf("instrument: negative abundance for %q", name)
+	}
+	var out []Analyte
+	for _, cs := range p.ChargeStates() {
+		if cs.Fraction < minFraction {
+			continue
+		}
+		mz, err := p.MZ(cs.Z)
+		if err != nil {
+			return nil, err
+		}
+		ccs, err := p.CCS(cs.Z)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Analyte{
+			Name:      fmt.Sprintf("%s/%d+", name, cs.Z),
+			MassDa:    p.MonoisotopicMass(),
+			Z:         cs.Z,
+			MZ:        mz,
+			CCSM2:     ccs,
+			Abundance: abundance * cs.Fraction,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("instrument: peptide %q produced no charge states above %g", name, minFraction)
+	}
+	return out, nil
+}
+
+// Mixture is a set of analytes with convenience constructors and totals.
+type Mixture struct {
+	Analytes []Analyte
+}
+
+// AddPeptide expands the peptide into charge states and appends them.
+func (m *Mixture) AddPeptide(name string, p chem.Peptide, abundance float64) error {
+	as, err := AnalytesFromPeptide(name, p, abundance, 0.02)
+	if err != nil {
+		return err
+	}
+	m.Analytes = append(m.Analytes, as...)
+	return nil
+}
+
+// AddAnalyte appends a raw analyte after validation.
+func (m *Mixture) AddAnalyte(a Analyte) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	m.Analytes = append(m.Analytes, a)
+	return nil
+}
+
+// TotalAbundance returns the sum of analyte abundances.
+func (m *Mixture) TotalAbundance() float64 {
+	var t float64
+	for _, a := range m.Analytes {
+		t += a.Abundance
+	}
+	return t
+}
+
+// SortByMZ orders the analytes by ascending m/z (stable), convenient for
+// reporting.
+func (m *Mixture) SortByMZ() {
+	sort.SliceStable(m.Analytes, func(i, j int) bool { return m.Analytes[i].MZ < m.Analytes[j].MZ })
+}
+
+// Validate checks every analyte and that the mixture is non-empty.
+func (m *Mixture) Validate() error {
+	if len(m.Analytes) == 0 {
+		return fmt.Errorf("instrument: empty mixture")
+	}
+	for _, a := range m.Analytes {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyntheticBackground generates n diffuse background species — unresolved
+// solvent clusters and chemical noise spread across the recorded m/z range
+// — sharing totalAbundance equally.  Their cross sections follow the
+// peptide CCS trend with ±20 % scatter so they populate the whole drift
+// range; real ESI spectra carry such a background at every m/z, and it is
+// the dominant noise floor at low analyte levels.  Deterministic in rng.
+func SyntheticBackground(rng *rand.Rand, n int, totalAbundance, minMZ, maxMZ float64) ([]Analyte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("instrument: background species count %d must be >= 1", n)
+	}
+	if totalAbundance <= 0 {
+		return nil, fmt.Errorf("instrument: background abundance %g must be positive", totalAbundance)
+	}
+	if minMZ <= 0 || maxMZ <= minMZ {
+		return nil, fmt.Errorf("instrument: background m/z range (%g, %g) invalid", minMZ, maxMZ)
+	}
+	out := make([]Analyte, n)
+	for i := range out {
+		mz := minMZ + rng.Float64()*(maxMZ-minMZ)
+		z := 1
+		mass := mz - 1.00728
+		// Peptide-trend CCS with scatter.
+		ccs := 2.3 * math.Pow(mass, 2.0/3.0) * (0.8 + 0.4*rng.Float64()) * 1e-20
+		out[i] = Analyte{
+			Name:      fmt.Sprintf("background-%03d", i),
+			MassDa:    mass,
+			Z:         z,
+			MZ:        mz,
+			CCSM2:     ccs,
+			Abundance: totalAbundance / float64(n),
+		}
+		if err := out[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+// drift.go models the IMS drift tube: converting analyte cross sections to
+// drift times and arrival-time distributions under the configured gas
+// conditions, including diffusion and space-charge broadening.
+package instrument
+
+import (
+	"fmt"
+
+	"repro/internal/physics"
+)
+
+// DriftTube is the mobility separation region.
+type DriftTube struct {
+	LengthM    float64 // drift length, m
+	Conditions physics.Conditions
+	// PacketRadiusM and PacketLengthM describe the injected packet
+	// geometry for the space-charge model.
+	PacketRadiusM float64
+	PacketLengthM float64
+}
+
+// DefaultDriftTube returns the ~1 m, 4 Torr nitrogen tube with ~20 V/cm
+// used as the reference geometry throughout the reproduction.
+func DefaultDriftTube() DriftTube {
+	return DriftTube{
+		LengthM: 1.0,
+		Conditions: physics.Conditions{
+			Gas:          physics.Nitrogen,
+			PressureTorr: 4,
+			TempK:        300,
+			FieldVPerM:   2000,
+		},
+		PacketRadiusM: 1e-3,
+		PacketLengthM: 5e-3,
+	}
+}
+
+// Validate reports unusable tube parameters.
+func (d DriftTube) Validate() error {
+	if d.LengthM <= 0 {
+		return fmt.Errorf("instrument: drift length %g must be positive", d.LengthM)
+	}
+	if d.PacketRadiusM <= 0 || d.PacketLengthM <= 0 {
+		return fmt.Errorf("instrument: packet geometry (%g, %g) must be positive", d.PacketRadiusM, d.PacketLengthM)
+	}
+	return d.Conditions.Validate()
+}
+
+// Arrival describes an analyte's arrival-time distribution at the tube exit
+// for a packet injected at t=0.
+type Arrival struct {
+	MeanS  float64 // mean drift time, s
+	SigmaS float64 // total temporal standard deviation, s
+}
+
+// Arrival computes the arrival distribution for an analyte injected as a
+// packet of the given total charge through a gate opening of gateWidthS.
+func (d DriftTube) Arrival(a Analyte, gateWidthS, packetCharges float64) (Arrival, error) {
+	if err := d.Validate(); err != nil {
+		return Arrival{}, err
+	}
+	if err := a.Validate(); err != nil {
+		return Arrival{}, err
+	}
+	if gateWidthS < 0 || packetCharges < 0 {
+		return Arrival{}, fmt.Errorf("instrument: negative gate width or packet charge")
+	}
+	k, err := physics.Mobility(a.MassDa, a.Z, a.CCSM2, d.Conditions)
+	if err != nil {
+		return Arrival{}, err
+	}
+	td, err := physics.DriftTime(k, d.LengthM, d.Conditions)
+	if err != nil {
+		return Arrival{}, err
+	}
+	v := physics.DriftVelocity(k, d.Conditions)
+	diff := physics.DiffusionCoefficient(k, a.Z, d.Conditions.TempK)
+	diffSigma := physics.DiffusionSigmaTime(diff, td, v)
+	sc := physics.SpaceCharge{
+		Charges:       packetCharges,
+		InitialRadius: d.PacketRadiusM,
+		InitialLength: d.PacketLengthM,
+	}
+	scSigma := sc.SigmaTime(k, td, v)
+	total := physics.TotalSigmaTime(gateWidthS, diffSigma, scSigma)
+	return Arrival{MeanS: td, SigmaS: total}, nil
+}
+
+// MaxDriftTime returns the drift time of the slowest analyte in the
+// mixture, used to size the IMS frame so the full mobility range fits in
+// one sequence cycle.
+func (d DriftTube) MaxDriftTime(m Mixture) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	var max float64
+	for _, a := range m.Analytes {
+		arr, err := d.Arrival(a, 0, 0)
+		if err != nil {
+			return 0, err
+		}
+		if arr.MeanS > max {
+			max = arr.MeanS
+		}
+	}
+	return max, nil
+}
+
+// ResolvingPower returns the diffusion-limited resolving power of the tube
+// for charge state z.
+func (d DriftTube) ResolvingPower(z int) (float64, error) {
+	voltage := d.Conditions.FieldVPerM * d.LengthM
+	return physics.ResolvingPower(z, voltage, d.Conditions.TempK)
+}

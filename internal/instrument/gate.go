@@ -1,0 +1,93 @@
+// gate.go models the Bradbury–Nielsen-style ion gate that modulates the
+// beam (or releases trap packets) according to the pseudorandom sequence.
+// Real gates are imperfect: open bins transmit slightly less than unity,
+// closed bins leak, and the first moments after opening deliver depleted
+// flux while the beam re-establishes — the non-ideality that historically
+// required sample-specific weighting matrices and that the PNNL modified
+// sequences pre-compensate.
+package instrument
+
+import (
+	"fmt"
+
+	"repro/internal/prs"
+)
+
+// Gate describes the modulation element.
+type Gate struct {
+	// OpenTransmission is the flux fraction passed while open (0..1].
+	OpenTransmission float64
+	// ClosedLeakage is the flux fraction leaking through while closed.
+	ClosedLeakage float64
+	// RiseBins is how many bins after a 0→1 transition are depleted.
+	RiseBins int
+	// RiseDepth is the fractional depletion of those bins (0 = no
+	// depletion, 1 = fully closed during rise).
+	RiseDepth float64
+}
+
+// DefaultGate returns gate parameters typical of a BN gate driven at IMS
+// bin widths of ~100 µs: the ~1 µs switching transient depletes a few
+// percent of the first bin of each opening.
+func DefaultGate() Gate {
+	return Gate{OpenTransmission: 0.95, ClosedLeakage: 0.001, RiseBins: 1, RiseDepth: 0.05}
+}
+
+// Validate reports unusable gate parameters.
+func (g Gate) Validate() error {
+	if g.OpenTransmission <= 0 || g.OpenTransmission > 1 {
+		return fmt.Errorf("instrument: gate open transmission %g must be in (0,1]", g.OpenTransmission)
+	}
+	if g.ClosedLeakage < 0 || g.ClosedLeakage >= g.OpenTransmission {
+		return fmt.Errorf("instrument: gate leakage %g must be in [0, open transmission)", g.ClosedLeakage)
+	}
+	if g.RiseBins < 0 {
+		return fmt.Errorf("instrument: negative rise bins")
+	}
+	if g.RiseDepth < 0 || g.RiseDepth > 1 {
+		return fmt.Errorf("instrument: rise depth %g must be in [0,1]", g.RiseDepth)
+	}
+	return nil
+}
+
+// EffectiveWaveform converts the ideal binary gating sequence into the real
+// per-bin transmission waveform, applying open/closed transmission and
+// rise-time depletion at every 0→1 transition (cyclically).
+func (g Gate) EffectiveWaveform(seq prs.Sequence) ([]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(seq)
+	w := make([]float64, n)
+	for i, b := range seq {
+		if b != 0 {
+			w[i] = g.OpenTransmission
+		} else {
+			w[i] = g.ClosedLeakage
+		}
+	}
+	if g.RiseBins > 0 && g.RiseDepth > 0 {
+		for i := 0; i < n; i++ {
+			if seq[i] == 1 && seq[(i+n-1)%n] == 0 {
+				for r := 0; r < g.RiseBins; r++ {
+					j := (i + r) % n
+					if seq[j] == 0 {
+						break // run shorter than the rise window
+					}
+					w[j] *= 1 - g.RiseDepth
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// IdealWaveform returns the binary sequence as a transmission waveform with
+// no imperfections — the reference used by decoders that assume an ideal
+// gate.
+func IdealWaveform(seq prs.Sequence) []float64 {
+	return seq.Floats()
+}

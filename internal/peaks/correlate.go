@@ -1,0 +1,109 @@
+// correlate.go: precursor–fragment assignment by drift-profile correlation.
+// In multiplexed CID (Clowers et al., IJMS 2010) precursors dissociate
+// after the mobility separation, so every fragment inherits its precursor's
+// drift-time profile; correlating deconvolved drift profiles assigns
+// fragments to precursors without any additional isolation step.
+package peaks
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/instrument"
+)
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// profiles, in [−1, 1]; 0 when either profile is constant.
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("peaks: correlate length mismatch %d vs %d", len(a), len(b))
+	}
+	n := float64(len(a))
+	if n == 0 {
+		return 0, fmt.Errorf("peaks: empty profiles")
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// FragmentQuery is one theoretical fragment to test against a precursor.
+type FragmentQuery struct {
+	Name string
+	MZ   float64
+}
+
+// FragmentMatch is a fragment whose drift profile tracks the precursor's.
+type FragmentMatch struct {
+	Name        string
+	MZ          float64
+	Correlation float64
+	SNR         float64
+}
+
+// AssignFragments tests each query fragment of a precursor against a
+// deconvolved frame: the fragment matches when its m/z column's drift
+// profile correlates with the precursor's above minCorr and carries a peak
+// of SNR ≥ minSNR.  Returns matches sorted as queried.
+func AssignFragments(f *instrument.Frame, tof instrument.TOF, precursorMZ float64, queries []FragmentQuery, minCorr, minSNR float64) ([]FragmentMatch, error) {
+	if f == nil {
+		return nil, fmt.Errorf("peaks: nil frame")
+	}
+	if minCorr < -1 || minCorr > 1 {
+		return nil, fmt.Errorf("peaks: correlation threshold %g out of [-1,1]", minCorr)
+	}
+	if tof.Bins != f.TOFBins {
+		return nil, fmt.Errorf("peaks: TOF bins %d != frame %d", tof.Bins, f.TOFBins)
+	}
+	pCol := tof.BinOf(precursorMZ)
+	if pCol < 0 {
+		return nil, fmt.Errorf("peaks: precursor m/z %g outside recorded range", precursorMZ)
+	}
+	pProfile := f.DriftVector(pCol)
+	var out []FragmentMatch
+	for _, q := range queries {
+		col := tof.BinOf(q.MZ)
+		if col < 0 || col == pCol {
+			continue
+		}
+		prof := f.DriftVector(col)
+		corr, err := Pearson(pProfile, prof)
+		if err != nil {
+			return nil, err
+		}
+		if corr < minCorr {
+			continue
+		}
+		noise := NoiseMAD(prof)
+		if noise <= 0 {
+			noise = 1e-12
+		}
+		max := 0.0
+		for _, v := range prof {
+			if v > max {
+				max = v
+			}
+		}
+		snr := max / noise
+		if snr < minSNR {
+			continue
+		}
+		out = append(out, FragmentMatch{Name: q.Name, MZ: q.MZ, Correlation: corr, SNR: snr})
+	}
+	return out, nil
+}

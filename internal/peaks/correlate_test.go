@@ -1,0 +1,121 @@
+package peaks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if r, _ := Pearson(a, a); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation %g", r)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if r, _ := Pearson(a, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anticorrelation %g", r)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if r, _ := Pearson(a, flat); r != 0 {
+		t.Errorf("constant profile correlation %g", r)
+	}
+	if _, err := Pearson(a, a[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson(nil, nil); err == nil {
+		t.Error("empty profiles accepted")
+	}
+	// Scale and offset invariance.
+	scaled := make([]float64, len(a))
+	for i, v := range a {
+		scaled[i] = 3*v + 7
+	}
+	if r, _ := Pearson(a, scaled); math.Abs(r-1) > 1e-12 {
+		t.Errorf("affine-transformed correlation %g", r)
+	}
+}
+
+// buildCIDFrame: a precursor peak at drift 20 with two true fragments
+// sharing its profile, plus an unrelated species at drift 45.
+func buildCIDFrame(t *testing.T, tof instrument.TOF) (*instrument.Frame, float64, []FragmentQuery) {
+	t.Helper()
+	f := instrument.NewFrame(64, tof.Bins)
+	rng := rand.New(rand.NewSource(81))
+	gauss := func(col int, centre float64, height float64) {
+		for d := 0; d < 64; d++ {
+			x := (float64(d) - centre) / 1.5
+			f.Add(d, col, height*math.Exp(-x*x/2))
+		}
+	}
+	precMZ := tof.BinCenter(100)
+	frag1MZ := tof.BinCenter(40)
+	frag2MZ := tof.BinCenter(60)
+	otherMZ := tof.BinCenter(140)
+	gauss(100, 20, 300)
+	gauss(40, 20, 150)
+	gauss(60, 20, 90)
+	gauss(140, 45, 250)
+	for i := range f.Data {
+		f.Data[i] += math.Abs(rng.NormFloat64()) * 0.5
+	}
+	queries := []FragmentQuery{
+		{Name: "y4", MZ: frag1MZ},
+		{Name: "b3", MZ: frag2MZ},
+		{Name: "decoy", MZ: otherMZ},                // wrong drift profile
+		{Name: "absent", MZ: tof.BinCenter(200)},    // nothing there
+		{Name: "out-of-range", MZ: tof.MaxMZ + 100}, // skipped
+	}
+	return f, precMZ, queries
+}
+
+func TestAssignFragments(t *testing.T) {
+	tof := instrument.DefaultTOF()
+	tof.Bins = 256
+	f, precMZ, queries := buildCIDFrame(t, tof)
+	matches, err := AssignFragments(f, tof, precMZ, queries, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]FragmentMatch{}
+	for _, m := range matches {
+		got[m.Name] = m
+	}
+	if _, ok := got["y4"]; !ok {
+		t.Error("true fragment y4 not assigned")
+	}
+	if _, ok := got["b3"]; !ok {
+		t.Error("true fragment b3 not assigned")
+	}
+	if _, ok := got["decoy"]; ok {
+		t.Error("wrong-drift species assigned as fragment")
+	}
+	if _, ok := got["absent"]; ok {
+		t.Error("empty column assigned as fragment")
+	}
+	for _, m := range matches {
+		if m.Correlation < 0.7 || m.SNR < 5 {
+			t.Errorf("match %s below thresholds: %+v", m.Name, m)
+		}
+	}
+}
+
+func TestAssignFragmentsErrors(t *testing.T) {
+	tof := instrument.DefaultTOF()
+	tof.Bins = 256
+	f, precMZ, queries := buildCIDFrame(t, tof)
+	if _, err := AssignFragments(nil, tof, precMZ, queries, 0.7, 5); err == nil {
+		t.Error("nil frame accepted")
+	}
+	if _, err := AssignFragments(f, tof, precMZ, queries, 2, 5); err == nil {
+		t.Error("bad correlation threshold accepted")
+	}
+	if _, err := AssignFragments(f, tof, tof.MaxMZ+1, queries, 0.7, 5); err == nil {
+		t.Error("out-of-range precursor accepted")
+	}
+	small := instrument.DefaultTOF()
+	if _, err := AssignFragments(f, small, precMZ, queries, 0.7, 5); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// features.go finds two-dimensional features in deconvolved frames (peaks
+// coincident in drift time and m/z) and matches them against theoretical
+// peptide ions with decoy-based FDR control.
+package peaks
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/chem"
+	"repro/internal/instrument"
+)
+
+// Feature is a 2-D detection: an ion species at a drift time and m/z.
+type Feature struct {
+	DriftBin      int     // apex drift bin
+	DriftCentroid float64 // sub-bin drift apex
+	MZBin         int     // apex m/z bin
+	MZ            float64 // m/z of the apex bin centre
+	Intensity     float64 // summed intensity of the member peaks
+	SNR           float64 // best member SNR
+	Columns       int     // number of m/z columns contributing
+}
+
+// FindFeatures scans every m/z column of a deconvolved frame for drift
+// peaks with SNR ≥ minSNR and merges detections in adjacent m/z columns
+// whose drift apexes agree within driftTol bins.
+func FindFeatures(f *instrument.Frame, tof instrument.TOF, minSNR float64, driftTol int) ([]Feature, error) {
+	if f == nil {
+		return nil, fmt.Errorf("peaks: nil frame")
+	}
+	if driftTol < 0 {
+		return nil, fmt.Errorf("peaks: negative drift tolerance")
+	}
+	if tof.Bins != f.TOFBins {
+		return nil, fmt.Errorf("peaks: TOF bins %d != frame %d", tof.Bins, f.TOFBins)
+	}
+	type colPeak struct {
+		col int
+		p   Peak
+	}
+	var all []colPeak
+	for c := 0; c < f.TOFBins; c++ {
+		ps, err := Detect(f.DriftVector(c), minSNR)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range ps {
+			all = append(all, colPeak{col: c, p: p})
+		}
+	}
+	// Merge: sort by column then apex and greedily cluster contiguous
+	// columns with close drift apexes.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].col != all[j].col {
+			return all[i].col < all[j].col
+		}
+		return all[i].p.Index < all[j].p.Index
+	})
+	used := make([]bool, len(all))
+	var feats []Feature
+	for i := range all {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		members := []colPeak{all[i]}
+		lastCol := all[i].col
+		apex := all[i].p.Index
+		for j := i + 1; j < len(all); j++ {
+			if used[j] {
+				continue
+			}
+			if all[j].col > lastCol+1 {
+				break
+			}
+			if all[j].col == lastCol {
+				continue
+			}
+			if absInt(all[j].p.Index-apex) <= driftTol {
+				used[j] = true
+				members = append(members, all[j])
+				lastCol = all[j].col
+				apex = all[j].p.Index
+			}
+		}
+		// Apex member: the most intense one.
+		best := members[0]
+		var intensity float64
+		for _, m := range members {
+			intensity += m.p.Area
+			if m.p.Height > best.p.Height {
+				best = m
+			}
+		}
+		feats = append(feats, Feature{
+			DriftBin:      best.p.Index,
+			DriftCentroid: best.p.Centroid,
+			MZBin:         best.col,
+			MZ:            tof.BinCenter(best.col),
+			Intensity:     intensity,
+			SNR:           best.p.SNR,
+			Columns:       len(members),
+		})
+	}
+	sort.Slice(feats, func(i, j int) bool { return feats[i].Intensity > feats[j].Intensity })
+	return feats, nil
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Candidate is one theoretical ion to match against.
+type Candidate struct {
+	Name    string
+	Peptide chem.Peptide
+	Z       int
+	MZ      float64
+	IsDecoy bool
+}
+
+// DecoyMassShiftDa is the neutral-mass offset applied to decoy candidates.
+// Reversed-sequence decoys keep the target's exact composition and mass, so
+// mass-only matching cannot see them; the standard remedy for accurate-mass
+// identification is a mass-shifted decoy database.  The offset avoids
+// integer multiples of the 1.00335 Da isotope spacing.
+const DecoyMassShiftDa = 7.5
+
+// CandidatesFromPeptides expands peptides into charge-state candidates and,
+// when withDecoys is set, adds a mass-shifted decoy for each (reversed
+// sequence, neutral mass offset by DecoyMassShiftDa).
+func CandidatesFromPeptides(named map[string]chem.Peptide, withDecoys bool) ([]Candidate, error) {
+	var out []Candidate
+	for name, p := range named {
+		for _, cs := range p.ChargeStates() {
+			if cs.Fraction < 0.02 {
+				continue
+			}
+			mz, err := p.MZ(cs.Z)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Candidate{Name: name, Peptide: p, Z: cs.Z, MZ: mz})
+			if withDecoys {
+				d := p.Decoy()
+				dmz, err := d.MZ(cs.Z)
+				if err != nil {
+					return nil, err
+				}
+				dmz += DecoyMassShiftDa / float64(cs.Z)
+				out = append(out, Candidate{Name: "decoy-" + name, Peptide: d, Z: cs.Z, MZ: dmz, IsDecoy: true})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MZ < out[j].MZ })
+	return out, nil
+}
+
+// Match is a feature assigned to a candidate.
+type Match struct {
+	Feature   Feature
+	Candidate Candidate
+	PPMError  float64
+}
+
+// MatchFeatures assigns each feature to the closest candidate within
+// tolPPM.  A feature matching nothing is dropped; each candidate is matched
+// at most once (most intense feature wins).
+func MatchFeatures(feats []Feature, cands []Candidate, tolPPM float64) ([]Match, error) {
+	if tolPPM <= 0 {
+		return nil, fmt.Errorf("peaks: tolerance %g ppm must be positive", tolPPM)
+	}
+	taken := make([]bool, len(cands))
+	var out []Match
+	for _, ft := range feats { // features pre-sorted by intensity
+		bestIdx := -1
+		bestPPM := tolPPM
+		for ci, c := range cands {
+			if taken[ci] {
+				continue
+			}
+			ppm := math.Abs(ft.MZ-c.MZ) / c.MZ * 1e6
+			if ppm <= bestPPM {
+				bestPPM = ppm
+				bestIdx = ci
+			}
+		}
+		if bestIdx >= 0 {
+			taken[bestIdx] = true
+			out = append(out, Match{Feature: ft, Candidate: cands[bestIdx], PPMError: bestPPM})
+		}
+	}
+	return out, nil
+}
+
+// FDR estimates the false-discovery rate of a match set from its decoy
+// content: FDR ≈ decoys / targets.
+func FDR(matches []Match) float64 {
+	var decoys, targets int
+	for _, m := range matches {
+		if m.Candidate.IsDecoy {
+			decoys++
+		} else {
+			targets++
+		}
+	}
+	if targets == 0 {
+		if decoys == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(decoys) / float64(targets)
+}
+
+// UniqueTargets counts distinct non-decoy peptide sequences in a match set.
+func UniqueTargets(matches []Match) int {
+	seen := map[string]bool{}
+	for _, m := range matches {
+		if !m.Candidate.IsDecoy {
+			seen[m.Candidate.Peptide.Sequence] = true
+		}
+	}
+	return len(seen)
+}

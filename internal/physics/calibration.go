@@ -1,0 +1,95 @@
+// calibration.go: single-field drift-time calibration.  Measured drift
+// times relate linearly to Ω·√μ/z (Mason–Schamp), so a least-squares fit
+// through calibrant ions of known cross section converts arrival times of
+// unknowns into collision cross sections — the standard post-processing
+// step that turns a drift spectrum into structural information.
+package physics
+
+import (
+	"fmt"
+	"math"
+)
+
+// CalPoint is one calibrant measurement.
+type CalPoint struct {
+	DriftTimeS float64 // measured drift time, s
+	CCSM2      float64 // known collision cross section, m²
+	MassDa     float64 // ion mass, Da
+	Z          int     // charge state
+}
+
+// Calibration is the fitted linear relation t_d = Slope·X + InterceptS with
+// X = Ω·√μ/z the reduced mobility parameter (μ in kg), under fixed gas
+// conditions.  InterceptS absorbs mobility-independent transit time (ion
+// transfer optics, TOF extraction delay).
+type Calibration struct {
+	Slope      float64
+	InterceptS float64
+	GasMassDa  float64
+	// RMSRel is the relative RMS residual of the fit over the calibrants.
+	RMSRel float64
+}
+
+// reducedParam returns X = Ω·√μ/z for an ion in the given gas.
+func reducedParam(ccsM2, massDa float64, z int, gasMassDa float64) float64 {
+	mIon := massDa * AtomicMassKg
+	mGas := gasMassDa * AtomicMassKg
+	mu := mIon * mGas / (mIon + mGas)
+	return ccsM2 * math.Sqrt(mu) / float64(z)
+}
+
+// FitCalibration fits the single-field calibration through ≥2 calibrant
+// points measured in the given gas.
+func FitCalibration(points []CalPoint, gas Gas) (Calibration, error) {
+	if len(points) < 2 {
+		return Calibration{}, fmt.Errorf("physics: calibration needs >= 2 points, got %d", len(points))
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range points {
+		if p.DriftTimeS <= 0 || p.CCSM2 <= 0 || p.MassDa <= 0 || p.Z <= 0 {
+			return Calibration{}, fmt.Errorf("physics: invalid calibrant %+v", p)
+		}
+		x := reducedParam(p.CCSM2, p.MassDa, p.Z, gas.MassDa)
+		sx += x
+		sy += p.DriftTimeS
+		sxx += x * x
+		sxy += x * p.DriftTimeS
+	}
+	n := float64(len(points))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Calibration{}, fmt.Errorf("physics: degenerate calibrants (identical reduced parameters)")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	if slope <= 0 {
+		return Calibration{}, fmt.Errorf("physics: non-physical calibration slope %g", slope)
+	}
+	cal := Calibration{Slope: slope, InterceptS: intercept, GasMassDa: gas.MassDa}
+	var ss float64
+	for _, p := range points {
+		pred := cal.DriftTime(p.CCSM2, p.MassDa, p.Z)
+		r := (pred - p.DriftTimeS) / p.DriftTimeS
+		ss += r * r
+	}
+	cal.RMSRel = math.Sqrt(ss / n)
+	return cal, nil
+}
+
+// DriftTime predicts the drift time of an ion with the given cross section.
+func (c Calibration) DriftTime(ccsM2, massDa float64, z int) float64 {
+	return c.Slope*reducedParam(ccsM2, massDa, z, c.GasMassDa) + c.InterceptS
+}
+
+// CCS inverts the calibration: measured drift time → cross section (m²).
+func (c Calibration) CCS(driftTimeS, massDa float64, z int) (float64, error) {
+	if c.Slope <= 0 {
+		return 0, fmt.Errorf("physics: calibration not fitted")
+	}
+	x := (driftTimeS - c.InterceptS) / c.Slope
+	if x <= 0 {
+		return 0, fmt.Errorf("physics: drift time %g s below calibration intercept", driftTimeS)
+	}
+	unit := reducedParam(1, massDa, z, c.GasMassDa)
+	return x / unit, nil
+}

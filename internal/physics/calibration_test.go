@@ -1,0 +1,157 @@
+package physics
+
+import (
+	"math"
+	"testing"
+)
+
+// synthCalPoints generates calibrant drift times from the forward physics
+// with an optional fixed transit-time offset.
+func synthCalPoints(t *testing.T, c Conditions, length, offset float64) []CalPoint {
+	t.Helper()
+	defs := []struct {
+		ccs  float64
+		mass float64
+		z    int
+	}{
+		{250e-20, 800, 1},
+		{300e-20, 1100, 2},
+		{380e-20, 1500, 2},
+		{450e-20, 2000, 3},
+		{520e-20, 2600, 3},
+	}
+	pts := make([]CalPoint, len(defs))
+	for i, d := range defs {
+		k, err := Mobility(d.mass, d.z, d.ccs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := DriftTime(k, length, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts[i] = CalPoint{DriftTimeS: td + offset, CCSM2: d.ccs, MassDa: d.mass, Z: d.z}
+	}
+	return pts
+}
+
+func calConditions() Conditions {
+	return Conditions{Gas: Nitrogen, PressureTorr: 4, TempK: 300, FieldVPerM: 2000}
+}
+
+func TestCalibrationRoundTrip(t *testing.T) {
+	c := calConditions()
+	pts := synthCalPoints(t, c, 1.0, 0)
+	cal, err := FitCalibration(pts, c.Gas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.RMSRel > 1e-6 {
+		t.Errorf("fit residual %g on exact synthetic data", cal.RMSRel)
+	}
+	// An unknown ion: generate its true drift time and recover its CCS.
+	trueCCS := 340e-20
+	k, _ := Mobility(1300, 2, trueCCS, c)
+	td, _ := DriftTime(k, 1.0, c)
+	got, err := cal.CCS(td, 1300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-trueCCS)/trueCCS > 1e-6 {
+		t.Errorf("recovered CCS %g, want %g", got, trueCCS)
+	}
+	// Forward prediction agrees too.
+	if pred := cal.DriftTime(trueCCS, 1300, 2); math.Abs(pred-td)/td > 1e-6 {
+		t.Errorf("predicted drift %g, want %g", pred, td)
+	}
+}
+
+// TestCalibrationRecoversOffset: a fixed transit-time offset in every
+// calibrant appears in the intercept, not in the recovered CCS.
+func TestCalibrationRecoversOffset(t *testing.T) {
+	c := calConditions()
+	const offset = 0.8e-3 // 0.8 ms of transfer optics
+	pts := synthCalPoints(t, c, 1.0, offset)
+	cal, err := FitCalibration(pts, c.Gas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.InterceptS-offset) > 1e-6 {
+		t.Errorf("intercept %g, want %g", cal.InterceptS, offset)
+	}
+	trueCCS := 400e-20
+	k, _ := Mobility(1800, 2, trueCCS, c)
+	td, _ := DriftTime(k, 1.0, c)
+	got, err := cal.CCS(td+offset, 1800, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-trueCCS)/trueCCS > 1e-6 {
+		t.Errorf("offset-corrected CCS %g, want %g", got, trueCCS)
+	}
+}
+
+func TestCalibrationErrors(t *testing.T) {
+	c := calConditions()
+	if _, err := FitCalibration(nil, c.Gas); err == nil {
+		t.Error("no points")
+	}
+	if _, err := FitCalibration([]CalPoint{{1, 1, 1, 1}}, c.Gas); err == nil {
+		t.Error("single point")
+	}
+	bad := []CalPoint{{DriftTimeS: -1, CCSM2: 1e-18, MassDa: 100, Z: 1}, {DriftTimeS: 1, CCSM2: 1e-18, MassDa: 100, Z: 1}}
+	if _, err := FitCalibration(bad, c.Gas); err == nil {
+		t.Error("invalid point")
+	}
+	// Identical reduced parameters are degenerate.
+	same := []CalPoint{
+		{DriftTimeS: 0.01, CCSM2: 3e-18, MassDa: 1000, Z: 2},
+		{DriftTimeS: 0.02, CCSM2: 3e-18, MassDa: 1000, Z: 2},
+	}
+	if _, err := FitCalibration(same, c.Gas); err == nil {
+		t.Error("degenerate calibrants")
+	}
+	// A larger cross section arriving earlier gives a negative slope.
+	neg := []CalPoint{
+		{DriftTimeS: 0.02, CCSM2: 2e-18, MassDa: 1000, Z: 1},
+		{DriftTimeS: 0.01, CCSM2: 6e-18, MassDa: 1000, Z: 1},
+	}
+	if _, err := FitCalibration(neg, c.Gas); err == nil {
+		t.Error("negative slope should fail")
+	}
+	// CCS below the intercept.
+	good, _ := FitCalibration(synthCalPoints(t, c, 1.0, 1e-3), c.Gas)
+	if _, err := good.CCS(1e-6, 1000, 2); err == nil {
+		t.Error("drift below intercept should fail")
+	}
+	var unfit Calibration
+	if _, err := unfit.CCS(0.01, 1000, 2); err == nil {
+		t.Error("unfitted calibration should fail")
+	}
+}
+
+// TestCalibrationNoiseTolerance: 1 % timing noise on the calibrants yields
+// ~1 % CCS accuracy.
+func TestCalibrationNoiseTolerance(t *testing.T) {
+	c := calConditions()
+	pts := synthCalPoints(t, c, 1.0, 0)
+	// Deterministic alternating perturbation of ±1 %.
+	for i := range pts {
+		f := 1.0 + 0.01*float64(1-2*(i%2))
+		pts[i].DriftTimeS *= f
+	}
+	cal, err := FitCalibration(pts, c.Gas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.RMSRel > 0.02 {
+		t.Errorf("fit residual %g too large", cal.RMSRel)
+	}
+	trueCCS := 340e-20
+	k, _ := Mobility(1300, 2, trueCCS, c)
+	td, _ := DriftTime(k, 1.0, c)
+	got, _ := cal.CCS(td, 1300, 2)
+	if math.Abs(got-trueCCS)/trueCCS > 0.03 {
+		t.Errorf("CCS error %g%% exceeds 3%%", 100*math.Abs(got-trueCCS)/trueCCS)
+	}
+}

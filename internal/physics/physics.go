@@ -1,0 +1,258 @@
+// Package physics provides the gas-phase ion transport physics underlying
+// the drift-tube simulation: the Mason–Schamp mobility equation, diffusion
+// broadening, the diffusion-limited resolving power of a drift tube, and the
+// Coulombic (space-charge) packet expansion model of Tolmachev et al.
+// (Anal. Chem. 2009) that bounds how many charges an ion funnel trap may
+// inject per gate pulse before resolution degrades.
+//
+// Unless a field says otherwise, quantities are in SI units; pressures are
+// in Torr and mass inputs in unified atomic mass units (Da) because those
+// are the units instrument configurations are written in.
+package physics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants (CODATA).
+const (
+	BoltzmannK      = 1.380649e-23      // J/K
+	ElementaryQ     = 1.602176634e-19   // C
+	AtomicMassKg    = 1.66053906660e-27 // kg per Da
+	AvogadroN       = 6.02214076e23
+	StandardPresTor = 760.0  // Torr
+	StandardTempK   = 273.15 // K
+	TorrToPa        = 133.322368
+)
+
+// Gas describes the neutral buffer gas in the drift cell.
+type Gas struct {
+	Name   string
+	MassDa float64 // molecular mass in Da
+}
+
+// Common buffer gases.
+var (
+	Nitrogen = Gas{Name: "N2", MassDa: 28.0134}
+	Helium   = Gas{Name: "He", MassDa: 4.002602}
+	Argon    = Gas{Name: "Ar", MassDa: 39.948}
+)
+
+// NumberDensity returns the gas number density (molecules per m^3) at the
+// given pressure (Torr) and temperature (K), from the ideal gas law.
+func NumberDensity(pressureTorr, tempK float64) float64 {
+	return pressureTorr * TorrToPa / (BoltzmannK * tempK)
+}
+
+// Conditions bundles the drift-cell operating state.
+type Conditions struct {
+	Gas          Gas
+	PressureTorr float64 // buffer gas pressure, Torr
+	TempK        float64 // gas temperature, K
+	FieldVPerM   float64 // axial drift field, V/m
+}
+
+// Validate reports a descriptive error for unphysical conditions.
+func (c Conditions) Validate() error {
+	if c.Gas.MassDa <= 0 {
+		return fmt.Errorf("physics: gas mass %g Da must be positive", c.Gas.MassDa)
+	}
+	if c.PressureTorr <= 0 {
+		return fmt.Errorf("physics: pressure %g Torr must be positive", c.PressureTorr)
+	}
+	if c.TempK <= 0 {
+		return fmt.Errorf("physics: temperature %g K must be positive", c.TempK)
+	}
+	if c.FieldVPerM <= 0 {
+		return fmt.Errorf("physics: drift field %g V/m must be positive", c.FieldVPerM)
+	}
+	return nil
+}
+
+// Mobility returns the ion mobility K (m^2/(V·s)) from the Mason–Schamp
+// equation for an ion of the given mass (Da), charge state z and
+// collision cross section (m^2) under conditions c:
+//
+//	K = 3ze/(16N) · sqrt(2π/(μ k T)) · 1/Ω
+//
+// where μ is the reduced mass of the ion-neutral pair and N the gas number
+// density.
+func Mobility(massDa float64, z int, ccsM2 float64, c Conditions) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if massDa <= 0 || z <= 0 || ccsM2 <= 0 {
+		return 0, fmt.Errorf("physics: mobility needs positive mass (%g), charge (%d) and CCS (%g)", massDa, z, ccsM2)
+	}
+	mIon := massDa * AtomicMassKg
+	mGas := c.Gas.MassDa * AtomicMassKg
+	mu := mIon * mGas / (mIon + mGas)
+	n := NumberDensity(c.PressureTorr, c.TempK)
+	k := 3 * float64(z) * ElementaryQ / (16 * n) *
+		math.Sqrt(2*math.Pi/(mu*BoltzmannK*c.TempK)) / ccsM2
+	return k, nil
+}
+
+// ReducedMobility converts a mobility K measured at (pressureTorr, tempK) to
+// the standard-conditions reduced mobility K0.
+func ReducedMobility(k, pressureTorr, tempK float64) float64 {
+	return k * (pressureTorr / StandardPresTor) * (StandardTempK / tempK)
+}
+
+// MobilityFromReduced is the inverse of ReducedMobility.
+func MobilityFromReduced(k0, pressureTorr, tempK float64) float64 {
+	return k0 * (StandardPresTor / pressureTorr) * (tempK / StandardTempK)
+}
+
+// CCSFromMobility inverts Mason–Schamp: given a mobility (m^2/Vs) it returns
+// the collision cross section (m^2).
+func CCSFromMobility(massDa float64, z int, k float64, c Conditions) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("physics: mobility %g must be positive", k)
+	}
+	// Mason–Schamp is linear in 1/Ω, so solve via the identity
+	// K·Ω = const ⇒ Ω = const/K with const evaluated at Ω=1.
+	kAtUnitCCS, err := Mobility(massDa, z, 1.0, c)
+	if err != nil {
+		return 0, err
+	}
+	return kAtUnitCCS / k, nil
+}
+
+// DriftVelocity returns v_d = K·E (m/s) in the low-field limit.
+func DriftVelocity(k float64, c Conditions) float64 {
+	return k * c.FieldVPerM
+}
+
+// DriftTime returns the time (s) for an ion of mobility k to traverse a
+// drift region of length lengthM under conditions c.
+func DriftTime(k, lengthM float64, c Conditions) (float64, error) {
+	if lengthM <= 0 {
+		return 0, fmt.Errorf("physics: drift length %g m must be positive", lengthM)
+	}
+	v := DriftVelocity(k, c)
+	if v <= 0 {
+		return 0, fmt.Errorf("physics: non-positive drift velocity %g", v)
+	}
+	return lengthM / v, nil
+}
+
+// DiffusionCoefficient returns the longitudinal diffusion coefficient
+// D = K·k_B·T/(z·e) (m^2/s) from the Einstein relation (low-field limit).
+func DiffusionCoefficient(k float64, z int, tempK float64) float64 {
+	return k * BoltzmannK * tempK / (float64(z) * ElementaryQ)
+}
+
+// DiffusionSigmaTime returns the temporal standard deviation (s) contributed
+// by longitudinal diffusion after drifting for time t with drift velocity v:
+// spatial σ = sqrt(2 D t), temporal σ = spatial/v.
+func DiffusionSigmaTime(d, t, v float64) float64 {
+	if d <= 0 || t <= 0 || v <= 0 {
+		return 0
+	}
+	return math.Sqrt(2*d*t) / v
+}
+
+// ResolvingPower returns the diffusion-limited resolving power t/Δt(FWHM) of
+// a drift tube with voltage drop V across the drift length for a charge
+// state z ion at temperature tempK:
+//
+//	R = sqrt( z e V / (16 k_B T ln 2) )
+//
+// This is the classic single-gate limit; gate width and space charge reduce
+// it further (see TotalSigmaTime).
+func ResolvingPower(z int, driftVoltage, tempK float64) (float64, error) {
+	if z <= 0 || driftVoltage <= 0 || tempK <= 0 {
+		return 0, fmt.Errorf("physics: resolving power needs positive z (%d), voltage (%g) and temperature (%g)", z, driftVoltage, tempK)
+	}
+	return math.Sqrt(float64(z) * ElementaryQ * driftVoltage / (16 * BoltzmannK * tempK * math.Ln2)), nil
+}
+
+// FWHMFromSigma converts a Gaussian σ to full width at half maximum.
+func FWHMFromSigma(sigma float64) float64 {
+	return sigma * 2 * math.Sqrt(2*math.Ln2)
+}
+
+// SigmaFromFWHM is the inverse of FWHMFromSigma.
+func SigmaFromFWHM(fwhm float64) float64 {
+	return fwhm / (2 * math.Sqrt(2*math.Ln2))
+}
+
+// SpaceCharge models Coulombic expansion of a drifting ion packet following
+// the treatment of Tolmachev, Clowers, Belov & Smith (Anal. Chem. 2009): a
+// charged cylinder of ions expands radially and axially under its own field;
+// the axial growth adds variance to the arrival-time distribution.  The
+// model reproduces the experimentally observed onset of resolution
+// degradation above ~10^4 charges per packet.
+type SpaceCharge struct {
+	Charges       float64 // elementary charges in the packet
+	InitialRadius float64 // initial packet radius, m
+	InitialLength float64 // initial packet axial length, m
+}
+
+// expansionRate returns the characteristic Coulomb expansion speed (m/s) of
+// the packet boundary for an ion of mobility k: v_c = K·E_surface, with the
+// surface field of a uniformly charged cylinder of the packet's geometry.
+func (sc SpaceCharge) expansionRate(k float64) float64 {
+	if sc.Charges <= 0 || sc.InitialRadius <= 0 {
+		return 0
+	}
+	length := sc.InitialLength
+	if length < sc.InitialRadius {
+		length = sc.InitialRadius
+	}
+	// Line charge density λ = Q/L; surface field of a long charged cylinder
+	// E = λ/(2πε0 r).
+	const eps0 = 8.8541878128e-12
+	lambda := sc.Charges * ElementaryQ / length
+	e := lambda / (2 * math.Pi * eps0 * sc.InitialRadius)
+	return k * e
+}
+
+// SigmaTime returns the additional temporal standard deviation (s)
+// contributed by space-charge expansion over drift time t for an ion with
+// mobility k and drift velocity v.  The axial boundary expands at roughly
+// the Coulomb rate for a time that shortens as the packet dilutes; the
+// logarithmic saturation follows the cylindrical expansion solution.
+func (sc SpaceCharge) SigmaTime(k, t, v float64) float64 {
+	if t <= 0 || v <= 0 {
+		return 0
+	}
+	vc := sc.expansionRate(k)
+	if vc <= 0 {
+		return 0
+	}
+	// Coulomb expansion of a charged cylinder: with the boundary field
+	// E ∝ 1/r, the boundary obeys r·dr/dt = K·λ/(2πε₀), i.e.
+	// r(t) = r0·sqrt(1 + 2·v_c·t/r0).  The same sqrt-law growth applies to
+	// the axial boundary displacement, divided by √12 to convert a uniform
+	// boundary displacement into a standard deviation.
+	dz := sc.InitialRadius * (math.Sqrt(1+2*vc*t/sc.InitialRadius) - 1)
+	return dz / (math.Sqrt(12) * v)
+}
+
+// TotalSigmaTime combines the independent broadening contributions of a
+// drift experiment in quadrature: initial gate pulse width (uniform, width
+// gateWidth), longitudinal diffusion, and space charge.
+func TotalSigmaTime(gateWidth, diffusionSigma, spaceChargeSigma float64) float64 {
+	gateSigma := gateWidth / math.Sqrt(12)
+	return math.Sqrt(gateSigma*gateSigma + diffusionSigma*diffusionSigma + spaceChargeSigma*spaceChargeSigma)
+}
+
+// EffectiveResolvingPower returns t_d / FWHM for a drift time t and total
+// temporal sigma.
+func EffectiveResolvingPower(driftTime, totalSigma float64) float64 {
+	if totalSigma <= 0 {
+		return math.Inf(1)
+	}
+	return driftTime / FWHMFromSigma(totalSigma)
+}
+
+// LowFieldRatio returns E/N in Townsend (1 Td = 1e-21 V·m^2).  The
+// Mason–Schamp low-field treatment is valid for E/N ≲ 2 Td for peptide
+// ions; Validate-style callers can check this.
+func LowFieldRatio(c Conditions) float64 {
+	n := NumberDensity(c.PressureTorr, c.TempK)
+	return c.FieldVPerM / n / 1e-21
+}

@@ -1,0 +1,330 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// standardConditions: a 4 Torr nitrogen drift tube, ~2 kV across 1 m.
+func standardConditions() Conditions {
+	return Conditions{
+		Gas:          Nitrogen,
+		PressureTorr: 4,
+		TempK:        300,
+		FieldVPerM:   2000,
+	}
+}
+
+func TestNumberDensity(t *testing.T) {
+	// Loschmidt constant: 2.6868e25 m^-3 at 0 C, 760 Torr.
+	n := NumberDensity(760, 273.15)
+	if math.Abs(n-2.6868e25)/2.6868e25 > 1e-3 {
+		t.Errorf("number density at STP = %g, want ~2.6868e25", n)
+	}
+	// Proportional to pressure, inverse in temperature.
+	if n2 := NumberDensity(380, 273.15); math.Abs(n2-n/2) > n*1e-12 {
+		t.Error("density not proportional to pressure")
+	}
+	if n3 := NumberDensity(760, 2*273.15); math.Abs(n3-n/2) > n*1e-12 {
+		t.Error("density not inverse in temperature")
+	}
+}
+
+func TestConditionsValidate(t *testing.T) {
+	good := standardConditions()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("standard conditions invalid: %v", err)
+	}
+	cases := []Conditions{
+		{Gas: Gas{MassDa: 0}, PressureTorr: 4, TempK: 300, FieldVPerM: 100},
+		{Gas: Nitrogen, PressureTorr: 0, TempK: 300, FieldVPerM: 100},
+		{Gas: Nitrogen, PressureTorr: 4, TempK: 0, FieldVPerM: 100},
+		{Gas: Nitrogen, PressureTorr: 4, TempK: 300, FieldVPerM: 0},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestMobilityRealisticMagnitude: a 1000 Da, 2+ peptide with a CCS of 300 Å^2
+// in N2 has a reduced mobility around 0.1–0.2 m^2/(V·s)·(Torr/760)... i.e.
+// K0 in the 1e-4 m^2/Vs range (literature: ~1.1–1.5 cm^2/Vs).
+func TestMobilityRealisticMagnitude(t *testing.T) {
+	c := standardConditions()
+	ccs := 300e-20 // 300 Å^2 in m^2
+	k, err := Mobility(1000, 2, ccs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := ReducedMobility(k, c.PressureTorr, c.TempK)
+	// Expect K0 of order 1e-4 m^2/Vs (1–2 cm^2/Vs).
+	if k0 < 0.5e-4 || k0 > 3e-4 {
+		t.Errorf("K0 = %g m^2/Vs, want ~1-2 cm^2/Vs (1e-4-2e-4)", k0)
+	}
+}
+
+func TestMobilityScaling(t *testing.T) {
+	c := standardConditions()
+	ccs := 250e-20
+	k1, _ := Mobility(800, 1, ccs, c)
+	k2, _ := Mobility(800, 2, ccs, c)
+	// Mobility is proportional to charge.
+	if math.Abs(k2-2*k1) > 1e-12*k1 {
+		t.Errorf("mobility not proportional to z: k1=%g k2=%g", k1, k2)
+	}
+	// Inverse in CCS.
+	k3, _ := Mobility(800, 1, 2*ccs, c)
+	if math.Abs(k3-k1/2) > 1e-12*k1 {
+		t.Error("mobility not inverse in CCS")
+	}
+	// Denser gas (higher pressure) lowers mobility proportionally.
+	c2 := c
+	c2.PressureTorr *= 2
+	k4, _ := Mobility(800, 1, ccs, c2)
+	if math.Abs(k4-k1/2) > 1e-9*k1 {
+		t.Error("mobility not inverse in pressure")
+	}
+}
+
+func TestMobilityErrors(t *testing.T) {
+	c := standardConditions()
+	if _, err := Mobility(0, 1, 1e-18, c); err == nil {
+		t.Error("zero mass should error")
+	}
+	if _, err := Mobility(100, 0, 1e-18, c); err == nil {
+		t.Error("zero charge should error")
+	}
+	if _, err := Mobility(100, 1, 0, c); err == nil {
+		t.Error("zero CCS should error")
+	}
+	bad := c
+	bad.PressureTorr = -1
+	if _, err := Mobility(100, 1, 1e-18, bad); err == nil {
+		t.Error("bad conditions should error")
+	}
+}
+
+func TestReducedMobilityRoundTrip(t *testing.T) {
+	f := func(kq uint16, p uint8, tK uint8) bool {
+		k := float64(kq)/1e6 + 1e-6
+		pres := float64(p)/10 + 0.5
+		temp := float64(tK) + 200
+		k0 := ReducedMobility(k, pres, temp)
+		back := MobilityFromReduced(k0, pres, temp)
+		return math.Abs(back-k) < 1e-12*k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCSFromMobilityRoundTrip(t *testing.T) {
+	c := standardConditions()
+	ccs := 350e-20
+	k, _ := Mobility(1500, 2, ccs, c)
+	back, err := CCSFromMobility(1500, 2, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back-ccs) > 1e-9*ccs {
+		t.Errorf("CCS round trip: got %g, want %g", back, ccs)
+	}
+	if _, err := CCSFromMobility(1500, 2, 0, c); err == nil {
+		t.Error("zero mobility should error")
+	}
+}
+
+func TestDriftTime(t *testing.T) {
+	c := standardConditions()
+	ccs := 300e-20
+	k, _ := Mobility(1000, 2, ccs, c)
+	td, err := DriftTime(k, 1.0, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift times in a ~1 m, few-Torr tube are tens of ms.
+	if td < 1e-3 || td > 0.5 {
+		t.Errorf("drift time %g s out of plausible range (1 ms - 500 ms)", td)
+	}
+	// Doubling length doubles time.
+	td2, _ := DriftTime(k, 2.0, c)
+	if math.Abs(td2-2*td) > 1e-12 {
+		t.Error("drift time not proportional to length")
+	}
+	if _, err := DriftTime(k, 0, c); err == nil {
+		t.Error("zero length should error")
+	}
+	if _, err := DriftTime(0, 1, c); err == nil {
+		t.Error("zero mobility should error")
+	}
+}
+
+func TestDiffusionCoefficient(t *testing.T) {
+	k := 1e-4
+	d1 := DiffusionCoefficient(k, 1, 300)
+	d2 := DiffusionCoefficient(k, 2, 300)
+	if math.Abs(d1-2*d2) > 1e-15 {
+		t.Error("diffusion should be inverse in charge at fixed K")
+	}
+	// Einstein relation magnitude: D = K kT/e ~ 1e-4 * 0.0259 ≈ 2.6e-6.
+	want := k * BoltzmannK * 300 / ElementaryQ
+	if math.Abs(d1-want) > 1e-18 {
+		t.Errorf("D = %g, want %g", d1, want)
+	}
+}
+
+func TestDiffusionSigmaTime(t *testing.T) {
+	d, tDrift, v := 2.5e-6, 0.03, 30.0
+	sigma := DiffusionSigmaTime(d, tDrift, v)
+	want := math.Sqrt(2*d*tDrift) / v
+	if math.Abs(sigma-want) > 1e-15 {
+		t.Errorf("sigma = %g, want %g", sigma, want)
+	}
+	if DiffusionSigmaTime(0, 1, 1) != 0 || DiffusionSigmaTime(1, 0, 1) != 0 || DiffusionSigmaTime(1, 1, 0) != 0 {
+		t.Error("degenerate inputs should give zero")
+	}
+}
+
+// TestResolvingPowerMagnitude: classic result — a few-kV drift tube gives
+// diffusion-limited resolving power of order 50-150.
+func TestResolvingPowerMagnitude(t *testing.T) {
+	r, err := ResolvingPower(1, 2000, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 50 || r > 200 {
+		t.Errorf("resolving power %g for 2 kV, want 50-200", r)
+	}
+	// Higher charge improves resolution by sqrt(z).
+	r2, _ := ResolvingPower(4, 2000, 300)
+	if math.Abs(r2-2*r) > 1e-9*r {
+		t.Error("resolving power should scale as sqrt(z)")
+	}
+	if _, err := ResolvingPower(0, 2000, 300); err == nil {
+		t.Error("zero charge should error")
+	}
+	if _, err := ResolvingPower(1, -5, 300); err == nil {
+		t.Error("negative voltage should error")
+	}
+	if _, err := ResolvingPower(1, 100, 0); err == nil {
+		t.Error("zero temperature should error")
+	}
+}
+
+func TestFWHMSigmaRoundTrip(t *testing.T) {
+	f := func(s uint16) bool {
+		sigma := float64(s)/100 + 0.001
+		return math.Abs(SigmaFromFWHM(FWHMFromSigma(sigma))-sigma) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// FWHM of a unit-sigma Gaussian is 2.3548.
+	if math.Abs(FWHMFromSigma(1)-2.3548200450309493) > 1e-12 {
+		t.Error("FWHM constant wrong")
+	}
+}
+
+// TestSpaceChargeOnset: broadening is negligible below ~1e3 charges and
+// significant above ~1e6 for typical packet geometry — reproducing the
+// knee reported by Tolmachev et al. near 1e4-1e5 charges.
+func TestSpaceChargeOnset(t *testing.T) {
+	c := standardConditions()
+	k, _ := Mobility(1000, 2, 300e-20, c)
+	v := DriftVelocity(k, c)
+	td, _ := DriftTime(k, 1.0, c)
+	diff := DiffusionSigmaTime(DiffusionCoefficient(k, 2, c.TempK), td, v)
+
+	sigmaAt := func(q float64) float64 {
+		sc := SpaceCharge{Charges: q, InitialRadius: 1e-3, InitialLength: 5e-3}
+		return sc.SigmaTime(k, td, v)
+	}
+	if s := sigmaAt(1e3); s > diff/4 {
+		t.Errorf("space charge at 1e3 charges (%g) should be small vs diffusion (%g)", s, diff)
+	}
+	if s := sigmaAt(1e7); s < diff {
+		t.Errorf("space charge at 1e7 charges (%g) should dominate diffusion (%g)", s, diff)
+	}
+	// Monotone nondecreasing in charge.
+	prev := 0.0
+	for _, q := range []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7} {
+		s := sigmaAt(q)
+		if s < prev {
+			t.Errorf("space charge sigma decreased at %g charges", q)
+		}
+		prev = s
+	}
+}
+
+func TestSpaceChargeDegenerate(t *testing.T) {
+	sc := SpaceCharge{}
+	if sc.SigmaTime(1e-4, 0.03, 30) != 0 {
+		t.Error("zero-charge packet should add no broadening")
+	}
+	sc2 := SpaceCharge{Charges: 1e5, InitialRadius: 1e-3}
+	if sc2.SigmaTime(1e-4, 0, 30) != 0 || sc2.SigmaTime(1e-4, 0.03, 0) != 0 {
+		t.Error("degenerate drift should add no broadening")
+	}
+}
+
+func TestTotalSigmaTimeQuadrature(t *testing.T) {
+	got := TotalSigmaTime(math.Sqrt(12)*3, 4, 0)
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("quadrature 3,4 = %g, want 5", got)
+	}
+	if TotalSigmaTime(0, 0, 0) != 0 {
+		t.Error("all-zero contributions should give 0")
+	}
+}
+
+func TestEffectiveResolvingPower(t *testing.T) {
+	r := EffectiveResolvingPower(0.0235482, SigmaFromFWHM(0.0235482)/1) // td / fwhm with fwhm == td
+	if math.Abs(r-1) > 1e-9 {
+		t.Errorf("R = %g, want 1", r)
+	}
+	if !math.IsInf(EffectiveResolvingPower(1, 0), 1) {
+		t.Error("zero sigma should give infinite R")
+	}
+}
+
+// TestLowFieldRatio: the standard drift tube should operate in the low-field
+// regime (E/N of a few Townsend at most).
+func TestLowFieldRatio(t *testing.T) {
+	r := LowFieldRatio(standardConditions())
+	if r <= 0 || r > 20 {
+		t.Errorf("E/N = %g Td, want O(1-20)", r)
+	}
+	// E/N doubles with field.
+	c := standardConditions()
+	c.FieldVPerM *= 2
+	if math.Abs(LowFieldRatio(c)-2*r) > 1e-9*r {
+		t.Error("E/N not proportional to field")
+	}
+}
+
+// TestDriftTimeOrderingByCCS: larger CCS means longer drift time — the
+// separation principle of IMS.
+func TestDriftTimeOrderingByCCS(t *testing.T) {
+	c := standardConditions()
+	prev := 0.0
+	for _, ccs := range []float64{200e-20, 300e-20, 450e-20, 600e-20} {
+		k, _ := Mobility(1200, 2, ccs, c)
+		td, _ := DriftTime(k, 1.0, c)
+		if td <= prev {
+			t.Fatalf("drift time not increasing with CCS at %g", ccs)
+		}
+		prev = td
+	}
+}
+
+func BenchmarkMobility(b *testing.B) {
+	c := standardConditions()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mobility(1000, 2, 300e-20, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package pipeline is the CPU-side software half of the hybrid application:
+// a concurrent streaming processor that deconvolves multiplexed frames with
+// a pool of workers, preserving frame order, with backpressure through
+// bounded channels.  It follows the Effective Go concurrency idiom: share
+// the frames by communicating them, not by locking them.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hadamard"
+	"repro/internal/instrument"
+)
+
+// DecoderFactory builds one decoder per worker, so workers never share
+// mutable decoder state.
+type DecoderFactory func() (hadamard.Decoder, error)
+
+// DeconvolveFrame deconvolves every m/z column of a frame in parallel and
+// returns a new frame of recovered arrival distributions.  workers <= 0
+// selects GOMAXPROCS.
+func DeconvolveFrame(f *instrument.Frame, newDecoder DecoderFactory, workers int) (*instrument.Frame, error) {
+	if f == nil {
+		return nil, fmt.Errorf("pipeline: nil frame")
+	}
+	if newDecoder == nil {
+		return nil, fmt.Errorf("pipeline: nil decoder factory")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > f.TOFBins {
+		workers = f.TOFBins
+	}
+	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
+	var next int64 = -1
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec, err := newDecoder()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if dec.Len() != f.DriftBins {
+				errs <- fmt.Errorf("pipeline: decoder length %d != drift bins %d", dec.Len(), f.DriftBins)
+				return
+			}
+			for {
+				t := int(atomic.AddInt64(&next, 1))
+				if t >= f.TOFBins {
+					return
+				}
+				x, err := dec.Decode(f.DriftVector(t))
+				if err != nil {
+					errs <- err
+					return
+				}
+				out.SetDriftVector(t, x)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Job is one frame travelling through the stream processor.
+type Job struct {
+	Seq   int
+	Frame *instrument.Frame
+}
+
+// Result pairs a processed frame with its sequence number and any error.
+type Result struct {
+	Seq   int
+	Frame *instrument.Frame
+	Err   error
+}
+
+// StreamStats reports stream-processor counters.
+type StreamStats struct {
+	FramesIn      int64
+	FramesOut     int64
+	ColumnsPerSec float64 // filled by callers who time the run
+}
+
+// StreamProcessor consumes a stream of multiplexed frames and emits
+// deconvolved frames in input order, processing up to Workers frames
+// concurrently (each frame itself deconvolved column-parallel by one
+// worker).
+type StreamProcessor struct {
+	Workers    int
+	NewDecoder DecoderFactory
+	// Depth bounds in-flight frames (backpressure); <= 0 means 2×Workers.
+	Depth int
+
+	stats StreamStats
+}
+
+// NewStreamProcessor validates and constructs the processor.
+func NewStreamProcessor(workers int, depth int, factory DecoderFactory) (*StreamProcessor, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("pipeline: nil decoder factory")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	return &StreamProcessor{Workers: workers, NewDecoder: factory, Depth: depth}, nil
+}
+
+// Run consumes jobs from `in` until it closes, emitting ordered results on
+// the returned channel.  Each worker decodes whole frames serially;
+// ordering is restored with a reorder buffer sized by Depth.  A decoding
+// error is delivered in its slot's Result and processing continues.
+func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
+	unordered := make(chan Result, sp.Depth)
+	out := make(chan Result, sp.Depth)
+
+	var wg sync.WaitGroup
+	for w := 0; w < sp.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec, err := sp.NewDecoder()
+			for job := range in {
+				atomic.AddInt64(&sp.stats.FramesIn, 1)
+				if err != nil {
+					unordered <- Result{Seq: job.Seq, Err: err}
+					continue
+				}
+				res := sp.processFrame(dec, job)
+				unordered <- res
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(unordered)
+	}()
+
+	// Reorder by sequence number.
+	go func() {
+		defer close(out)
+		pendingMap := map[int]Result{}
+		nextSeq := 0
+		for r := range unordered {
+			pendingMap[r.Seq] = r
+			for {
+				res, ok := pendingMap[nextSeq]
+				if !ok {
+					break
+				}
+				delete(pendingMap, nextSeq)
+				atomic.AddInt64(&sp.stats.FramesOut, 1)
+				out <- res
+				nextSeq++
+			}
+		}
+		// Flush any stragglers (non-contiguous sequence numbers).
+		for len(pendingMap) > 0 {
+			min := -1
+			for s := range pendingMap {
+				if min < 0 || s < min {
+					min = s
+				}
+			}
+			res := pendingMap[min]
+			delete(pendingMap, min)
+			atomic.AddInt64(&sp.stats.FramesOut, 1)
+			out <- res
+		}
+	}()
+	return out
+}
+
+func (sp *StreamProcessor) processFrame(dec hadamard.Decoder, job Job) Result {
+	f := job.Frame
+	if f == nil {
+		return Result{Seq: job.Seq, Err: fmt.Errorf("pipeline: nil frame in job %d", job.Seq)}
+	}
+	if dec.Len() != f.DriftBins {
+		return Result{Seq: job.Seq, Err: fmt.Errorf("pipeline: decoder length %d != drift bins %d", dec.Len(), f.DriftBins)}
+	}
+	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
+	for t := 0; t < f.TOFBins; t++ {
+		x, err := dec.Decode(f.DriftVector(t))
+		if err != nil {
+			return Result{Seq: job.Seq, Err: err}
+		}
+		out.SetDriftVector(t, x)
+	}
+	return Result{Seq: job.Seq, Frame: out}
+}
+
+// Stats returns a snapshot of the counters.
+func (sp *StreamProcessor) Stats() StreamStats {
+	return StreamStats{
+		FramesIn:  atomic.LoadInt64(&sp.stats.FramesIn),
+		FramesOut: atomic.LoadInt64(&sp.stats.FramesOut),
+	}
+}

@@ -1,0 +1,214 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hadamard"
+	"repro/internal/instrument"
+	"repro/internal/prs"
+)
+
+// encodedFrame builds a synthetic multiplexed frame whose every m/z column
+// is an encoding of a known arrival distribution, so deconvolution has an
+// exact expected output.
+func encodedFrame(t testing.TB, order, tofBins int, seed int64) (*instrument.Frame, *instrument.Frame) {
+	t.Helper()
+	s := prs.MustMSequence(order)
+	n := len(s)
+	rng := rand.New(rand.NewSource(seed))
+	truth := instrument.NewFrame(n, tofBins)
+	enc := instrument.NewFrame(n, tofBins)
+	for c := 0; c < tofBins; c++ {
+		x := make([]float64, n)
+		for k := 0; k < 3; k++ {
+			x[rng.Intn(n)] = 50 + rng.Float64()*200
+		}
+		y, err := hadamard.Encode(s, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth.SetDriftVector(c, x)
+		enc.SetDriftVector(c, y)
+	}
+	return enc, truth
+}
+
+func fhtFactory(order int) DecoderFactory {
+	return func() (hadamard.Decoder, error) { return hadamard.NewFHTDecoder(order) }
+}
+
+func framesClose(a, b *instrument.Frame, tol float64) bool {
+	if a.DriftBins != b.DriftBins || a.TOFBins != b.TOFBins {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeconvolveFrameRecoversTruth(t *testing.T) {
+	enc, truth := encodedFrame(t, 6, 32, 60)
+	for _, workers := range []int{1, 2, 4, 0} {
+		got, err := DeconvolveFrame(enc, fhtFactory(6), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !framesClose(got, truth, 1e-6) {
+			t.Errorf("workers=%d: deconvolved frame does not match truth", workers)
+		}
+	}
+}
+
+func TestDeconvolveFrameErrors(t *testing.T) {
+	if _, err := DeconvolveFrame(nil, fhtFactory(6), 1); err == nil {
+		t.Error("nil frame")
+	}
+	enc, _ := encodedFrame(t, 6, 4, 61)
+	if _, err := DeconvolveFrame(enc, nil, 1); err == nil {
+		t.Error("nil factory")
+	}
+	// Wrong decoder length.
+	if _, err := DeconvolveFrame(enc, fhtFactory(5), 2); err == nil {
+		t.Error("mismatched decoder length should fail")
+	}
+	// Factory error propagates.
+	failing := func() (hadamard.Decoder, error) { return nil, fmt.Errorf("boom") }
+	if _, err := DeconvolveFrame(enc, failing, 2); err == nil {
+		t.Error("factory error should propagate")
+	}
+}
+
+func TestDeconvolveFrameMoreWorkersThanColumns(t *testing.T) {
+	enc, truth := encodedFrame(t, 5, 3, 62)
+	got, err := DeconvolveFrame(enc, fhtFactory(5), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !framesClose(got, truth, 1e-6) {
+		t.Error("oversubscribed workers broke deconvolution")
+	}
+}
+
+func TestStreamProcessorOrdering(t *testing.T) {
+	const nFrames = 12
+	sp, err := NewStreamProcessor(4, 4, fhtFactory(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan Job)
+	out := sp.Run(in)
+	truths := make([]*instrument.Frame, nFrames)
+	go func() {
+		for i := 0; i < nFrames; i++ {
+			enc, truth := encodedFrame(t, 6, 8, int64(100+i))
+			truths[i] = truth
+			in <- Job{Seq: i, Frame: enc}
+		}
+		close(in)
+	}()
+	seen := 0
+	for r := range out {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Seq != seen {
+			t.Fatalf("result %d arrived out of order (want %d)", r.Seq, seen)
+		}
+		if !framesClose(r.Frame, truths[r.Seq], 1e-6) {
+			t.Fatalf("frame %d incorrect", r.Seq)
+		}
+		seen++
+	}
+	if seen != nFrames {
+		t.Fatalf("got %d frames, want %d", seen, nFrames)
+	}
+	st := sp.Stats()
+	if st.FramesIn != nFrames || st.FramesOut != nFrames {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestStreamProcessorErrorInStream(t *testing.T) {
+	sp, _ := NewStreamProcessor(2, 2, fhtFactory(6))
+	in := make(chan Job, 3)
+	enc, _ := encodedFrame(t, 6, 4, 200)
+	in <- Job{Seq: 0, Frame: enc}
+	in <- Job{Seq: 1, Frame: nil} // broken job
+	enc2, _ := encodedFrame(t, 6, 4, 201)
+	in <- Job{Seq: 2, Frame: enc2}
+	close(in)
+	var errs, oks int
+	for r := range sp.Run(in) {
+		if r.Err != nil {
+			errs++
+		} else {
+			oks++
+		}
+	}
+	if errs != 1 || oks != 2 {
+		t.Errorf("errs %d oks %d, want 1 and 2", errs, oks)
+	}
+}
+
+func TestStreamProcessorFactoryError(t *testing.T) {
+	sp, _ := NewStreamProcessor(1, 1, func() (hadamard.Decoder, error) { return nil, fmt.Errorf("no decoder") })
+	in := make(chan Job, 1)
+	enc, _ := encodedFrame(t, 6, 2, 300)
+	in <- Job{Seq: 0, Frame: enc}
+	close(in)
+	r := <-sp.Run(in)
+	if r.Err == nil {
+		t.Error("factory error should surface in result")
+	}
+}
+
+func TestStreamProcessorWrongGeometry(t *testing.T) {
+	sp, _ := NewStreamProcessor(1, 1, fhtFactory(5))
+	in := make(chan Job, 1)
+	enc, _ := encodedFrame(t, 6, 2, 301) // 63 bins, decoder expects 31
+	in <- Job{Seq: 0, Frame: enc}
+	close(in)
+	r := <-sp.Run(in)
+	if r.Err == nil {
+		t.Error("geometry mismatch should surface in result")
+	}
+}
+
+func TestNewStreamProcessorDefaults(t *testing.T) {
+	sp, err := NewStreamProcessor(0, 0, fhtFactory(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Workers < 1 || sp.Depth < 2 {
+		t.Errorf("defaults not applied: workers %d depth %d", sp.Workers, sp.Depth)
+	}
+	if _, err := NewStreamProcessor(1, 1, nil); err == nil {
+		t.Error("nil factory should fail")
+	}
+}
+
+func BenchmarkDeconvolveFrameSerial(b *testing.B) {
+	enc, _ := encodedFrame(b, 9, 64, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeconvolveFrame(enc, fhtFactory(9), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeconvolveFrameParallel(b *testing.B) {
+	enc, _ := encodedFrame(b, 9, 64, 401)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeconvolveFrame(enc, fhtFactory(9), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package prs generates and characterizes the pseudorandom binary sequences
+// used to drive a multiplexed ion gate in Hadamard-transform ion mobility
+// spectrometry (HT-IMS).
+//
+// A maximal-length sequence (m-sequence) of order n is produced by a linear
+// feedback shift register (LFSR) whose feedback taps correspond to a
+// primitive polynomial over GF(2).  The resulting binary sequence of length
+// N = 2^n − 1 opens the ion gate on 1-elements and closes it on 0-elements,
+// so roughly half of the source ion beam is utilized instead of the ~1 % duty
+// cycle of a conventional signal-averaging experiment.
+//
+// The package also constructs the left-circulant simplex (S-) matrix of a
+// sequence, verifies the defining m-sequence properties (balance, run-length
+// statistics, two-valued cyclic autocorrelation), and produces the
+// oversampled and defect-modified sequence variants used by the
+// PNNL-enhanced deconvolution scheme (Clowers et al., Anal. Chem. 2008).
+package prs
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bit is a single element of a binary gating sequence: 1 opens the ion gate,
+// 0 keeps it closed.
+type Bit = uint8
+
+// Sequence is a binary gating sequence.  For an order-n m-sequence,
+// len(Sequence) == 2^n − 1.
+type Sequence []Bit
+
+// primitiveTaps maps LFSR order n to the tap mask of a primitive polynomial
+// x^n + ... + 1 over GF(2).  Bit i of the mask (LSB = bit 0) corresponds to
+// the coefficient of x^(i+1); the constant term is implicit.  These are the
+// standard minimum-weight primitive polynomials tabulated for m-sequence
+// generation.
+var primitiveTaps = map[int]uint32{
+	2:  0x3,     // x^2 + x + 1
+	3:  0x6,     // x^3 + x^2 + 1
+	4:  0xC,     // x^4 + x^3 + 1
+	5:  0x14,    // x^5 + x^3 + 1
+	6:  0x30,    // x^6 + x^5 + 1
+	7:  0x60,    // x^7 + x^6 + 1
+	8:  0xB8,    // x^8 + x^6 + x^5 + x^4 + 1
+	9:  0x110,   // x^9 + x^5 + 1
+	10: 0x240,   // x^10 + x^7 + 1
+	11: 0x500,   // x^11 + x^9 + 1
+	12: 0xE08,   // x^12 + x^11 + x^10 + x^4 + 1
+	13: 0x1C80,  // x^13 + x^12 + x^11 + x^8 + 1
+	14: 0x3802,  // x^14 + x^13 + x^12 + x^2 + 1
+	15: 0x6000,  // x^15 + x^14 + 1
+	16: 0xD008,  // x^16 + x^15 + x^13 + x^4 + 1
+	17: 0x12000, // x^17 + x^14 + 1
+	18: 0x20400, // x^18 + x^11 + 1
+	19: 0x72000, // x^19 + x^18 + x^17 + x^14 + 1
+	20: 0x90000, // x^20 + x^17 + 1
+}
+
+// MinOrder and MaxOrder bound the sequence orders supported by NewLFSR and
+// MSequence.
+const (
+	MinOrder = 2
+	MaxOrder = 20
+)
+
+// Taps returns the primitive-polynomial tap mask used for the given order,
+// in the encoding documented on primitiveTaps.  Decoders that exploit the
+// algebraic structure of the m-sequence (e.g. the fast-Hadamard-transform
+// simplex inverse) need the taps to reconstruct the LFSR state orbit.
+func Taps(order int) (uint32, error) {
+	taps, ok := primitiveTaps[order]
+	if !ok {
+		return 0, fmt.Errorf("prs: no primitive polynomial for order %d (supported %d..%d)", order, MinOrder, MaxOrder)
+	}
+	return taps, nil
+}
+
+// feedbackMask converts the polynomial tap encoding of primitiveTaps (bit i
+// = coefficient of x^(i+1)) into the feedback mask of a right-shift
+// Fibonacci LFSR whose register bit j holds sequence element s[t+j]: the
+// recurrence s[t+n] = Σ c_i·s[t+i] needs mask bit i = c_i, with the
+// constant term c_0 = 1 always present and the leading x^n term dropped.
+func feedbackMask(order int, taps uint32) uint32 {
+	mask := uint32(1)<<order - 1
+	return ((taps << 1) | 1) & mask
+}
+
+// LFSR is a Fibonacci-configuration linear feedback shift register over
+// GF(2).  The zero value is not usable; construct with NewLFSR.
+type LFSR struct {
+	order int
+	fb    uint32 // feedback mask: bit i = recurrence coefficient c_i
+	state uint32
+}
+
+// NewLFSR returns an LFSR of the given order (MinOrder..MaxOrder) seeded with
+// the given nonzero state.  Only the low `order` bits of seed are used; if
+// they are all zero the seed 1 is substituted, because the all-zero state is
+// a fixed point that never leaves itself.
+func NewLFSR(order int, seed uint32) (*LFSR, error) {
+	taps, ok := primitiveTaps[order]
+	if !ok {
+		return nil, fmt.Errorf("prs: no primitive polynomial for order %d (supported %d..%d)", order, MinOrder, MaxOrder)
+	}
+	mask := uint32(1)<<order - 1
+	s := seed & mask
+	if s == 0 {
+		s = 1
+	}
+	return &LFSR{order: order, fb: feedbackMask(order, taps), state: s}, nil
+}
+
+// Order returns the register length n; the generated m-sequence has period
+// 2^n − 1.
+func (l *LFSR) Order() int { return l.order }
+
+// State returns the current register contents (low Order() bits).
+func (l *LFSR) State() uint32 { return l.state }
+
+// Next advances the register one step and returns the output bit (the bit
+// shifted out of the low end).
+func (l *LFSR) Next() Bit {
+	out := Bit(l.state & 1)
+	fb := bits.OnesCount32(l.state&l.fb) & 1
+	l.state >>= 1
+	l.state |= uint32(fb) << (l.order - 1)
+	return out
+}
+
+// Period returns the sequence period 2^order − 1.
+func (l *LFSR) Period() int { return 1<<l.order - 1 }
+
+// MSequence returns one full period of the maximal-length sequence of the
+// given order, starting from seed 1.
+func MSequence(order int) (Sequence, error) {
+	l, err := NewLFSR(order, 1)
+	if err != nil {
+		return nil, err
+	}
+	n := l.Period()
+	seq := make(Sequence, n)
+	for i := range seq {
+		seq[i] = l.Next()
+	}
+	return seq, nil
+}
+
+// MustMSequence is MSequence but panics on an unsupported order.  It is
+// intended for initialization of fixed experiment configurations.
+func MustMSequence(order int) Sequence {
+	s, err := MSequence(order)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ones returns the number of gate-open elements in the sequence.  For an
+// order-n m-sequence this is 2^(n−1).
+func (s Sequence) Ones() int {
+	c := 0
+	for _, b := range s {
+		if b != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// DutyCycle returns the fraction of time the ion gate is open, Ones()/len.
+func (s Sequence) DutyCycle() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return float64(s.Ones()) / float64(len(s))
+}
+
+// Rotate returns the sequence cyclically rotated left by k positions
+// (k may be any integer; negative rotates right).
+func (s Sequence) Rotate(k int) Sequence {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	k = ((k % n) + n) % n
+	out := make(Sequence, n)
+	copy(out, s[k:])
+	copy(out[n-k:], s[:k])
+	return out
+}
+
+// Autocorrelation returns the cyclic autocorrelation of the ±1-mapped
+// sequence at lag k: sum over i of a(i)*a(i+k) with a = 2s−1.  For an
+// m-sequence of length N this is N at lag 0 and −1 at every other lag — the
+// property that makes the simplex-matrix inverse exact.
+func (s Sequence) Autocorrelation(k int) int {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	k = ((k % n) + n) % n
+	acc := 0
+	for i := 0; i < n; i++ {
+		a := int(s[i])*2 - 1
+		b := int(s[(i+k)%n])*2 - 1
+		acc += a * b
+	}
+	return acc
+}
+
+// IsMaximalLength reports whether the sequence satisfies the two defining
+// statistical properties of an m-sequence of its length: balance
+// (ones = (N+1)/2) and two-valued cyclic autocorrelation (N at lag 0,
+// −1 elsewhere).  Length must be 2^n − 1 for some n ≥ 2.
+func (s Sequence) IsMaximalLength() bool {
+	n := len(s)
+	if n < 3 || (n+1)&n != 0 { // n+1 must be a power of two
+		return false
+	}
+	if s.Ones() != (n+1)/2 {
+		return false
+	}
+	for k := 1; k < n; k++ {
+		if s.Autocorrelation(k) != -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunLengths returns a histogram of run lengths in the cyclic sequence,
+// separately for runs of ones and zeros.  Index r of each slice holds the
+// number of runs of length r (index 0 unused).  An m-sequence of order n has
+// 2^(n−1−r) runs of each kind of length r for r < n−1, one run of n−1 zeros
+// and one run of n ones.
+func (s Sequence) RunLengths() (ones, zeros []int) {
+	n := len(s)
+	if n == 0 {
+		return nil, nil
+	}
+	// Find a transition to anchor the cyclic run decomposition.
+	start := -1
+	for i := 0; i < n; i++ {
+		if s[i] != s[(i+n-1)%n] {
+			start = i
+			break
+		}
+	}
+	maxRun := n + 1
+	ones = make([]int, maxRun+1)
+	zeros = make([]int, maxRun+1)
+	if start == -1 { // constant sequence: one run of length n
+		if s[0] != 0 {
+			ones[n]++
+		} else {
+			zeros[n]++
+		}
+		return ones, zeros
+	}
+	i := start
+	for counted := 0; counted < n; {
+		v := s[i%n]
+		run := 0
+		for counted+run < n && s[(i+run)%n] == v {
+			run++
+		}
+		if v != 0 {
+			ones[run]++
+		} else {
+			zeros[run]++
+		}
+		i += run
+		counted += run
+	}
+	return ones, zeros
+}
+
+// SimplexMatrix returns the N×N left-circulant simplex matrix of the
+// sequence: row i is the sequence cyclically rotated left by i positions.
+// In HT-IMS the observed (multiplexed) arrival-time vector y relates to the
+// true ion-arrival distribution x by y = S·x (up to noise), and the simplex
+// inverse recovers x.
+func (s Sequence) SimplexMatrix() [][]float64 {
+	n := len(s)
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = float64(s[(i+j)%n])
+		}
+		m[i] = row
+	}
+	return m
+}
+
+// Oversample returns the sequence with every element repeated k times.
+// Oversampling an order-n PRS by k yields k·(2^n−1) gating bins per IMS
+// cycle, increasing the number of gate pulses per unit time — the first
+// ingredient of the PNNL modified-sequence scheme.
+func (s Sequence) Oversample(k int) Sequence {
+	if k <= 0 {
+		return nil
+	}
+	out := make(Sequence, 0, len(s)*k)
+	for _, b := range s {
+		for j := 0; j < k; j++ {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Modify applies the PNNL defect modification to an oversampled sequence:
+// within every contiguous run of gate-open elements, the first `defect`
+// elements are forced closed.  This models (and pre-compensates) the finite
+// rise time and ion-depletion behaviour of a real Bradbury–Nielsen gate, and
+// produces sequences whose circulant system remains well conditioned so that
+// reconstruction succeeds without a sample-specific weighting matrix.
+// defect must be smaller than the shortest run of ones or the run vanishes
+// entirely (allowed, but reported by Validate).
+func (s Sequence) Modify(defect int) Sequence {
+	n := len(s)
+	out := make(Sequence, n)
+	copy(out, s)
+	if defect <= 0 || n == 0 {
+		return out
+	}
+	// Anchor at a 0→1 transition to handle the cyclic wrap.
+	start := -1
+	for i := 0; i < n; i++ {
+		if s[i] == 1 && s[(i+n-1)%n] == 0 {
+			start = i
+			break
+		}
+	}
+	if start == -1 {
+		return out // constant sequence
+	}
+	i := start
+	for counted := 0; counted < n; {
+		if s[i%n] == 1 {
+			run := 0
+			for counted+run < n && s[(i+run)%n] == 1 {
+				run++
+			}
+			for d := 0; d < defect && d < run; d++ {
+				out[(i+d)%n] = 0
+			}
+			i += run
+			counted += run
+		} else {
+			i++
+			counted++
+		}
+	}
+	return out
+}
+
+// Validate performs a structural check of the sequence for use as a gating
+// waveform and returns a descriptive error if it is unusable: empty, all
+// closed, or all open.
+func (s Sequence) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("prs: empty sequence")
+	}
+	ones := s.Ones()
+	if ones == 0 {
+		return fmt.Errorf("prs: gate never opens")
+	}
+	if ones == len(s) {
+		return fmt.Errorf("prs: gate never closes (no modulation)")
+	}
+	return nil
+}
+
+// Floats returns the sequence as a float64 vector (0.0/1.0), the form
+// consumed by the deconvolution routines.
+func (s Sequence) Floats() []float64 {
+	out := make([]float64, len(s))
+	for i, b := range s {
+		out[i] = float64(b)
+	}
+	return out
+}
+
+// String renders the sequence as a compact 0/1 string.
+func (s Sequence) String() string {
+	buf := make([]byte, len(s))
+	for i, b := range s {
+		buf[i] = '0' + b
+	}
+	return string(buf)
+}
+
+// OrderForLength returns the m-sequence order n such that 2^n − 1 == length,
+// or an error if length is not of that form.
+func OrderForLength(length int) (int, error) {
+	if length < 3 || (length+1)&length != 0 {
+		return 0, fmt.Errorf("prs: length %d is not 2^n-1", length)
+	}
+	return bits.Len(uint(length)), nil
+}

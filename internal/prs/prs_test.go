@@ -1,0 +1,415 @@
+package prs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLFSRUnsupportedOrder(t *testing.T) {
+	for _, order := range []int{-1, 0, 1, 21, 100} {
+		if _, err := NewLFSR(order, 1); err == nil {
+			t.Errorf("order %d: expected error, got nil", order)
+		}
+	}
+}
+
+func TestNewLFSRZeroSeedSubstituted(t *testing.T) {
+	l, err := NewLFSR(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.State() == 0 {
+		t.Fatal("zero seed must be replaced by a nonzero state")
+	}
+}
+
+// TestLFSRPeriod verifies that every supported order yields the full period
+// 2^n - 1, i.e. the tap table really holds primitive polynomials.
+func TestLFSRPeriod(t *testing.T) {
+	for order := MinOrder; order <= 16; order++ {
+		l, err := NewLFSR(order, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := l.State()
+		period := 0
+		seen := map[uint32]bool{}
+		for {
+			if seen[l.State()] {
+				t.Fatalf("order %d: state repeated before returning to start", order)
+			}
+			seen[l.State()] = true
+			l.Next()
+			period++
+			if l.State() == start {
+				break
+			}
+			if period > l.Period() {
+				t.Fatalf("order %d: period exceeds 2^n-1", order)
+			}
+		}
+		if period != l.Period() {
+			t.Errorf("order %d: period = %d, want %d", order, period, l.Period())
+		}
+	}
+}
+
+// TestLFSRPeriodLargeOrders spot-checks the big orders by running exactly one
+// period and confirming return to the initial state (full state enumeration
+// is too slow above order 16).
+func TestLFSRPeriodLargeOrders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long period walk")
+	}
+	for _, order := range []int{17, 18, 19, 20} {
+		l, _ := NewLFSR(order, 1)
+		start := l.State()
+		for i := 0; i < l.Period(); i++ {
+			if i > 0 && l.State() == start {
+				t.Fatalf("order %d: state returned to seed after %d < period steps", order, i)
+			}
+			l.Next()
+		}
+		if l.State() != start {
+			t.Errorf("order %d: state did not return to seed after one period", order)
+		}
+	}
+}
+
+func TestMSequenceProperties(t *testing.T) {
+	for order := 2; order <= 10; order++ {
+		s, err := MSequence(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1<<order - 1
+		if len(s) != n {
+			t.Fatalf("order %d: len = %d, want %d", order, len(s), n)
+		}
+		if got, want := s.Ones(), (n+1)/2; got != want {
+			t.Errorf("order %d: ones = %d, want %d (balance property)", order, got, want)
+		}
+		if !s.IsMaximalLength() {
+			t.Errorf("order %d: IsMaximalLength = false", order)
+		}
+	}
+}
+
+func TestAutocorrelationTwoValued(t *testing.T) {
+	s := MustMSequence(7)
+	n := len(s)
+	if got := s.Autocorrelation(0); got != n {
+		t.Errorf("lag 0: %d, want %d", got, n)
+	}
+	for k := 1; k < n; k++ {
+		if got := s.Autocorrelation(k); got != -1 {
+			t.Errorf("lag %d: %d, want -1", k, got)
+		}
+	}
+	// Negative and out-of-range lags wrap.
+	if s.Autocorrelation(-1) != s.Autocorrelation(n-1) {
+		t.Error("negative lag does not wrap")
+	}
+	if s.Autocorrelation(n+3) != s.Autocorrelation(3) {
+		t.Error("lag beyond period does not wrap")
+	}
+}
+
+func TestRunLengths(t *testing.T) {
+	order := 6
+	s := MustMSequence(order)
+	ones, zeros := s.RunLengths()
+	// m-sequence run structure: for 1 <= r <= n-2 there are 2^(n-2-r) runs of
+	// each kind; one run of n-1 zeros; one run of n ones.
+	for r := 1; r <= order-2; r++ {
+		want := 1 << (order - 2 - r)
+		if ones[r] != want {
+			t.Errorf("runs of %d ones = %d, want %d", r, ones[r], want)
+		}
+		if zeros[r] != want {
+			t.Errorf("runs of %d zeros = %d, want %d", r, zeros[r], want)
+		}
+	}
+	if zeros[order-1] != 1 {
+		t.Errorf("runs of %d zeros = %d, want 1", order-1, zeros[order-1])
+	}
+	if ones[order] != 1 {
+		t.Errorf("runs of %d ones = %d, want 1", order, ones[order])
+	}
+}
+
+func TestRunLengthsConstantSequence(t *testing.T) {
+	allOnes := Sequence{1, 1, 1, 1}
+	ones, zeros := allOnes.RunLengths()
+	if ones[4] != 1 {
+		t.Errorf("constant ones: ones[4] = %d, want 1", ones[4])
+	}
+	for r, c := range zeros {
+		if c != 0 {
+			t.Errorf("constant ones: zeros[%d] = %d, want 0", r, c)
+		}
+	}
+}
+
+func TestRotate(t *testing.T) {
+	s := Sequence{1, 0, 0, 1, 1}
+	cases := []struct {
+		k    int
+		want string
+	}{
+		{0, "10011"},
+		{1, "00111"},
+		{2, "01110"},
+		{5, "10011"},
+		{-1, "11001"},
+		{7, "01110"},
+	}
+	for _, c := range cases {
+		if got := s.Rotate(c.k).String(); got != c.want {
+			t.Errorf("Rotate(%d) = %s, want %s", c.k, got, c.want)
+		}
+	}
+	if Sequence(nil).Rotate(3) != nil {
+		t.Error("rotating empty sequence should return nil")
+	}
+}
+
+// TestRotateComposition: rotating by a then b equals rotating by a+b.
+func TestRotateComposition(t *testing.T) {
+	s := MustMSequence(5)
+	f := func(a, b int8) bool {
+		lhs := s.Rotate(int(a)).Rotate(int(b)).String()
+		rhs := s.Rotate(int(a) + int(b)).String()
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplexMatrixRowsAreRotations(t *testing.T) {
+	s := MustMSequence(4)
+	m := s.SimplexMatrix()
+	n := len(s)
+	if len(m) != n {
+		t.Fatalf("matrix has %d rows, want %d", len(m), n)
+	}
+	for i := 0; i < n; i++ {
+		rot := s.Rotate(i)
+		for j := 0; j < n; j++ {
+			if m[i][j] != float64(rot[j]) {
+				t.Fatalf("row %d is not rotation by %d", i, i)
+			}
+		}
+	}
+}
+
+// TestSimplexMatrixInverseIdentity verifies the closed-form S-matrix inverse
+// S^-1 = 2/(n+1) (2 S^T - J) against a direct multiplication.
+func TestSimplexMatrixInverseIdentity(t *testing.T) {
+	s := MustMSequence(5)
+	n := len(s)
+	m := s.SimplexMatrix()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (S * Sinv)[i][j]
+			acc := 0.0
+			for k := 0; k < n; k++ {
+				inv := 2.0 / float64(n+1) * (2*m[j][k] - 1)
+				acc += m[i][k] * inv
+			}
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if diff := acc - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("S*Sinv[%d][%d] = %g, want %g", i, j, acc, want)
+			}
+		}
+	}
+}
+
+func TestOversample(t *testing.T) {
+	s := Sequence{1, 0, 1}
+	got := s.Oversample(3).String()
+	if got != "111000111" {
+		t.Errorf("Oversample(3) = %s, want 111000111", got)
+	}
+	if s.Oversample(0) != nil {
+		t.Error("Oversample(0) should return nil")
+	}
+	if s.Oversample(-2) != nil {
+		t.Error("Oversample(negative) should return nil")
+	}
+	if got := s.Oversample(1).String(); got != "101" {
+		t.Errorf("Oversample(1) = %s, want 101", got)
+	}
+}
+
+func TestOversampleDutyCyclePreserved(t *testing.T) {
+	s := MustMSequence(6)
+	for k := 1; k <= 4; k++ {
+		if got, want := s.Oversample(k).DutyCycle(), s.DutyCycle(); got != want {
+			t.Errorf("k=%d: duty cycle %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestModifyRemovesRunHeads(t *testing.T) {
+	// 110111001 cyclic: runs of ones are (starting idx 3, len 3) and the
+	// wrap-around run idx 8..1 of length 3.
+	s := Sequence{1, 1, 0, 1, 1, 1, 0, 0, 1}
+	got := s.Modify(1).String()
+	// Run starting at index 8 (cyclic) loses element 8; run at 3 loses 3.
+	want := "110011000"
+	if got != want {
+		t.Errorf("Modify(1) = %s, want %s", got, want)
+	}
+}
+
+func TestModifyZeroDefectIsIdentity(t *testing.T) {
+	s := MustMSequence(7).Oversample(2)
+	if got := s.Modify(0).String(); got != s.String() {
+		t.Error("Modify(0) changed the sequence")
+	}
+}
+
+func TestModifyDefectLargerThanRunClearsRun(t *testing.T) {
+	s := Sequence{0, 1, 0, 1, 1, 0}
+	got := s.Modify(5).String()
+	if got != "000000" {
+		t.Errorf("Modify(5) = %s, want 000000", got)
+	}
+}
+
+func TestModifyConstantSequenceUnchanged(t *testing.T) {
+	s := Sequence{1, 1, 1}
+	if got := s.Modify(1).String(); got != "111" {
+		t.Errorf("Modify on constant ones = %s, want unchanged (no transition anchor)", got)
+	}
+}
+
+// TestModifyOversampledReducesOnesPerRun: with oversampling k and defect d,
+// each original run of ones of length r becomes k*r - d open bins.
+func TestModifyOversampledReducesOnesPerRun(t *testing.T) {
+	s := MustMSequence(5)
+	k, d := 3, 1
+	ov := s.Oversample(k)
+	mod := ov.Modify(d)
+	onesRuns, _ := s.RunLengths()
+	runCount := 0
+	for _, c := range onesRuns {
+		runCount += c
+	}
+	wantOnes := ov.Ones() - runCount*d
+	if got := mod.Ones(); got != wantOnes {
+		t.Errorf("modified ones = %d, want %d", got, wantOnes)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Sequence{}).Validate(); err == nil {
+		t.Error("empty sequence should be invalid")
+	}
+	if err := (Sequence{0, 0, 0}).Validate(); err == nil {
+		t.Error("all-closed sequence should be invalid")
+	}
+	if err := (Sequence{1, 1, 1}).Validate(); err == nil {
+		t.Error("all-open sequence should be invalid")
+	}
+	if err := MustMSequence(4).Validate(); err != nil {
+		t.Errorf("m-sequence should be valid: %v", err)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	s := Sequence{1, 0, 1, 1}
+	f := s.Floats()
+	want := []float64{1, 0, 1, 1}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("Floats()[%d] = %g, want %g", i, f[i], want[i])
+		}
+	}
+}
+
+func TestOrderForLength(t *testing.T) {
+	for order := 2; order <= 12; order++ {
+		n := 1<<order - 1
+		got, err := OrderForLength(n)
+		if err != nil {
+			t.Fatalf("length %d: %v", n, err)
+		}
+		if got != order {
+			t.Errorf("OrderForLength(%d) = %d, want %d", n, got, order)
+		}
+	}
+	for _, bad := range []int{0, 1, 2, 4, 6, 100} {
+		if _, err := OrderForLength(bad); err == nil {
+			t.Errorf("OrderForLength(%d): expected error", bad)
+		}
+	}
+}
+
+func TestMustMSequencePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMSequence(1) should panic")
+		}
+	}()
+	MustMSequence(1)
+}
+
+// Property: different seeds generate rotations of the same m-sequence.
+func TestSeedYieldsRotation(t *testing.T) {
+	order := 6
+	base := MustMSequence(order)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		seed := uint32(rng.Intn(1<<order-1) + 1)
+		l, _ := NewLFSR(order, seed)
+		s := make(Sequence, l.Period())
+		for i := range s {
+			s[i] = l.Next()
+		}
+		found := false
+		for k := 0; k < len(base); k++ {
+			if base.Rotate(k).String() == s.String() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: sequence is not a rotation of the base m-sequence", seed)
+		}
+	}
+}
+
+// Property: m-sequences of random valid orders always pass Validate and have
+// duty cycle slightly above 1/2.
+func TestDutyCycleAboveHalf(t *testing.T) {
+	for order := 2; order <= 12; order++ {
+		s := MustMSequence(order)
+		dc := s.DutyCycle()
+		if dc <= 0.5 || dc > 0.67 {
+			t.Errorf("order %d: duty cycle %g out of expected (0.5, 0.67]", order, dc)
+		}
+	}
+}
+
+func BenchmarkMSequence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MSequence(12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAutocorrelation(b *testing.B) {
+	s := MustMSequence(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Autocorrelation(i % len(s))
+	}
+}

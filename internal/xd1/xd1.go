@@ -1,0 +1,179 @@
+// Package xd1 models the host platform of the paper: a Cray XD1 compute
+// node — an Opteron SMP joined to an application-acceleration FPGA through
+// the RapidArray fabric — at the cost-model level needed to evaluate the
+// hybrid data-processing pipeline: link bandwidth and latency, DMA burst
+// behaviour, and clock-domain conversions between FPGA cycles and wall
+// time.
+package xd1
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fabric is a RapidArray-style interconnect link.
+type Fabric struct {
+	// BandwidthBytes is the sustained link bandwidth, bytes/s.
+	BandwidthBytes float64
+	// LatencyS is the per-transfer initiation latency, s.
+	LatencyS float64
+}
+
+// RapidArray returns the XD1 processor↔FPGA link: ~1.6 GB/s sustained with
+// ~2 µs initiation.
+func RapidArray() Fabric {
+	return Fabric{BandwidthBytes: 1.6e9, LatencyS: 2e-6}
+}
+
+// Validate reports unusable fabric parameters.
+func (f Fabric) Validate() error {
+	if f.BandwidthBytes <= 0 {
+		return fmt.Errorf("xd1: bandwidth %g must be positive", f.BandwidthBytes)
+	}
+	if f.LatencyS < 0 {
+		return fmt.Errorf("xd1: negative latency")
+	}
+	return nil
+}
+
+// TransferTime returns the wall time to move `bytes` in one transfer.
+func (f Fabric) TransferTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return f.LatencyS
+	}
+	return f.LatencyS + bytes/f.BandwidthBytes
+}
+
+// EffectiveBandwidth returns achieved bytes/s for transfers of the given
+// size, exposing the latency penalty of small transfers.
+func (f Fabric) EffectiveBandwidth(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / f.TransferTime(bytes)
+}
+
+// Utilization returns the fraction of link capacity consumed by a sustained
+// stream of `bytesPerSec`.
+func (f Fabric) Utilization(bytesPerSec float64) float64 {
+	return bytesPerSec / f.BandwidthBytes
+}
+
+// CPU describes the Opteron SMP half of the node.
+type CPU struct {
+	Cores   int
+	ClockHz float64
+}
+
+// OpteronSMP returns the XD1-era dual-core 2.2 GHz Opteron.
+func OpteronSMP() CPU {
+	return CPU{Cores: 2, ClockHz: 2.2e9}
+}
+
+// Validate reports unusable CPU parameters.
+func (c CPU) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("xd1: CPU cores %d must be >= 1", c.Cores)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("xd1: CPU clock %g must be positive", c.ClockHz)
+	}
+	return nil
+}
+
+// FPGADevice is the acceleration FPGA attached to the fabric.
+type FPGADevice struct {
+	ClockHz float64
+	// BRAMBits bounds on-chip accumulator storage (Virtex-II Pro 50:
+	// ~4.2 Mbit of block RAM).
+	BRAMBits int
+}
+
+// VirtexIIPro returns the XD1's Xilinx Virtex-II Pro at 150 MHz (typical
+// achieved clock for arithmetic-heavy designs).
+func VirtexIIPro() FPGADevice {
+	return FPGADevice{ClockHz: 150e6, BRAMBits: 4_200_000}
+}
+
+// Validate reports unusable device parameters.
+func (d FPGADevice) Validate() error {
+	if d.ClockHz <= 0 {
+		return fmt.Errorf("xd1: FPGA clock %g must be positive", d.ClockHz)
+	}
+	if d.BRAMBits <= 0 {
+		return fmt.Errorf("xd1: FPGA BRAM %d must be positive", d.BRAMBits)
+	}
+	return nil
+}
+
+// CyclesToSeconds converts FPGA cycles to wall time.
+func (d FPGADevice) CyclesToSeconds(cycles int64) float64 {
+	return float64(cycles) / d.ClockHz
+}
+
+// SecondsToCycles converts wall time to whole FPGA cycles (rounded up).
+func (d FPGADevice) SecondsToCycles(s float64) int64 {
+	return int64(math.Ceil(s * d.ClockHz))
+}
+
+// Node is one XD1 compute node.
+type Node struct {
+	CPU    CPU
+	FPGA   FPGADevice
+	Fabric Fabric
+}
+
+// DefaultNode returns the reference XD1 node.
+func DefaultNode() Node {
+	return Node{CPU: OpteronSMP(), FPGA: VirtexIIPro(), Fabric: RapidArray()}
+}
+
+// Validate checks all components.
+func (n Node) Validate() error {
+	if err := n.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := n.FPGA.Validate(); err != nil {
+		return err
+	}
+	return n.Fabric.Validate()
+}
+
+// DMA models a burst-transfer engine over the fabric.
+type DMA struct {
+	Fabric Fabric
+	// BurstBytes is the maximum bytes moved per descriptor; larger
+	// transfers split into multiple bursts, each paying the latency.
+	BurstBytes float64
+}
+
+// NewDMA validates and constructs the engine.
+func NewDMA(f Fabric, burstBytes float64) (*DMA, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if burstBytes <= 0 {
+		return nil, fmt.Errorf("xd1: burst size %g must be positive", burstBytes)
+	}
+	return &DMA{Fabric: f, BurstBytes: burstBytes}, nil
+}
+
+// TransferTime returns the wall time to move `bytes` through burst-sized
+// descriptors.
+func (d *DMA) TransferTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	bursts := math.Ceil(bytes / d.BurstBytes)
+	return bursts*d.Fabric.LatencyS + bytes/d.Fabric.BandwidthBytes
+}
+
+// Throughput returns sustained bytes/s for a stream of transfers of the
+// given total size.
+func (d *DMA) Throughput(bytes float64) float64 {
+	t := d.TransferTime(bytes)
+	if t <= 0 {
+		return 0
+	}
+	return bytes / t
+}

@@ -1,0 +1,158 @@
+package xd1
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFabricTransferTime(t *testing.T) {
+	f := Fabric{BandwidthBytes: 1e9, LatencyS: 1e-6}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB at 1 GB/s = 1 ms plus 1 µs latency.
+	got := f.TransferTime(1e6)
+	if math.Abs(got-(1e-3+1e-6)) > 1e-12 {
+		t.Errorf("transfer time %g", got)
+	}
+	// Zero-byte transfer still pays latency.
+	if f.TransferTime(0) != 1e-6 {
+		t.Error("zero transfer should cost latency")
+	}
+}
+
+func TestFabricEffectiveBandwidth(t *testing.T) {
+	f := RapidArray()
+	small := f.EffectiveBandwidth(64)
+	large := f.EffectiveBandwidth(1e7)
+	if small >= large {
+		t.Errorf("small transfers (%g B/s) should be slower than large (%g B/s)", small, large)
+	}
+	// Large transfers approach nominal bandwidth.
+	if large < 0.99*f.BandwidthBytes {
+		t.Errorf("large transfer bandwidth %g too far below nominal %g", large, f.BandwidthBytes)
+	}
+	if f.EffectiveBandwidth(0) != 0 {
+		t.Error("zero bytes has zero bandwidth")
+	}
+	if u := f.Utilization(f.BandwidthBytes / 2); math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("utilization %g, want 0.5", u)
+	}
+}
+
+func TestFabricValidate(t *testing.T) {
+	if err := (Fabric{BandwidthBytes: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth")
+	}
+	if err := (Fabric{BandwidthBytes: 1, LatencyS: -1}).Validate(); err == nil {
+		t.Error("negative latency")
+	}
+}
+
+func TestCPUAndFPGAValidate(t *testing.T) {
+	if err := OpteronSMP().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (CPU{Cores: 0, ClockHz: 1e9}).Validate(); err == nil {
+		t.Error("zero cores")
+	}
+	if err := (CPU{Cores: 1, ClockHz: 0}).Validate(); err == nil {
+		t.Error("zero clock")
+	}
+	if err := VirtexIIPro().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (FPGADevice{ClockHz: 0, BRAMBits: 1}).Validate(); err == nil {
+		t.Error("zero FPGA clock")
+	}
+	if err := (FPGADevice{ClockHz: 1e8, BRAMBits: 0}).Validate(); err == nil {
+		t.Error("zero BRAM")
+	}
+}
+
+func TestClockConversions(t *testing.T) {
+	d := FPGADevice{ClockHz: 100e6, BRAMBits: 1}
+	if got := d.CyclesToSeconds(100e6 / 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("cycles->s = %g", got)
+	}
+	if got := d.SecondsToCycles(1e-6); got != 100 {
+		t.Errorf("s->cycles = %d", got)
+	}
+	// Round trip property (within one cycle of rounding).
+	f := func(us uint16) bool {
+		s := float64(us) * 1e-6
+		c := d.SecondsToCycles(s)
+		back := d.CyclesToSeconds(c)
+		return back >= s && back-s < 2e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultNode(t *testing.T) {
+	n := DefaultNode()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := n
+	bad.CPU.Cores = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid CPU should fail node validation")
+	}
+	bad2 := n
+	bad2.Fabric.BandwidthBytes = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("invalid fabric should fail node validation")
+	}
+	bad3 := n
+	bad3.FPGA.ClockHz = 0
+	if err := bad3.Validate(); err == nil {
+		t.Error("invalid FPGA should fail node validation")
+	}
+}
+
+func TestDMA(t *testing.T) {
+	f := Fabric{BandwidthBytes: 1e9, LatencyS: 1e-6}
+	d, err := NewDMA(f, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8192 bytes = 2 bursts: 2 µs latency + 8.192 µs wire time.
+	got := d.TransferTime(8192)
+	want := 2*1e-6 + 8192/1e9
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("DMA transfer %g, want %g", got, want)
+	}
+	if d.TransferTime(0) != 0 {
+		t.Error("zero transfer is free")
+	}
+	// Bigger bursts improve throughput for the same payload.
+	small, _ := NewDMA(f, 256)
+	if small.Throughput(1e6) >= d.Throughput(1e6) {
+		t.Error("larger bursts should improve throughput")
+	}
+	if d.Throughput(0) != 0 {
+		t.Error("zero payload throughput is 0")
+	}
+	if _, err := NewDMA(f, 0); err == nil {
+		t.Error("zero burst size")
+	}
+	if _, err := NewDMA(Fabric{}, 64); err == nil {
+		t.Error("invalid fabric")
+	}
+}
+
+// TestDMAMonotonicity: transfer time is nondecreasing in payload size.
+func TestDMAMonotonicity(t *testing.T) {
+	d, _ := NewDMA(RapidArray(), 4096)
+	prev := 0.0
+	for bytes := 64.0; bytes <= 1e8; bytes *= 4 {
+		tt := d.TransferTime(bytes)
+		if tt < prev {
+			t.Fatalf("transfer time decreased at %g bytes", bytes)
+		}
+		prev = tt
+	}
+}
