@@ -1,0 +1,33 @@
+# Quality gates for the reproduction.  `make check` is the full suite the
+# CI (and every PR) must keep green.
+
+GO ?= go
+
+# Packages whose exported identifiers must all carry doc comments: the
+# telemetry layer and the instrumented entry points it is wired through.
+DOCLINT_DIRS = internal/telemetry internal/pipeline internal/hybrid \
+               internal/fpga internal/xd1
+
+.PHONY: check fmt vet build test docslint bench
+
+check: fmt vet build test docslint
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+docslint:
+	$(GO) run ./scripts/docslint $(DOCLINT_DIRS)
+
+# The nil-registry overhead contract (<5 ns/op, 0 allocs/op on the nil path).
+bench:
+	$(GO) test ./internal/telemetry -run XXX -bench TelemetryOverhead -benchmem

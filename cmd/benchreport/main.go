@@ -5,16 +5,26 @@
 // Usage:
 //
 //	benchreport [-quick] [-seed N] [-only E1,E7] [-csv DIR]
+//	            [-metrics FILE] [-pprof ADDR]
+//
+// With -metrics, the instrumented experiments (E3, E4, E15 and everything
+// running the software decode) share one telemetry registry whose snapshot
+// is written as JSON at exit — the whole evaluation's stage-level activity
+// in one file (see docs/OBSERVABILITY.md).  With -pprof, a net/http/pprof
+// server listens on ADDR while the report runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -22,7 +32,20 @@ func main() {
 	seed := flag.Int64("seed", 2007, "base random seed (experiments are deterministic per seed)")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	metricsPath := flag.String("metrics", "", "aggregate experiment telemetry and write the snapshot to this JSON file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *metricsPath != "" {
+		experiments.Metrics = telemetry.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -67,6 +90,23 @@ func main() {
 			}
 			f.Close()
 		}
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.Metrics.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *metricsPath)
 	}
 	if failures > 0 {
 		os.Exit(1)

@@ -7,19 +7,31 @@
 //
 //	imssim [-mode sa|mp|trap] [-order N] [-frames F] [-rate R]
 //	       [-sample standards|bsa] [-seed N] [-oversample K] [-defect D]
+//	       [-metrics FILE] [-pprof ADDR]
+//
+// With -metrics, the run is instrumented end to end (acquisition, software
+// decode, and — for unmodified sequences — the modeled FPGA offload and
+// streaming data path) and the telemetry snapshot is written as JSON at
+// exit; see docs/OBSERVABILITY.md for the metric catalogue.  With -pprof,
+// a net/http/pprof server listens on ADDR for CPU and heap profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/chem"
 	"repro/internal/core"
+	"repro/internal/fpga"
 	"repro/internal/frameio"
+	"repro/internal/hybrid"
 	"repro/internal/instrument"
 	"repro/internal/peaks"
+	"repro/internal/telemetry"
 )
 
 func fail(format string, args ...interface{}) {
@@ -37,7 +49,22 @@ func main() {
 	oversample := flag.Int("oversample", 1, "bins per sequence element")
 	defect := flag.Int("defect", 0, "defect bins per open run (modified PRS)")
 	outPath := flag.String("out", "", "write the raw accumulated frame to this frameio file")
+	metricsPath := flag.String("metrics", "", "instrument the run and write the telemetry snapshot to this JSON file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *metricsPath != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "imssim: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on %s\n", *pprofAddr)
+	}
 
 	var m instrument.Mode
 	switch *mode {
@@ -84,10 +111,13 @@ func main() {
 	cfg.Defect = *defect
 	cfg.TOF.Bins = 2048
 
-	exp := &core.Experiment{Mixture: mix, SourceRate: *rate, Config: cfg}
+	exp := &core.Experiment{Mixture: mix, SourceRate: *rate, Config: cfg, Metrics: reg}
 	res, err := exp.Run(rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		fail("%v", err)
+	}
+	if reg != nil && *oversample == 1 && *defect == 0 {
+		simulateOffload(reg, res.Raw, *order)
 	}
 
 	st := res.Stats
@@ -142,4 +172,67 @@ func main() {
 		}
 		fmt.Printf("raw frame written to %s\n", *outPath)
 	}
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *metricsPath)
+	}
+}
+
+// simulateOffload pushes the acquired raw frame through the modeled hybrid
+// data path — the fixed-point FPGA offload, the clocked streaming pipeline,
+// and the capture/accumulate front end — so an instrumented run reports the
+// full hybrid_*, fpga_* and xd1_* telemetry families alongside the software
+// decode.  Only valid for unmodified sequences (oversample 1, no defect
+// bins), where the frame's drift length matches the FHT core.
+func simulateOffload(reg *telemetry.Registry, raw *instrument.Frame, order int) {
+	off := hybrid.DefaultOffloadConfig()
+	off.Order = order
+	off.Metrics = reg
+	if _, err := hybrid.HybridDeconvolveFrame(raw, off); err != nil {
+		fail("modeled offload: %v", err)
+	}
+
+	sc := hybrid.DefaultStreamConfig()
+	sc.Offload.Order = order
+	sc.Columns = 256
+	sc.Metrics = reg
+	if _, err := hybrid.SimulateStream(sc); err != nil {
+		fail("streaming model: %v", err)
+	}
+
+	// Capture/accumulate front end over the raw frame, for the BRAM
+	// occupancy and capture-core families.
+	capCore, err := fpga.NewCaptureCore(4, 1)
+	if err != nil {
+		fail("capture core: %v", err)
+	}
+	capCore.Instrument(reg)
+	acc, err := fpga.NewAccumulatorCore(4, 32, raw.DriftBins)
+	if err != nil {
+		fail("accumulator core: %v", err)
+	}
+	acc.Instrument(reg)
+	block := make([]int64, raw.DriftBins)
+	for t := 0; t < raw.TOFBins; t++ {
+		vec := raw.DriftVector(t)
+		for i, v := range vec {
+			block[i] = int64(v)
+		}
+		capCore.Capture(block)
+		if _, err := acc.Accumulate(block); err != nil {
+			fail("accumulate: %v", err)
+		}
+	}
+	acc.PublishOccupancy()
 }

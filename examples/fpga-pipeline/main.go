@@ -2,7 +2,10 @@
 // program.  It sizes the FPGA capture/accumulation front end against the
 // digitizer, analyzes the deconvolution offload over the RapidArray fabric,
 // pushes a real multiplexed frame through the fixed-point FHT core, and
-// compares against the measured pure-software path.
+// compares against the measured pure-software path.  The whole run is
+// instrumented through an internal/telemetry registry, and the closing
+// section reads the telemetry back to locate the bottleneck — the
+// walkthrough in docs/OBSERVABILITY.md follows this program.
 package main
 
 import (
@@ -17,9 +20,11 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/pipeline"
 	"repro/internal/prs"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	reg := telemetry.NewRegistry()
 	// 1. Capture front end: does the FPGA keep up with the digitizer, and
 	// how much does on-chip accumulation shrink the stream?
 	dp, err := hybrid.AnalyzeDataPath(hybrid.DefaultDataPathConfig())
@@ -62,6 +67,7 @@ func main() {
 		}
 		frame.SetDriftVector(c, y)
 	}
+	off.Metrics = reg
 	res, err := hybrid.HybridDeconvolveFrame(frame, off)
 	if err != nil {
 		log.Fatal(err)
@@ -72,12 +78,12 @@ func main() {
 	// 4. Software baseline measured on this host.
 	factory := func() (hadamard.Decoder, error) { return hadamard.NewFHTDecoder(order) }
 	start := time.Now()
-	if _, err := pipeline.DeconvolveFrame(frame, factory, 1); err != nil {
+	if _, err := pipeline.DeconvolveFrameWithMetrics(frame, factory, 1, reg); err != nil {
 		log.Fatal(err)
 	}
 	single := time.Since(start)
 	start = time.Now()
-	if _, err := pipeline.DeconvolveFrame(frame, factory, 0); err != nil {
+	if _, err := pipeline.DeconvolveFrameWithMetrics(frame, factory, 0, reg); err != nil {
 		log.Fatal(err)
 	}
 	parallel := time.Since(start)
@@ -85,4 +91,37 @@ func main() {
 		single.Seconds()*1e3, parallel.Seconds()*1e3, runtime.GOMAXPROCS(0))
 	fmt.Printf("modeled FPGA vs measured single-thread: %.1fx\n",
 		single.Seconds()/res.SimulatedTimeS)
+
+	// 5. Stream the frame's columns through the clocked pipeline, then read
+	// the telemetry back: the deepest queue and the stage that stalled the
+	// most point at the bottleneck without re-deriving anything by hand.
+	sc := hybrid.DefaultStreamConfig()
+	sc.Offload = off
+	sc.Columns = cols
+	sc.Metrics = reg
+	srep, err := hybrid.SimulateStream(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclocked stream: %.0f cycles/col sustained, bottleneck stage: %s\n",
+		srep.CyclesPerCol, srep.Bottleneck)
+
+	fmt.Println("\ntelemetry highlights:")
+	colLat := reg.Histogram("hybrid_column_latency_cycles",
+		"cycles from capture feed to dma-out acceptance, per column")
+	fmt.Printf("  column latency          p50 %.0f  p99 %.0f cycles (%d observed)\n",
+		colLat.Quantile(0.5), colLat.Quantile(0.99), colLat.Count())
+	for _, fifo := range []string{"capture→accum", "accum→fht", "fht→dma"} {
+		depth := reg.Gauge("hybrid_queue_depth_peak",
+			"high-water occupancy of each inter-stage queue, tokens", telemetry.L("fifo", fifo))
+		stalls := reg.Counter("hybrid_queue_full_stalls_total",
+			"pushes rejected by a full inter-stage queue", telemetry.L("fifo", fifo))
+		fmt.Printf("  queue %-14s     peak depth %.0f, full-stalls %d\n", fifo, depth.Value(), stalls.Value())
+	}
+	decodeNs := reg.Histogram("pipeline_column_decode_ns", "per-column software decode latency, nanoseconds")
+	fmt.Printf("  software decode/column  p50 %.1f us over %d columns\n",
+		decodeNs.Quantile(0.5)/1e3, decodeNs.Count())
+	fmt.Printf("  host-FPGA transfers     %d bytes each way\n",
+		reg.Counter("hybrid_transfer_bytes_total", "bytes moved between host and FPGA per direction",
+			telemetry.L("dir", "in")).Value())
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/peaks"
 	"repro/internal/pipeline"
 	"repro/internal/prs"
+	"repro/internal/telemetry"
 )
 
 // DecoderKind selects the deconvolution algorithm for multiplexed runs.
@@ -88,6 +89,11 @@ type Experiment struct {
 	WienerLambda float64
 	// Workers bounds deconvolution parallelism (<= 0 = GOMAXPROCS).
 	Workers int
+	// Metrics, when non-nil, receives the run's telemetry: per-stage wall
+	// time (core_stage_ns{stage="acquire"|"decode"}), run/ion counters
+	// (core_* families) and the software pipeline's pipeline_* families.
+	// Nil disables instrumentation at ~zero cost.
+	Metrics *telemetry.Registry
 }
 
 // Result is a completed experiment.
@@ -137,7 +143,12 @@ func (e *Experiment) decoderFactory(inst *instrument.Instrument) (pipeline.Decod
 }
 
 // Run acquires and processes one experiment, deterministically in rng.
+// Stage timings and counters are recorded into e.Metrics when set.
 func (e *Experiment) Run(rng *rand.Rand) (*Result, error) {
+	reg := e.Metrics
+	stageNs := func(stage string) *telemetry.Histogram {
+		return reg.Histogram("core_stage_ns", "wall time per experiment stage, nanoseconds", telemetry.L("stage", stage))
+	}
 	src, err := instrument.NewESISource(e.Mixture, e.SourceRate)
 	if err != nil {
 		return nil, err
@@ -147,10 +158,14 @@ func (e *Experiment) Run(rng *rand.Rand) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := stageNs("acquire").Start()
 	raw, stats, err := inst.Acquire(rng)
+	sp.Stop()
 	if err != nil {
 		return nil, err
 	}
+	reg.Counter("core_experiments_total", "experiment acquisitions completed").Inc()
+	reg.Counter("core_ions_detected_total", "ions detected across experiment runs").Add(int64(stats.IonsDetected))
 	res := &Result{Raw: raw, Stats: stats, Sequence: inst.Sequence()}
 	if e.Config.Mode == instrument.ModeSignalAveraging {
 		res.Decoded = raw
@@ -160,7 +175,9 @@ func (e *Experiment) Run(rng *rand.Rand) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	decoded, err := pipeline.DeconvolveFrame(raw, factory, e.Workers)
+	sp = stageNs("decode").Start()
+	decoded, err := pipeline.DeconvolveFrameWithMetrics(raw, factory, e.Workers, reg)
+	sp.Stop()
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/instrument"
 	"repro/internal/peaks"
+	"repro/internal/telemetry"
 	"repro/internal/xd1"
 )
 
@@ -216,22 +217,41 @@ func E15StreamingDynamics(seed int64, quick bool) (*Table, error) {
 		cols = 64
 	}
 	t := &Table{
-		ID:      "E15",
-		Title:   "Clocked FPGA pipeline dynamics vs column arrival interval",
-		Columns: []string{"arrival (cycles)", "cycles/col", "throughput (cols/s)", "bottleneck", "real-time"},
+		ID:    "E15",
+		Title: "Clocked FPGA pipeline dynamics vs column arrival interval",
+		Columns: []string{"arrival (cycles)", "cycles/col", "throughput (cols/s)", "bottleneck", "real-time",
+			"peak queue", "col latency p50", "col latency p99"},
 		Notes: []string{
 			"arrival 0 = saturation test; the deconvolve core's initiation interval bounds the sustained rate",
+			"peak queue = deepest inter-stage FIFO high-water mark (tokens); latencies are capture-feed to dma-out, cycles",
 		},
 	}
 	for _, iv := range intervals {
 		cfg := hybrid.DefaultStreamConfig()
 		cfg.Columns = cols
 		cfg.ArrivalInterval = iv
+		reg := registry()
+		cfg.Metrics = reg
+		latHist := reg.Histogram("hybrid_column_latency_cycles",
+			"cycles from capture feed to dma-out acceptance, per column")
+		latBefore := latHist.Counts()
 		rep, err := hybrid.SimulateStream(cfg)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(iv, rep.CyclesPerCol, rep.ThroughputCols, rep.Bottleneck, rep.RealTime)
+		lat := countsDelta(latHist.Counts(), latBefore)
+		// The per-FIFO peak gauges are Set per run, so reading right after
+		// the run is per-row even on the shared registry.
+		peak := 0.0
+		for _, fifo := range []string{"capture→accum", "accum→fht", "fht→dma"} {
+			g := reg.Gauge("hybrid_queue_depth_peak",
+				"high-water occupancy of each inter-stage queue, tokens", telemetry.L("fifo", fifo))
+			if v := g.Value(); v > peak {
+				peak = v
+			}
+		}
+		t.AddRow(iv, rep.CyclesPerCol, rep.ThroughputCols, rep.Bottleneck, rep.RealTime,
+			peak, telemetry.QuantileOfCounts(lat, 0.5), telemetry.QuantileOfCounts(lat, 0.99))
 	}
 	return t, nil
 }
@@ -246,11 +266,13 @@ func E18ClusterScaling(seed int64, quick bool) (*Table, error) {
 		nodesList = []int{1, 4, 16}
 	}
 	t := &Table{
-		ID:      "E18",
-		Title:   "Multi-node offload scaling with a single collection host",
-		Columns: []string{"nodes", "per-node fps", "aggregate fps", "host limit fps", "efficiency", "limited by"},
+		ID:    "E18",
+		Title: "Multi-node offload scaling with a single collection host",
+		Columns: []string{"nodes", "per-node fps", "aggregate fps", "host limit fps", "efficiency", "limited by",
+			"host util"},
 		Notes: []string{
 			"an XD1 chassis holds 6 nodes; collection saturates the host RapidArray link first",
+			"host util = aggregate fps / host limit fps (collection-link utilization, 1.0 = saturated)",
 		},
 	}
 	cfg := hybrid.DefaultOffloadConfig()
@@ -260,7 +282,11 @@ func E18ClusterScaling(seed int64, quick bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, r.PerNodeFPS, r.AggregateFPS, r.HostLimitFPS, r.Efficiency, r.LimitedBy)
+		util := r.AggregateFPS / r.HostLimitFPS
+		if util > 1 {
+			util = 1
+		}
+		t.AddRow(n, r.PerNodeFPS, r.AggregateFPS, r.HostLimitFPS, r.Efficiency, r.LimitedBy, util)
 	}
 	return t, nil
 }

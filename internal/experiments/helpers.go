@@ -9,7 +9,34 @@ import (
 	"repro/internal/chem"
 	"repro/internal/core"
 	"repro/internal/instrument"
+	"repro/internal/telemetry"
 )
+
+// Metrics, when non-nil, aggregates telemetry across every instrumented
+// experiment run — cmd/benchreport sets it when invoked with -metrics so
+// the whole evaluation's stage-level activity lands in one exported
+// snapshot.  When nil, instrumented experiments use private throwaway
+// registries for their breakdown columns.
+var Metrics *telemetry.Registry
+
+// registry returns the shared Metrics registry when set, else a fresh
+// private one scoped to a single experiment row.
+func registry() *telemetry.Registry {
+	if Metrics != nil {
+		return Metrics
+	}
+	return telemetry.NewRegistry()
+}
+
+// countsDelta subtracts a before-snapshot of histogram bucket counts from an
+// after-snapshot, so breakdown columns stay per-row even when the shared
+// Metrics registry accumulates across the whole report.
+func countsDelta(after, before [telemetry.NumBuckets]int64) [telemetry.NumBuckets]int64 {
+	for i := range after {
+		after[i] -= before[i]
+	}
+	return after
+}
 
 // standardMixture builds the nine-peptide calibrant mixture used by the
 // signal-quality experiments (all standard peptides that fall inside the

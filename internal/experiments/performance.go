@@ -14,6 +14,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/pipeline"
 	"repro/internal/prs"
+	"repro/internal/telemetry"
 	"repro/internal/xd1"
 )
 
@@ -44,12 +45,13 @@ func encodedTestFrame(order, cols int, seed int64) (*instrument.Frame, *instrume
 }
 
 // timeCPUFrame measures single-threaded software deconvolution of a frame,
-// returning seconds per frame.
-func timeCPUFrame(f *instrument.Frame, order int, reps int) (float64, error) {
+// returning seconds per frame; per-column latencies land in reg (which may
+// be nil).
+func timeCPUFrame(f *instrument.Frame, order int, reps int, reg *telemetry.Registry) (float64, error) {
 	factory := func() (hadamard.Decoder, error) { return hadamard.NewFHTDecoder(order) }
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		if _, err := pipeline.DeconvolveFrame(f, factory, 1); err != nil {
+		if _, err := pipeline.DeconvolveFrameWithMetrics(f, factory, 1, reg); err != nil {
 			return 0, err
 		}
 	}
@@ -73,7 +75,8 @@ func E3FPGAvsCPU(seed int64, quick bool) (*Table, error) {
 		ID:    "E3",
 		Title: "Deconvolution throughput: modeled FPGA offload vs measured software",
 		Columns: []string{"order", "cols", "FPGA cycles/col", "FPGA frames/s", "CPU(1) frames/s",
-			"CPU(all) frames/s", "FPGA/CPU(1)", "instr frames/s", "real-time margin"},
+			"CPU(all) frames/s", "FPGA/CPU(1)", "instr frames/s", "real-time margin",
+			"col p50 us", "col p99 us"},
 		Notes: []string{
 			"FPGA rate from the cycle model at the Virtex-II Pro 150 MHz clock over the RapidArray fabric",
 			"CPU rates measured on the simulation host (not Opteron-scaled); margin = FPGA rate / instrument rate",
@@ -91,10 +94,17 @@ func E3FPGAvsCPU(seed int64, quick bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cpu1, err := timeCPUFrame(enc, order, reps)
+		// Per-column decode latency quantiles come from the telemetry
+		// histogram wired through the decode; a before/after counts delta
+		// keeps the row truthful under the shared benchreport registry.
+		reg := registry()
+		colHist := reg.Histogram("pipeline_column_decode_ns", "per-column software decode latency, nanoseconds")
+		before := colHist.Counts()
+		cpu1, err := timeCPUFrame(enc, order, reps, reg)
 		if err != nil {
 			return nil, err
 		}
+		rowCounts := countsDelta(colHist.Counts(), before)
 		factory := func() (hadamard.Decoder, error) { return hadamard.NewFHTDecoder(order) }
 		start := time.Now()
 		for i := 0; i < reps; i++ {
@@ -109,7 +119,9 @@ func E3FPGAvsCPU(seed int64, quick bool) (*Table, error) {
 		n := int(1)<<order - 1
 		instrRate := 1.0 / (float64(n*10) * 1e-4)
 		t.AddRow(order, cols, rep.ColumnCycles, rep.FramesPerSec, 1/cpu1, 1/cpuAll,
-			(1/rep.FrameTimeS)/(1/cpu1), instrRate, rep.FramesPerSec/instrRate)
+			(1/rep.FrameTimeS)/(1/cpu1), instrRate, rep.FramesPerSec/instrRate,
+			telemetry.QuantileOfCounts(rowCounts, 0.5)/1e3,
+			telemetry.QuantileOfCounts(rowCounts, 0.99)/1e3)
 	}
 	return t, nil
 }
@@ -128,8 +140,11 @@ func E4CPUScaling(seed int64, quick bool) (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Title:   "CPU strong scaling of frame deconvolution",
-		Columns: []string{"workers", "frames/s", "speedup", "efficiency"},
-		Notes:   []string{"column-parallel FHT decoding; ideal scaling is linear in workers"},
+		Columns: []string{"workers", "frames/s", "speedup", "efficiency", "busy frac"},
+		Notes: []string{
+			"column-parallel FHT decoding; ideal scaling is linear in workers",
+			"busy frac = cumulative worker decode time / (wall time x workers), from pipeline_worker_busy_ns_total",
+		},
 	}
 	enc, _, err := encodedTestFrame(order, cols, seed)
 	if err != nil {
@@ -137,20 +152,25 @@ func E4CPUScaling(seed int64, quick bool) (*Table, error) {
 	}
 	factory := func() (hadamard.Decoder, error) { return hadamard.NewFHTDecoder(order) }
 	maxW := runtime.GOMAXPROCS(0)
+	reg := registry()
+	busyC := reg.Counter("pipeline_worker_busy_ns_total", "cumulative wall time workers spent decoding, nanoseconds")
 	var base float64
 	for workers := 1; workers <= maxW; workers *= 2 {
+		busyBefore := busyC.Value()
 		start := time.Now()
 		for i := 0; i < reps; i++ {
-			if _, err := pipeline.DeconvolveFrame(enc, factory, workers); err != nil {
+			if _, err := pipeline.DeconvolveFrameWithMetrics(enc, factory, workers, reg); err != nil {
 				return nil, err
 			}
 		}
-		perFrame := time.Since(start).Seconds() / float64(reps)
+		wall := time.Since(start)
+		perFrame := wall.Seconds() / float64(reps)
 		rate := 1 / perFrame
 		if workers == 1 {
 			base = rate
 		}
-		t.AddRow(workers, rate, rate/base, rate/base/float64(workers))
+		busyFrac := float64(busyC.Value()-busyBefore) / (float64(wall.Nanoseconds()) * float64(workers))
+		t.AddRow(workers, rate, rate/base, rate/base/float64(workers), busyFrac)
 	}
 	return t, nil
 }
@@ -167,7 +187,8 @@ func E5DataPath(seed int64, quick bool) (*Table, error) {
 		ID:    "E5",
 		Title: "Capture data path: on-FPGA accumulation vs streaming raw samples",
 		Columns: []string{"cycles accumulated", "raw MB/s", "accum MB/s", "reduction", "raw fabric util",
-			"accum fabric util", "FPGA util", "BRAM Mbit", "fits BRAM", "real-time"},
+			"accum fabric util", "FPGA util", "BRAM Mbit", "fits BRAM", "real-time",
+			"capture util", "accum util"},
 		Notes: []string{
 			"raw fabric utilization is what host-side processing would pay without the FPGA front end",
 		},
@@ -179,9 +200,11 @@ func E5DataPath(seed int64, quick bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		clock := cfg.Node.FPGA.ClockHz
 		t.AddRow(d, rep.RawByteRate/1e6, rep.AccumulatedByteRate/1e6, rep.ReductionFactor,
 			rep.RawFabricUtilization, rep.AccumulatedFabricUtilization, rep.FPGAUtilization,
-			float64(rep.BRAMBitsNeeded)/1e6, rep.BRAMOK, rep.RealTime)
+			float64(rep.BRAMBitsNeeded)/1e6, rep.BRAMOK, rep.RealTime,
+			rep.CaptureCyclesPerSec/clock, rep.AccumCyclesPerSec/clock)
 	}
 	return t, nil
 }

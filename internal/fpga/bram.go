@@ -89,3 +89,15 @@ func (b *BRAM) Stats() (reads, writes, overflows int64) {
 
 // Bits returns the total storage in bits, for resource reports.
 func (b *BRAM) Bits() int { return b.WordBits * b.Depth }
+
+// Occupancy returns the fraction of words holding a nonzero value — the
+// bank's live data footprint, published as fpga_bram_occupancy_ratio.
+func (b *BRAM) Occupancy() float64 {
+	nz := 0
+	for _, v := range b.data {
+		if v != 0 {
+			nz++
+		}
+	}
+	return float64(nz) / float64(b.Depth)
+}

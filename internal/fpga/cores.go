@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/hadamard"
+	"repro/internal/telemetry"
 )
 
 // CaptureCore ingests raw ADC samples, applies the noise threshold, and
@@ -22,6 +23,20 @@ type CaptureCore struct {
 	Threshold int64
 
 	kept, dropped int64
+
+	keptC, droppedC, cyclesC *telemetry.Counter
+}
+
+// Instrument publishes the capture core's activity into reg as the
+// fpga_capture_samples_total{result} and fpga_capture_cycles_total
+// families.  A nil registry is a no-op.
+func (c *CaptureCore) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.keptC = reg.Counter("fpga_capture_samples_total", "ADC samples processed by the capture core", telemetry.L("result", "kept"))
+	c.droppedC = reg.Counter("fpga_capture_samples_total", "ADC samples processed by the capture core", telemetry.L("result", "dropped"))
+	c.cyclesC = reg.Counter("fpga_capture_cycles_total", "capture core ingest cycles consumed")
 }
 
 // NewCaptureCore validates and constructs the core.
@@ -37,15 +52,22 @@ func NewCaptureCore(samplesPerCycle int, threshold int64) (*CaptureCore, error) 
 
 // Capture thresholds the samples in place and returns the cycles consumed.
 func (c *CaptureCore) Capture(samples []int64) int64 {
+	var kept, dropped int64
 	for i, v := range samples {
 		if c.Threshold > 0 && v < c.Threshold {
 			samples[i] = 0
-			c.dropped++
+			dropped++
 		} else {
-			c.kept++
+			kept++
 		}
 	}
-	return c.CyclesFor(len(samples))
+	c.kept += kept
+	c.dropped += dropped
+	cycles := c.CyclesFor(len(samples))
+	c.keptC.Add(kept)
+	c.droppedC.Add(dropped)
+	c.cyclesC.Add(cycles)
+	return cycles
 }
 
 // CyclesFor returns the ingest cycles for n samples.
@@ -61,6 +83,40 @@ func (c *CaptureCore) Stats() (kept, dropped int64) { return c.kept, c.dropped }
 // address, each sustaining one read-modify-write per cycle.
 type AccumulatorCore struct {
 	banks []*BRAM
+
+	cyclesC    *telemetry.Counter
+	overflowsC *telemetry.Counter
+	occupancy  []*telemetry.Gauge
+}
+
+// Instrument publishes the accumulator's activity into reg: accumulation
+// cycles (fpga_accum_cycles_total), saturation events
+// (fpga_accum_overflows_total) and per-bank BRAM occupancy gauges
+// (fpga_bram_occupancy_ratio{bank}, refreshed by PublishOccupancy).  A nil
+// registry is a no-op.
+func (a *AccumulatorCore) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	a.cyclesC = reg.Counter("fpga_accum_cycles_total", "accumulator read-modify-write cycles consumed")
+	a.overflowsC = reg.Counter("fpga_accum_overflows_total", "accumulator word saturation events")
+	a.occupancy = a.occupancy[:0]
+	for _, b := range a.banks {
+		a.occupancy = append(a.occupancy, reg.Gauge("fpga_bram_occupancy_ratio",
+			"fraction of BRAM accumulator words holding nonzero data", telemetry.L("bank", b.Name)))
+	}
+}
+
+// PublishOccupancy refreshes the per-bank occupancy gauges (a full scan of
+// every bank, so it is meant for frame boundaries, not the per-sample hot
+// path).  A no-op until Instrument is called.
+func (a *AccumulatorCore) PublishOccupancy() {
+	if a.occupancy == nil {
+		return
+	}
+	for i, b := range a.banks {
+		a.occupancy[i].Set(b.Occupancy())
+	}
 }
 
 // NewAccumulatorCore builds nBanks interleaved banks covering `depth` total
@@ -96,12 +152,16 @@ func (a *AccumulatorCore) Accumulate(block []int64) (int64, error) {
 		return 0, fmt.Errorf("fpga: block of %d exceeds accumulator depth %d", len(block), a.Depth())
 	}
 	n := len(a.banks)
+	before := a.Overflows()
 	for i, v := range block {
 		if err := a.banks[i%n].Accumulate(i/n, v); err != nil {
 			return 0, err
 		}
 	}
-	return int64((len(block) + n - 1) / n), nil
+	cycles := int64((len(block) + n - 1) / n)
+	a.cyclesC.Add(cycles)
+	a.overflowsC.Add(a.Overflows() - before)
+	return cycles, nil
 }
 
 // Snapshot returns the accumulated words in address order.
@@ -171,6 +231,20 @@ type FHTCore struct {
 	scatter    []int
 	gather     []int
 	saturation int64
+
+	columnsC, cyclesC, saturationsC *telemetry.Counter
+}
+
+// Instrument publishes the deconvolver's activity into reg as the
+// fpga_fht_columns_total, fpga_fht_cycles_total and
+// fpga_fht_saturations_total families.  A nil registry is a no-op.
+func (c *FHTCore) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.columnsC = reg.Counter("fpga_fht_columns_total", "waveforms deconvolved by the FHT core")
+	c.cyclesC = reg.Counter("fpga_fht_cycles_total", "FHT core cycles consumed")
+	c.saturationsC = reg.Counter("fpga_fht_saturations_total", "fixed-point saturation events in the FHT core")
 }
 
 // NewFHTCore builds the core for the canonical m-sequence of the given
@@ -223,6 +297,7 @@ func (c *FHTCore) Deconvolve(y []float64) ([]float64, int64, error) {
 		return nil, 0, fmt.Errorf("fpga: deconvolve length %d, want %d", len(y), n)
 	}
 	m := n + 1
+	satBefore := c.saturation
 	work := make([]int64, m)
 	for i, p := range c.scatter {
 		raw, sat := c.Format.FromFloat(y[i])
@@ -263,7 +338,11 @@ func (c *FHTCore) Deconvolve(y []float64) ([]float64, int64, error) {
 	for j := 0; j < n; j++ {
 		x[j] = c.Format.ToFloat(work[c.gather[j]]) * scale
 	}
-	return x, c.CyclesPerFrame(), nil
+	cycles := c.CyclesPerFrame()
+	c.columnsC.Inc()
+	c.cyclesC.Add(cycles)
+	c.saturationsC.Add(c.saturation - satBefore)
+	return x, cycles, nil
 }
 
 // Saturations reports cumulative saturation events — nonzero values mean

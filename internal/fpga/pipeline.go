@@ -8,6 +8,8 @@ package fpga
 
 import (
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // Token is a unit of work moving through the pipeline (e.g. one captured
@@ -28,6 +30,12 @@ type FIFO struct {
 	pops       int64
 	fullStalls int64
 	maxDepth   int
+
+	// depthHist, when set by Pipeline.Instrument, receives one occupancy
+	// observation per simulated cycle.
+	depthHist *telemetry.Histogram
+	// depthPeak, when set, tracks the high-water occupancy.
+	depthPeak *telemetry.Gauge
 }
 
 // NewFIFO constructs a bounded FIFO.
@@ -90,6 +98,10 @@ type Stage struct {
 	In *FIFO
 	// Out is the output FIFO; nil makes the stage a sink.
 	Out *FIFO
+	// OnAccept, if non-nil, observes every token the stage accepts along
+	// with the cycle of acceptance — the hook higher layers use to measure
+	// end-to-end token latency through the pipeline.
+	OnAccept func(t Token, cycle int64)
 
 	// busyUntil is the cycle at which the stage can accept again.
 	busyUntil int64
@@ -100,6 +112,11 @@ type Stage struct {
 	emitted      int64
 	inputStalls  int64 // cycles idle for lack of input
 	outputStalls int64 // cycles blocked on a full output FIFO
+
+	// stallHist, when set by Pipeline.Instrument, receives the length of
+	// each completed run of consecutive output-stall cycles.
+	stallHist *telemetry.Histogram
+	stallRun  int64
 }
 
 // StageStats is a snapshot of a stage's counters.
@@ -128,7 +145,14 @@ func (s *Stage) tick(cycle int64) {
 			s.pending = nil
 		} else {
 			s.outputStalls++
+			s.stallRun++
 			return // blocked; cannot accept either
+		}
+		if s.stallRun > 0 {
+			if s.stallHist != nil {
+				s.stallHist.Observe(float64(s.stallRun))
+			}
+			s.stallRun = 0
 		}
 	}
 	if cycle < s.busyUntil || s.pending != nil {
@@ -162,12 +186,20 @@ func (s *Stage) accept(t Token, cycle int64) {
 	s.pending = &t
 	s.pendingAt = done
 	s.accepted++
+	if s.OnAccept != nil {
+		s.OnAccept(t, cycle)
+	}
 }
 
 // Pipeline is an ordered set of stages sharing a clock.
 type Pipeline struct {
 	Stages []*Stage
 	cycle  int64
+
+	// fifos are the distinct FIFOs wired between stages, collected for
+	// per-cycle occupancy sampling when instrumented.
+	fifos   []*FIFO
+	cyclesC *telemetry.Counter
 }
 
 // NewPipeline validates stage wiring (each non-source stage needs an input
@@ -198,6 +230,37 @@ func NewPipeline(stages ...*Stage) (*Pipeline, error) {
 // Cycle returns the current clock cycle.
 func (p *Pipeline) Cycle() int64 { return p.cycle }
 
+// Instrument wires the pipeline's clocked hot path into a telemetry
+// registry: per-FIFO occupancy histograms (fpga_fifo_depth, one sample per
+// cycle) and peak gauges (fpga_fifo_depth_peak), per-stage output-stall
+// run-length histograms (fpga_stage_stall_run_cycles), and the simulated
+// cycle counter (fpga_pipeline_cycles_total).  A nil registry leaves the
+// pipeline un-instrumented; calling before the first Step is recommended so
+// samples cover the whole run.
+func (p *Pipeline) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.cyclesC = reg.Counter("fpga_pipeline_cycles_total", "simulated FPGA clock cycles stepped")
+	seen := map[*FIFO]bool{}
+	p.fifos = nil
+	for _, st := range p.Stages {
+		st.stallHist = reg.Histogram("fpga_stage_stall_run_cycles",
+			"length of each run of consecutive output-stall cycles, cycles", telemetry.L("stage", st.Name))
+		for _, f := range []*FIFO{st.In, st.Out} {
+			if f == nil || seen[f] {
+				continue
+			}
+			seen[f] = true
+			f.depthHist = reg.Histogram("fpga_fifo_depth", "FIFO occupancy sampled once per cycle, tokens",
+				telemetry.L("fifo", f.Name))
+			f.depthPeak = reg.Gauge("fpga_fifo_depth_peak", "high-water FIFO occupancy, tokens",
+				telemetry.L("fifo", f.Name))
+			p.fifos = append(p.fifos, f)
+		}
+	}
+}
+
 // Feed pushes a token into a source stage (one with In == nil) if it is
 // free; returns false when the stage is busy.
 func (p *Pipeline) Feed(stage *Stage, t Token) bool {
@@ -216,8 +279,14 @@ func (p *Pipeline) Step(n int) {
 		for j := len(p.Stages) - 1; j >= 0; j-- {
 			p.Stages[j].tick(p.cycle)
 		}
+		for _, f := range p.fifos {
+			d := float64(len(f.q))
+			f.depthHist.Observe(d)
+			f.depthPeak.SetMax(d)
+		}
 		p.cycle++
 	}
+	p.cyclesC.Add(int64(n))
 }
 
 // RunUntilDrained steps until every FIFO is empty and no stage holds a

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/fpga"
 	"repro/internal/instrument"
+	"repro/internal/telemetry"
 	"repro/internal/xd1"
 )
 
@@ -169,6 +170,13 @@ type OffloadConfig struct {
 	WordBytes int
 	// DMABurstBytes is the DMA descriptor size.
 	DMABurstBytes float64
+	// Metrics, when non-nil, receives the executable offload path's
+	// telemetry: host↔FPGA transfer bytes and modeled latency (hybrid_*
+	// and xd1_dma_* families), FHT core cycle/saturation counts (fpga_fht_*)
+	// and fabric utilization (xd1_fabric_utilization_ratio).  Analytic
+	// planning (AnalyzeOffload) stays metric-free.  Nil disables
+	// instrumentation.
+	Metrics *telemetry.Registry
 }
 
 // DefaultOffloadConfig mirrors the reference design: order 9, Q23.8
@@ -269,7 +277,9 @@ type HybridResult struct {
 
 // HybridDeconvolveFrame runs a frame through the modeled FPGA offload: each
 // m/z column is deconvolved by the fixed-point FHT core (data-exact), and
-// the simulated wall time is the steady-state double-buffered budget.
+// the simulated wall time is the steady-state double-buffered budget.  When
+// c.Metrics is set, the host↔FPGA transfers, core activity and fabric load
+// are recorded as telemetry.
 func HybridDeconvolveFrame(f *instrument.Frame, c OffloadConfig) (*HybridResult, error) {
 	if f == nil {
 		return nil, fmt.Errorf("hybrid: nil frame")
@@ -284,6 +294,7 @@ func HybridDeconvolveFrame(f *instrument.Frame, c OffloadConfig) (*HybridResult,
 	if err != nil {
 		return nil, err
 	}
+	core.Instrument(cfg.Metrics)
 	if core.Len() != f.DriftBins {
 		return nil, fmt.Errorf("hybrid: core length %d != frame drift bins %d", core.Len(), f.DriftBins)
 	}
@@ -295,12 +306,36 @@ func HybridDeconvolveFrame(f *instrument.Frame, c OffloadConfig) (*HybridResult,
 		}
 		out.SetDriftVector(t, x)
 	}
+	if reg := cfg.Metrics; reg != nil {
+		recordOffloadTransfers(reg, cfg, core, rep)
+	}
 	return &HybridResult{
 		Decoded:        out,
 		SimulatedTimeS: rep.FrameTimeS,
 		Saturations:    core.Saturations(),
 		Report:         rep,
 	}, nil
+}
+
+// recordOffloadTransfers replays the frame's modeled host↔FPGA movement
+// through an instrumented DMA engine and publishes the hybrid-level
+// transfer and fabric-utilization telemetry.
+func recordOffloadTransfers(reg *telemetry.Registry, cfg OffloadConfig, core *fpga.FHTCore, rep OffloadReport) {
+	frameBytes := float64(core.Len()) * float64(cfg.TOFColumns) * float64(cfg.WordBytes)
+	dma, err := xd1.NewDMA(cfg.Node.Fabric, cfg.DMABurstBytes)
+	if err != nil {
+		return // cfg already validated by AnalyzeOffload; defensive only
+	}
+	dma.Instrument(reg)
+	for _, dir := range []string{"in", "out"} {
+		t := dma.TransferTime(frameBytes)
+		l := telemetry.L("dir", dir)
+		reg.Counter("hybrid_transfer_bytes_total", "bytes moved between host and FPGA per direction", l).Add(int64(frameBytes))
+		reg.Histogram("hybrid_transfer_ns", "modeled per-frame host-FPGA transfer latency, nanoseconds", l).Observe(t * 1e9)
+	}
+	// Sustained link load at the steady-state frame rate, per direction.
+	util := cfg.Node.Fabric.Utilization(frameBytes * rep.FramesPerSec)
+	reg.Gauge("xd1_fabric_utilization_ratio", "fraction of RapidArray bandwidth consumed per transfer direction at the sustained frame rate").Set(util)
 }
 
 // SoftwareEstimate models the pure-CPU baseline on the same node: the

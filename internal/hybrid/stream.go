@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/fpga"
+	"repro/internal/telemetry"
 )
 
 // StreamConfig describes the streaming simulation.
@@ -25,6 +26,11 @@ type StreamConfig struct {
 	// CaptureSamplesPerCycle and AccumBanks parallelize the front stages.
 	CaptureSamplesPerCycle int
 	AccumBanks             int
+	// Metrics, when non-nil, receives the run's telemetry: per-cycle FIFO
+	// depths and stall runs (fpga_* families, via Pipeline.Instrument),
+	// per-stage accept/stall counters, end-to-end column latency and
+	// collector lag (hybrid_* families).  Nil disables instrumentation.
+	Metrics *telemetry.Registry
 }
 
 // DefaultStreamConfig streams 2048 columns of the reference offload with
@@ -129,13 +135,35 @@ func SimulateStream(c StreamConfig) (StreamReport, error) {
 	if err != nil {
 		return StreamReport{}, err
 	}
+	p.Instrument(c.Metrics)
 
+	// End-to-end column latency: cycles from feeding the capture stage to
+	// acceptance at the DMA stage, via the stage's accept hook.  The
+	// collector lag gauge tracks how far the sink trails the feed.
+	colLatency := c.Metrics.Histogram("hybrid_column_latency_cycles",
+		"cycles from capture feed to dma-out acceptance, per column")
+	collectorLag := c.Metrics.Gauge("hybrid_collector_lag_peak_cols",
+		"peak count of columns in flight between feed and dma-out")
 	fed := 0
+	var feedCycle []int64
+	if c.Metrics != nil {
+		feedCycle = make([]int64, c.Columns)
+		dma.OnAccept = func(t fpga.Token, cycle int64) {
+			if t.ID >= 0 && t.ID < len(feedCycle) {
+				colLatency.Observe(float64(cycle - feedCycle[t.ID]))
+			}
+			collectorLag.SetMax(float64(int64(fed) - dma.Stats().Accepted))
+		}
+	}
+
 	var nextArrival int64
 	maxCycles := int64(c.Columns+16) * int64(fhtII+captureII+accumII+dmaII+int(c.ArrivalInterval)+4)
 	for p.Cycle() < maxCycles {
 		if fed < c.Columns && p.Cycle() >= nextArrival {
 			if p.Feed(capture, fpga.Token{ID: fed, Words: n}) {
+				if feedCycle != nil {
+					feedCycle[fed] = p.Cycle()
+				}
 				fed++
 				nextArrival = p.Cycle() + c.ArrivalInterval
 			}
@@ -155,6 +183,8 @@ func SimulateStream(c StreamConfig) (StreamReport, error) {
 	rep.TotalCycles = p.Cycle()
 	rep.CyclesPerCol = float64(p.Cycle()) / float64(c.Columns)
 	rep.ThroughputCols = c.Offload.Node.FPGA.ClockHz / rep.CyclesPerCol
+	c.Metrics.Counter("hybrid_stream_columns_total", "columns streamed through the clocked pipeline").Add(int64(c.Columns))
+	c.Metrics.Counter("hybrid_stream_cycles_total", "total simulated cycles of the streaming run").Add(p.Cycle())
 	for _, st := range []*fpga.Stage{capture, accum, fht, dma} {
 		s := st.Stats()
 		rep.Stages = append(rep.Stages, StageReport{
@@ -163,9 +193,23 @@ func SimulateStream(c StreamConfig) (StreamReport, error) {
 			InputStalls:  s.InputStalls,
 			OutputStalls: s.OutputStalls,
 		})
+		if c.Metrics != nil {
+			l := telemetry.L("stage", s.Name)
+			c.Metrics.Counter("hybrid_stage_accepted_total", "tokens accepted per pipeline stage", l).Add(s.Accepted)
+			c.Metrics.Counter("hybrid_stage_input_stall_cycles_total", "cycles a stage idled for lack of input", l).Add(s.InputStalls)
+			c.Metrics.Counter("hybrid_stage_output_stall_cycles_total", "cycles a stage blocked on a full output FIFO", l).Add(s.OutputStalls)
+		}
 		if s.Accepted != int64(c.Columns) {
 			return StreamReport{}, fmt.Errorf("hybrid: stage %s accepted %d of %d columns (pipeline wedged)",
 				s.Name, s.Accepted, c.Columns)
+		}
+	}
+	if c.Metrics != nil {
+		for _, q := range []*fpga.FIFO{q1, q2, q3} {
+			_, _, fullStalls, maxDepth := q.Stats()
+			l := telemetry.L("fifo", q.Name)
+			c.Metrics.Gauge("hybrid_queue_depth_peak", "high-water occupancy of each inter-stage queue, tokens", l).Set(float64(maxDepth))
+			c.Metrics.Counter("hybrid_queue_full_stalls_total", "pushes rejected by a full inter-stage queue", l).Add(fullStalls)
 		}
 	}
 	// Bottleneck: the consumer downstream of the stage with the most

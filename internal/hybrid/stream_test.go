@@ -2,6 +2,8 @@ package hybrid
 
 import (
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestSimulateStreamSaturated(t *testing.T) {
@@ -124,6 +126,61 @@ func BenchmarkSimulateStream(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := SimulateStream(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestSimulateStreamTelemetry: an instrumented run must publish the queue,
+// latency and stall families with values consistent with the report — the
+// integration contract behind -metrics in the commands.
+func TestSimulateStreamTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := DefaultStreamConfig()
+	cfg.Columns = 64
+	cfg.Metrics = reg
+	rep, err := SimulateStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := reg.Histogram("hybrid_column_latency_cycles",
+		"cycles from capture feed to dma-out acceptance, per column")
+	if got := lat.Count(); got != int64(cfg.Columns) {
+		t.Errorf("latency observations = %d, want %d", got, cfg.Columns)
+	}
+	if lat.Quantile(0.5) <= 0 {
+		t.Error("median column latency should be positive")
+	}
+	var anyDepth bool
+	for _, fifo := range []string{"capture→accum", "accum→fht", "fht→dma"} {
+		g := reg.Gauge("hybrid_queue_depth_peak",
+			"high-water occupancy of each inter-stage queue, tokens", telemetry.L("fifo", fifo))
+		if g.Value() > 0 {
+			anyDepth = true
+		}
+	}
+	if !anyDepth {
+		t.Error("no inter-stage queue reported a non-zero peak depth")
+	}
+	if got := reg.Counter("hybrid_stream_columns_total", "").Value(); got != int64(cfg.Columns) {
+		t.Errorf("hybrid_stream_columns_total = %d, want %d", got, cfg.Columns)
+	}
+	if got := reg.Counter("hybrid_stream_cycles_total", "").Value(); got != rep.TotalCycles {
+		t.Errorf("hybrid_stream_cycles_total = %d, want %d", got, rep.TotalCycles)
+	}
+	// The clocked-pipeline families from fpga.Pipeline.Instrument must be
+	// present with activity: per-cycle FIFO depth samples and total cycles.
+	if got := reg.Counter("fpga_pipeline_cycles_total", "").Value(); got != rep.TotalCycles {
+		t.Errorf("fpga_pipeline_cycles_total = %d, want %d", got, rep.TotalCycles)
+	}
+	depth := reg.Histogram("fpga_fifo_depth", "per-cycle FIFO occupancy, tokens",
+		telemetry.L("fifo", "accum→fht"))
+	if depth.Count() == 0 {
+		t.Error("fpga_fifo_depth has no per-cycle samples")
+	}
+	for _, s := range rep.Stages {
+		got := reg.Counter("hybrid_stage_accepted_total", "", telemetry.L("stage", s.Name)).Value()
+		if got != s.Accepted {
+			t.Errorf("stage %s accepted counter = %d, want %d", s.Name, got, s.Accepted)
 		}
 	}
 }

@@ -3,9 +3,17 @@
 // a pool of workers, preserving frame order, with backpressure through
 // bounded channels.  It follows the Effective Go concurrency idiom: share
 // the frames by communicating them, not by locking them.
+//
+// Both entry points accept an optional telemetry registry; passing nil
+// costs one nil check per event (see BenchmarkTelemetryOverhead in
+// internal/telemetry).  Exported families: pipeline_frames_total,
+// pipeline_columns_total, pipeline_errors_total, pipeline_column_decode_ns,
+// pipeline_worker_busy_ns_total, pipeline_workers, and the stream-processor
+// families pipeline_stream_* (see docs/OBSERVABILITY.md).
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,16 +21,52 @@ import (
 
 	"repro/internal/hadamard"
 	"repro/internal/instrument"
+	"repro/internal/telemetry"
 )
 
 // DecoderFactory builds one decoder per worker, so workers never share
 // mutable decoder state.
 type DecoderFactory func() (hadamard.Decoder, error)
 
+// frameMetrics bundles the telemetry handles of the column-parallel
+// deconvolution path; the zero value (all-nil handles) is the
+// un-instrumented no-op configuration.
+type frameMetrics struct {
+	frames     *telemetry.Counter
+	columns    *telemetry.Counter
+	errs       *telemetry.Counter
+	colLatency *telemetry.Histogram
+	workerBusy *telemetry.Counter
+	workers    *telemetry.Gauge
+}
+
+// newFrameMetrics resolves the handles once per frame; on a nil registry
+// every handle is nil.
+func newFrameMetrics(reg *telemetry.Registry) frameMetrics {
+	return frameMetrics{
+		frames:     reg.Counter("pipeline_frames_total", "frames deconvolved by the CPU pipeline"),
+		columns:    reg.Counter("pipeline_columns_total", "m/z columns decoded by the CPU pipeline"),
+		errs:       reg.Counter("pipeline_errors_total", "worker errors during frame deconvolution"),
+		colLatency: reg.Histogram("pipeline_column_decode_ns", "per-column software decode latency, nanoseconds"),
+		workerBusy: reg.Counter("pipeline_worker_busy_ns_total", "cumulative wall time workers spent decoding, nanoseconds"),
+		workers:    reg.Gauge("pipeline_workers", "worker count of the most recent frame deconvolution"),
+	}
+}
+
 // DeconvolveFrame deconvolves every m/z column of a frame in parallel and
 // returns a new frame of recovered arrival distributions.  workers <= 0
-// selects GOMAXPROCS.
+// selects GOMAXPROCS.  It is equivalent to DeconvolveFrameWithMetrics with
+// a nil registry.
 func DeconvolveFrame(f *instrument.Frame, newDecoder DecoderFactory, workers int) (*instrument.Frame, error) {
+	return DeconvolveFrameWithMetrics(f, newDecoder, workers, nil)
+}
+
+// DeconvolveFrameWithMetrics is DeconvolveFrame with per-column decode
+// latency, worker utilization and error telemetry recorded into reg (nil
+// reg disables instrumentation at ~zero cost).  If several workers fail,
+// every distinct error is returned, joined with errors.Join — no failure
+// is silently dropped.
+func DeconvolveFrameWithMetrics(f *instrument.Frame, newDecoder DecoderFactory, workers int, reg *telemetry.Registry) (*instrument.Frame, error) {
 	if f == nil {
 		return nil, fmt.Errorf("pipeline: nil frame")
 	}
@@ -35,6 +79,8 @@ func DeconvolveFrame(f *instrument.Frame, newDecoder DecoderFactory, workers int
 	if workers > f.TOFBins {
 		workers = f.TOFBins
 	}
+	m := newFrameMetrics(reg)
+	m.workers.Set(float64(workers))
 	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
 	var next int64 = -1
 	errs := make(chan error, workers)
@@ -43,6 +89,8 @@ func DeconvolveFrame(f *instrument.Frame, newDecoder DecoderFactory, workers int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			busy := m.workerBusy.StartSpan()
+			defer busy.Stop()
 			dec, err := newDecoder()
 			if err != nil {
 				errs <- err
@@ -57,22 +105,31 @@ func DeconvolveFrame(f *instrument.Frame, newDecoder DecoderFactory, workers int
 				if t >= f.TOFBins {
 					return
 				}
+				sp := m.colLatency.Start()
 				x, err := dec.Decode(f.DriftVector(t))
+				sp.Stop()
 				if err != nil {
 					errs <- err
 					return
 				}
+				m.columns.Inc()
 				out.SetDriftVector(t, x)
 			}
 		}()
 	}
 	wg.Wait()
 	close(errs)
+	var all []error
 	for err := range errs {
 		if err != nil {
-			return nil, err
+			m.errs.Inc()
+			all = append(all, err)
 		}
 	}
+	if len(all) > 0 {
+		return nil, errors.Join(all...)
+	}
+	m.frames.Inc()
 	return out, nil
 }
 
@@ -105,6 +162,10 @@ type StreamProcessor struct {
 	NewDecoder DecoderFactory
 	// Depth bounds in-flight frames (backpressure); <= 0 means 2×Workers.
 	Depth int
+	// Metrics, when non-nil, receives stream telemetry: frames in/out,
+	// per-frame decode latency, backpressure wait time and reorder-buffer
+	// peak occupancy.
+	Metrics *telemetry.Registry
 
 	stats StreamStats
 }
@@ -131,6 +192,13 @@ func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
 	unordered := make(chan Result, sp.Depth)
 	out := make(chan Result, sp.Depth)
 
+	reg := sp.Metrics
+	framesIn := reg.Counter("pipeline_stream_frames_in_total", "frames accepted by the stream processor")
+	framesOut := reg.Counter("pipeline_stream_frames_out_total", "ordered frames emitted by the stream processor")
+	frameLatency := reg.Histogram("pipeline_stream_frame_decode_ns", "per-frame stream decode latency, nanoseconds")
+	backpressure := reg.Histogram("pipeline_stream_backpressure_wait_ns", "time a worker spent blocked handing a result downstream, nanoseconds")
+	reorderPeak := reg.Gauge("pipeline_stream_reorder_peak", "peak occupancy of the reorder buffer, frames")
+
 	var wg sync.WaitGroup
 	for w := 0; w < sp.Workers; w++ {
 		wg.Add(1)
@@ -139,12 +207,17 @@ func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
 			dec, err := sp.NewDecoder()
 			for job := range in {
 				atomic.AddInt64(&sp.stats.FramesIn, 1)
+				framesIn.Inc()
 				if err != nil {
 					unordered <- Result{Seq: job.Seq, Err: err}
 					continue
 				}
+				sp2 := frameLatency.Start()
 				res := sp.processFrame(dec, job)
+				sp2.Stop()
+				wait := backpressure.Start()
 				unordered <- res
+				wait.Stop()
 			}
 		}()
 	}
@@ -160,6 +233,7 @@ func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
 		nextSeq := 0
 		for r := range unordered {
 			pendingMap[r.Seq] = r
+			reorderPeak.SetMax(float64(len(pendingMap)))
 			for {
 				res, ok := pendingMap[nextSeq]
 				if !ok {
@@ -167,6 +241,7 @@ func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
 				}
 				delete(pendingMap, nextSeq)
 				atomic.AddInt64(&sp.stats.FramesOut, 1)
+				framesOut.Inc()
 				out <- res
 				nextSeq++
 			}
@@ -182,6 +257,7 @@ func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
 			res := pendingMap[min]
 			delete(pendingMap, min)
 			atomic.AddInt64(&sp.stats.FramesOut, 1)
+			framesOut.Inc()
 			out <- res
 		}
 	}()

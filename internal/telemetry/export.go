@@ -1,0 +1,229 @@
+// export.go: snapshot-consistent reads of a Registry and their two
+// serializations — Prometheus-style text exposition and JSON.  Output
+// ordering is deterministic (families sorted by name, instances by label
+// signature) so both formats are golden-testable.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at or below UpperBound, non-cumulative (each observation appears in
+// exactly one bucket).
+type Bucket struct {
+	// UpperBound is the inclusive upper edge of the bucket; the final
+	// bucket's bound serializes as "+Inf".
+	UpperBound float64 `json:"le"`
+	// Count is the number of observations that landed in this bucket.
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders the +Inf bound as the string "+Inf" (JSON has no
+// infinity literal).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if b.UpperBound < inf() {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+func inf() float64 { return BucketUpperBound(NumBuckets - 1) }
+
+// Metric is one metric instance in a snapshot.
+type Metric struct {
+	// Name is the family name.
+	Name string `json:"name"`
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string `json:"kind"`
+	// Help is the family description.
+	Help string `json:"help,omitempty"`
+	// Labels are the instance's dimensions.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter or gauge reading (absent for histograms).
+	Value *float64 `json:"value,omitempty"`
+	// Count and Sum summarize a histogram (absent otherwise).
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	// Buckets are the non-empty histogram buckets.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	// Metrics lists every instance, sorted by family name then label
+	// signature.
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot copies the registry's current state.  It is safe under
+// concurrent updates; histograms are internally consistent (count equals
+// the sum of bucket counts by construction).  A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.instances))
+		for k := range f.instances {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			in := f.instances[k]
+			m := Metric{Name: f.name, Kind: f.kind.String(), Help: f.help}
+			if len(in.labels) > 0 {
+				m.Labels = map[string]string{}
+				for _, l := range in.labels {
+					m.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				v := float64(in.c.Value())
+				m.Value = &v
+			case KindGauge:
+				v := in.g.Value()
+				m.Value = &v
+			case KindHistogram:
+				counts := in.h.Counts()
+				for i, c := range counts {
+					m.Count += c
+					if c != 0 {
+						m.Buckets = append(m.Buckets, Bucket{UpperBound: BucketUpperBound(i), Count: c})
+					}
+				}
+				m.Sum = in.h.Sum()
+			}
+			s.Metrics = append(s.Metrics, m)
+		}
+	}
+	return s
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON snapshots the registry and serializes it as indented JSON.
+// A nil registry writes an empty metrics list.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// escapeLabel escapes a label value for the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatLabels renders {k="v",...} (empty string for no labels), with an
+// optional extra label appended (used for histogram "le").
+func formatLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, escapeLabel(labels[k])))
+	}
+	if extraKey != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", extraKey, extraVal))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatValue renders a sample value in the shortest round-trippable form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus serializes the snapshot in the Prometheus text
+// exposition format (# HELP / # TYPE lines, cumulative histogram buckets
+// with an explicit +Inf bound, _sum and _count series).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastFamily {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastFamily = m.Name
+		}
+		switch m.Kind {
+		case "histogram":
+			var cum int64
+			for _, b := range m.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.UpperBound < inf() {
+					le = formatValue(b.UpperBound)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, formatLabels(m.Labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			// Always close the series with the +Inf bound.
+			if len(m.Buckets) == 0 || m.Buckets[len(m.Buckets)-1].UpperBound < inf() {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, formatLabels(m.Labels, "le", "+Inf"), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, formatLabels(m.Labels, "", ""), formatValue(m.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, formatLabels(m.Labels, "", ""), m.Count); err != nil {
+				return err
+			}
+		default:
+			var v float64
+			if m.Value != nil {
+				v = *m.Value
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, formatLabels(m.Labels, "", ""), formatValue(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus snapshots the registry and serializes it in the text
+// exposition format.  A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}

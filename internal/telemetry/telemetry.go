@@ -1,0 +1,179 @@
+// Package telemetry is the observability layer of the simulator: an
+// allocation-light, stdlib-only metrics core shared by every stage of the
+// hybrid pipeline.  It provides atomic counters, gauges, fixed-bucket
+// log-scale histograms and span timers behind a Registry of labeled metric
+// families, with snapshot-consistent reads, Prometheus-style text
+// exposition and JSON export.
+//
+// Design rules:
+//
+//   - A nil *Registry (and every handle obtained from one) is a true no-op:
+//     un-instrumented callers pay a single nil check per operation and zero
+//     allocations, so hot paths can be wired unconditionally.
+//   - Handles (*Counter, *Gauge, *Histogram) are resolved once, outside the
+//     hot loop; the per-event operations (Add, Set, Observe, Span.Stop) are
+//     lock-free atomics.
+//   - Metric names follow <subsystem>_<quantity>_<unit> with the subsystem
+//     prefix naming the package that emits them (pipeline_, hybrid_, fpga_,
+//     xd1_, core_); see docs/OBSERVABILITY.md for the full catalogue.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one key=value dimension of a metric family instance.
+type Label struct {
+	// Key is the label name (e.g. "stage").
+	Key string
+	// Value is the label value (e.g. "deconvolve").
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates the metric types held by a Registry.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing integer.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous floating-point value.
+	KindGauge
+	// KindHistogram is a distribution over fixed log-scale buckets.
+	KindHistogram
+)
+
+// String returns the Prometheus-style kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// family is one named metric family: a kind, a help string, and one metric
+// instance per distinct label set.
+type family struct {
+	name string
+	help string
+	kind Kind
+
+	// instances maps the canonical label signature to the metric.
+	instances map[string]*instance
+}
+
+// instance is one (family, label-set) metric.
+type instance struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds labeled metric families.  The zero value is not usable;
+// construct with NewRegistry.  A nil *Registry is valid everywhere and
+// turns every lookup and every operation on the returned handles into a
+// no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelKey builds the canonical signature of a label set (sorted by key).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup finds or creates the instance for (name, labels), enforcing kind
+// consistency.  Registering the same name with a different kind is a
+// programming error and panics.
+func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, instances: map[string]*instance{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	key := labelKey(labels)
+	in, ok := f.instances[key]
+	if !ok {
+		ls := append([]Label(nil), labels...)
+		sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+		in = &instance{labels: ls}
+		switch kind {
+		case KindCounter:
+			in.c = &Counter{}
+		case KindGauge:
+			in.g = &Gauge{}
+		case KindHistogram:
+			in.h = &Histogram{}
+		}
+		f.instances[key] = in
+	}
+	return in
+}
+
+// Counter finds or creates the counter instance of the named family with
+// the given labels.  The help string is recorded on first registration.
+// On a nil registry it returns nil, whose methods are no-ops.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindCounter, labels).c
+}
+
+// Gauge finds or creates the gauge instance of the named family with the
+// given labels.  On a nil registry it returns nil, whose methods are
+// no-ops.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindGauge, labels).g
+}
+
+// Histogram finds or creates the histogram instance of the named family
+// with the given labels.  On a nil registry it returns nil, whose methods
+// are no-ops.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindHistogram, labels).h
+}

@@ -9,6 +9,8 @@ package xd1
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/telemetry"
 )
 
 // Fabric is a RapidArray-style interconnect link.
@@ -145,6 +147,25 @@ type DMA struct {
 	// BurstBytes is the maximum bytes moved per descriptor; larger
 	// transfers split into multiple bursts, each paying the latency.
 	BurstBytes float64
+
+	transfersC *telemetry.Counter
+	bytesC     *telemetry.Counter
+	bytesHist  *telemetry.Histogram
+	busyNsC    *telemetry.Counter
+}
+
+// Instrument publishes every subsequent TransferTime call into reg: the
+// xd1_dma_transfers_total and xd1_dma_bytes_total counters, the
+// xd1_dma_transfer_bytes size histogram, and the cumulative modeled link
+// time xd1_dma_busy_ns_total.  A nil registry is a no-op.
+func (d *DMA) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	d.transfersC = reg.Counter("xd1_dma_transfers_total", "DMA transfers modeled over the RapidArray fabric")
+	d.bytesC = reg.Counter("xd1_dma_bytes_total", "bytes moved by modeled DMA transfers")
+	d.bytesHist = reg.Histogram("xd1_dma_transfer_bytes", "modeled DMA transfer sizes, bytes")
+	d.busyNsC = reg.Counter("xd1_dma_busy_ns_total", "cumulative modeled fabric transfer time, nanoseconds")
 }
 
 // NewDMA validates and constructs the engine.
@@ -159,13 +180,19 @@ func NewDMA(f Fabric, burstBytes float64) (*DMA, error) {
 }
 
 // TransferTime returns the wall time to move `bytes` through burst-sized
-// descriptors.
+// descriptors.  When the engine is instrumented, the transfer is also
+// recorded in the xd1_dma_* telemetry families.
 func (d *DMA) TransferTime(bytes float64) float64 {
 	if bytes <= 0 {
 		return 0
 	}
 	bursts := math.Ceil(bytes / d.BurstBytes)
-	return bursts*d.Fabric.LatencyS + bytes/d.Fabric.BandwidthBytes
+	t := bursts*d.Fabric.LatencyS + bytes/d.Fabric.BandwidthBytes
+	d.transfersC.Inc()
+	d.bytesC.Add(int64(bytes))
+	d.bytesHist.Observe(bytes)
+	d.busyNsC.Add(int64(t * 1e9))
+	return t
 }
 
 // Throughput returns sustained bytes/s for a stream of transfers of the
