@@ -4,13 +4,15 @@
 GO ?= go
 
 # Packages whose exported identifiers must all carry doc comments: the
-# telemetry layer and the instrumented entry points it is wired through.
+# telemetry layer, the instrumented entry points it is wired through, and
+# the serving stack.
 DOCLINT_DIRS = internal/telemetry internal/pipeline internal/hybrid \
-               internal/fpga internal/xd1
+               internal/fpga internal/xd1 internal/acqserver \
+               internal/frameio
 
-.PHONY: check fmt vet build test docslint bench
+.PHONY: check fmt vet build test docslint fuzz-short serve-smoke bench
 
-check: fmt vet build test docslint
+check: fmt vet build test docslint fuzz-short serve-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -27,6 +29,16 @@ test:
 
 docslint:
 	$(GO) run ./scripts/docslint $(DOCLINT_DIRS)
+
+# A short coverage-guided pass over the frame decoder; regressions in the
+# header guards surface here before they reach the wire.
+fuzz-short:
+	$(GO) test ./internal/frameio -run '^$$' -fuzz FuzzRead -fuzztime 5s
+
+# End-to-end serving smoke: start imsd, hammer it with imsload for 2s,
+# assert zero protocol errors and a clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # The nil-registry overhead contract (<5 ns/op, 0 allocs/op on the nil path).
 bench:

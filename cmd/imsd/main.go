@@ -1,0 +1,100 @@
+// Command imsd is the frame-acquisition daemon: it serves the IMSP/1
+// protocol over TCP, feeding frames from many concurrent clients through
+// sharded worker pools running the modeled hybrid FPGA offload or the CPU
+// software pipeline (see docs/SERVING.md for the protocol and backpressure
+// semantics).
+//
+// Usage:
+//
+//	imsd [-addr HOST:PORT] [-shards N] [-depth N] [-workers N]
+//	     [-order N] [-max-tof N] [-read-timeout D] [-write-timeout D]
+//	     [-drain-timeout D] [-metrics ADDR]
+//
+// With -metrics, an HTTP endpoint serves the acq_* telemetry families in
+// Prometheus text format at /metrics (JSON at /metrics.json) plus
+// net/http/pprof under /debug/pprof/.  On SIGINT or SIGTERM the daemon
+// drains gracefully: it stops accepting, completes every queued frame,
+// flushes responses, and exits 0; -drain-timeout bounds the wait.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/acqserver"
+	"repro/internal/telemetry"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "imsd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	cfg := acqserver.DefaultConfig()
+	addr := flag.String("addr", "127.0.0.1:7071", "listen address")
+	flag.IntVar(&cfg.Shards, "shards", cfg.Shards, "independent bounded work queues")
+	flag.IntVar(&cfg.QueueDepth, "depth", cfg.QueueDepth, "frames queued per shard before shedding")
+	flag.IntVar(&cfg.WorkersPerShard, "workers", cfg.WorkersPerShard, "worker goroutines per shard")
+	flag.IntVar(&cfg.Order, "order", cfg.Order, "m-sequence order served (frames need 2^order-1 drift bins)")
+	flag.IntVar(&cfg.MaxTOFBins, "max-tof", cfg.MaxTOFBins, "largest accepted m/z axis")
+	flag.DurationVar(&cfg.ReadIdleTimeout, "read-timeout", cfg.ReadIdleTimeout, "per-message read deadline")
+	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "per-response write deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
+	metricsAddr := flag.String("metrics", "", "serve telemetry and pprof on this HTTP address (e.g. localhost:9090)")
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	if *metricsAddr != "" {
+		http.Handle("/metrics", reg.Handler())
+		http.Handle("/metrics.json", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "imsd: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Printf("imsd metrics on http://%s/metrics\n", *metricsAddr)
+	}
+
+	srv, err := acqserver.NewServer(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("imsd listening on %s (order %d, %d shards x depth %d, %d workers each)\n",
+		ln.Addr(), cfg.Order, cfg.Shards, cfg.QueueDepth, cfg.WorkersPerShard)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fail("serve: %v", err)
+	case sig := <-sigc:
+		fmt.Printf("imsd received %v, draining (bound %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fail("drain: %v", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, net.ErrClosed) {
+			fail("serve: %v", err)
+		}
+		fmt.Println("imsd drained cleanly")
+	}
+}

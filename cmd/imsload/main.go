@@ -1,0 +1,208 @@
+// Command imsload is the load generator for the imsd acquisition daemon:
+// it drives M concurrent clients at a target per-client rate, submits
+// synthetic multiplexed frames over IMSP/1, and reports the latency
+// distribution (p50/p95/p99), throughput, and shed rate.
+//
+// Usage:
+//
+//	imsload [-addr HOST:PORT] [-clients N] [-rate R] [-duration D]
+//	        [-tof N] [-path hybrid|cpu] [-deadline D] [-enc raw|delta]
+//	        [-seed N]
+//
+// Shed responses (RESOURCE_EXHAUSTED, UNAVAILABLE) are the daemon's
+// explicit backpressure and are reported separately; they are not errors.
+// imsload exits non-zero only on transport or protocol failures, so smoke
+// tests can assert a clean run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/acqserver"
+	"repro/internal/frameio"
+	"repro/internal/instrument"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "imsload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// clientStats is one worker's tally, merged after the run.
+type clientStats struct {
+	latencies []time.Duration
+	ok        int
+	shed      int
+	rejected  map[acqserver.Code]int
+	errs      []error
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7071", "daemon address")
+	clients := flag.Int("clients", 16, "concurrent client connections")
+	rate := flag.Float64("rate", 0, "target frames/s per client (0 = closed loop, as fast as possible)")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	tofBins := flag.Int("tof", 256, "m/z bins per synthetic frame")
+	pathName := flag.String("path", "hybrid", "compute path: hybrid or cpu")
+	deadline := flag.Duration("deadline", 0, "per-request server-side deadline (0 = none)")
+	encName := flag.String("enc", "delta", "frame encoding: raw or delta")
+	seed := flag.Int64("seed", 1, "random seed for synthetic frames")
+	flag.Parse()
+
+	var path acqserver.Path
+	switch *pathName {
+	case "hybrid":
+		path = acqserver.PathHybrid
+	case "cpu":
+		path = acqserver.PathCPU
+	default:
+		fail("unknown path %q (want hybrid or cpu)", *pathName)
+	}
+	var enc frameio.Encoding
+	switch *encName {
+	case "raw":
+		enc = frameio.Raw
+	case "delta":
+		enc = frameio.Delta
+	default:
+		fail("unknown encoding %q (want raw or delta)", *encName)
+	}
+	if *clients < 1 {
+		fail("need at least one client")
+	}
+
+	// One handshake up front to learn the served order and sanity-check the
+	// target before unleashing the fleet.
+	probe, err := acqserver.Dial(*addr, 5*time.Second)
+	if err != nil {
+		fail("dial %s: %v", *addr, err)
+	}
+	info := probe.Info()
+	_ = probe.Close()
+	driftBins := 1<<info.Order - 1
+	fmt.Printf("imsload: %d clients -> %s (order %d, %d shards), path %s, %v\n",
+		*clients, *addr, info.Order, info.Shards, path, *duration)
+
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) / *rate)
+	}
+
+	stats := make([]clientStats, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stop := start.Add(*duration)
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &stats[i]
+			st.rejected = map[acqserver.Code]int{}
+			c, err := acqserver.Dial(*addr, 5*time.Second)
+			if err != nil {
+				st.errs = append(st.errs, err)
+				return
+			}
+			defer c.Close()
+			frame := syntheticFrame(driftBins, *tofBins, *seed+int64(i))
+			next := time.Now()
+			for time.Now().Before(stop) {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				reqStart := time.Now()
+				resp, err := c.Do(ctx, frame, enc, acqserver.FrameOptions{Path: path, Deadline: *deadline})
+				cancel()
+				if err != nil {
+					st.errs = append(st.errs, err)
+					return
+				}
+				st.latencies = append(st.latencies, time.Since(reqStart))
+				switch resp.Code {
+				case acqserver.CodeOK:
+					st.ok++
+				case acqserver.CodeResourceExhausted, acqserver.CodeUnavailable:
+					st.shed++
+				default:
+					st.rejected[resp.Code]++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge and report.
+	var all []time.Duration
+	var ok, shed int
+	rejected := map[acqserver.Code]int{}
+	var errs []error
+	for i := range stats {
+		all = append(all, stats[i].latencies...)
+		ok += stats[i].ok
+		shed += stats[i].shed
+		for c, n := range stats[i].rejected {
+			rejected[c] += n
+		}
+		errs = append(errs, stats[i].errs...)
+	}
+	total := len(all)
+	if total == 0 {
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "imsload: %v\n", err)
+		}
+		fail("no requests completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) time.Duration { return all[int(q*float64(total-1))] }
+
+	encSize, err := frameio.EncodedSize(syntheticFrame(driftBins, *tofBins, *seed), enc)
+	if err != nil {
+		encSize = 0
+	}
+	fmt.Printf("requests:   %d total, %d ok, %d shed (%.2f%% shed rate)\n",
+		total, ok, shed, 100*float64(shed)/float64(total))
+	fmt.Printf("latency:    p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), all[total-1].Round(time.Microsecond))
+	fmt.Printf("throughput: %.1f req/s, %.2f MiB/s submitted\n",
+		float64(total)/elapsed.Seconds(),
+		float64(total)*float64(encSize)/elapsed.Seconds()/(1<<20))
+	for code, n := range rejected {
+		fmt.Printf("rejected:   %d x %v\n", n, code)
+	}
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "imsload: client error: %v\n", err)
+	}
+	if len(errs) > 0 || len(rejected) > 0 {
+		os.Exit(1)
+	}
+}
+
+// syntheticFrame builds a multiplexed-looking frame: pseudorandom counts
+// with a few hot drift rows so the deconvolved profile has real peaks.
+func syntheticFrame(driftBins, tofBins int, seed int64) *instrument.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	f := instrument.NewFrame(driftBins, tofBins)
+	for i := range f.Data {
+		f.Data[i] = float64(rng.Intn(8))
+	}
+	for h := 0; h < 3; h++ {
+		row := rng.Intn(driftBins)
+		for t := 0; t < tofBins; t++ {
+			f.Set(row, t, float64(200+rng.Intn(100)))
+		}
+	}
+	return f
+}

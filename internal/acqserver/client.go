@@ -1,0 +1,204 @@
+// client.go: the IMSP/1 client — the library side of the protocol used by
+// cmd/imsload, tests, and any host program that wants to feed the daemon.
+// A Client multiplexes concurrent requests over one TCP connection: Do is
+// safe from many goroutines, responses are matched to callers by request
+// id, and a connection failure fails every in-flight call with the same
+// error.
+package acqserver
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/frameio"
+	"repro/internal/instrument"
+)
+
+// Response is the outcome of one request: either a Result (Code OK) or a
+// typed error from the server.
+type Response struct {
+	// Code is the server's status for this request.
+	Code Code
+	// Message is the server's error text (empty on OK).
+	Message string
+	// Result is the deconvolution summary (nil unless Code is OK).
+	Result *Result
+}
+
+// Client is one IMSP/1 connection.  Safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	info ServerInfo
+
+	wmu sync.Mutex // serializes message writes
+
+	pmu     sync.Mutex
+	pending map[uint64]chan Response
+	nextID  atomic.Uint64
+
+	closed  chan struct{}
+	closeFn func()
+	readErr error // valid after closed
+}
+
+// Dial connects, performs the HELLO handshake within timeout, and starts
+// the response dispatcher.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	_ = conn.SetDeadline(deadline)
+	if err := WriteMessage(conn, MsgHello, 0, []byte{ProtocolVersion}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("acqserver: hello: %w", err)
+	}
+	h, err := ReadHeader(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("acqserver: hello response: %w", err)
+	}
+	if h.Type != MsgHelloOK || h.PayloadLen > 64 {
+		_ = conn.Close()
+		return nil, fmt.Errorf("acqserver: unexpected hello response %v (%d bytes)", h.Type, h.PayloadLen)
+	}
+	buf := make([]byte, h.PayloadLen)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	info, err := DecodeServerInfo(buf)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	c := &Client{
+		conn:    conn,
+		info:    info,
+		pending: map[uint64]chan Response{},
+		closed:  make(chan struct{}),
+	}
+	c.closeFn = sync.OnceFunc(func() { close(c.closed); _ = conn.Close() })
+	go c.readLoop()
+	return c, nil
+}
+
+// Info returns the server's HELLO_OK handshake summary.
+func (c *Client) Info() ServerInfo { return c.info }
+
+// Close sends a best-effort GOODBYE and closes the connection; in-flight
+// calls fail.
+func (c *Client) Close() error {
+	c.wmu.Lock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = WriteMessage(c.conn, MsgGoodbye, 0, nil)
+	c.wmu.Unlock()
+	c.fail(fmt.Errorf("acqserver: client closed"))
+	return nil
+}
+
+// Do submits one frame and waits for its response or ctx.  opts.Deadline
+// is also sent to the server so it can cut off queued or in-flight work.
+func (c *Client) Do(ctx context.Context, f *instrument.Frame, enc frameio.Encoding, opts FrameOptions) (*Response, error) {
+	var payload bytes.Buffer
+	payload.Write(encodeFrameOpts(nil, opts))
+	if err := frameio.Write(&payload, f, nil, enc); err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan Response, 1)
+	c.pmu.Lock()
+	c.pending[id] = ch
+	c.pmu.Unlock()
+	defer func() {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+	}()
+
+	c.wmu.Lock()
+	if d, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetWriteDeadline(d)
+	} else {
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
+	err := WriteMessage(c.conn, MsgFrame, id, payload.Bytes())
+	c.wmu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	select {
+	case r := <-ch:
+		return &r, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.closed:
+		return nil, c.readErr
+	}
+}
+
+// readLoop dispatches responses to waiting calls until the connection
+// fails or closes.
+func (c *Client) readLoop() {
+	for {
+		h, err := ReadHeader(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("acqserver: connection lost: %w", err))
+			return
+		}
+		if h.PayloadLen > c.info.MaxPayloadBytes {
+			c.fail(fmt.Errorf("acqserver: server sent %d-byte payload beyond bound", h.PayloadLen))
+			return
+		}
+		buf := make([]byte, h.PayloadLen)
+		if _, err := io.ReadFull(c.conn, buf); err != nil {
+			c.fail(fmt.Errorf("acqserver: connection lost: %w", err))
+			return
+		}
+		var resp Response
+		switch h.Type {
+		case MsgResult:
+			res, err := DecodeResult(buf)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			resp = Response{Code: CodeOK, Result: res}
+		case MsgError:
+			code, msg, err := DecodeError(buf)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			resp = Response{Code: code, Message: msg}
+		default:
+			continue // ignorable (future server pushes)
+		}
+		c.pmu.Lock()
+		ch := c.pending[h.ReqID]
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// fail closes the client and records the terminal error for in-flight Do
+// calls.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.pmu.Unlock()
+	c.closeFn()
+}

@@ -1,0 +1,549 @@
+// Package acqserver is the frame-acquisition service: the network layer
+// that turns the repository's in-process hybrid pipeline into a daemon
+// serving many concurrent clients.  It speaks the IMSP/1 length-prefixed
+// protocol over TCP (wire.go); per-client sessions decode frameio-encoded
+// frames straight off the socket and enqueue them into N sharded, bounded
+// work queues feeding worker pools that run the modeled FPGA offload
+// (hybrid.HybridDeconvolveFrameContext) or the CPU software pipeline
+// (pipeline.DeconvolveFrameContext), selectable per request.
+//
+// The serving stack is explicit about its unhappy paths: full shard queues
+// shed load with RESOURCE_EXHAUSTED instead of blocking, per-request
+// deadlines cancel in-flight work through context propagation, slow
+// readers are cut off by write timeouts, idle or half-dead connections by
+// read timeouts, a recovered panic answers INTERNAL and never takes the
+// daemon down, and SIGTERM triggers a graceful drain that completes queued
+// frames before closing sessions.  Every stage is wired into
+// internal/telemetry under the acq_* metric families (docs/OBSERVABILITY.md).
+package acqserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/frameio"
+	"repro/internal/hadamard"
+	"repro/internal/hybrid"
+	"repro/internal/instrument"
+	"repro/internal/peaks"
+	"repro/internal/pipeline"
+	"repro/internal/telemetry"
+)
+
+// Config tunes the daemon.  The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Shards is the number of independent bounded work queues.  A session
+	// is pinned to shard (session id mod Shards), so one hot client
+	// cannot starve every queue.
+	Shards int
+	// QueueDepth bounds each shard's queue; an enqueue against a full
+	// queue is shed with RESOURCE_EXHAUSTED.  Queued frames are already
+	// decoded, so worst-case queue memory is
+	// Shards × QueueDepth × (8 × drift bins × TOF bins) bytes.
+	QueueDepth int
+	// WorkersPerShard is each shard's worker-pool size.
+	WorkersPerShard int
+	// Order is the m-sequence order served; frames must arrive with
+	// drift bins = 2^Order − 1 or are rejected with INVALID_ARGUMENT.
+	Order int
+	// MaxTOFBins caps the m/z axis of accepted frames.
+	MaxTOFBins int
+	// MaxPayloadBytes caps one message payload on the wire.
+	MaxPayloadBytes uint32
+	// ReadIdleTimeout bounds the wait for the next message header and the
+	// read of one message body; an idle or half-dead connection is closed
+	// when it expires.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds one response write; a slow reader whose socket
+	// stays full past it has its session torn down.
+	WriteTimeout time.Duration
+	// SessionBuffer bounds each session's pending-response queue.
+	SessionBuffer int
+	// CPUWorkersPerFrame is the column parallelism of the CPU path; keep
+	// it small — shard workers already run concurrently.
+	CPUWorkersPerFrame int
+	// MinSNR is the peak-detection threshold for result summaries.
+	MinSNR float64
+	// MaxPeaks caps the peak list carried in one RESULT (≤ 64).
+	MaxPeaks int
+	// Metrics, when non-nil, receives the acq_* families.
+	Metrics *telemetry.Registry
+	// Offload configures the modeled FPGA backend.  Its Order and Metrics
+	// are overridden by the fields above.
+	Offload hybrid.OffloadConfig
+
+	// processHook, when non-nil, replaces the compute step — a test seam
+	// for deterministic shedding, drain and panic-isolation tests.  It must
+	// be set before NewServer so the worker pools observe it.
+	processHook func(*task) (*Result, error)
+}
+
+// DefaultConfig returns production-shaped defaults: 4 shards × depth 16,
+// 2 workers each, the paper's order-9 sequence, 16 MiB payload bound and
+// second-scale timeouts.
+func DefaultConfig() Config {
+	return Config{
+		Shards:             4,
+		QueueDepth:         16,
+		WorkersPerShard:    2,
+		Order:              9,
+		MaxTOFBins:         4096,
+		MaxPayloadBytes:    16 << 20,
+		ReadIdleTimeout:    30 * time.Second,
+		WriteTimeout:       10 * time.Second,
+		SessionBuffer:      32,
+		CPUWorkersPerFrame: 2,
+		MinSNR:             5,
+		MaxPeaks:           16,
+		Offload:            hybrid.DefaultOffloadConfig(),
+	}
+}
+
+// Validate reports the first unusable setting.
+func (c Config) Validate() error {
+	if c.Shards < 1 || c.QueueDepth < 1 || c.WorkersPerShard < 1 {
+		return fmt.Errorf("acqserver: shards/depth/workers must be positive (%d/%d/%d)",
+			c.Shards, c.QueueDepth, c.WorkersPerShard)
+	}
+	if c.Order < 2 || c.Order > 20 {
+		return fmt.Errorf("acqserver: order %d out of [2,20]", c.Order)
+	}
+	if c.MaxTOFBins < 1 {
+		return fmt.Errorf("acqserver: max TOF bins %d must be positive", c.MaxTOFBins)
+	}
+	if c.MaxPayloadBytes < 64 {
+		return fmt.Errorf("acqserver: max payload %d bytes is too small to carry a frame", c.MaxPayloadBytes)
+	}
+	if c.ReadIdleTimeout <= 0 || c.WriteTimeout <= 0 {
+		return fmt.Errorf("acqserver: timeouts must be positive")
+	}
+	if c.SessionBuffer < 1 {
+		return fmt.Errorf("acqserver: session buffer %d must be positive", c.SessionBuffer)
+	}
+	if c.MinSNR <= 0 {
+		return fmt.Errorf("acqserver: min SNR %g must be positive", c.MinSNR)
+	}
+	if c.MaxPeaks < 0 || c.MaxPeaks > maxResultPeaks {
+		return fmt.Errorf("acqserver: max peaks %d out of [0,%d]", c.MaxPeaks, maxResultPeaks)
+	}
+	return nil
+}
+
+// task is one accepted frame waiting for (or undergoing) deconvolution.
+type task struct {
+	sess     *session
+	reqID    uint64
+	frame    *instrument.Frame
+	path     Path
+	deadline time.Time // zero = none
+	enqueued time.Time
+}
+
+// errQueueFull and errDraining discriminate enqueue rejections.
+var (
+	errQueueFull = errors.New("acqserver: shard queue full")
+	errDraining  = errors.New("acqserver: draining")
+)
+
+// shard is one bounded work queue plus its depth gauge.
+type shard struct {
+	id     int
+	mu     sync.RWMutex
+	closed bool
+	ch     chan *task
+	depth  *telemetry.Gauge
+}
+
+// enqueue hands a task to the shard without blocking: a full queue is an
+// explicit rejection, never a stalled reader.
+func (sh *shard) enqueue(t *task) error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.closed {
+		return errDraining
+	}
+	select {
+	case sh.ch <- t:
+		sh.depth.Set(float64(len(sh.ch)))
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// close marks the shard drained-and-closed; subsequent enqueues fail with
+// errDraining while workers finish whatever is already queued.
+func (sh *shard) close() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.closed {
+		sh.closed = true
+		close(sh.ch)
+	}
+}
+
+// serverMetrics bundles the acq_* telemetry handles, resolved once at
+// construction (all nil on a nil registry — free to update).
+type serverMetrics struct {
+	sessionsTotal  *telemetry.Counter
+	sessionsActive *telemetry.Gauge
+	framesByPath   map[Path]*telemetry.Counter
+	responses      map[Code]*telemetry.Counter
+	shedByReason   map[string]*telemetry.Counter
+	queueWait      *telemetry.Histogram
+	processByPath  map[Path]*telemetry.Histogram
+	readFrame      *telemetry.Histogram
+	write          *telemetry.Histogram
+	bytesIn        *telemetry.Counter
+	bytesOut       *telemetry.Counter
+	panics         map[string]*telemetry.Counter
+	protocolErrs   *telemetry.Counter
+}
+
+func newServerMetrics(reg *telemetry.Registry) serverMetrics {
+	m := serverMetrics{
+		sessionsTotal:  reg.Counter("acq_sessions_total", "client sessions accepted by the daemon"),
+		sessionsActive: reg.Gauge("acq_sessions_active", "currently open client sessions"),
+		queueWait:      reg.Histogram("acq_queue_wait_ns", "time a frame sat in its shard queue, nanoseconds"),
+		readFrame:      reg.Histogram("acq_read_frame_ns", "time to stream-decode one frame off the socket, nanoseconds"),
+		write:          reg.Histogram("acq_write_ns", "time to write one response message, nanoseconds"),
+		bytesIn:        reg.Counter("acq_bytes_in_total", "wire bytes received (headers + payloads)"),
+		bytesOut:       reg.Counter("acq_bytes_out_total", "wire bytes sent (headers + payloads)"),
+		protocolErrs:   reg.Counter("acq_protocol_errors_total", "malformed messages and framing violations"),
+		framesByPath:   map[Path]*telemetry.Counter{},
+		responses:      map[Code]*telemetry.Counter{},
+		shedByReason:   map[string]*telemetry.Counter{},
+		processByPath:  map[Path]*telemetry.Histogram{},
+		panics:         map[string]*telemetry.Counter{},
+	}
+	for _, p := range []Path{PathHybrid, PathCPU} {
+		l := telemetry.L("path", p.String())
+		m.framesByPath[p] = reg.Counter("acq_frames_total", "frames accepted for processing per compute path", l)
+		m.processByPath[p] = reg.Histogram("acq_process_ns", "deconvolution wall time per compute path, nanoseconds", l)
+	}
+	for _, c := range []Code{CodeOK, CodeInvalidArgument, CodeResourceExhausted,
+		CodeDeadlineExceeded, CodeUnavailable, CodeInternal, CodeTooLarge} {
+		m.responses[c] = reg.Counter("acq_responses_total", "responses sent per status code",
+			telemetry.L("code", c.String()))
+	}
+	for _, r := range []string{"queue_full", "draining"} {
+		m.shedByReason[r] = reg.Counter("acq_shed_total", "frames rejected by load shedding, per reason",
+			telemetry.L("reason", r))
+	}
+	for _, w := range []string{"session", "worker"} {
+		m.panics[w] = reg.Counter("acq_panics_total", "panics recovered without killing the daemon, per site",
+			telemetry.L("where", w))
+	}
+	return m
+}
+
+// Server is the acquisition daemon: an accept loop, per-session read and
+// write goroutines, and sharded worker pools.
+type Server struct {
+	cfg     Config
+	offload hybrid.OffloadConfig
+	seqLen  int
+	limits  frameio.Limits
+	decoder pipeline.DecoderFactory
+	m       serverMetrics
+
+	shards   []*shard
+	workerWG sync.WaitGroup
+
+	ln       net.Listener
+	lnMu     sync.Mutex
+	draining atomic.Bool
+
+	sessMu    sync.Mutex
+	sessions  map[*session]struct{}
+	sessWG    sync.WaitGroup
+	nextSess  atomic.Uint64
+	shutdownc chan struct{}
+
+	// processHook mirrors Config.processHook (test seam).
+	processHook func(*task) (*Result, error)
+}
+
+// NewServer validates the config and builds the daemon (shards, workers
+// and telemetry handles); call Serve or ListenAndServe to start it.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CPUWorkersPerFrame < 1 {
+		cfg.CPUWorkersPerFrame = 1
+	}
+	seqLen := 1<<cfg.Order - 1
+	offload := cfg.Offload
+	offload.Order = cfg.Order
+	offload.Metrics = cfg.Metrics
+	if err := offload.Validate(); err != nil {
+		return nil, err
+	}
+	order := cfg.Order
+	s := &Server{
+		cfg:     cfg,
+		offload: offload,
+		seqLen:  seqLen,
+		limits: frameio.Limits{
+			MaxHeaderBytes: 4096,
+			MaxDriftBins:   uint32(seqLen),
+			MaxTOFBins:     uint32(cfg.MaxTOFBins),
+			MaxCells:       uint64(seqLen) * uint64(cfg.MaxTOFBins),
+		},
+		decoder: func() (hadamard.Decoder, error) {
+			d, err := hadamard.NewFHTDecoder(order)
+			if err != nil {
+				return nil, err
+			}
+			return d, nil
+		},
+		m:           newServerMetrics(cfg.Metrics),
+		sessions:    map[*session]struct{}{},
+		shutdownc:   make(chan struct{}),
+		processHook: cfg.processHook,
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			id: i,
+			ch: make(chan *task, cfg.QueueDepth),
+			depth: cfg.Metrics.Gauge("acq_queue_depth", "instantaneous shard queue occupancy, frames",
+				telemetry.L("shard", fmt.Sprintf("%d", i))),
+		}
+		s.shards = append(s.shards, sh)
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			s.workerWG.Add(1)
+			go s.workerLoop(sh)
+		}
+	}
+	return s, nil
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe binds addr and runs Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it.  It always
+// returns a non-nil error; after a Shutdown-initiated close the error is
+// net.ErrClosed (wrapped), which callers should treat as clean exit.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if s.draining.Load() {
+			_ = conn.Close()
+			continue
+		}
+		s.startSession(conn)
+	}
+}
+
+// startSession registers conn and starts its read and write loops.
+func (s *Server) startSession(conn net.Conn) *session {
+	sess := s.newSession(conn)
+	s.sessWG.Add(2)
+	go sess.readLoop()
+	go sess.writeLoop()
+	return sess
+}
+
+// Shutdown drains the daemon: stop accepting, reject new frames with
+// UNAVAILABLE, let workers complete every queued frame, flush each
+// session's pending responses, then close the connections.  It returns nil
+// on a complete drain, or ctx.Err() after force-closing everything when
+// the context expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		<-s.shutdownc // concurrent call: wait for the first to finish
+		return nil
+	}
+	s.lnMu.Lock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.lnMu.Unlock()
+	defer close(s.shutdownc)
+
+	for _, sh := range s.shards {
+		sh.close()
+	}
+	workersDone := make(chan struct{})
+	go func() { s.workerWG.Wait(); close(workersDone) }()
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		s.forceCloseSessions()
+		return ctx.Err()
+	}
+
+	s.sessMu.Lock()
+	for sess := range s.sessions {
+		sess.startDrain()
+	}
+	s.sessMu.Unlock()
+
+	sessDone := make(chan struct{})
+	go func() { s.sessWG.Wait(); close(sessDone) }()
+	select {
+	case <-sessDone:
+		return nil
+	case <-ctx.Done():
+		s.forceCloseSessions()
+		return ctx.Err()
+	}
+}
+
+func (s *Server) forceCloseSessions() {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	for sess := range s.sessions {
+		sess.teardown()
+	}
+}
+
+// workerLoop drains one shard until its queue is closed, answering each
+// task with a RESULT or a typed ERROR.
+func (s *Server) workerLoop(sh *shard) {
+	defer s.workerWG.Done()
+	for t := range sh.ch {
+		sh.depth.Set(float64(len(sh.ch)))
+		s.serveTask(sh, t)
+	}
+}
+
+// serveTask runs one task with panic isolation: a panicking compute path
+// answers INTERNAL and the worker lives on.
+func (s *Server) serveTask(sh *shard, t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics["worker"].Inc()
+			s.respondError(t.sess, t.reqID, CodeInternal, fmt.Sprintf("worker panic: %v", r))
+		}
+	}()
+	wait := time.Since(t.enqueued)
+	s.m.queueWait.Observe(float64(wait.Nanoseconds()))
+
+	ctx := context.Background()
+	if !t.deadline.IsZero() {
+		if !time.Now().Before(t.deadline) {
+			s.respondError(t.sess, t.reqID, CodeDeadlineExceeded,
+				fmt.Sprintf("deadline expired after %v in queue", wait))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, t.deadline)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := s.compute(ctx, t)
+	elapsed := time.Since(start)
+	s.m.processByPath[t.path].Observe(float64(elapsed.Nanoseconds()))
+	if err != nil {
+		code := CodeInternal
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = CodeDeadlineExceeded
+		} else if errors.Is(err, context.Canceled) {
+			code = CodeUnavailable
+		}
+		s.respondError(t.sess, t.reqID, code, err.Error())
+		return
+	}
+	res.Shard = uint16(sh.id)
+	res.QueueWaitNs = uint64(wait.Nanoseconds())
+	res.ProcessNs = uint64(elapsed.Nanoseconds())
+	payload, err := EncodeResult(res)
+	if err != nil {
+		s.respondError(t.sess, t.reqID, CodeInternal, err.Error())
+		return
+	}
+	s.respond(t.sess, MsgResult, t.reqID, payload, CodeOK)
+}
+
+// compute runs the selected backend and summarizes the deconvolved frame.
+func (s *Server) compute(ctx context.Context, t *task) (*Result, error) {
+	if s.processHook != nil {
+		return s.processHook(t)
+	}
+	var decoded *instrument.Frame
+	res := &Result{}
+	switch t.path {
+	case PathHybrid:
+		hr, err := hybrid.HybridDeconvolveFrameContext(ctx, t.frame, s.offload)
+		if err != nil {
+			return nil, err
+		}
+		decoded = hr.Decoded
+		res.SimulatedNs = uint64(hr.SimulatedTimeS * 1e9)
+		res.Saturations = uint64(hr.Saturations)
+	case PathCPU:
+		out, err := pipeline.DeconvolveFrameContext(ctx, t.frame, s.decoder, s.cfg.CPUWorkersPerFrame, s.cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		decoded = out
+	default:
+		return nil, fmt.Errorf("acqserver: unknown path %v", t.path)
+	}
+	res.Peaks = s.summarize(decoded)
+	return res, nil
+}
+
+// summarize detects the strongest drift-profile peaks of a deconvolved
+// frame, height-descending, capped at MaxPeaks.
+func (s *Server) summarize(f *instrument.Frame) []PeakSummary {
+	if s.cfg.MaxPeaks == 0 {
+		return nil
+	}
+	found, err := peaks.Detect(f.DriftProfile(), s.cfg.MinSNR)
+	if err != nil || len(found) == 0 {
+		return nil
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].Height > found[j].Height })
+	if len(found) > s.cfg.MaxPeaks {
+		found = found[:s.cfg.MaxPeaks]
+	}
+	out := make([]PeakSummary, len(found))
+	for i, p := range found {
+		out[i] = PeakSummary{Centroid: p.Centroid, Height: p.Height, Area: p.Area, SNR: p.SNR}
+	}
+	return out
+}
+
+// respond queues a message on the session's write loop and counts it.
+func (s *Server) respond(sess *session, typ MsgType, reqID uint64, payload []byte, code Code) {
+	s.m.responses[code].Inc()
+	sess.send(typ, reqID, payload)
+}
+
+// respondError queues a typed ERROR.
+func (s *Server) respondError(sess *session, reqID uint64, code Code, msg string) {
+	s.respond(sess, MsgError, reqID, EncodeError(code, msg), code)
+}

@@ -1,0 +1,286 @@
+// session.go: one connected client — a read loop that speaks IMSP/1 and
+// streams frames straight off the socket into a shard queue, and a write
+// loop that owns the connection's outbound half behind a bounded response
+// queue.  The loops communicate only through channels; teardown is
+// idempotent and either side's failure (read timeout, write timeout,
+// malformed framing, panic) closes both.
+package acqserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/frameio"
+)
+
+// outMsg is one queued response.
+type outMsg struct {
+	typ     MsgType
+	reqID   uint64
+	payload []byte
+}
+
+// session is the per-connection state.
+type session struct {
+	id    uint64
+	srv   *Server
+	conn  net.Conn
+	shard *shard
+
+	out    chan outMsg
+	done   chan struct{} // closed by teardown
+	drainc chan struct{} // closed by Shutdown: flush out, then close
+
+	teardownOnce func()
+	drainOnce    func()
+}
+
+// newSession registers a session and pins it to its shard.
+func (s *Server) newSession(conn net.Conn) *session {
+	id := s.nextSess.Add(1)
+	sess := &session{
+		id:     id,
+		srv:    s,
+		conn:   conn,
+		shard:  s.shards[int(id)%len(s.shards)],
+		out:    make(chan outMsg, s.cfg.SessionBuffer),
+		done:   make(chan struct{}),
+		drainc: make(chan struct{}),
+	}
+	sess.teardownOnce = sync.OnceFunc(func() {
+		close(sess.done)
+		_ = conn.Close()
+		s.m.sessionsActive.Add(-1)
+		s.sessMu.Lock()
+		delete(s.sessions, sess)
+		s.sessMu.Unlock()
+	})
+	sess.drainOnce = sync.OnceFunc(func() { close(sess.drainc) })
+	s.sessMu.Lock()
+	s.sessions[sess] = struct{}{}
+	s.sessMu.Unlock()
+	s.m.sessionsTotal.Inc()
+	s.m.sessionsActive.Add(1)
+	return sess
+}
+
+// teardown closes the connection and both loops; safe to call repeatedly
+// from any goroutine.
+func (sess *session) teardown() { sess.teardownOnce() }
+
+// startDrain asks the write loop to flush pending responses and close.
+func (sess *session) startDrain() { sess.drainOnce() }
+
+// send queues a response for the write loop.  It blocks while the buffer
+// is full (the write timeout bounds how long: a session that cannot absorb
+// responses is torn down, which closes done) and reports whether the
+// message was queued.
+func (sess *session) send(typ MsgType, reqID uint64, payload []byte) bool {
+	select {
+	case sess.out <- outMsg{typ, reqID, payload}:
+		return true
+	case <-sess.done:
+		return false
+	}
+}
+
+// writeLoop owns the outbound half: one response per iteration under a
+// write deadline.  On drain it flushes whatever is queued and closes.
+func (sess *session) writeLoop() {
+	defer sess.srv.sessWG.Done()
+	defer sess.teardown()
+	for {
+		select {
+		case m := <-sess.out:
+			if !sess.writeOne(m) {
+				return
+			}
+		case <-sess.done:
+			return
+		case <-sess.drainc:
+			for {
+				select {
+				case m := <-sess.out:
+					if !sess.writeOne(m) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// writeOne writes a single message under the write deadline.
+func (sess *session) writeOne(m outMsg) bool {
+	s := sess.srv
+	_ = sess.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	start := time.Now()
+	err := WriteMessage(sess.conn, m.typ, m.reqID, m.payload)
+	s.m.write.Observe(float64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		return false
+	}
+	s.m.bytesOut.Add(int64(headerSize + len(m.payload)))
+	return true
+}
+
+// readLoop owns the inbound half: HELLO first, then FRAME/GOODBYE
+// messages under the idle read deadline.  A panic while handling this
+// connection is recovered here — it kills the session, never the daemon.
+// On exit it starts a drain rather than tearing the connection down
+// directly, so a final queued error (bad first message, oversized payload)
+// reaches the client before the write loop closes the socket.
+func (sess *session) readLoop() {
+	s := sess.srv
+	defer s.sessWG.Done()
+	defer sess.startDrain()
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics["session"].Inc()
+		}
+	}()
+
+	sawHello := false
+	for {
+		_ = sess.conn.SetReadDeadline(time.Now().Add(s.cfg.ReadIdleTimeout))
+		h, err := ReadHeader(sess.conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.m.protocolErrs.Inc()
+			}
+			return
+		}
+		if h.PayloadLen > s.cfg.MaxPayloadBytes {
+			s.m.protocolErrs.Inc()
+			s.respondError(sess, h.ReqID, CodeTooLarge,
+				fmt.Sprintf("payload %d bytes exceeds bound %d", h.PayloadLen, s.cfg.MaxPayloadBytes))
+			return // cannot resync across an unbounded payload
+		}
+		s.m.bytesIn.Add(int64(headerSize) + int64(h.PayloadLen))
+
+		if !sawHello && h.Type != MsgHello {
+			s.m.protocolErrs.Inc()
+			s.respondError(sess, h.ReqID, CodeInvalidArgument, "first message must be HELLO")
+			return
+		}
+		switch h.Type {
+		case MsgHello:
+			if !sess.discardPayload(h.PayloadLen) {
+				return
+			}
+			sawHello = true
+			info := EncodeServerInfo(ServerInfo{
+				Version:         ProtocolVersion,
+				Shards:          uint16(len(s.shards)),
+				Order:           uint8(s.cfg.Order),
+				MaxPayloadBytes: s.cfg.MaxPayloadBytes,
+			})
+			s.respond(sess, MsgHelloOK, h.ReqID, info, CodeOK)
+		case MsgGoodbye:
+			return
+		case MsgFrame:
+			if !sess.handleFrame(h) {
+				return
+			}
+		default:
+			s.m.protocolErrs.Inc()
+			if !sess.discardPayload(h.PayloadLen) {
+				return
+			}
+			s.respondError(sess, h.ReqID, CodeInvalidArgument,
+				fmt.Sprintf("unexpected message type %v", h.Type))
+		}
+	}
+}
+
+// handleFrame streams one FRAME payload off the socket, validates it, and
+// enqueues it (or sheds).  It reports whether the connection is still in a
+// consistent state to keep reading.
+func (sess *session) handleFrame(h Header) bool {
+	s := sess.srv
+	if h.PayloadLen < frameOptsSize {
+		s.m.protocolErrs.Inc()
+		s.respondError(sess, h.ReqID, CodeInvalidArgument, "FRAME payload too short for options")
+		return false
+	}
+	var optsBuf [frameOptsSize]byte
+	if _, err := io.ReadFull(sess.conn, optsBuf[:]); err != nil {
+		return false
+	}
+	opts, err := decodeFrameOpts(optsBuf[:])
+	if err != nil {
+		s.m.protocolErrs.Inc()
+		return false
+	}
+
+	// Stream the frame straight off the socket: the encoded payload is
+	// never buffered whole, and frameio's limits reject absurd headers
+	// before any payload-sized allocation.
+	lr := &io.LimitedReader{R: sess.conn, N: int64(h.PayloadLen) - frameOptsSize}
+	start := time.Now()
+	frame, _, decErr := frameio.ReadLimited(lr, s.limits)
+	s.m.readFrame.Observe(float64(time.Since(start).Nanoseconds()))
+	// Resync to the message boundary regardless of decode success; a
+	// failure here is a connection-level error (timeout, disconnect).
+	if _, err := io.Copy(io.Discard, lr); err != nil {
+		return false
+	}
+	if decErr != nil {
+		s.respondError(sess, h.ReqID, CodeInvalidArgument, decErr.Error())
+		return true
+	}
+	if opts.Path != PathHybrid && opts.Path != PathCPU {
+		s.respondError(sess, h.ReqID, CodeInvalidArgument, fmt.Sprintf("unknown path %v", opts.Path))
+		return true
+	}
+	if frame.DriftBins != s.seqLen {
+		s.respondError(sess, h.ReqID, CodeInvalidArgument,
+			fmt.Sprintf("frame has %d drift bins, server order %d needs %d",
+				frame.DriftBins, s.cfg.Order, s.seqLen))
+		return true
+	}
+
+	t := &task{
+		sess:     sess,
+		reqID:    h.ReqID,
+		frame:    frame,
+		path:     opts.Path,
+		enqueued: time.Now(),
+	}
+	if opts.Deadline > 0 {
+		t.deadline = t.enqueued.Add(opts.Deadline)
+	}
+	if s.draining.Load() {
+		s.m.shedByReason["draining"].Inc()
+		s.respondError(sess, h.ReqID, CodeUnavailable, "daemon is draining")
+		return true
+	}
+	switch err := sess.shard.enqueue(t); err {
+	case nil:
+		s.m.framesByPath[opts.Path].Inc()
+	case errQueueFull:
+		s.m.shedByReason["queue_full"].Inc()
+		s.respondError(sess, h.ReqID, CodeResourceExhausted,
+			fmt.Sprintf("shard %d queue full (depth %d)", sess.shard.id, s.cfg.QueueDepth))
+	case errDraining:
+		s.m.shedByReason["draining"].Inc()
+		s.respondError(sess, h.ReqID, CodeUnavailable, "daemon is draining")
+	}
+	return true
+}
+
+// discardPayload consumes and drops n payload bytes to stay on a message
+// boundary, reporting success.
+func (sess *session) discardPayload(n uint32) bool {
+	if n == 0 {
+		return true
+	}
+	_, err := io.CopyN(io.Discard, sess.conn, int64(n))
+	return err == nil
+}

@@ -1,0 +1,369 @@
+// wire.go: the IMSP/1 wire protocol — the length-prefixed binary framing
+// the acquisition daemon speaks on TCP.  Every message is an 18-byte
+// little-endian header followed by a bounded payload:
+//
+//	magic "IMSP" | version u8 | type u8 | request id u64 | payload len u32
+//
+// FRAME payloads carry a 5-byte option prefix (path u8, deadline ms u32)
+// followed by a frameio-encoded frame, so the daemon streams the frame
+// straight off the socket through frameio.ReadLimited without ever holding
+// the encoded payload in memory.  RESULT and ERROR payloads are small,
+// fixed-layout summaries.  The explicit payload length makes resync after
+// a decode error trivial: discard the remainder of the declared payload
+// and the stream is back on a message boundary.
+package acqserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// ProtocolVersion is the IMSP revision this package speaks.
+const ProtocolVersion = 1
+
+// headerSize is the fixed wire header length in bytes.
+const headerSize = 18
+
+// frameOptsSize is the option prefix of a FRAME payload: path u8 +
+// deadline-milliseconds u32.
+const frameOptsSize = 5
+
+var wireMagic = [4]byte{'I', 'M', 'S', 'P'}
+
+// MsgType discriminates wire messages.
+type MsgType uint8
+
+// The IMSP/1 message types.
+const (
+	// MsgHello opens a session (client→server); payload: client version u8.
+	MsgHello MsgType = 1
+	// MsgHelloOK acknowledges a session (server→client); payload:
+	// server version u8, shards u16, sequence order u8, max payload u32.
+	MsgHelloOK MsgType = 2
+	// MsgFrame submits one frame for deconvolution (client→server).
+	MsgFrame MsgType = 3
+	// MsgResult returns a deconvolution summary (server→client).
+	MsgResult MsgType = 4
+	// MsgError returns a typed failure for one request (server→client);
+	// payload: code u8, message length u16, message bytes.
+	MsgError MsgType = 5
+	// MsgGoodbye announces a clean client departure (client→server).
+	MsgGoodbye MsgType = 6
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "HELLO"
+	case MsgHelloOK:
+		return "HELLO_OK"
+	case MsgFrame:
+		return "FRAME"
+	case MsgResult:
+		return "RESULT"
+	case MsgError:
+		return "ERROR"
+	case MsgGoodbye:
+		return "GOODBYE"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Code is the typed status of a request, modeled on gRPC status codes.
+type Code uint8
+
+// The IMSP/1 status codes.
+const (
+	// CodeOK is success (implied by a RESULT message).
+	CodeOK Code = 0
+	// CodeInvalidArgument rejects a malformed or mis-shaped frame.
+	CodeInvalidArgument Code = 1
+	// CodeResourceExhausted is explicit load shedding: the target shard's
+	// queue was full.  The request was not processed; retry with backoff.
+	CodeResourceExhausted Code = 2
+	// CodeDeadlineExceeded reports the request's deadline expired before
+	// or during processing.
+	CodeDeadlineExceeded Code = 3
+	// CodeUnavailable reports the daemon is draining for shutdown.
+	CodeUnavailable Code = 4
+	// CodeInternal reports a server-side failure (including a recovered
+	// worker panic).
+	CodeInternal Code = 5
+	// CodeTooLarge rejects a payload exceeding the negotiated bound.
+	CodeTooLarge Code = 6
+)
+
+// String implements fmt.Stringer.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "OK"
+	case CodeInvalidArgument:
+		return "INVALID_ARGUMENT"
+	case CodeResourceExhausted:
+		return "RESOURCE_EXHAUSTED"
+	case CodeDeadlineExceeded:
+		return "DEADLINE_EXCEEDED"
+	case CodeUnavailable:
+		return "UNAVAILABLE"
+	case CodeInternal:
+		return "INTERNAL"
+	case CodeTooLarge:
+		return "TOO_LARGE"
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// Path selects the compute backend for one frame.
+type Path uint8
+
+// The selectable compute paths.
+const (
+	// PathHybrid runs the modeled FPGA offload (hybrid.HybridDeconvolveFrame).
+	PathHybrid Path = 0
+	// PathCPU runs the software pipeline (pipeline.DeconvolveFrame).
+	PathCPU Path = 1
+)
+
+// String implements fmt.Stringer.
+func (p Path) String() string {
+	switch p {
+	case PathHybrid:
+		return "hybrid"
+	case PathCPU:
+		return "cpu"
+	}
+	return fmt.Sprintf("path(%d)", uint8(p))
+}
+
+// Header is one decoded wire header.
+type Header struct {
+	// Type is the message type.
+	Type MsgType
+	// ReqID correlates a response with its request; the client picks it.
+	ReqID uint64
+	// PayloadLen is the byte length of the payload that follows.
+	PayloadLen uint32
+}
+
+// ReadHeader reads and validates one wire header.
+func ReadHeader(r io.Reader) (Header, error) {
+	var buf [headerSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Header{}, err
+	}
+	if [4]byte(buf[0:4]) != wireMagic {
+		return Header{}, fmt.Errorf("acqserver: bad magic %q", buf[0:4])
+	}
+	if buf[4] != ProtocolVersion {
+		return Header{}, fmt.Errorf("acqserver: unsupported protocol version %d", buf[4])
+	}
+	return Header{
+		Type:       MsgType(buf[5]),
+		ReqID:      binary.LittleEndian.Uint64(buf[6:14]),
+		PayloadLen: binary.LittleEndian.Uint32(buf[14:18]),
+	}, nil
+}
+
+// AppendHeader appends the wire encoding of h to dst.
+func AppendHeader(dst []byte, h Header) []byte {
+	dst = append(dst, wireMagic[:]...)
+	dst = append(dst, ProtocolVersion, byte(h.Type))
+	dst = binary.LittleEndian.AppendUint64(dst, h.ReqID)
+	dst = binary.LittleEndian.AppendUint32(dst, h.PayloadLen)
+	return dst
+}
+
+// WriteMessage writes one complete message (header + payload) to w.
+func WriteMessage(w io.Writer, typ MsgType, reqID uint64, payload []byte) error {
+	buf := make([]byte, 0, headerSize+len(payload))
+	buf = AppendHeader(buf, Header{Type: typ, ReqID: reqID, PayloadLen: uint32(len(payload))})
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// PeakSummary is one detected peak of a deconvolved frame's drift profile,
+// as carried in a RESULT payload.
+type PeakSummary struct {
+	// Centroid is the sub-bin apex position along the drift axis.
+	Centroid float64
+	// Height is the apex height above baseline.
+	Height float64
+	// Area is the integrated intensity between the flanking minima.
+	Area float64
+	// SNR is the height over the MAD noise estimate.
+	SNR float64
+}
+
+// Result is the deconvolution summary of one frame.
+type Result struct {
+	// Shard is the queue shard that served the request.
+	Shard uint16
+	// QueueWaitNs is the time the frame sat in the shard queue.
+	QueueWaitNs uint64
+	// ProcessNs is the wall time of the deconvolution itself.
+	ProcessNs uint64
+	// SimulatedNs is the modeled XD1 wall time (hybrid path; 0 on CPU).
+	SimulatedNs uint64
+	// Saturations counts fixed-point overflow events (hybrid path).
+	Saturations uint64
+	// Peaks are the strongest drift-profile peaks, height-descending.
+	Peaks []PeakSummary
+}
+
+// maxResultPeaks bounds the peak list a RESULT may carry.
+const maxResultPeaks = 64
+
+// EncodeResult serializes a RESULT payload.
+func EncodeResult(r *Result) ([]byte, error) {
+	if len(r.Peaks) > maxResultPeaks {
+		return nil, fmt.Errorf("acqserver: %d peaks exceed wire bound %d", len(r.Peaks), maxResultPeaks)
+	}
+	buf := make([]byte, 0, 2+8*4+2+32*len(r.Peaks))
+	buf = binary.LittleEndian.AppendUint16(buf, r.Shard)
+	buf = binary.LittleEndian.AppendUint64(buf, r.QueueWaitNs)
+	buf = binary.LittleEndian.AppendUint64(buf, r.ProcessNs)
+	buf = binary.LittleEndian.AppendUint64(buf, r.SimulatedNs)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Saturations)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Peaks)))
+	for _, p := range r.Peaks {
+		for _, v := range [4]float64{p.Centroid, p.Height, p.Area, p.SNR} {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeResult parses a RESULT payload.
+func DecodeResult(b []byte) (*Result, error) {
+	const fixed = 2 + 8*4 + 2
+	if len(b) < fixed {
+		return nil, fmt.Errorf("acqserver: RESULT payload %d bytes, want >= %d", len(b), fixed)
+	}
+	r := &Result{
+		Shard:       binary.LittleEndian.Uint16(b[0:2]),
+		QueueWaitNs: binary.LittleEndian.Uint64(b[2:10]),
+		ProcessNs:   binary.LittleEndian.Uint64(b[10:18]),
+		SimulatedNs: binary.LittleEndian.Uint64(b[18:26]),
+		Saturations: binary.LittleEndian.Uint64(b[26:34]),
+	}
+	n := int(binary.LittleEndian.Uint16(b[34:36]))
+	if n > maxResultPeaks {
+		return nil, fmt.Errorf("acqserver: RESULT declares %d peaks, bound is %d", n, maxResultPeaks)
+	}
+	if len(b) != fixed+32*n {
+		return nil, fmt.Errorf("acqserver: RESULT payload %d bytes, want %d for %d peaks", len(b), fixed+32*n, n)
+	}
+	r.Peaks = make([]PeakSummary, n)
+	pos := fixed
+	for i := range r.Peaks {
+		r.Peaks[i] = PeakSummary{
+			Centroid: math.Float64frombits(binary.LittleEndian.Uint64(b[pos : pos+8])),
+			Height:   math.Float64frombits(binary.LittleEndian.Uint64(b[pos+8 : pos+16])),
+			Area:     math.Float64frombits(binary.LittleEndian.Uint64(b[pos+16 : pos+24])),
+			SNR:      math.Float64frombits(binary.LittleEndian.Uint64(b[pos+24 : pos+32])),
+		}
+		pos += 32
+	}
+	return r, nil
+}
+
+// maxErrorMessage bounds the message string an ERROR may carry.
+const maxErrorMessage = 1024
+
+// EncodeError serializes an ERROR payload.
+func EncodeError(code Code, msg string) []byte {
+	if len(msg) > maxErrorMessage {
+		msg = msg[:maxErrorMessage]
+	}
+	buf := make([]byte, 0, 3+len(msg))
+	buf = append(buf, byte(code))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg)))
+	return append(buf, msg...)
+}
+
+// DecodeError parses an ERROR payload.
+func DecodeError(b []byte) (Code, string, error) {
+	if len(b) < 3 {
+		return 0, "", fmt.Errorf("acqserver: ERROR payload %d bytes, want >= 3", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b[1:3]))
+	if len(b) != 3+n {
+		return 0, "", fmt.Errorf("acqserver: ERROR payload %d bytes, want %d", len(b), 3+n)
+	}
+	return Code(b[0]), string(b[3:]), nil
+}
+
+// ServerInfo is the HELLO_OK handshake summary.
+type ServerInfo struct {
+	// Version is the server's protocol version.
+	Version uint8
+	// Shards is the daemon's work-queue shard count.
+	Shards uint16
+	// Order is the m-sequence order frames must match (drift bins =
+	// 2^Order − 1).
+	Order uint8
+	// MaxPayloadBytes is the largest payload the daemon accepts.
+	MaxPayloadBytes uint32
+}
+
+// EncodeServerInfo serializes a HELLO_OK payload.
+func EncodeServerInfo(si ServerInfo) []byte {
+	buf := make([]byte, 0, 8)
+	buf = append(buf, si.Version)
+	buf = binary.LittleEndian.AppendUint16(buf, si.Shards)
+	buf = append(buf, si.Order)
+	return binary.LittleEndian.AppendUint32(buf, si.MaxPayloadBytes)
+}
+
+// DecodeServerInfo parses a HELLO_OK payload.
+func DecodeServerInfo(b []byte) (ServerInfo, error) {
+	if len(b) != 8 {
+		return ServerInfo{}, fmt.Errorf("acqserver: HELLO_OK payload %d bytes, want 8", len(b))
+	}
+	return ServerInfo{
+		Version:         b[0],
+		Shards:          binary.LittleEndian.Uint16(b[1:3]),
+		Order:           b[3],
+		MaxPayloadBytes: binary.LittleEndian.Uint32(b[4:8]),
+	}, nil
+}
+
+// FrameOptions are the per-request knobs carried in a FRAME payload's
+// option prefix.
+type FrameOptions struct {
+	// Path selects the compute backend.
+	Path Path
+	// Deadline bounds queue wait + processing; zero means none.  On the
+	// wire it is milliseconds (u32), so the ceiling is ~49.7 days.
+	Deadline time.Duration
+}
+
+// encodeFrameOpts appends the 5-byte option prefix.
+func encodeFrameOpts(dst []byte, o FrameOptions) []byte {
+	ms := o.Deadline.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > int64(^uint32(0)) {
+		ms = int64(^uint32(0))
+	}
+	dst = append(dst, byte(o.Path))
+	return binary.LittleEndian.AppendUint32(dst, uint32(ms))
+}
+
+// decodeFrameOpts parses the option prefix.
+func decodeFrameOpts(b []byte) (FrameOptions, error) {
+	if len(b) != frameOptsSize {
+		return FrameOptions{}, fmt.Errorf("acqserver: frame options %d bytes, want %d", len(b), frameOptsSize)
+	}
+	return FrameOptions{
+		Path:     Path(b[0]),
+		Deadline: time.Duration(binary.LittleEndian.Uint32(b[1:5])) * time.Millisecond,
+	}, nil
+}

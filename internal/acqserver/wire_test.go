@@ -1,0 +1,116 @@
+package acqserver
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Type: MsgFrame, ReqID: 0xDEADBEEFCAFE, PayloadLen: 12345}
+	buf := AppendHeader(nil, h)
+	if len(buf) != headerSize {
+		t.Fatalf("header is %d bytes, want %d", len(buf), headerSize)
+	}
+	got, err := ReadHeader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip %+v != %+v", got, h)
+	}
+}
+
+func TestHeaderRejectsBadMagicAndVersion(t *testing.T) {
+	h := AppendHeader(nil, Header{Type: MsgHello})
+	bad := append([]byte(nil), h...)
+	bad[0] = 'X'
+	if _, err := ReadHeader(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), h...)
+	bad[4] = 99
+	if _, err := ReadHeader(bytes.NewReader(bad)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	r := &Result{
+		Shard:       3,
+		QueueWaitNs: 123456,
+		ProcessNs:   789012,
+		SimulatedNs: 42,
+		Saturations: 7,
+		Peaks: []PeakSummary{
+			{Centroid: 12.5, Height: 1000, Area: 4800, SNR: 55.5},
+			{Centroid: 200.25, Height: 10, Area: 31, SNR: 5.1},
+		},
+	}
+	buf, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != r.Shard || got.QueueWaitNs != r.QueueWaitNs || got.SimulatedNs != r.SimulatedNs ||
+		got.Saturations != r.Saturations || len(got.Peaks) != 2 || got.Peaks[1] != r.Peaks[1] {
+		t.Fatalf("round trip %+v != %+v", got, r)
+	}
+
+	r.Peaks = make([]PeakSummary, maxResultPeaks+1)
+	if _, err := EncodeResult(r); err == nil {
+		t.Error("oversized peak list accepted")
+	}
+	if _, err := DecodeResult(buf[:10]); err == nil {
+		t.Error("truncated RESULT accepted")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	buf := EncodeError(CodeResourceExhausted, "shard 2 queue full")
+	code, msg, err := DecodeError(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != CodeResourceExhausted || msg != "shard 2 queue full" {
+		t.Fatalf("got %v %q", code, msg)
+	}
+	long := EncodeError(CodeInternal, string(make([]byte, 5000)))
+	if _, m, err := DecodeError(long); err != nil || len(m) != maxErrorMessage {
+		t.Fatalf("long message not truncated: %d bytes, err %v", len(m), err)
+	}
+	if _, _, err := DecodeError([]byte{1}); err == nil {
+		t.Error("truncated ERROR accepted")
+	}
+}
+
+func TestServerInfoAndOptsRoundTrip(t *testing.T) {
+	si := ServerInfo{Version: 1, Shards: 8, Order: 9, MaxPayloadBytes: 16 << 20}
+	got, err := DecodeServerInfo(EncodeServerInfo(si))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != si {
+		t.Fatalf("round trip %+v != %+v", got, si)
+	}
+
+	o := FrameOptions{Path: PathCPU, Deadline: 1500 * time.Millisecond}
+	gotO, err := decodeFrameOpts(encodeFrameOpts(nil, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotO != o {
+		t.Fatalf("round trip %+v != %+v", gotO, o)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if MsgFrame.String() != "FRAME" || Code(99).String() != "code(99)" ||
+		CodeResourceExhausted.String() != "RESOURCE_EXHAUSTED" ||
+		PathHybrid.String() != "hybrid" || Path(9).String() != "path(9)" {
+		t.Error("stringer mismatch")
+	}
+}

@@ -110,8 +110,54 @@ func Write(w io.Writer, f *instrument.Frame, meta Metadata, enc Encoding) error 
 	return bw.Flush()
 }
 
-// Read deserializes a frame written by Write.
+// Limits bounds what a frame header may declare before any payload-sized
+// allocation happens.  Read enforces DefaultLimits; network servers should
+// pass much tighter bounds to ReadLimited so a malicious or corrupt peer
+// cannot force a huge allocation with a 17-byte header.
+type Limits struct {
+	// MaxHeaderBytes caps the metadata header length.
+	MaxHeaderBytes uint32
+	// MaxDriftBins and MaxTOFBins cap each frame axis.
+	MaxDriftBins uint32
+	MaxTOFBins   uint32
+	// MaxCells caps DriftBins × TOFBins (the payload allocation, 8 bytes
+	// per cell once decoded).
+	MaxCells uint64
+}
+
+// DefaultLimits returns the historical bounds of Read: 1 MiB of metadata
+// and 2³⁰ cells (8 GiB decoded) with no per-axis cap beyond the cell cap.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxHeaderBytes: 1 << 20,
+		MaxDriftBins:   1 << 30,
+		MaxTOFBins:     1 << 30,
+		MaxCells:       1 << 30,
+	}
+}
+
+// Validate reports the first unusable bound.
+func (l Limits) Validate() error {
+	if l.MaxHeaderBytes == 0 || l.MaxDriftBins == 0 || l.MaxTOFBins == 0 || l.MaxCells == 0 {
+		return fmt.Errorf("frameio: limits must all be positive (%+v)", l)
+	}
+	return nil
+}
+
+// Read deserializes a frame written by Write, under DefaultLimits.
 func Read(r io.Reader) (*instrument.Frame, Metadata, error) {
+	return ReadLimited(r, DefaultLimits())
+}
+
+// ReadLimited deserializes a frame written by Write, rejecting any header
+// that declares dimensions or sizes beyond lim before allocating for them.
+// It reads exactly one frame, streaming the payload through a small buffer
+// — r may be a net.Conn wrapped in an io.LimitReader; the whole encoded
+// payload is never held in memory (only the decoded cells are).
+func ReadLimited(r io.Reader, lim Limits) (*instrument.Frame, Metadata, error) {
+	if err := lim.Validate(); err != nil {
+		return nil, nil, err
+	}
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
@@ -124,8 +170,8 @@ func Read(r io.Reader) (*instrument.Frame, Metadata, error) {
 	if err := binary.Read(br, binary.LittleEndian, &headerLen); err != nil {
 		return nil, nil, err
 	}
-	if headerLen > 1<<20 {
-		return nil, nil, fmt.Errorf("frameio: header of %d bytes exceeds 1 MiB bound", headerLen)
+	if headerLen > lim.MaxHeaderBytes {
+		return nil, nil, fmt.Errorf("frameio: header of %d bytes exceeds %d-byte bound", headerLen, lim.MaxHeaderBytes)
 	}
 	header := make([]byte, headerLen)
 	if _, err := io.ReadFull(br, header); err != nil {
@@ -142,8 +188,12 @@ func Read(r io.Reader) (*instrument.Frame, Metadata, error) {
 	if err := binary.Read(br, binary.LittleEndian, &tofBins); err != nil {
 		return nil, nil, err
 	}
-	if driftBins == 0 || tofBins == 0 || uint64(driftBins)*uint64(tofBins) > 1<<30 {
-		return nil, nil, fmt.Errorf("frameio: implausible geometry %d x %d", driftBins, tofBins)
+	if driftBins == 0 || tofBins == 0 || uint64(driftBins)*uint64(tofBins) > lim.MaxCells {
+		return nil, nil, fmt.Errorf("frameio: implausible geometry %d x %d (cell bound %d)", driftBins, tofBins, lim.MaxCells)
+	}
+	if driftBins > lim.MaxDriftBins || tofBins > lim.MaxTOFBins {
+		return nil, nil, fmt.Errorf("frameio: geometry %d x %d exceeds axis bounds %d x %d",
+			driftBins, tofBins, lim.MaxDriftBins, lim.MaxTOFBins)
 	}
 	encByte, err := br.ReadByte()
 	if err != nil {

@@ -301,3 +301,61 @@ func TestMetadataTruncation(t *testing.T) {
 		t.Error("truncated metadata accepted")
 	}
 }
+
+func TestReadLimitedRejectsBeforeAllocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := countsFrame(rng, 63, 8)
+	var buf bytes.Buffer
+	if err := Write(&buf, f, Metadata{"k": "v"}, Delta); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	lim := Limits{MaxHeaderBytes: 64, MaxDriftBins: 63, MaxTOFBins: 8, MaxCells: 63 * 8}
+	if got, _, err := ReadLimited(bytes.NewReader(encoded), lim); err != nil {
+		t.Fatalf("in-bounds frame rejected: %v", err)
+	} else if !framesEqual(got, f) {
+		t.Fatal("in-bounds frame corrupted")
+	}
+
+	cases := []struct {
+		name string
+		lim  Limits
+	}{
+		{"header", Limits{MaxHeaderBytes: 1, MaxDriftBins: 63, MaxTOFBins: 8, MaxCells: 63 * 8}},
+		{"drift", Limits{MaxHeaderBytes: 64, MaxDriftBins: 62, MaxTOFBins: 8, MaxCells: 63 * 8}},
+		{"tof", Limits{MaxHeaderBytes: 64, MaxDriftBins: 63, MaxTOFBins: 7, MaxCells: 63 * 8}},
+		{"cells", Limits{MaxHeaderBytes: 64, MaxDriftBins: 63, MaxTOFBins: 8, MaxCells: 63*8 - 1}},
+	}
+	for _, c := range cases {
+		if _, _, err := ReadLimited(bytes.NewReader(encoded), c.lim); err == nil {
+			t.Errorf("%s bound not enforced", c.name)
+		}
+	}
+}
+
+func TestReadLimitedRejectsMaliciousGeometry(t *testing.T) {
+	// A 17-byte header declaring a 2^30-cell frame must be rejected by
+	// tight limits without ever allocating the 8 GiB payload.
+	var buf bytes.Buffer
+	buf.Write([]byte("HTIMSFR1"))
+	buf.Write([]byte{0, 0, 0, 0}) // empty metadata header... almost:
+	buf.Bytes()[8] = 1            // header length 1
+	buf.WriteByte(0)              // metadata count = 0
+	buf.Write([]byte{0, 0, 2, 0}) // drift bins = 1<<17
+	buf.Write([]byte{0, 0, 2, 0}) // tof bins = 1<<17  (product 2^34)
+	buf.WriteByte(0)              // raw encoding
+	lim := Limits{MaxHeaderBytes: 1 << 10, MaxDriftBins: 4096, MaxTOFBins: 4096, MaxCells: 1 << 22}
+	if _, _, err := ReadLimited(bytes.NewReader(buf.Bytes()), lim); err == nil {
+		t.Fatal("absurd geometry accepted")
+	}
+	if _, _, err := ReadLimited(bytes.NewReader(buf.Bytes()), DefaultLimits()); err == nil {
+		t.Fatal("2^34-cell geometry accepted even by default limits")
+	}
+}
+
+func TestReadLimitedValidatesLimits(t *testing.T) {
+	if _, _, err := ReadLimited(bytes.NewReader(nil), Limits{}); err == nil {
+		t.Fatal("zero limits accepted")
+	}
+}

@@ -13,6 +13,7 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -279,10 +280,29 @@ type HybridResult struct {
 // m/z column is deconvolved by the fixed-point FHT core (data-exact), and
 // the simulated wall time is the steady-state double-buffered budget.  When
 // c.Metrics is set, the host↔FPGA transfers, core activity and fabric load
-// are recorded as telemetry.
+// are recorded as telemetry.  It is HybridDeconvolveFrameContext with
+// context.Background().
 func HybridDeconvolveFrame(f *instrument.Frame, c OffloadConfig) (*HybridResult, error) {
+	return HybridDeconvolveFrameContext(context.Background(), f, c)
+}
+
+// ctxCheckStride is how many columns (or simulated cycles, for the
+// streaming model) are processed between context-cancellation checks: often
+// enough that a server deadline cuts off in-flight work promptly, rarely
+// enough that the check is free.
+const ctxCheckStride = 16
+
+// HybridDeconvolveFrameContext is HybridDeconvolveFrame under a context:
+// when ctx is cancelled (a server deadline, a disconnected client) the
+// column loop stops within ctxCheckStride columns and returns ctx.Err(),
+// so in-flight work is actually abandoned rather than completed and thrown
+// away.
+func HybridDeconvolveFrameContext(ctx context.Context, f *instrument.Frame, c OffloadConfig) (*HybridResult, error) {
 	if f == nil {
 		return nil, fmt.Errorf("hybrid: nil frame")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	cfg := c
 	cfg.TOFColumns = f.TOFBins
@@ -300,6 +320,11 @@ func HybridDeconvolveFrame(f *instrument.Frame, c OffloadConfig) (*HybridResult,
 	}
 	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
 	for t := 0; t < f.TOFBins; t++ {
+		if t%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		x, _, err := core.Deconvolve(f.DriftVector(t))
 		if err != nil {
 			return nil, err

@@ -7,6 +7,7 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fpga"
@@ -90,9 +91,21 @@ type StreamReport struct {
 }
 
 // SimulateStream pushes `Columns` column tokens through the clocked
-// capture→accumulate→deconvolve→DMA pipeline and reports the dynamics.
+// capture→accumulate→deconvolve→DMA pipeline and reports the dynamics.  It
+// is SimulateStreamContext with context.Background().
 func SimulateStream(c StreamConfig) (StreamReport, error) {
+	return SimulateStreamContext(context.Background(), c)
+}
+
+// SimulateStreamContext is SimulateStream under a context: cancellation is
+// checked between feed iterations and between drain slices, so a server
+// deadline abandons a long simulation mid-run instead of clocking every
+// remaining cycle.
+func SimulateStreamContext(ctx context.Context, c StreamConfig) (StreamReport, error) {
 	if err := c.Validate(); err != nil {
+		return StreamReport{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return StreamReport{}, err
 	}
 	core, err := fpga.NewFHTCore(c.Offload.Order, c.Offload.Format, c.Offload.Growth,
@@ -157,8 +170,17 @@ func SimulateStream(c StreamConfig) (StreamReport, error) {
 	}
 
 	var nextArrival int64
+	// drainSlice bounds the cycles clocked between cancellation checks.
+	const drainSlice = int64(4096)
+	ctxCountdown := drainSlice
 	maxCycles := int64(c.Columns+16) * int64(fhtII+captureII+accumII+dmaII+int(c.ArrivalInterval)+4)
 	for p.Cycle() < maxCycles {
+		if ctxCountdown <= 0 {
+			if err := ctx.Err(); err != nil {
+				return StreamReport{}, err
+			}
+			ctxCountdown = drainSlice
+		}
 		if fed < c.Columns && p.Cycle() >= nextArrival {
 			if p.Feed(capture, fpga.Token{ID: fed, Words: n}) {
 				if feedCycle != nil {
@@ -169,13 +191,22 @@ func SimulateStream(c StreamConfig) (StreamReport, error) {
 			}
 		}
 		if fed == c.Columns {
-			if done, ok := p.RunUntilDrained(maxCycles - p.Cycle()); ok {
-				_ = done
-				break
+			for p.Cycle() < maxCycles {
+				if err := ctx.Err(); err != nil {
+					return StreamReport{}, err
+				}
+				slice := maxCycles - p.Cycle()
+				if slice > drainSlice {
+					slice = drainSlice
+				}
+				if _, ok := p.RunUntilDrained(slice); ok {
+					break
+				}
 			}
 			break
 		}
 		p.Step(1)
+		ctxCountdown--
 	}
 
 	var rep StreamReport

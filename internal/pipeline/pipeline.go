@@ -13,6 +13,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -67,6 +68,14 @@ func DeconvolveFrame(f *instrument.Frame, newDecoder DecoderFactory, workers int
 // every distinct error is returned, joined with errors.Join — no failure
 // is silently dropped.
 func DeconvolveFrameWithMetrics(f *instrument.Frame, newDecoder DecoderFactory, workers int, reg *telemetry.Registry) (*instrument.Frame, error) {
+	return DeconvolveFrameContext(context.Background(), f, newDecoder, workers, reg)
+}
+
+// DeconvolveFrameContext is DeconvolveFrameWithMetrics under a context:
+// each worker checks for cancellation before claiming its next column, so
+// a server deadline stops the frame within one column's work per worker
+// and the call returns ctx.Err().
+func DeconvolveFrameContext(ctx context.Context, f *instrument.Frame, newDecoder DecoderFactory, workers int, reg *telemetry.Registry) (*instrument.Frame, error) {
 	if f == nil {
 		return nil, fmt.Errorf("pipeline: nil frame")
 	}
@@ -101,6 +110,10 @@ func DeconvolveFrameWithMetrics(f *instrument.Frame, newDecoder DecoderFactory, 
 				return
 			}
 			for {
+				if err := ctx.Err(); err != nil {
+					errs <- err
+					return
+				}
 				t := int(atomic.AddInt64(&next, 1))
 				if t >= f.TOFBins {
 					return

@@ -1,9 +1,12 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/hadamard"
@@ -210,5 +213,48 @@ func BenchmarkDeconvolveFrameParallel(b *testing.B) {
 		if _, err := DeconvolveFrame(enc, fhtFactory(9), 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// countdownCtx reports Canceled starting with the (after+1)-th Err call —
+// a deterministic stand-in for a deadline firing mid-frame.
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestDeconvolveFrameContextPreCancelled(t *testing.T) {
+	f, _ := encodedFrame(t, 5, 8, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := DeconvolveFrameContext(ctx, f, func() (hadamard.Decoder, error) {
+		return hadamard.NewFHTDecoder(5)
+	}, 2, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestDeconvolveFrameContextMidRun(t *testing.T) {
+	f, _ := encodedFrame(t, 5, 64, 1)
+	// One worker: its first pre-column check passes, the second cancels,
+	// so the frame is abandoned after exactly one column of work.
+	ctx := &countdownCtx{Context: context.Background(), after: 1}
+	out, err := DeconvolveFrameContext(ctx, f, func() (hadamard.Decoder, error) {
+		return hadamard.NewFHTDecoder(5)
+	}, 1, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled mid-frame, got %v", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled deconvolution returned a frame")
 	}
 }

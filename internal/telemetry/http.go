@@ -1,0 +1,39 @@
+// http.go: the registry's HTTP exposition surface — the scrape endpoint a
+// long-running daemon (cmd/imsd) mounts so Prometheus, curl, or the load
+// generator can read live metrics.  The two serializations of export.go are
+// selected by path or query: text exposition by default, JSON on request.
+package telemetry
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler returns an http.Handler that serves a point-in-time snapshot of
+// the registry: Prometheus text exposition by default, indented JSON when
+// the request path ends in ".json" or carries ?format=json.  A nil
+// registry serves empty (but well-formed) documents, so the endpoint can
+// be mounted unconditionally.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s := r.Snapshot()
+		asJSON := strings.HasSuffix(req.URL.Path, ".json") || req.URL.Query().Get("format") == "json"
+		if asJSON {
+			w.Header().Set("Content-Type", "application/json")
+			if req.Method == http.MethodHead {
+				return
+			}
+			_ = s.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = s.WritePrometheus(w)
+	})
+}

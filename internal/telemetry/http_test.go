@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesBothFormats(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("acq_frames_total", "frames served", L("path", "hybrid")).Add(3)
+	reg.Gauge("acq_sessions_active", "live sessions").Set(2)
+
+	h := reg.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `acq_frames_total{path="hybrid"} 3`) {
+		t.Fatalf("text exposition missing counter:\n%s", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text content type %q", ct)
+	}
+
+	for _, target := range []string{"/metrics.json", "/metrics?format=json"} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		var snap struct {
+			Metrics []struct {
+				Name string `json:"name"`
+			} `json:"metrics"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", target, err)
+		}
+		if len(snap.Metrics) != 2 {
+			t.Fatalf("%s: got %d metrics", target, len(snap.Metrics))
+		}
+	}
+}
+
+func TestHandlerNilRegistryAndMethods(t *testing.T) {
+	var reg *Registry
+	h := reg.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil registry status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+}

@@ -1,0 +1,62 @@
+#!/bin/sh
+# serve-smoke.sh: end-to-end smoke test of the acquisition service.
+#
+# Builds imsd and imsload, starts the daemon on an ephemeral port, drives a
+# 2-second burst from 16 concurrent clients, then SIGTERMs the daemon and
+# asserts: imsload exited 0 (zero transport/protocol errors) and imsd
+# drained cleanly (exit 0, "drained cleanly" in its output).
+set -eu
+
+GO=${GO:-go}
+PORT=${SMOKE_PORT:-17071}
+TMP=$(mktemp -d)
+DAEMON_PID=""
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building binaries"
+$GO build -o "$TMP/imsd" ./cmd/imsd
+$GO build -o "$TMP/imsload" ./cmd/imsload
+
+echo "serve-smoke: starting imsd on 127.0.0.1:$PORT"
+"$TMP/imsd" -addr "127.0.0.1:$PORT" -drain-timeout 10s >"$TMP/imsd.log" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the listening line (up to ~5s).
+i=0
+until grep -q "listening on" "$TMP/imsd.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: FAIL — imsd never started"; cat "$TMP/imsd.log"; exit 1
+    fi
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "serve-smoke: FAIL — imsd exited early"; cat "$TMP/imsd.log"; exit 1
+    fi
+    sleep 0.1
+done
+
+echo "serve-smoke: 2s burst, 16 clients"
+if ! "$TMP/imsload" -addr "127.0.0.1:$PORT" -clients 16 -duration 2s -tof 128; then
+    echo "serve-smoke: FAIL — imsload reported errors"
+    cat "$TMP/imsd.log"
+    exit 1
+fi
+
+echo "serve-smoke: draining imsd"
+kill -TERM "$DAEMON_PID"
+rc=0
+wait "$DAEMON_PID" || rc=$?
+DAEMON_PID=""
+if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: FAIL — imsd exited $rc"; cat "$TMP/imsd.log"; exit 1
+fi
+if ! grep -q "drained cleanly" "$TMP/imsd.log"; then
+    echo "serve-smoke: FAIL — no clean drain"; cat "$TMP/imsd.log"; exit 1
+fi
+echo "serve-smoke: OK"
