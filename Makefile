@@ -6,13 +6,14 @@ GO ?= go
 # Packages whose exported identifiers must all carry doc comments: the
 # telemetry layer, the instrumented entry points it is wired through, and
 # the serving stack.
-DOCLINT_DIRS = internal/telemetry internal/pipeline internal/hybrid \
+DOCLINT_DIRS = internal/telemetry internal/telemetry/trace \
+               internal/pipeline internal/hybrid \
                internal/fpga internal/xd1 internal/acqserver \
                internal/frameio
 
-.PHONY: check fmt vet build test docslint fuzz-short serve-smoke bench
+.PHONY: check fmt vet build test docslint fuzz-short serve-smoke trace-smoke bench
 
-check: fmt vet build test docslint fuzz-short serve-smoke
+check: fmt vet build test docslint fuzz-short serve-smoke trace-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -40,6 +41,14 @@ fuzz-short:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
-# The nil-registry overhead contract (<5 ns/op, 0 allocs/op on the nil path).
+# End-to-end tracing smoke: imsd -trace + a traced imsload burst, then
+# assert the Perfetto JSON parses with a span for every pipeline stage.
+trace-smoke:
+	./scripts/trace-smoke.sh
+
+# The nil-registry overhead contract (<5 ns/op, 0 allocs/op on the nil
+# path) and the disabled-tracer contract (<10 ns/op, 0 allocs/op across
+# six span sites).
 bench:
 	$(GO) test ./internal/telemetry -run XXX -bench TelemetryOverhead -benchmem
+	$(GO) test ./internal/telemetry/trace -run XXX -bench TraceOverhead -benchmem

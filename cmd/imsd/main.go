@@ -1,4 +1,4 @@
-// Command imsd is the frame-acquisition daemon: it serves the IMSP/1
+// Command imsd is the frame-acquisition daemon: it serves the IMSP
 // protocol over TCP, feeding frames from many concurrent clients through
 // sharded worker pools running the modeled hybrid FPGA offload or the CPU
 // software pipeline (see docs/SERVING.md for the protocol and backpressure
@@ -9,12 +9,19 @@
 //	imsd [-addr HOST:PORT] [-shards N] [-depth N] [-workers N]
 //	     [-order N] [-max-tof N] [-read-timeout D] [-write-timeout D]
 //	     [-drain-timeout D] [-metrics ADDR]
+//	     [-trace FILE] [-trace-slow D] [-trace-sample N] [-trace-ring N]
 //
 // With -metrics, an HTTP endpoint serves the acq_* telemetry families in
-// Prometheus text format at /metrics (JSON at /metrics.json) plus
-// net/http/pprof under /debug/pprof/.  On SIGINT or SIGTERM the daemon
-// drains gracefully: it stops accepting, completes every queued frame,
-// flushes responses, and exits 0; -drain-timeout bounds the wait.
+// Prometheus text format at /metrics (JSON at /metrics.json), the span-tree
+// ring buffer at /debug/traces, plus net/http/pprof under /debug/pprof/.
+// With -trace, every frame is traced (socket read, queue wait, worker,
+// modeled FPGA/DMA stages, response write) under the tail-sampling policy
+// set by -trace-slow and -trace-sample, and the retained trees are written
+// as Chrome/Perfetto trace-event JSON on exit.  Logs are structured
+// (log/slog text) with trace and request ids attached.  On SIGINT or
+// SIGTERM the daemon drains gracefully: it stops accepting, completes every
+// queued frame, flushes responses, and exits 0; -drain-timeout bounds the
+// wait.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -32,6 +40,7 @@ import (
 
 	"repro/internal/acqserver"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func fail(format string, args ...interface{}) {
@@ -51,19 +60,37 @@ func main() {
 	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "per-response write deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
 	metricsAddr := flag.String("metrics", "", "serve telemetry and pprof on this HTTP address (e.g. localhost:9090)")
+	tracePath := flag.String("trace", "", "trace every frame and write retained span trees as Perfetto JSON to this file on exit")
+	traceSlow := flag.Duration("trace-slow", 0, "keep every trace at least this slow (0 keeps all)")
+	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "uniformly keep 1 in N traces under the slow threshold")
+	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "retained traces per ring (slow and sampled)")
 	flag.Parse()
 
+	log := slog.New(slog.NewTextHandler(os.Stdout, nil))
 	reg := telemetry.NewRegistry()
 	cfg.Metrics = reg
+	cfg.Logger = log
+
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(trace.Config{
+			SlowThreshold: *traceSlow,
+			SampleEvery:   *traceSample,
+			RingSize:      *traceRing,
+		})
+		cfg.Trace = tracer
+	}
+
 	if *metricsAddr != "" {
 		http.Handle("/metrics", reg.Handler())
 		http.Handle("/metrics.json", reg.Handler())
+		http.Handle("/debug/traces", tracer.Handler())
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "imsd: metrics server: %v\n", err)
+				log.Error("metrics server failed", "err", err)
 			}
 		}()
-		fmt.Printf("imsd metrics on http://%s/metrics\n", *metricsAddr)
+		log.Info("imsd metrics server up", "url", fmt.Sprintf("http://%s/metrics", *metricsAddr))
 	}
 
 	srv, err := acqserver.NewServer(cfg)
@@ -74,8 +101,9 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	fmt.Printf("imsd listening on %s (order %d, %d shards x depth %d, %d workers each)\n",
-		ln.Addr(), cfg.Order, cfg.Shards, cfg.QueueDepth, cfg.WorkersPerShard)
+	log.Info("imsd listening on "+ln.Addr().String(),
+		"order", cfg.Order, "shards", cfg.Shards, "depth", cfg.QueueDepth,
+		"workers_per_shard", cfg.WorkersPerShard, "tracing", tracer != nil)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -86,7 +114,7 @@ func main() {
 	case err := <-serveErr:
 		fail("serve: %v", err)
 	case sig := <-sigc:
-		fmt.Printf("imsd received %v, draining (bound %v)\n", sig, *drainTimeout)
+		log.Info("imsd draining", "signal", sig.String(), "bound", drainTimeout.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -95,6 +123,25 @@ func main() {
 		if err := <-serveErr; err != nil && !errors.Is(err, net.ErrClosed) {
 			fail("serve: %v", err)
 		}
-		fmt.Println("imsd drained cleanly")
+		if err := writeTrace(tracer, *tracePath); err != nil {
+			fail("trace: %v", err)
+		}
+		log.Info("imsd drained cleanly")
 	}
+}
+
+// writeTrace dumps the tracer's retained span trees as Perfetto JSON.
+func writeTrace(tracer *trace.Tracer, path string) error {
+	if tracer == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WritePerfetto(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,13 +1,21 @@
 // Command imsload is the load generator for the imsd acquisition daemon:
 // it drives M concurrent clients at a target per-client rate, submits
-// synthetic multiplexed frames over IMSP/1, and reports the latency
+// synthetic multiplexed frames over IMSP, and reports the latency
 // distribution (p50/p95/p99), throughput, and shed rate.
 //
 // Usage:
 //
 //	imsload [-addr HOST:PORT] [-clients N] [-rate R] [-duration D]
 //	        [-tof N] [-path hybrid|cpu] [-deadline D] [-enc raw|delta]
-//	        [-seed N]
+//	        [-seed N] [-json FILE] [-trace FILE]
+//
+// With -json, the run's full report — throughput, shed rate, latency
+// quantiles and the server-side span-stage breakdown (queue wait, process,
+// modeled XD1 time, from RESULT payloads) — is written as machine-readable
+// JSON so perf trajectories can be recorded across runs.  With -trace,
+// every request is traced client-side under a trace ID that also rides the
+// IMSP/2 header, so the client span trees correlate with the server's
+// /debug/traces output; the trees are written as Perfetto JSON at exit.
 //
 // Shed responses (RESOURCE_EXHAUSTED, UNAVAILABLE) are the daemon's
 // explicit backpressure and are reported separately; they are not errors.
@@ -17,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -28,6 +37,7 @@ import (
 	"repro/internal/acqserver"
 	"repro/internal/frameio"
 	"repro/internal/instrument"
+	"repro/internal/telemetry/trace"
 )
 
 func fail(format string, args ...interface{}) {
@@ -42,6 +52,43 @@ type clientStats struct {
 	shed      int
 	rejected  map[acqserver.Code]int
 	errs      []error
+	server    serverBreakdown
+}
+
+// serverBreakdown aggregates the server-side span-stage times carried in
+// RESULT payloads: where accepted frames spent their time on the daemon.
+type serverBreakdown struct {
+	// Frames is how many RESULTs contributed.
+	Frames int64 `json:"frames"`
+	// QueueWaitNs, ProcessNs and SimulatedNs are summed over those frames.
+	QueueWaitNs int64 `json:"queue_wait_ns_total"`
+	ProcessNs   int64 `json:"process_ns_total"`
+	SimulatedNs int64 `json:"simulated_ns_total"`
+}
+
+func (b *serverBreakdown) add(r *acqserver.Result) {
+	b.Frames++
+	b.QueueWaitNs += int64(r.QueueWaitNs)
+	b.ProcessNs += int64(r.ProcessNs)
+	b.SimulatedNs += int64(r.SimulatedNs)
+}
+
+// report is the -json machine-readable run summary.
+type report struct {
+	Clients       int              `json:"clients"`
+	DurationS     float64          `json:"duration_s"`
+	Path          string           `json:"path"`
+	TOFBins       int              `json:"tof_bins"`
+	Requests      int              `json:"requests"`
+	OK            int              `json:"ok"`
+	Shed          int              `json:"shed"`
+	ShedRate      float64          `json:"shed_rate"`
+	Rejected      map[string]int   `json:"rejected,omitempty"`
+	ThroughputRPS float64          `json:"throughput_rps"`
+	SubmittedMiBS float64          `json:"submitted_mib_per_s"`
+	LatencyNs     map[string]int64 `json:"latency_ns"`
+	Server        serverBreakdown  `json:"server"`
+	ProtoVersion  uint8            `json:"protocol_version"`
 }
 
 func main() {
@@ -54,6 +101,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-request server-side deadline (0 = none)")
 	encName := flag.String("enc", "delta", "frame encoding: raw or delta")
 	seed := flag.Int64("seed", 1, "random seed for synthetic frames")
+	jsonPath := flag.String("json", "", "write the machine-readable run report to this JSON file")
+	tracePath := flag.String("trace", "", "trace every request client-side and write span trees as Perfetto JSON to this file")
 	flag.Parse()
 
 	var path acqserver.Path
@@ -78,6 +127,11 @@ func main() {
 		fail("need at least one client")
 	}
 
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(trace.Config{})
+	}
+
 	// One handshake up front to learn the served order and sanity-check the
 	// target before unleashing the fleet.
 	probe, err := acqserver.Dial(*addr, 5*time.Second)
@@ -85,10 +139,11 @@ func main() {
 		fail("dial %s: %v", *addr, err)
 	}
 	info := probe.Info()
+	protoVer := probe.ProtocolVersion()
 	_ = probe.Close()
 	driftBins := 1<<info.Order - 1
-	fmt.Printf("imsload: %d clients -> %s (order %d, %d shards), path %s, %v\n",
-		*clients, *addr, info.Order, info.Shards, path, *duration)
+	fmt.Printf("imsload: %d clients -> %s (order %d, %d shards, IMSP/%d), path %s, %v\n",
+		*clients, *addr, info.Order, info.Shards, protoVer, path, *duration)
 
 	var interval time.Duration
 	if *rate > 0 {
@@ -120,14 +175,27 @@ func main() {
 					}
 					next = next.Add(interval)
 				}
+				root := tracer.StartTrace("client_request", 0)
+				root.SetInt("client", int64(i))
 				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 				reqStart := time.Now()
-				resp, err := c.Do(ctx, frame, enc, acqserver.FrameOptions{Path: path, Deadline: *deadline})
+				resp, err := c.Do(ctx, frame, enc, acqserver.FrameOptions{
+					Path: path, Deadline: *deadline, TraceID: root.TraceID(),
+				})
 				cancel()
 				if err != nil {
+					root.SetStr("error", err.Error())
+					root.End()
 					st.errs = append(st.errs, err)
 					return
 				}
+				root.SetStr("code", resp.Code.String())
+				if resp.Result != nil {
+					root.SetInt("server_queue_wait_ns", int64(resp.Result.QueueWaitNs))
+					root.SetInt("server_process_ns", int64(resp.Result.ProcessNs))
+					st.server.add(resp.Result)
+				}
+				root.End()
 				st.latencies = append(st.latencies, time.Since(reqStart))
 				switch resp.Code {
 				case acqserver.CodeOK:
@@ -148,6 +216,7 @@ func main() {
 	var ok, shed int
 	rejected := map[acqserver.Code]int{}
 	var errs []error
+	var server serverBreakdown
 	for i := range stats {
 		all = append(all, stats[i].latencies...)
 		ok += stats[i].ok
@@ -156,6 +225,10 @@ func main() {
 			rejected[c] += n
 		}
 		errs = append(errs, stats[i].errs...)
+		server.Frames += stats[i].server.Frames
+		server.QueueWaitNs += stats[i].server.QueueWaitNs
+		server.ProcessNs += stats[i].server.ProcessNs
+		server.SimulatedNs += stats[i].server.SimulatedNs
 	}
 	total := len(all)
 	if total == 0 {
@@ -179,15 +252,84 @@ func main() {
 	fmt.Printf("throughput: %.1f req/s, %.2f MiB/s submitted\n",
 		float64(total)/elapsed.Seconds(),
 		float64(total)*float64(encSize)/elapsed.Seconds()/(1<<20))
+	if server.Frames > 0 {
+		fmt.Printf("server:     mean queue wait %v, process %v, modeled XD1 %v (over %d frames)\n",
+			time.Duration(server.QueueWaitNs/server.Frames).Round(time.Microsecond),
+			time.Duration(server.ProcessNs/server.Frames).Round(time.Microsecond),
+			time.Duration(server.SimulatedNs/server.Frames).Round(time.Microsecond),
+			server.Frames)
+	}
 	for code, n := range rejected {
 		fmt.Printf("rejected:   %d x %v\n", n, code)
 	}
 	for _, err := range errs {
 		fmt.Fprintf(os.Stderr, "imsload: client error: %v\n", err)
 	}
+
+	if *jsonPath != "" {
+		rep := report{
+			Clients:       *clients,
+			DurationS:     elapsed.Seconds(),
+			Path:          path.String(),
+			TOFBins:       *tofBins,
+			Requests:      total,
+			OK:            ok,
+			Shed:          shed,
+			ShedRate:      float64(shed) / float64(total),
+			ThroughputRPS: float64(total) / elapsed.Seconds(),
+			SubmittedMiBS: float64(total) * float64(encSize) / elapsed.Seconds() / (1 << 20),
+			LatencyNs: map[string]int64{
+				"p50": pct(0.50).Nanoseconds(),
+				"p95": pct(0.95).Nanoseconds(),
+				"p99": pct(0.99).Nanoseconds(),
+				"max": all[total-1].Nanoseconds(),
+			},
+			Server:       server,
+			ProtoVersion: protoVer,
+		}
+		if len(rejected) > 0 {
+			rep.Rejected = map[string]int{}
+			for c, n := range rejected {
+				rep.Rejected[c.String()] = n
+			}
+		}
+		if err := writeJSONReport(*jsonPath, &rep); err != nil {
+			fail("json report: %v", err)
+		}
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("trace: %v", err)
+		}
+		if err := tracer.WritePerfetto(f); err != nil {
+			f.Close()
+			fail("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("trace: %v", err)
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
 	if len(errs) > 0 || len(rejected) > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeJSONReport writes the run report, indented, to path.
+func writeJSONReport(path string, rep *report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // syntheticFrame builds a multiplexed-looking frame: pseudorandom counts

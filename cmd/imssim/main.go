@@ -7,16 +7,19 @@
 //
 //	imssim [-mode sa|mp|trap] [-order N] [-frames F] [-rate R]
 //	       [-sample standards|bsa] [-seed N] [-oversample K] [-defect D]
-//	       [-metrics FILE] [-pprof ADDR]
+//	       [-metrics FILE] [-trace FILE] [-pprof ADDR]
 //
 // With -metrics, the run is instrumented end to end (acquisition, software
 // decode, and — for unmodified sequences — the modeled FPGA offload and
 // streaming data path) and the telemetry snapshot is written as JSON at
-// exit; see docs/OBSERVABILITY.md for the metric catalogue.  With -pprof,
-// a net/http/pprof server listens on ADDR for CPU and heap profiles.
+// exit; see docs/OBSERVABILITY.md for the metric catalogue.  With -trace,
+// the modeled offload and streaming pipeline are traced as span trees and
+// written as Chrome/Perfetto trace-event JSON at exit.  With -pprof, a
+// net/http/pprof server listens on ADDR for CPU and heap profiles.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -32,6 +35,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/peaks"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func fail(format string, args ...interface{}) {
@@ -50,12 +54,17 @@ func main() {
 	defect := flag.Int("defect", 0, "defect bins per open run (modified PRS)")
 	outPath := flag.String("out", "", "write the raw accumulated frame to this frameio file")
 	metricsPath := flag.String("metrics", "", "instrument the run and write the telemetry snapshot to this JSON file")
+	tracePath := flag.String("trace", "", "trace the modeled offload and write span trees as Perfetto JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	var reg *telemetry.Registry
 	if *metricsPath != "" || *pprofAddr != "" {
 		reg = telemetry.NewRegistry()
+	}
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(trace.Config{})
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -116,8 +125,8 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if reg != nil && *oversample == 1 && *defect == 0 {
-		simulateOffload(reg, res.Raw, *order)
+	if (reg != nil || tracer != nil) && *oversample == 1 && *defect == 0 {
+		simulateOffload(reg, tracer, res.Raw, *order)
 	}
 
 	st := res.Stats
@@ -187,19 +196,41 @@ func main() {
 		}
 		fmt.Printf("telemetry snapshot written to %s\n", *metricsPath)
 	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tracer.WritePerfetto(f); err != nil {
+			f.Close()
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
 }
 
 // simulateOffload pushes the acquired raw frame through the modeled hybrid
 // data path — the fixed-point FPGA offload, the clocked streaming pipeline,
 // and the capture/accumulate front end — so an instrumented run reports the
 // full hybrid_*, fpga_* and xd1_* telemetry families alongside the software
-// decode.  Only valid for unmodified sequences (oversample 1, no defect
-// bins), where the frame's drift length matches the FHT core.
-func simulateOffload(reg *telemetry.Registry, raw *instrument.Frame, order int) {
+// decode, and a traced run records the frame's span tree (modeled FPGA
+// stages and XD1 DMA under the offload root).  Only valid for unmodified
+// sequences (oversample 1, no defect bins), where the frame's drift length
+// matches the FHT core.
+func simulateOffload(reg *telemetry.Registry, tracer *trace.Tracer, raw *instrument.Frame, order int) {
 	off := hybrid.DefaultOffloadConfig()
 	off.Order = order
 	off.Metrics = reg
-	if _, err := hybrid.HybridDeconvolveFrame(raw, off); err != nil {
+	root := tracer.StartTrace("frame", 0)
+	root.SetInt("prs_order", int64(order))
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	_, err := hybrid.HybridDeconvolveFrameContext(ctx, raw, off)
+	root.End()
+	if err != nil {
 		fail("modeled offload: %v", err)
 	}
 
@@ -207,8 +238,12 @@ func simulateOffload(reg *telemetry.Registry, raw *instrument.Frame, order int) 
 	sc.Offload.Order = order
 	sc.Columns = 256
 	sc.Metrics = reg
+	sc.Tracer = tracer
 	if _, err := hybrid.SimulateStream(sc); err != nil {
 		fail("streaming model: %v", err)
+	}
+	if reg == nil {
+		return
 	}
 
 	// Capture/accumulate front end over the raw frame, for the BRAM

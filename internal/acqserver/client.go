@@ -29,12 +29,17 @@ type Response struct {
 	Message string
 	// Result is the deconvolution summary (nil unless Code is OK).
 	Result *Result
+	// TraceID is the trace id the server echoed on this response (version-2
+	// sessions; 0 otherwise).  It is echoed on errors too, so a caller can
+	// log exactly which frame was shed.
+	TraceID uint64
 }
 
-// Client is one IMSP/1 connection.  Safe for concurrent use.
+// Client is one IMSP connection.  Safe for concurrent use.
 type Client struct {
 	conn net.Conn
 	info ServerInfo
+	ver  uint8 // negotiated protocol version
 
 	wmu sync.Mutex // serializes message writes
 
@@ -48,7 +53,9 @@ type Client struct {
 }
 
 // Dial connects, performs the HELLO handshake within timeout, and starts
-// the response dispatcher.
+// the response dispatcher.  The HELLO itself is always framed in version 1
+// (so any server can parse it); its payload advertises the highest version
+// this client speaks, and the server's HELLO_OK names the agreed one.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -80,9 +87,14 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 		return nil, err
 	}
 	_ = conn.SetDeadline(time.Time{})
+	ver := info.Version
+	if ver < ProtocolV1 || ver > ProtocolVersion {
+		ver = ProtocolV1
+	}
 	c := &Client{
 		conn:    conn,
 		info:    info,
+		ver:     ver,
 		pending: map[uint64]chan Response{},
 		closed:  make(chan struct{}),
 	}
@@ -93,6 +105,9 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 
 // Info returns the server's HELLO_OK handshake summary.
 func (c *Client) Info() ServerInfo { return c.info }
+
+// ProtocolVersion returns the session's negotiated IMSP version.
+func (c *Client) ProtocolVersion() uint8 { return c.ver }
 
 // Close sends a best-effort GOODBYE and closes the connection; in-flight
 // calls fail.
@@ -130,7 +145,7 @@ func (c *Client) Do(ctx context.Context, f *instrument.Frame, enc frameio.Encodi
 	} else {
 		_ = c.conn.SetWriteDeadline(time.Time{})
 	}
-	err := WriteMessage(c.conn, MsgFrame, id, payload.Bytes())
+	err := WriteMessageV(c.conn, c.ver, MsgFrame, id, opts.TraceID, payload.Bytes())
 	c.wmu.Unlock()
 	if err != nil {
 		return nil, err
@@ -172,14 +187,14 @@ func (c *Client) readLoop() {
 				c.fail(err)
 				return
 			}
-			resp = Response{Code: CodeOK, Result: res}
+			resp = Response{Code: CodeOK, Result: res, TraceID: h.TraceID}
 		case MsgError:
 			code, msg, err := DecodeError(buf)
 			if err != nil {
 				c.fail(err)
 				return
 			}
-			resp = Response{Code: code, Message: msg}
+			resp = Response{Code: code, Message: msg, TraceID: h.TraceID}
 		default:
 			continue // ignorable (future server pushes)
 		}

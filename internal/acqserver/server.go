@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/peaks"
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Config tunes the daemon.  The zero value is not usable; start from
@@ -75,6 +77,13 @@ type Config struct {
 	MaxPeaks int
 	// Metrics, when non-nil, receives the acq_* families.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, records a span tree per frame (socket read,
+	// queue wait, worker, modeled FPGA stages, response write).  Nil
+	// disables tracing at nil-check cost per span site.
+	Trace *trace.Tracer
+	// Logger, when non-nil, receives structured session/frame events with
+	// trace and request ids attached.  Nil discards them.
+	Logger *slog.Logger
 	// Offload configures the modeled FPGA backend.  Its Order and Metrics
 	// are overridden by the fields above.
 	Offload hybrid.OffloadConfig
@@ -140,11 +149,30 @@ func (c Config) Validate() error {
 type task struct {
 	sess     *session
 	reqID    uint64
+	traceID  uint64
 	frame    *instrument.Frame
 	path     Path
 	deadline time.Time // zero = none
 	enqueued time.Time
+	root     trace.Span // frame root; ended by the write loop
+	qspan    trace.Span // queue_wait; ended when a worker picks the task up
 }
+
+// discardHandler is a no-op slog.Handler for a nil Config.Logger (the
+// stdlib gained slog.DiscardHandler after this module's language level).
+type discardHandler struct{}
+
+// Enabled reports false for every level.
+func (discardHandler) Enabled(context.Context, slog.Level) bool { return false }
+
+// Handle drops the record.
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+
+// WithAttrs returns the handler unchanged.
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler { return d }
+
+// WithGroup returns the handler unchanged.
+func (d discardHandler) WithGroup(string) slog.Handler { return d }
 
 // errQueueFull and errDraining discriminate enqueue rejections.
 var (
@@ -253,6 +281,8 @@ type Server struct {
 	limits  frameio.Limits
 	decoder pipeline.DecoderFactory
 	m       serverMetrics
+	tracer  *trace.Tracer
+	log     *slog.Logger
 
 	shards   []*shard
 	workerWG sync.WaitGroup
@@ -306,9 +336,14 @@ func NewServer(cfg Config) (*Server, error) {
 			return d, nil
 		},
 		m:           newServerMetrics(cfg.Metrics),
+		tracer:      cfg.Trace,
+		log:         cfg.Logger,
 		sessions:    map[*session]struct{}{},
 		shutdownc:   make(chan struct{}),
 		processHook: cfg.processHook,
+	}
+	if s.log == nil {
+		s.log = slog.New(discardHandler{})
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -444,17 +479,22 @@ func (s *Server) serveTask(sh *shard, t *task) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.panics["worker"].Inc()
-			s.respondError(t.sess, t.reqID, CodeInternal, fmt.Sprintf("worker panic: %v", r))
+			s.log.Error("worker panic recovered", "shard", sh.id, "req_id", t.reqID, "trace_id", t.traceID, "panic", fmt.Sprint(r))
+			s.respondError(t.sess, t.reqID, t.traceID, CodeInternal, fmt.Sprintf("worker panic: %v", r), t.root)
 		}
 	}()
+	t.qspan.End()
 	wait := time.Since(t.enqueued)
 	s.m.queueWait.Observe(float64(wait.Nanoseconds()))
+	wspan := t.root.Child("worker")
+	wspan.SetInt("shard", int64(sh.id))
 
-	ctx := context.Background()
+	ctx := trace.ContextWithSpan(context.Background(), wspan)
 	if !t.deadline.IsZero() {
 		if !time.Now().Before(t.deadline) {
-			s.respondError(t.sess, t.reqID, CodeDeadlineExceeded,
-				fmt.Sprintf("deadline expired after %v in queue", wait))
+			wspan.End()
+			s.respondError(t.sess, t.reqID, t.traceID, CodeDeadlineExceeded,
+				fmt.Sprintf("deadline expired after %v in queue", wait), t.root)
 			return
 		}
 		var cancel context.CancelFunc
@@ -466,6 +506,7 @@ func (s *Server) serveTask(sh *shard, t *task) {
 	res, err := s.compute(ctx, t)
 	elapsed := time.Since(start)
 	s.m.processByPath[t.path].Observe(float64(elapsed.Nanoseconds()))
+	wspan.End()
 	if err != nil {
 		code := CodeInternal
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -473,7 +514,10 @@ func (s *Server) serveTask(sh *shard, t *task) {
 		} else if errors.Is(err, context.Canceled) {
 			code = CodeUnavailable
 		}
-		s.respondError(t.sess, t.reqID, code, err.Error())
+		if code == CodeInternal {
+			s.log.Error("frame failed", "shard", sh.id, "req_id", t.reqID, "trace_id", t.traceID, "err", err)
+		}
+		s.respondError(t.sess, t.reqID, t.traceID, code, err.Error(), t.root)
 		return
 	}
 	res.Shard = uint16(sh.id)
@@ -481,10 +525,10 @@ func (s *Server) serveTask(sh *shard, t *task) {
 	res.ProcessNs = uint64(elapsed.Nanoseconds())
 	payload, err := EncodeResult(res)
 	if err != nil {
-		s.respondError(t.sess, t.reqID, CodeInternal, err.Error())
+		s.respondError(t.sess, t.reqID, t.traceID, CodeInternal, err.Error(), t.root)
 		return
 	}
-	s.respond(t.sess, MsgResult, t.reqID, payload, CodeOK)
+	s.respond(t.sess, outMsg{typ: MsgResult, reqID: t.reqID, traceID: t.traceID, payload: payload, root: t.root}, CodeOK)
 }
 
 // compute runs the selected backend and summarizes the deconvolved frame.
@@ -538,12 +582,18 @@ func (s *Server) summarize(f *instrument.Frame) []PeakSummary {
 }
 
 // respond queues a message on the session's write loop and counts it.
-func (s *Server) respond(sess *session, typ MsgType, reqID uint64, payload []byte, code Code) {
+func (s *Server) respond(sess *session, m outMsg, code Code) {
 	s.m.responses[code].Inc()
-	sess.send(typ, reqID, payload)
+	sess.send(m)
 }
 
-// respondError queues a typed ERROR.
-func (s *Server) respondError(sess *session, reqID uint64, code Code, msg string) {
-	s.respond(sess, MsgError, reqID, EncodeError(code, msg), code)
+// respondError queues a typed ERROR.  The trace id is echoed on the wire
+// (version-2 sessions) so the client can tell exactly which frame failed;
+// root, when active, is closed by the write loop after the error goes out.
+func (s *Server) respondError(sess *session, reqID, traceID uint64, code Code, msg string, root trace.Span) {
+	root.SetStr("error", code.String())
+	s.respond(sess, outMsg{
+		typ: MsgError, reqID: reqID, traceID: traceID,
+		payload: EncodeError(code, msg), root: root,
+	}, code)
 }

@@ -12,16 +12,22 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/frameio"
+	"repro/internal/telemetry/trace"
 )
 
-// outMsg is one queued response.
+// outMsg is one queued response.  root, when active, is the frame's trace
+// root: the write loop records the response write as its final child and
+// ends it, so the span tree covers first socket byte to last.
 type outMsg struct {
 	typ     MsgType
 	reqID   uint64
+	traceID uint64
 	payload []byte
+	root    trace.Span
 }
 
 // session is the per-connection state.
@@ -30,6 +36,11 @@ type session struct {
 	srv   *Server
 	conn  net.Conn
 	shard *shard
+
+	// ver is the negotiated protocol version (ProtocolV1 until the HELLO
+	// payload proves the client speaks something newer); atomic because
+	// the read loop negotiates it while the write loop frames responses.
+	ver atomic.Uint32
 
 	out    chan outMsg
 	done   chan struct{} // closed by teardown
@@ -51,6 +62,7 @@ func (s *Server) newSession(conn net.Conn) *session {
 		done:   make(chan struct{}),
 		drainc: make(chan struct{}),
 	}
+	sess.ver.Store(ProtocolV1)
 	sess.teardownOnce = sync.OnceFunc(func() {
 		close(sess.done)
 		_ = conn.Close()
@@ -58,6 +70,7 @@ func (s *Server) newSession(conn net.Conn) *session {
 		s.sessMu.Lock()
 		delete(s.sessions, sess)
 		s.sessMu.Unlock()
+		s.log.Info("session closed", "session", id, "remote", conn.RemoteAddr().String())
 	})
 	sess.drainOnce = sync.OnceFunc(func() { close(sess.drainc) })
 	s.sessMu.Lock()
@@ -65,6 +78,7 @@ func (s *Server) newSession(conn net.Conn) *session {
 	s.sessMu.Unlock()
 	s.m.sessionsTotal.Inc()
 	s.m.sessionsActive.Add(1)
+	s.log.Info("session opened", "session", id, "remote", conn.RemoteAddr().String(), "shard", sess.shard.id)
 	return sess
 }
 
@@ -78,12 +92,14 @@ func (sess *session) startDrain() { sess.drainOnce() }
 // send queues a response for the write loop.  It blocks while the buffer
 // is full (the write timeout bounds how long: a session that cannot absorb
 // responses is torn down, which closes done) and reports whether the
-// message was queued.
-func (sess *session) send(typ MsgType, reqID uint64, payload []byte) bool {
+// message was queued.  An unqueued message still ends the trace root so
+// the span tree is retained even when the client is gone.
+func (sess *session) send(m outMsg) bool {
 	select {
-	case sess.out <- outMsg{typ, reqID, payload}:
+	case sess.out <- m:
 		return true
 	case <-sess.done:
+		m.root.End()
 		return false
 	}
 }
@@ -116,17 +132,24 @@ func (sess *session) writeLoop() {
 	}
 }
 
-// writeOne writes a single message under the write deadline.
+// writeOne writes a single message under the write deadline, framed in
+// the session's negotiated protocol version, and closes the frame's span
+// tree with a write_response child.
 func (sess *session) writeOne(m outMsg) bool {
 	s := sess.srv
+	ver := uint8(sess.ver.Load())
 	_ = sess.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	wspan := m.root.Child("write_response")
 	start := time.Now()
-	err := WriteMessage(sess.conn, m.typ, m.reqID, m.payload)
+	err := WriteMessageV(sess.conn, ver, m.typ, m.reqID, m.traceID, m.payload)
 	s.m.write.Observe(float64(time.Since(start).Nanoseconds()))
+	wspan.SetInt("bytes", int64(headerLen(ver)+len(m.payload)))
+	wspan.End()
+	m.root.End()
 	if err != nil {
 		return false
 	}
-	s.m.bytesOut.Add(int64(headerSize + len(m.payload)))
+	s.m.bytesOut.Add(int64(headerLen(ver) + len(m.payload)))
 	return true
 }
 
@@ -143,6 +166,7 @@ func (sess *session) readLoop() {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.panics["session"].Inc()
+			s.log.Error("session panic recovered", "session", sess.id, "panic", fmt.Sprint(r))
 		}
 	}()
 
@@ -158,30 +182,25 @@ func (sess *session) readLoop() {
 		}
 		if h.PayloadLen > s.cfg.MaxPayloadBytes {
 			s.m.protocolErrs.Inc()
-			s.respondError(sess, h.ReqID, CodeTooLarge,
-				fmt.Sprintf("payload %d bytes exceeds bound %d", h.PayloadLen, s.cfg.MaxPayloadBytes))
+			s.respondError(sess, h.ReqID, h.TraceID, CodeTooLarge,
+				fmt.Sprintf("payload %d bytes exceeds bound %d", h.PayloadLen, s.cfg.MaxPayloadBytes),
+				trace.Span{})
 			return // cannot resync across an unbounded payload
 		}
-		s.m.bytesIn.Add(int64(headerSize) + int64(h.PayloadLen))
+		s.m.bytesIn.Add(int64(headerLen(h.Version)) + int64(h.PayloadLen))
 
 		if !sawHello && h.Type != MsgHello {
 			s.m.protocolErrs.Inc()
-			s.respondError(sess, h.ReqID, CodeInvalidArgument, "first message must be HELLO")
+			s.respondError(sess, h.ReqID, h.TraceID, CodeInvalidArgument,
+				"first message must be HELLO", trace.Span{})
 			return
 		}
 		switch h.Type {
 		case MsgHello:
-			if !sess.discardPayload(h.PayloadLen) {
+			if !sess.handleHello(h) {
 				return
 			}
 			sawHello = true
-			info := EncodeServerInfo(ServerInfo{
-				Version:         ProtocolVersion,
-				Shards:          uint16(len(s.shards)),
-				Order:           uint8(s.cfg.Order),
-				MaxPayloadBytes: s.cfg.MaxPayloadBytes,
-			})
-			s.respond(sess, MsgHelloOK, h.ReqID, info, CodeOK)
 		case MsgGoodbye:
 			return
 		case MsgFrame:
@@ -193,29 +212,79 @@ func (sess *session) readLoop() {
 			if !sess.discardPayload(h.PayloadLen) {
 				return
 			}
-			s.respondError(sess, h.ReqID, CodeInvalidArgument,
-				fmt.Sprintf("unexpected message type %v", h.Type))
+			s.respondError(sess, h.ReqID, h.TraceID, CodeInvalidArgument,
+				fmt.Sprintf("unexpected message type %v", h.Type), trace.Span{})
 		}
 	}
 }
 
+// handleHello negotiates the session's protocol version — the payload's
+// first byte is the client's highest supported version (an empty payload
+// means a version-1-era client) — and answers HELLO_OK carrying the
+// agreed version.  It reports whether the connection is still readable.
+func (sess *session) handleHello(h Header) bool {
+	s := sess.srv
+	clientVer := uint8(ProtocolV1)
+	if h.PayloadLen > 0 {
+		first := make([]byte, 1)
+		if _, err := io.ReadFull(sess.conn, first); err != nil {
+			return false
+		}
+		if !sess.discardPayload(h.PayloadLen - 1) {
+			return false
+		}
+		if first[0] >= ProtocolV1 {
+			clientVer = first[0]
+		}
+	}
+	ver := clientVer
+	if ver > ProtocolVersion {
+		ver = ProtocolVersion
+	}
+	sess.ver.Store(uint32(ver))
+	s.log.Debug("session negotiated", "session", sess.id, "proto", ver)
+	info := EncodeServerInfo(ServerInfo{
+		Version:         ver,
+		Shards:          uint16(len(s.shards)),
+		Order:           uint8(s.cfg.Order),
+		MaxPayloadBytes: s.cfg.MaxPayloadBytes,
+	})
+	s.respond(sess, outMsg{typ: MsgHelloOK, reqID: h.ReqID, payload: info}, CodeOK)
+	return true
+}
+
 // handleFrame streams one FRAME payload off the socket, validates it, and
 // enqueues it (or sheds).  It reports whether the connection is still in a
-// consistent state to keep reading.
+// consistent state to keep reading.  The frame's trace root starts here:
+// a nonzero version-2 trace id is adopted (so client and server spans
+// share an identity), otherwise the tracer mints one.
 func (sess *session) handleFrame(h Header) bool {
 	s := sess.srv
+	root := s.tracer.StartTrace("frame", h.TraceID)
+	traceID := h.TraceID
+	if root.Active() {
+		traceID = root.TraceID()
+		root.SetInt("session", int64(sess.id))
+		root.SetInt("req_id", int64(h.ReqID))
+		root.SetInt("frame_bytes", int64(h.PayloadLen))
+		root.SetInt("prs_order", int64(s.cfg.Order))
+	}
 	if h.PayloadLen < frameOptsSize {
 		s.m.protocolErrs.Inc()
-		s.respondError(sess, h.ReqID, CodeInvalidArgument, "FRAME payload too short for options")
+		s.respondError(sess, h.ReqID, traceID, CodeInvalidArgument,
+			"FRAME payload too short for options", root)
 		return false
 	}
+	rspan := root.Child("socket_read")
 	var optsBuf [frameOptsSize]byte
 	if _, err := io.ReadFull(sess.conn, optsBuf[:]); err != nil {
+		root.End()
 		return false
 	}
 	opts, err := decodeFrameOpts(optsBuf[:])
 	if err != nil {
 		s.m.protocolErrs.Inc()
+		root.End()
 		return false
 	}
 
@@ -229,48 +298,61 @@ func (sess *session) handleFrame(h Header) bool {
 	// Resync to the message boundary regardless of decode success; a
 	// failure here is a connection-level error (timeout, disconnect).
 	if _, err := io.Copy(io.Discard, lr); err != nil {
+		root.End()
 		return false
 	}
+	rspan.End()
 	if decErr != nil {
-		s.respondError(sess, h.ReqID, CodeInvalidArgument, decErr.Error())
+		s.respondError(sess, h.ReqID, traceID, CodeInvalidArgument, decErr.Error(), root)
 		return true
 	}
 	if opts.Path != PathHybrid && opts.Path != PathCPU {
-		s.respondError(sess, h.ReqID, CodeInvalidArgument, fmt.Sprintf("unknown path %v", opts.Path))
+		s.respondError(sess, h.ReqID, traceID, CodeInvalidArgument,
+			fmt.Sprintf("unknown path %v", opts.Path), root)
 		return true
 	}
 	if frame.DriftBins != s.seqLen {
-		s.respondError(sess, h.ReqID, CodeInvalidArgument,
+		s.respondError(sess, h.ReqID, traceID, CodeInvalidArgument,
 			fmt.Sprintf("frame has %d drift bins, server order %d needs %d",
-				frame.DriftBins, s.cfg.Order, s.seqLen))
+				frame.DriftBins, s.cfg.Order, s.seqLen), root)
 		return true
 	}
+	root.SetStr("path", opts.Path.String())
 
 	t := &task{
 		sess:     sess,
 		reqID:    h.ReqID,
+		traceID:  traceID,
 		frame:    frame,
 		path:     opts.Path,
 		enqueued: time.Now(),
+		root:     root,
 	}
 	if opts.Deadline > 0 {
 		t.deadline = t.enqueued.Add(opts.Deadline)
 	}
 	if s.draining.Load() {
 		s.m.shedByReason["draining"].Inc()
-		s.respondError(sess, h.ReqID, CodeUnavailable, "daemon is draining")
+		s.log.Debug("frame shed", "reason", "draining", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID)
+		s.respondError(sess, h.ReqID, traceID, CodeUnavailable, "daemon is draining", root)
 		return true
 	}
+	t.qspan = root.Child("queue_wait")
+	t.qspan.SetInt("shard", int64(sess.shard.id))
 	switch err := sess.shard.enqueue(t); err {
 	case nil:
 		s.m.framesByPath[opts.Path].Inc()
 	case errQueueFull:
 		s.m.shedByReason["queue_full"].Inc()
-		s.respondError(sess, h.ReqID, CodeResourceExhausted,
-			fmt.Sprintf("shard %d queue full (depth %d)", sess.shard.id, s.cfg.QueueDepth))
+		s.log.Debug("frame shed", "reason", "queue_full", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID, "shard", sess.shard.id)
+		t.qspan.End()
+		s.respondError(sess, h.ReqID, traceID, CodeResourceExhausted,
+			fmt.Sprintf("shard %d queue full (depth %d)", sess.shard.id, s.cfg.QueueDepth), root)
 	case errDraining:
 		s.m.shedByReason["draining"].Inc()
-		s.respondError(sess, h.ReqID, CodeUnavailable, "daemon is draining")
+		s.log.Debug("frame shed", "reason", "draining", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID)
+		t.qspan.End()
+		s.respondError(sess, h.ReqID, traceID, CodeUnavailable, "daemon is draining", root)
 	}
 	return true
 }

@@ -1,0 +1,257 @@
+package acqserver
+
+// trace_test.go: protocol-version negotiation against version-1-era
+// clients, trace-id echo on error responses, the end-to-end span tree for
+// served frames, and concurrent observability scrapes while frames are in
+// flight.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/frameio"
+	"repro/internal/instrument"
+	"repro/internal/telemetry/trace"
+)
+
+// TestV1ClientCompatibility drives the handshake the way a version-1-era
+// client does — HELLO with an empty payload or an explicit version byte of
+// 1 — and asserts every subsequent response is framed at version 1: no
+// trace-id field on the wire, nothing the old client cannot parse.
+func TestV1ClientCompatibility(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty_hello_payload", nil},
+		{"explicit_v1", []byte{ProtocolV1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, addr := startServer(t, testConfig())
+			conn := rawDial(t, addr)
+			if err := WriteMessage(conn, MsgHello, 0, tc.payload); err != nil {
+				t.Fatal(err)
+			}
+			h, payload := rawRead(t, conn)
+			if h.Type != MsgHelloOK {
+				t.Fatalf("handshake answered %v, want HELLO_OK", h.Type)
+			}
+			if h.Version != ProtocolV1 {
+				t.Errorf("HELLO_OK framed at version %d, want %d", h.Version, ProtocolV1)
+			}
+			info, err := DecodeServerInfo(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Version != ProtocolV1 {
+				t.Errorf("negotiated version %d, want %d", info.Version, ProtocolV1)
+			}
+
+			// A frame submitted over the v1 framing must come back v1-framed
+			// with no trace id.
+			if err := WriteMessage(conn, MsgFrame, 1, framePayload(t, testFrame(16), FrameOptions{Path: PathCPU})); err != nil {
+				t.Fatal(err)
+			}
+			rh, rp := rawRead(t, conn)
+			if rh.Type != MsgResult {
+				t.Fatalf("frame answered %v, want RESULT", rh.Type)
+			}
+			if rh.Version != ProtocolV1 || rh.TraceID != 0 {
+				t.Errorf("RESULT framed at version %d with trace id %#x, want version %d and no trace id",
+					rh.Version, rh.TraceID, ProtocolV1)
+			}
+			if _, err := DecodeResult(rp); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestClientNegotiatesV2 asserts the shipped Client lands on version 2
+// against the current server and that responses ride the 26-byte header.
+func TestClientNegotiatesV2(t *testing.T) {
+	_, addr := startServer(t, testConfig())
+	c := dialClient(t, addr)
+	if got := c.ProtocolVersion(); got != ProtocolV2 {
+		t.Fatalf("client negotiated version %d, want %d", got, ProtocolV2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := c.Do(ctx, testFrame(16), frameio.Raw, FrameOptions{Path: PathCPU, TraceID: 0x1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeOK {
+		t.Fatalf("frame rejected: %v %s", resp.Code, resp.Message)
+	}
+	if resp.TraceID != 0x1234 {
+		t.Errorf("response trace id %#x, want the submitted %#x", resp.TraceID, 0x1234)
+	}
+}
+
+// TestTraceIDEchoedOnError submits invalid frames carrying a trace id and
+// asserts the id comes back on the ERROR response — with and without a
+// tracer installed on the server — so a client can always correlate a
+// rejection with its own telemetry.
+func TestTraceIDEchoedOnError(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		tracer *trace.Tracer
+	}{
+		{"untraced_server", nil},
+		{"traced_server", trace.New(trace.Config{})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Trace = tc.tracer
+			_, addr := startServer(t, cfg)
+			c := dialClient(t, addr)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			// 15 drift bins is order 4; the server serves order 5.
+			bad := instrument.NewFrame(15, 16)
+			resp, err := c.Do(ctx, bad, frameio.Raw, FrameOptions{Path: PathCPU, TraceID: 0xDEADBEEF})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Code == CodeOK {
+				t.Fatal("mismatched frame accepted, want an error response")
+			}
+			if resp.TraceID != 0xDEADBEEF {
+				t.Errorf("error response trace id %#x, want the submitted %#x", resp.TraceID, 0xDEADBEEF)
+			}
+		})
+	}
+}
+
+// spanNames flattens a trace snapshot into a name-presence set.
+func spanNames(tr trace.TraceSnapshot) map[string]bool {
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	return names
+}
+
+// TestEndToEndSpanTree serves one hybrid and one CPU frame with tracing on
+// and asserts the retained trees carry the full stage taxonomy from socket
+// read to response write, under the trace ids the client chose.
+func TestEndToEndSpanTree(t *testing.T) {
+	tracer := trace.New(trace.Config{SlowThreshold: 0}) // retain everything
+	cfg := testConfig()
+	cfg.Trace = tracer
+	_, addr := startServer(t, cfg)
+	c := dialClient(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, req := range []struct {
+		path Path
+		id   uint64
+	}{
+		{PathHybrid, 0xB0B1},
+		{PathCPU, 0xB0B2},
+	} {
+		resp, err := c.Do(ctx, testFrame(16), frameio.Raw, FrameOptions{Path: req.path, TraceID: req.id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Code != CodeOK {
+			t.Fatalf("path %v rejected: %v %s", req.path, resp.Code, resp.Message)
+		}
+	}
+
+	// The root span ends after the response is written, so the retained
+	// tree can land in the ring just after the client sees the RESULT.
+	byID := map[uint64]trace.TraceSnapshot{}
+	waitFor(t, "both traces retained", func() bool {
+		slow, _ := tracer.Snapshot()
+		for _, tr := range slow {
+			byID[tr.ID] = tr
+		}
+		_, ok1 := byID[0xB0B1]
+		_, ok2 := byID[0xB0B2]
+		return ok1 && ok2
+	})
+
+	hybridTree := spanNames(byID[0xB0B1])
+	for _, want := range []string{
+		"frame", "socket_read", "queue_wait", "worker", "write_response",
+		"hybrid_offload", "fpga_capture", "fpga_accumulate", "xd1_dma_in",
+		"fpga_fht", "xd1_dma_out",
+	} {
+		if !hybridTree[want] {
+			t.Errorf("hybrid trace missing span %q (got %v)", want, hybridTree)
+		}
+	}
+	cpuTree := spanNames(byID[0xB0B2])
+	for _, want := range []string{
+		"frame", "socket_read", "queue_wait", "worker", "cpu_decode", "write_response",
+	} {
+		if !cpuTree[want] {
+			t.Errorf("cpu trace missing span %q (got %v)", want, cpuTree)
+		}
+	}
+}
+
+// TestConcurrentScrapes hammers /metrics and /debug/traces while frames
+// are in flight; run under -race this proves the snapshot paths never data
+// race with live updates.
+func TestConcurrentScrapes(t *testing.T) {
+	tracer := trace.New(trace.Config{})
+	cfg := testConfig()
+	cfg.Trace = tracer
+	_, addr := startServer(t, cfg)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			f := testFrame(16)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, err := c.Do(ctx, f, frameio.Raw, FrameOptions{Path: PathCPU})
+				cancel()
+				if err != nil {
+					return // server draining at test end
+				}
+			}
+		}()
+	}
+
+	scrape := func(h http.Handler, path string) {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("GET %s = %d, want 200", path, rec.Code)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go scrape(cfg.Metrics.Handler(), "/metrics")
+	go scrape(tracer.Handler(), "/debug/traces")
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

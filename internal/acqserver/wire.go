@@ -1,8 +1,17 @@
-// wire.go: the IMSP/1 wire protocol — the length-prefixed binary framing
-// the acquisition daemon speaks on TCP.  Every message is an 18-byte
-// little-endian header followed by a bounded payload:
+// wire.go: the IMSP wire protocol — the length-prefixed binary framing
+// the acquisition daemon speaks on TCP.  Every message is a little-endian
+// header followed by a bounded payload.  Version 1 is an 18-byte header:
 //
 //	magic "IMSP" | version u8 | type u8 | request id u64 | payload len u32
+//
+// Version 2 appends a trace id u64 (26 bytes total), carrying the frame's
+// trace identity end to end so a client can correlate its observed latency
+// with the server-side span tree (internal/telemetry/trace).  The version
+// is negotiated per session: the HELLO payload's first byte is the
+// client's highest supported version, the server answers with
+// min(client, server) in HELLO_OK, and both sides frame every subsequent
+// message in the negotiated version — a PR 2-era client that sends 1 (or
+// nothing) gets pure IMSP/1 back.
 //
 // FRAME payloads carry a 5-byte option prefix (path u8, deadline ms u32)
 // followed by a frameio-encoded frame, so the daemon streams the frame
@@ -21,11 +30,29 @@ import (
 	"time"
 )
 
-// ProtocolVersion is the IMSP revision this package speaks.
-const ProtocolVersion = 1
+// ProtocolV1 is the original IMSP revision: 18-byte header, no trace id.
+const ProtocolV1 = 1
 
-// headerSize is the fixed wire header length in bytes.
+// ProtocolV2 extends the header with a trace id u64 (26 bytes).
+const ProtocolV2 = 2
+
+// ProtocolVersion is the highest IMSP revision this package speaks.
+const ProtocolVersion = ProtocolV2
+
+// headerSize is the version-1 wire header length in bytes; version 2
+// appends traceIDSize more.
 const headerSize = 18
+
+// traceIDSize is the trace-id extension a version-2 header appends.
+const traceIDSize = 8
+
+// headerLen returns the wire header length for a protocol version.
+func headerLen(version uint8) int {
+	if version >= ProtocolV2 {
+		return headerSize + traceIDSize
+	}
+	return headerSize
+}
 
 // frameOptsSize is the option prefix of a FRAME payload: path u8 +
 // deadline-milliseconds u32.
@@ -142,46 +169,78 @@ func (p Path) String() string {
 
 // Header is one decoded wire header.
 type Header struct {
+	// Version is the protocol revision the header was framed in.
+	Version uint8
 	// Type is the message type.
 	Type MsgType
 	// ReqID correlates a response with its request; the client picks it.
 	ReqID uint64
 	// PayloadLen is the byte length of the payload that follows.
 	PayloadLen uint32
+	// TraceID carries the frame's trace identity (version ≥ 2; 0 = none).
+	TraceID uint64
 }
 
-// ReadHeader reads and validates one wire header.
+// ReadHeader reads and validates one wire header, accepting any supported
+// protocol version; the version-2 trace-id extension is consumed when
+// present.
 func ReadHeader(r io.Reader) (Header, error) {
-	var buf [headerSize]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+	var buf [headerSize + traceIDSize]byte
+	if _, err := io.ReadFull(r, buf[:headerSize]); err != nil {
 		return Header{}, err
 	}
 	if [4]byte(buf[0:4]) != wireMagic {
 		return Header{}, fmt.Errorf("acqserver: bad magic %q", buf[0:4])
 	}
-	if buf[4] != ProtocolVersion {
+	if buf[4] < ProtocolV1 || buf[4] > ProtocolVersion {
 		return Header{}, fmt.Errorf("acqserver: unsupported protocol version %d", buf[4])
 	}
-	return Header{
+	h := Header{
+		Version:    buf[4],
 		Type:       MsgType(buf[5]),
 		ReqID:      binary.LittleEndian.Uint64(buf[6:14]),
 		PayloadLen: binary.LittleEndian.Uint32(buf[14:18]),
-	}, nil
+	}
+	if h.Version >= ProtocolV2 {
+		if _, err := io.ReadFull(r, buf[headerSize:]); err != nil {
+			return Header{}, err
+		}
+		h.TraceID = binary.LittleEndian.Uint64(buf[headerSize:])
+	}
+	return h, nil
 }
 
-// AppendHeader appends the wire encoding of h to dst.
+// AppendHeader appends the wire encoding of h to dst, framed in h.Version
+// (0 is treated as version 1 for compatibility with existing callers).
 func AppendHeader(dst []byte, h Header) []byte {
+	v := h.Version
+	if v == 0 {
+		v = ProtocolV1
+	}
 	dst = append(dst, wireMagic[:]...)
-	dst = append(dst, ProtocolVersion, byte(h.Type))
+	dst = append(dst, v, byte(h.Type))
 	dst = binary.LittleEndian.AppendUint64(dst, h.ReqID)
 	dst = binary.LittleEndian.AppendUint32(dst, h.PayloadLen)
+	if v >= ProtocolV2 {
+		dst = binary.LittleEndian.AppendUint64(dst, h.TraceID)
+	}
 	return dst
 }
 
-// WriteMessage writes one complete message (header + payload) to w.
+// WriteMessage writes one complete version-1 message (header + payload)
+// to w.
 func WriteMessage(w io.Writer, typ MsgType, reqID uint64, payload []byte) error {
-	buf := make([]byte, 0, headerSize+len(payload))
-	buf = AppendHeader(buf, Header{Type: typ, ReqID: reqID, PayloadLen: uint32(len(payload))})
+	return WriteMessageV(w, ProtocolV1, typ, reqID, 0, payload)
+}
+
+// WriteMessageV writes one complete message framed in the given protocol
+// version; traceID only reaches the wire under version 2.
+func WriteMessageV(w io.Writer, version uint8, typ MsgType, reqID, traceID uint64, payload []byte) error {
+	buf := make([]byte, 0, headerLen(version)+len(payload))
+	buf = AppendHeader(buf, Header{
+		Version: version, Type: typ, ReqID: reqID,
+		PayloadLen: uint32(len(payload)), TraceID: traceID,
+	})
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
 	return err
@@ -342,6 +401,11 @@ type FrameOptions struct {
 	// Deadline bounds queue wait + processing; zero means none.  On the
 	// wire it is milliseconds (u32), so the ceiling is ~49.7 days.
 	Deadline time.Duration
+	// TraceID, when nonzero, names the frame's trace.  It rides the
+	// version-2 header (not the options prefix) and is echoed on the
+	// response — including error responses, so a client can log exactly
+	// which frame was shed.  Ignored on a version-1 session.
+	TraceID uint64
 }
 
 // encodeFrameOpts appends the 5-byte option prefix.

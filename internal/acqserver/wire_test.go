@@ -7,17 +7,39 @@ import (
 )
 
 func TestHeaderRoundTrip(t *testing.T) {
+	// Version 0 encodes as version 1 for compatibility with old callers.
 	h := Header{Type: MsgFrame, ReqID: 0xDEADBEEFCAFE, PayloadLen: 12345}
 	buf := AppendHeader(nil, h)
 	if len(buf) != headerSize {
-		t.Fatalf("header is %d bytes, want %d", len(buf), headerSize)
+		t.Fatalf("v1 header is %d bytes, want %d", len(buf), headerSize)
 	}
 	got, err := ReadHeader(bytes.NewReader(buf))
 	if err != nil {
 		t.Fatal(err)
 	}
+	h.Version = ProtocolV1
 	if got != h {
 		t.Fatalf("round trip %+v != %+v", got, h)
+	}
+
+	h2 := Header{Version: ProtocolV2, Type: MsgResult, ReqID: 7, PayloadLen: 99, TraceID: 0xFEEDFACE}
+	buf = AppendHeader(nil, h2)
+	if len(buf) != headerSize+traceIDSize {
+		t.Fatalf("v2 header is %d bytes, want %d", len(buf), headerSize+traceIDSize)
+	}
+	got, err = ReadHeader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h2 {
+		t.Fatalf("v2 round trip %+v != %+v", got, h2)
+	}
+	// A v1 reader never sees the trace id; a v1 header never carries one.
+	if AppendHeader(nil, Header{Version: ProtocolV1, TraceID: 5})[4] != ProtocolV1 {
+		t.Error("v1 header mis-versioned")
+	}
+	if len(AppendHeader(nil, Header{Version: ProtocolV1, TraceID: 5})) != headerSize {
+		t.Error("v1 header grew a trace id")
 	}
 }
 

@@ -16,10 +16,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/fpga"
 	"repro/internal/instrument"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 	"repro/internal/xd1"
 )
 
@@ -304,6 +306,8 @@ func HybridDeconvolveFrameContext(ctx context.Context, f *instrument.Frame, c Of
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	span := trace.SpanFromContext(ctx).Child("hybrid_offload")
+	defer span.End()
 	cfg := c
 	cfg.TOFColumns = f.TOFBins
 	rep, err := AnalyzeOffload(cfg)
@@ -318,19 +322,30 @@ func HybridDeconvolveFrameContext(ctx context.Context, f *instrument.Frame, c Of
 	if core.Len() != f.DriftBins {
 		return nil, fmt.Errorf("hybrid: core length %d != frame drift bins %d", core.Len(), f.DriftBins)
 	}
+	cursor := emitModeledFrontEnd(span, cfg, f, rep)
+	fht := span.Child("fpga_fht")
+	fht.SetInt("columns", int64(f.TOFBins))
+	fht.SetInt("modeled_ns", int64(rep.ComputeTimeS*1e9))
 	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
 	for t := 0; t < f.TOFBins; t++ {
 		if t%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
+				fht.End()
 				return nil, err
 			}
 		}
 		x, _, err := core.Deconvolve(f.DriftVector(t))
 		if err != nil {
+			fht.End()
 			return nil, err
 		}
 		out.SetDriftVector(t, x)
 	}
+	fht.SetInt("saturations", core.Saturations())
+	fht.End()
+	dmaOut := span.ChildAt("xd1_dma_out", cursor)
+	dmaOut.SetInt("bytes", int64(float64(core.Len())*float64(cfg.TOFColumns)*float64(cfg.WordBytes)))
+	dmaOut.EndAfter(time.Duration(rep.TransferOutS * 1e9))
 	if reg := cfg.Metrics; reg != nil {
 		recordOffloadTransfers(reg, cfg, core, rep)
 	}
@@ -340,6 +355,39 @@ func HybridDeconvolveFrameContext(ctx context.Context, f *instrument.Frame, c Of
 		Saturations:    core.Saturations(),
 		Report:         rep,
 	}, nil
+}
+
+// emitModeledFrontEnd lays the modeled FPGA front-end and inbound-DMA
+// stages of one frame as synthetic spans under parent — fpga_capture and
+// fpga_accumulate busy time from the default core parallelism (ingest
+// width, bank count) at the node's clock, then the XD1 DMA cost model's
+// inbound transfer.  The spans sit on a timeline cursor starting at the
+// offload span so the Perfetto view reads as one pipeline; the returned
+// cursor marks where the outbound DMA would begin.  A zero parent makes
+// the whole thing free.
+func emitModeledFrontEnd(parent trace.Span, cfg OffloadConfig, f *instrument.Frame, rep OffloadReport) time.Time {
+	cursor := time.Now()
+	if !parent.Active() {
+		return cursor
+	}
+	dp := DefaultDataPathConfig()
+	cells := float64(f.DriftBins) * float64(f.TOFBins) * float64(dp.CyclesAccumulated)
+	capD := time.Duration(cfg.Node.FPGA.CyclesToSeconds(int64(cells/float64(dp.CaptureSamplesPerCycle))) * 1e9)
+	accD := time.Duration(cfg.Node.FPGA.CyclesToSeconds(int64(cells/float64(dp.AccumBanks))) * 1e9)
+	capSpan := parent.ChildAt("fpga_capture", cursor)
+	capSpan.SetInt("cycles_accumulated", int64(dp.CyclesAccumulated))
+	capSpan.EndAfter(capD)
+	cursor = cursor.Add(capD)
+	accSpan := parent.ChildAt("fpga_accumulate", cursor)
+	accSpan.SetInt("banks", int64(dp.AccumBanks))
+	accSpan.EndAfter(accD)
+	cursor = cursor.Add(accD)
+	frameBytes := int64(float64(f.DriftBins) * float64(f.TOFBins) * float64(cfg.WordBytes))
+	dmaIn := parent.ChildAt("xd1_dma_in", cursor)
+	dmaIn.SetInt("bytes", frameBytes)
+	dmaIn.SetInt("burst_bytes", int64(cfg.DMABurstBytes))
+	dmaIn.EndAfter(time.Duration(rep.TransferInS * 1e9))
+	return cursor.Add(time.Duration(rep.TransferInS * 1e9))
 }
 
 // recordOffloadTransfers replays the frame's modeled host↔FPGA movement

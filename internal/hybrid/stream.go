@@ -9,9 +9,11 @@ package hybrid
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/fpga"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // StreamConfig describes the streaming simulation.
@@ -32,6 +34,11 @@ type StreamConfig struct {
 	// per-stage accept/stall counters, end-to-end column latency and
 	// collector lag (hybrid_* families).  Nil disables instrumentation.
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records the run as one simulate_stream trace:
+	// a root span for the wall-clock simulation plus one modeled span per
+	// pipeline stage (busy time = accepted tokens × initiation interval at
+	// the FPGA clock).  Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // DefaultStreamConfig streams 2048 columns of the reference offload with
@@ -214,6 +221,7 @@ func SimulateStreamContext(ctx context.Context, c StreamConfig) (StreamReport, e
 	rep.TotalCycles = p.Cycle()
 	rep.CyclesPerCol = float64(p.Cycle()) / float64(c.Columns)
 	rep.ThroughputCols = c.Offload.Node.FPGA.ClockHz / rep.CyclesPerCol
+	emitStreamTrace(c, p.Cycle(), []*fpga.Stage{capture, accum, fht, dma})
 	c.Metrics.Counter("hybrid_stream_columns_total", "columns streamed through the clocked pipeline").Add(int64(c.Columns))
 	c.Metrics.Counter("hybrid_stream_cycles_total", "total simulated cycles of the streaming run").Add(p.Cycle())
 	for _, st := range []*fpga.Stage{capture, accum, fht, dma} {
@@ -275,4 +283,41 @@ func SimulateStreamContext(ctx context.Context, c StreamConfig) (StreamReport, e
 		rep.RealTime = true
 	}
 	return rep, nil
+}
+
+// streamSpanNames maps each clocked-pipeline stage to its span name in
+// the shared taxonomy (docs/OBSERVABILITY.md).
+var streamSpanNames = map[string]string{
+	"capture":    "fpga_capture",
+	"accumulate": "fpga_accumulate",
+	"deconvolve": "fpga_fht",
+	"dma-out":    "xd1_dma_out",
+}
+
+// emitStreamTrace records one finished streaming run as a simulate_stream
+// trace: a root span covering the modeled run, with one synthetic child
+// per stage whose duration is that stage's busy time (accepted tokens ×
+// initiation interval) at the FPGA clock.  A nil tracer is free.
+func emitStreamTrace(c StreamConfig, totalCycles int64, stages []*fpga.Stage) {
+	root := c.Tracer.StartTrace("simulate_stream", 0)
+	if !root.Active() {
+		return
+	}
+	root.SetInt("columns", int64(c.Columns))
+	root.SetInt("total_cycles", totalCycles)
+	start := time.Now()
+	for _, st := range stages {
+		s := st.Stats()
+		busy := time.Duration(c.Offload.Node.FPGA.CyclesToSeconds(s.Accepted*int64(st.II)) * 1e9)
+		name := streamSpanNames[s.Name]
+		if name == "" {
+			name = s.Name
+		}
+		sp := root.ChildAt(name, start)
+		sp.SetInt("accepted", s.Accepted)
+		sp.SetInt("input_stalls", s.InputStalls)
+		sp.SetInt("output_stalls", s.OutputStalls)
+		sp.EndAfter(busy)
+	}
+	root.EndAfter(time.Duration(c.Offload.Node.FPGA.CyclesToSeconds(totalCycles) * 1e9))
 }

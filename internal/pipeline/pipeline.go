@@ -23,6 +23,7 @@ import (
 	"repro/internal/hadamard"
 	"repro/internal/instrument"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // DecoderFactory builds one decoder per worker, so workers never share
@@ -88,6 +89,10 @@ func DeconvolveFrameContext(ctx context.Context, f *instrument.Frame, newDecoder
 	if workers > f.TOFBins {
 		workers = f.TOFBins
 	}
+	span := trace.SpanFromContext(ctx).Child("cpu_decode")
+	span.SetInt("columns", int64(f.TOFBins))
+	span.SetInt("workers", int64(workers))
+	defer span.End()
 	m := newFrameMetrics(reg)
 	m.workers.Set(float64(workers))
 	out := instrument.NewFrame(f.DriftBins, f.TOFBins)

@@ -54,6 +54,12 @@ type Metric struct {
 	// Count and Sum summarize a histogram (absent otherwise).
 	Count int64   `json:"count,omitempty"`
 	Sum   float64 `json:"sum,omitempty"`
+	// P50, P95 and P99 are quantile estimates derived from the log-scale
+	// buckets (geometric bucket midpoints, within 2x by construction);
+	// present only for non-empty histograms.
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
 	// Buckets are the non-empty histogram buckets.
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
@@ -113,6 +119,11 @@ func (r *Registry) Snapshot() Snapshot {
 					}
 				}
 				m.Sum = in.h.Sum()
+				if m.Count > 0 {
+					m.P50 = QuantileOfCounts(counts, 0.50)
+					m.P95 = QuantileOfCounts(counts, 0.95)
+					m.P99 = QuantileOfCounts(counts, 0.99)
+				}
 			}
 			s.Metrics = append(s.Metrics, m)
 		}
@@ -208,6 +219,16 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			}
 			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, formatLabels(m.Labels, "", ""), m.Count); err != nil {
 				return err
+			}
+			if m.Count > 0 {
+				for _, q := range []struct {
+					suffix string
+					value  float64
+				}{{"p50", m.P50}, {"p95", m.P95}, {"p99", m.P99}} {
+					if _, err := fmt.Fprintf(w, "%s_%s%s %s\n", m.Name, q.suffix, formatLabels(m.Labels, "", ""), formatValue(q.value)); err != nil {
+						return err
+					}
+				}
 			}
 		default:
 			var v float64

@@ -272,6 +272,9 @@ app_lat_ns_bucket{le="1024"} 3
 app_lat_ns_bucket{le="+Inf"} 3
 app_lat_ns_sum 1004
 app_lat_ns_count 3
+app_lat_ns_p50 2.8284271247461903
+app_lat_ns_p95 724.0773439350247
+app_lat_ns_p99 724.0773439350247
 `
 	if sb.String() != want {
 		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
@@ -306,6 +309,9 @@ func TestGoldenJSON(t *testing.T) {
       "help": "latency",
       "count": 3,
       "sum": 1004,
+      "p50": 2.8284271247461903,
+      "p95": 724.0773439350247,
+      "p99": 724.0773439350247,
       "buckets": [
         {
           "le": "1",

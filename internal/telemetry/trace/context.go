@@ -1,0 +1,28 @@
+// context.go: carrying the active span through context.Context — the same
+// plumbing the serving stack already uses for deadlines, so a worker's
+// span reaches the hybrid offload and the CPU pipeline without new
+// parameters on every call.
+package trace
+
+import "context"
+
+// ctxKey is the private context key for the active span.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span.  The zero
+// Span is not stored: the context is returned unchanged, so the disabled
+// path adds no context allocation.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	if s.t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the active span carried by ctx, or the inert
+// zero Span when there is none — callers start children from the result
+// unconditionally.
+func SpanFromContext(ctx context.Context) Span {
+	s, _ := ctx.Value(ctxKey{}).(Span)
+	return s
+}

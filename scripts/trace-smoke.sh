@@ -1,0 +1,81 @@
+#!/bin/sh
+# trace-smoke.sh: end-to-end tracing smoke test.
+#
+# Starts imsd with -trace (keep-everything sampling), drives a short
+# imsload burst with client-side tracing and a JSON report, drains the
+# daemon, then asserts: the server's Perfetto trace parses and contains a
+# span for every pipeline stage (socket read, queue wait, worker, modeled
+# FPGA capture/accumulate/FHT, XD1 DMA, response write), the client's
+# trace contains its request spans, and the imsload JSON report parses
+# with a server span-stage breakdown.
+set -eu
+
+GO=${GO:-go}
+PORT=${SMOKE_PORT:-17072}
+TMP=$(mktemp -d)
+DAEMON_PID=""
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "trace-smoke: building binaries"
+$GO build -o "$TMP/imsd" ./cmd/imsd
+$GO build -o "$TMP/imsload" ./cmd/imsload
+$GO build -o "$TMP/tracecheck" ./scripts/tracecheck
+
+echo "trace-smoke: starting imsd on 127.0.0.1:$PORT with tracing"
+"$TMP/imsd" -addr "127.0.0.1:$PORT" -drain-timeout 10s \
+    -trace "$TMP/server-trace.json" -trace-ring 32 >"$TMP/imsd.log" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+until grep -q "listening on" "$TMP/imsd.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "trace-smoke: FAIL — imsd never started"; cat "$TMP/imsd.log"; exit 1
+    fi
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "trace-smoke: FAIL — imsd exited early"; cat "$TMP/imsd.log"; exit 1
+    fi
+    sleep 0.1
+done
+
+echo "trace-smoke: 1s burst, 4 clients, traced"
+if ! "$TMP/imsload" -addr "127.0.0.1:$PORT" -clients 4 -duration 1s -tof 128 \
+    -json "$TMP/report.json" -trace "$TMP/client-trace.json"; then
+    echo "trace-smoke: FAIL — imsload reported errors"
+    cat "$TMP/imsd.log"
+    exit 1
+fi
+
+echo "trace-smoke: draining imsd"
+kill -TERM "$DAEMON_PID"
+rc=0
+wait "$DAEMON_PID" || rc=$?
+DAEMON_PID=""
+if [ "$rc" -ne 0 ]; then
+    echo "trace-smoke: FAIL — imsd exited $rc"; cat "$TMP/imsd.log"; exit 1
+fi
+
+echo "trace-smoke: validating server trace"
+"$TMP/tracecheck" "$TMP/server-trace.json" \
+    frame socket_read queue_wait worker hybrid_offload \
+    fpga_capture fpga_accumulate xd1_dma_in fpga_fht xd1_dma_out \
+    write_response
+
+echo "trace-smoke: validating client trace"
+"$TMP/tracecheck" "$TMP/client-trace.json" client_request
+
+echo "trace-smoke: validating imsload JSON report"
+for key in '"throughput_rps"' '"shed_rate"' '"latency_ns"' '"server"' '"queue_wait_ns_total"'; do
+    if ! grep -q "$key" "$TMP/report.json"; then
+        echo "trace-smoke: FAIL — report missing $key"; cat "$TMP/report.json"; exit 1
+    fi
+done
+
+echo "trace-smoke: OK"

@@ -1,0 +1,97 @@
+// Command tracecheck validates a Chrome/Perfetto trace-event JSON file
+// produced by the telemetry tracer: it must parse, every "X" event must be
+// well-formed (non-negative ts/dur, a name, a trace_id arg), and every
+// span name given on the command line must appear at least once.  Used by
+// the trace-smoke CI gate to prove an end-to-end run emitted the full
+// stage taxonomy.
+//
+// Usage:
+//
+//	tracecheck FILE SPAN [SPAN...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// event is the subset of the trace-event schema the checker inspects.
+type event struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	Args map[string]interface{} `json:"args"`
+}
+
+// file is the Perfetto JSON object wrapper.
+type file struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) < 3 {
+		fail("usage: tracecheck FILE SPAN [SPAN...]")
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var f file
+	if err := json.Unmarshal(raw, &f); err != nil {
+		fail("%s: not valid trace JSON: %v", os.Args[1], err)
+	}
+
+	seen := map[string]int{}
+	spans := 0
+	for i, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Name == "" {
+				fail("event %d: complete event with no name", i)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				fail("event %d (%s): negative ts %g or dur %g", i, ev.Name, ev.Ts, ev.Dur)
+			}
+			if _, ok := ev.Args["trace_id"]; !ok {
+				fail("event %d (%s): missing trace_id arg", i, ev.Name)
+			}
+			seen[ev.Name]++
+			spans++
+		case "M":
+			// Metadata (thread names) — nothing to check.
+		default:
+			fail("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if spans == 0 {
+		fail("%s: no spans", os.Args[1])
+	}
+
+	missing := 0
+	for _, want := range os.Args[2:] {
+		if seen[want] == 0 {
+			fmt.Fprintf(os.Stderr, "tracecheck: missing span %q\n", want)
+			missing++
+		}
+	}
+	if missing > 0 {
+		fail("%d required spans missing (have %v)", missing, keys(seen))
+	}
+	fmt.Printf("tracecheck: OK — %d spans, all %d required names present\n", spans, len(os.Args)-2)
+}
+
+// keys returns the map's keys for error reporting.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
