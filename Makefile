@@ -11,9 +11,9 @@ DOCLINT_DIRS = internal/telemetry internal/telemetry/trace \
                internal/fpga internal/xd1 internal/acqserver \
                internal/frameio
 
-.PHONY: check fmt vet build test docslint fuzz-short serve-smoke trace-smoke bench
+.PHONY: check fmt vet build test docslint fuzz-short serve-smoke trace-smoke bench bench-json allocgate
 
-check: fmt vet build test docslint fuzz-short serve-smoke trace-smoke
+check: fmt vet build test docslint allocgate fuzz-short serve-smoke trace-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -52,3 +52,19 @@ trace-smoke:
 bench:
 	$(GO) test ./internal/telemetry -run XXX -bench TelemetryOverhead -benchmem
 	$(GO) test ./internal/telemetry/trace -run XXX -bench TraceOverhead -benchmem
+
+# The zero-steady-state-allocation contract of the batched decode path
+# (docs/PERFORMANCE.md): the testing.AllocsPerRun gates across the
+# hadamard kernels, the pipeline block decoder and the fixed-point core.
+allocgate:
+	$(GO) test ./internal/hadamard ./internal/pipeline ./internal/fpga \
+		-run 'Allocs|DeconvolveToMatchesDeconvolve' -count=1
+
+# Refresh the decode-path benchmark ledger: the Micro* data-path
+# benchmarks plus the E3/E4 experiment benchmarks, parsed into
+# BENCH_PR4.json under the "after" label (see scripts/benchjson).
+bench-json:
+	$(GO) test -run XXX -bench 'Micro|E3FPGAvsCPU|E4CPUScaling' -benchmem . | \
+		$(GO) run ./scripts/benchjson -label after -out BENCH_PR4.json
+	$(GO) test -run XXX -bench . -benchmem ./internal/hadamard | \
+		$(GO) run ./scripts/benchjson -label after -out BENCH_PR4.json

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -284,4 +285,70 @@ func BenchmarkE20IsotopeFidelity(b *testing.B) {
 		}
 	}
 	b.ReportMetric(worst, "worst-ratio-dev-%")
+}
+
+// BenchmarkMicroFrameDeconvolveScalar preserves the pre-batching shape —
+// per-column Decode with a fresh result slice each call — as the in-tree
+// baseline for the blocked path above it.
+func BenchmarkMicroFrameDeconvolveScalar(b *testing.B) {
+	order := 9
+	seq := prs.MustMSequence(order)
+	cols := 256
+	rng := rand.New(rand.NewSource(2))
+	frame := instrument.NewFrame(len(seq), cols)
+	for c := 0; c < cols; c++ {
+		x := make([]float64, len(seq))
+		x[rng.Intn(len(x))] = 500
+		y, err := hadamard.Encode(seq, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame.SetDriftVector(c, y)
+	}
+	dec, err := hadamard.NewFHTDecoder(order)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := instrument.NewFrame(frame.DriftBins, frame.TOFBins)
+		for t := 0; t < frame.TOFBins; t++ {
+			x, err := dec.Decode(frame.DriftVector(t))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out.SetDriftVector(t, x)
+		}
+	}
+}
+
+// BenchmarkMicroFrameDeconvolveInto is the steady-state serving shape: a
+// pooled output frame and the blocked batch path, zero per-column
+// allocation.
+func BenchmarkMicroFrameDeconvolveInto(b *testing.B) {
+	order := 9
+	seq := prs.MustMSequence(order)
+	cols := 256
+	rng := rand.New(rand.NewSource(2))
+	frame := instrument.NewFrame(len(seq), cols)
+	for c := 0; c < cols; c++ {
+		x := make([]float64, len(seq))
+		x[rng.Intn(len(x))] = 500
+		y, err := hadamard.Encode(seq, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame.SetDriftVector(c, y)
+	}
+	factory := func() (hadamard.Decoder, error) { return hadamard.NewFHTDecoder(order) }
+	var pool instrument.FramePool
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := pool.Get(frame.DriftBins, frame.TOFBins)
+		if err := pipeline.DeconvolveFrameIntoContext(ctx, out, frame, factory, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(out)
+	}
 }

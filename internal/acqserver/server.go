@@ -3,9 +3,13 @@
 // serving many concurrent clients.  It speaks the IMSP/1 length-prefixed
 // protocol over TCP (wire.go); per-client sessions decode frameio-encoded
 // frames straight off the socket and enqueue them into N sharded, bounded
-// work queues feeding worker pools that run the modeled FPGA offload
-// (hybrid.HybridDeconvolveFrameContext) or the CPU software pipeline
-// (pipeline.DeconvolveFrameContext), selectable per request.
+// work queues feeding worker pools that run the modeled FPGA offload (a
+// per-worker hybrid.Offloader) or the CPU software pipeline
+// (pipeline.DeconvolveFrameIntoContext), selectable per request.  Decoded
+// output frames come from a sync.Pool-backed instrument.FramePool and are
+// recycled once the result summary is encoded, so the steady-state compute
+// path allocates no per-column and no per-frame output buffers (see
+// docs/PERFORMANCE.md).
 //
 // The serving stack is explicit about its unhappy paths: full shard queues
 // shed load with RESOURCE_EXHAUSTED instead of blocking, per-request
@@ -284,8 +288,9 @@ type Server struct {
 	tracer  *trace.Tracer
 	log     *slog.Logger
 
-	shards   []*shard
-	workerWG sync.WaitGroup
+	shards    []*shard
+	workerWG  sync.WaitGroup
+	framePool instrument.FramePool
 
 	ln       net.Listener
 	lnMu     sync.Mutex
@@ -463,19 +468,39 @@ func (s *Server) forceCloseSessions() {
 	}
 }
 
+// workerState is the per-worker compute machinery that survives across
+// tasks: the lazily-built hybrid offloader (persistent FHT core plus
+// column scratch).  Workers never share it, so no locking is needed.
+type workerState struct {
+	off *hybrid.Offloader
+}
+
+// offloader returns the worker's hybrid engine, building it on first use.
+func (ws *workerState) offloader(c hybrid.OffloadConfig) (*hybrid.Offloader, error) {
+	if ws.off == nil {
+		o, err := hybrid.NewOffloader(c)
+		if err != nil {
+			return nil, err
+		}
+		ws.off = o
+	}
+	return ws.off, nil
+}
+
 // workerLoop drains one shard until its queue is closed, answering each
 // task with a RESULT or a typed ERROR.
 func (s *Server) workerLoop(sh *shard) {
 	defer s.workerWG.Done()
+	ws := &workerState{}
 	for t := range sh.ch {
 		sh.depth.Set(float64(len(sh.ch)))
-		s.serveTask(sh, t)
+		s.serveTask(sh, ws, t)
 	}
 }
 
 // serveTask runs one task with panic isolation: a panicking compute path
 // answers INTERNAL and the worker lives on.
-func (s *Server) serveTask(sh *shard, t *task) {
+func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.panics["worker"].Inc()
@@ -503,7 +528,7 @@ func (s *Server) serveTask(sh *shard, t *task) {
 	}
 
 	start := time.Now()
-	res, err := s.compute(ctx, t)
+	res, err := s.compute(ctx, ws, t)
 	elapsed := time.Since(start)
 	s.m.processByPath[t.path].Observe(float64(elapsed.Nanoseconds()))
 	wspan.End()
@@ -532,31 +557,39 @@ func (s *Server) serveTask(sh *shard, t *task) {
 }
 
 // compute runs the selected backend and summarizes the deconvolved frame.
-func (s *Server) compute(ctx context.Context, t *task) (*Result, error) {
+// Output frames come from the server's frame pool and go back to it once
+// the summary (which copies everything it keeps) is built; the input frame
+// is recycled into the same pool, since frames are interchangeable by
+// backing capacity.
+func (s *Server) compute(ctx context.Context, ws *workerState, t *task) (*Result, error) {
 	if s.processHook != nil {
 		return s.processHook(t)
 	}
-	var decoded *instrument.Frame
+	decoded := s.framePool.Get(t.frame.DriftBins, t.frame.TOFBins)
+	defer s.framePool.Put(decoded)
 	res := &Result{}
 	switch t.path {
 	case PathHybrid:
-		hr, err := hybrid.HybridDeconvolveFrameContext(ctx, t.frame, s.offload)
+		off, err := ws.offloader(s.offload)
 		if err != nil {
 			return nil, err
 		}
-		decoded = hr.Decoded
+		hr, err := off.DeconvolveFrameInto(ctx, decoded, t.frame)
+		if err != nil {
+			return nil, err
+		}
 		res.SimulatedNs = uint64(hr.SimulatedTimeS * 1e9)
 		res.Saturations = uint64(hr.Saturations)
 	case PathCPU:
-		out, err := pipeline.DeconvolveFrameContext(ctx, t.frame, s.decoder, s.cfg.CPUWorkersPerFrame, s.cfg.Metrics)
-		if err != nil {
+		if err := pipeline.DeconvolveFrameIntoContext(ctx, decoded, t.frame, s.decoder, s.cfg.CPUWorkersPerFrame, s.cfg.Metrics); err != nil {
 			return nil, err
 		}
-		decoded = out
 	default:
 		return nil, fmt.Errorf("acqserver: unknown path %v", t.path)
 	}
 	res.Peaks = s.summarize(decoded)
+	s.framePool.Put(t.frame)
+	t.frame = nil
 	return res, nil
 }
 

@@ -231,6 +231,7 @@ type FHTCore struct {
 	scatter    []int
 	gather     []int
 	saturation int64
+	work       []int64 // fixed-point scratch reused by DeconvolveTo
 
 	columnsC, cyclesC, saturationsC *telemetry.Counter
 }
@@ -288,17 +289,41 @@ func (c *FHTCore) CyclesPerFrame() int64 {
 
 // Deconvolve runs the fixed-point transform on a waveform of expected ion
 // counts and returns the recovered arrival distribution along with the
-// cycles consumed.  The arithmetic path is exactly the hardware's: quantize
-// to the input format, scatter, staged butterflies with the configured
-// growth policy, gather, and final scale.
+// cycles consumed.  It allocates the result; the serving path uses
+// DeconvolveTo with a caller-owned destination instead.
 func (c *FHTCore) Deconvolve(y []float64) ([]float64, int64, error) {
+	x := make([]float64, c.Len())
+	cycles, err := c.DeconvolveTo(x, y)
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, cycles, nil
+}
+
+// DeconvolveTo runs the fixed-point transform on a waveform of expected
+// ion counts into the caller-owned dst (length Len(), fully overwritten)
+// and returns the cycles consumed, reusing per-core scratch so the steady
+// state allocates nothing.  The arithmetic path is exactly the hardware's:
+// quantize to the input format, scatter, staged butterflies with the
+// configured growth policy, gather, and final scale.  The scratch makes an
+// FHTCore single-threaded; create one per worker.
+func (c *FHTCore) DeconvolveTo(dst, y []float64) (int64, error) {
 	n := c.Len()
 	if len(y) != n {
-		return nil, 0, fmt.Errorf("fpga: deconvolve length %d, want %d", len(y), n)
+		return 0, fmt.Errorf("fpga: deconvolve length %d, want %d", len(y), n)
+	}
+	if len(dst) != n {
+		return 0, fmt.Errorf("fpga: deconvolve dst length %d, want %d", len(dst), n)
 	}
 	m := n + 1
 	satBefore := c.saturation
-	work := make([]int64, m)
+	if cap(c.work) < m {
+		c.work = make([]int64, m)
+	}
+	work := c.work[:m]
+	// The scatter ROM is a bijection onto addresses 1..m−1 (checked at
+	// construction), so only the unused work row 0 needs re-zeroing.
+	work[0] = 0
 	for i, p := range c.scatter {
 		raw, sat := c.Format.FromFloat(y[i])
 		if sat {
@@ -334,15 +359,14 @@ func (c *FHTCore) Deconvolve(y []float64) ([]float64, int64, error) {
 	if c.Growth == GrowthScalePerStage {
 		scale *= math.Ldexp(1, shifts)
 	}
-	x := make([]float64, n)
 	for j := 0; j < n; j++ {
-		x[j] = c.Format.ToFloat(work[c.gather[j]]) * scale
+		dst[j] = c.Format.ToFloat(work[c.gather[j]]) * scale
 	}
 	cycles := c.CyclesPerFrame()
 	c.columnsC.Inc()
 	c.cyclesC.Add(cycles)
 	c.saturationsC.Add(c.saturation - satBefore)
-	return x, cycles, nil
+	return cycles, nil
 }
 
 // Saturations reports cumulative saturation events — nonzero values mean

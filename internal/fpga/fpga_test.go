@@ -568,3 +568,46 @@ func BenchmarkAccumulatorCore(b *testing.B) {
 		}
 	}
 }
+
+// TestDeconvolveToMatchesDeconvolve pins the scratch-reusing entry point
+// to the allocating one bit for bit, and gates its steady-state
+// allocation at zero.
+func TestDeconvolveToMatchesDeconvolve(t *testing.T) {
+	for _, growth := range []GrowthPolicy{GrowthSaturate, GrowthScalePerStage} {
+		core, err := NewFHTCore(8, Format{IntBits: 24, FracBits: 8}, growth, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float64, core.Len())
+		for i := range y {
+			y[i] = float64((i*37)%251) / 3
+		}
+		want, wantCycles, err := core.Deconvolve(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, core.Len())
+		cycles, err := core.DeconvolveTo(dst, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycles != wantCycles {
+			t.Errorf("growth %v: cycles %d != %d", growth, cycles, wantCycles)
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("growth %v: bin %d: DeconvolveTo %v != Deconvolve %v", growth, i, dst[i], want[i])
+			}
+		}
+		if _, err := core.DeconvolveTo(dst[:1], y); err == nil {
+			t.Error("short dst accepted")
+		}
+		if a := testing.AllocsPerRun(20, func() {
+			if _, err := core.DeconvolveTo(dst, y); err != nil {
+				t.Fatal(err)
+			}
+		}); a != 0 {
+			t.Errorf("growth %v: DeconvolveTo allocates %g/op", growth, a)
+		}
+	}
+}

@@ -77,10 +77,18 @@ type Decoder interface {
 // S⁻¹ = 2/(N+1)·(2 Sᵀ − J) through FFT circular correlation.  It is exact
 // for any cyclic rotation of a maximal-length sequence and degrades (becomes
 // a biased estimator) for sequences that are not maximal-length.
+// The decoder carries an FFT plan and scratch for its allocation-free
+// entry points (DecodeTo, DecodeBatch), so it must not be shared between
+// goroutines; create one per worker.
 type StandardDecoder struct {
 	seq   []float64
 	n     int
 	sumOK bool
+
+	spec []complex128 // FFT of the gating sequence, precomputed
+	plan *fftPlan
+	cbuf []complex128 // per-decode complex staging
+	cols columnScratch
 }
 
 // NewStandardDecoder builds a decoder for gating sequence s.  The sequence
@@ -90,7 +98,14 @@ func NewStandardDecoder(s prs.Sequence) (*StandardDecoder, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return &StandardDecoder{seq: s.Floats(), n: len(s)}, nil
+	seq := s.Floats()
+	return &StandardDecoder{
+		seq:  seq,
+		n:    len(s),
+		spec: FFT(realToComplex(seq)),
+		plan: newFFTPlan(len(s)),
+		cbuf: make([]complex128, len(s)),
+	}, nil
 }
 
 // Len implements Decoder.
@@ -102,23 +117,50 @@ func (d *StandardDecoder) Len() int { return d.n }
 // inverse gives x = 2/(N+1)·(2 Cᵀ y − (Σy)·1), and (Cᵀ y)[j] is the circular
 // correlation Σ_i s[i]·y[(i+j) mod N] evaluated via FFT.
 func (d *StandardDecoder) Decode(y []float64) ([]float64, error) {
-	if len(y) != d.n {
-		return nil, fmt.Errorf("hadamard: decode length %d, want %d", len(y), d.n)
-	}
-	corr, err := CircularCorrelate(d.seq, y)
-	if err != nil {
+	x := make([]float64, d.n)
+	if err := d.DecodeTo(x, y); err != nil {
 		return nil, err
 	}
+	return x, nil
+}
+
+// DecodeTo implements BatchDecoder: the same FFT circular correlation as
+// Decode evaluated through the decoder's cached FFT plan and complex
+// staging buffer, so the steady state allocates nothing.  The result is
+// bit-identical to Decode's.
+func (d *StandardDecoder) DecodeTo(dst, y []float64) error {
+	if len(y) != d.n {
+		return fmt.Errorf("hadamard: decode length %d, want %d", len(y), d.n)
+	}
+	if len(dst) != d.n {
+		return fmt.Errorf("hadamard: decode output length %d, want %d", len(dst), d.n)
+	}
+	buf := d.cbuf
+	for i, v := range y {
+		buf[i] = complex(v, 0)
+	}
+	d.plan.transform(buf, false)
+	for i := range buf {
+		buf[i] = cmplx.Conj(d.spec[i]) * buf[i]
+	}
+	d.plan.transform(buf, true)
 	var sum float64
 	for _, v := range y {
 		sum += v
 	}
 	scale := 2 / float64(d.n+1)
-	x := make([]float64, d.n)
-	for j := range x {
-		x[j] = scale * (2*corr[j] - sum)
+	for j := range dst {
+		dst[j] = scale * (2*real(buf[j]) - sum)
 	}
-	return x, nil
+	return nil
+}
+
+// DecodeBatch implements BatchDecoder lane-by-lane: the FFT kernel is
+// inherently one-dimensional, so each lane is staged into a contiguous
+// column, decoded with DecodeTo, and written back — still with zero
+// steady-state allocation.
+func (d *StandardDecoder) DecodeBatch(dst, src *ColumnBlock) error {
+	return decodeBatchByColumn(d, &d.cols, dst, src)
 }
 
 // DecodeNaive evaluates the same inverse by direct O(N^2) matrix arithmetic.
@@ -154,10 +196,17 @@ func (d *StandardDecoder) DecodeNaive(y []float64) ([]float64, error) {
 // (oversampled) or small (modified) components that the exact simplex
 // inverse cannot handle.  λ = 0 yields exact inversion when the spectrum has
 // no zeros.
+// The decoder carries an FFT plan and scratch for its allocation-free
+// entry points (DecodeTo, DecodeBatch), so it must not be shared between
+// goroutines; create one per worker.
 type WienerDecoder struct {
 	spec   []complex128 // FFT of the gating waveform
 	n      int
 	lambda float64
+
+	plan *fftPlan
+	cbuf []complex128 // per-decode complex staging
+	cols columnScratch
 }
 
 // NewWienerDecoder builds a regularized circulant decoder for gating
@@ -192,24 +241,62 @@ func NewWienerDecoderWaveform(w []float64, lambda float64) (*WienerDecoder, erro
 	if lambda < 0 {
 		return nil, fmt.Errorf("hadamard: negative regularization %g", lambda)
 	}
-	return &WienerDecoder{spec: FFT(realToComplex(w)), n: len(w), lambda: lambda}, nil
+	return &WienerDecoder{
+		spec:   FFT(realToComplex(w)),
+		n:      len(w),
+		lambda: lambda,
+		plan:   newFFTPlan(len(w)),
+		cbuf:   make([]complex128, len(w)),
+	}, nil
 }
 
 // Len implements Decoder.
 func (d *WienerDecoder) Len() int { return d.n }
 
-// Decode implements Decoder.
+// Decode implements Decoder.  It is a thin allocating wrapper over
+// DecodeTo and shares the decoder's scratch.
 func (d *WienerDecoder) Decode(y []float64) ([]float64, error) {
-	if len(y) != d.n {
-		return nil, fmt.Errorf("hadamard: decode length %d, want %d", len(y), d.n)
+	x := make([]float64, d.n)
+	if err := d.DecodeTo(x, y); err != nil {
+		return nil, err
 	}
-	Y := FFT(realToComplex(y))
-	for f := range Y {
+	return x, nil
+}
+
+// DecodeTo implements BatchDecoder: the regularized spectral division of
+// Decode evaluated through the decoder's cached FFT plan and complex
+// staging buffer — the forward transform, the per-bin division and the
+// inverse transform all reuse per-decoder scratch, eliminating the three
+// complex slices the allocating path built per call.  The result is
+// bit-identical to Decode's.
+func (d *WienerDecoder) DecodeTo(dst, y []float64) error {
+	if len(y) != d.n {
+		return fmt.Errorf("hadamard: decode length %d, want %d", len(y), d.n)
+	}
+	if len(dst) != d.n {
+		return fmt.Errorf("hadamard: decode output length %d, want %d", len(dst), d.n)
+	}
+	buf := d.cbuf
+	for i, v := range y {
+		buf[i] = complex(v, 0)
+	}
+	d.plan.transform(buf, false)
+	for f := range buf {
 		s := d.spec[f]
 		denom := real(s)*real(s) + imag(s)*imag(s) + d.lambda
-		Y[f] = cmplx.Conj(s) * Y[f] / complex(denom, 0)
+		buf[f] = cmplx.Conj(s) * buf[f] / complex(denom, 0)
 	}
-	return complexToReal(IFFT(Y)), nil
+	d.plan.transform(buf, true)
+	for i, v := range buf {
+		dst[i] = real(v)
+	}
+	return nil
+}
+
+// DecodeBatch implements BatchDecoder lane-by-lane through DecodeTo (the
+// FFT kernel is one-dimensional), with zero steady-state allocation.
+func (d *WienerDecoder) DecodeBatch(dst, src *ColumnBlock) error {
+	return decodeBatchByColumn(d, &d.cols, dst, src)
 }
 
 // MinModulation returns the smallest Fourier magnitude of the gating

@@ -137,6 +137,103 @@ func bluestein(x []complex128, inverse bool) {
 	}
 }
 
+// fftPlan caches the chirp tables and scratch for repeated same-length
+// DFTs so the steady state allocates nothing.  For power-of-two lengths
+// the transform is the in-place radix-2 kernel directly; otherwise the
+// plan holds the Bluestein machinery (forward and inverse chirps and the
+// pre-transformed symmetric kernels).  The arithmetic sequence is
+// identical to FFT/IFFT, so planned transforms are bit-identical to the
+// allocating ones.  A plan carries mutable scratch and must not be shared
+// between goroutines.
+type fftPlan struct {
+	n int
+	// Bluestein state; m == 0 selects the pure radix-2 path.
+	m      int
+	chirpF []complex128 // exp(−iπk²/n)
+	chirpI []complex128 // exp(+iπk²/n)
+	fbF    []complex128 // FFT of the symmetric conj-chirp kernel, forward
+	fbI    []complex128 // same for the inverse chirp
+	a      []complex128 // length-m convolution scratch
+}
+
+// newFFTPlan builds the plan for length-n transforms.
+func newFFTPlan(n int) *fftPlan {
+	p := &fftPlan{n: n}
+	if n == 0 || n&(n-1) == 0 {
+		return p
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p.m = m
+	p.a = make([]complex128, m)
+	p.chirpF, p.fbF = bluesteinTables(n, m, false)
+	p.chirpI, p.fbI = bluesteinTables(n, m, true)
+	return p
+}
+
+// bluesteinTables precomputes the chirp and the FFT of its symmetric
+// conjugate kernel for one transform direction, exactly as bluestein
+// builds them per call.
+func bluesteinTables(n, m int, inverse bool) (chirp, fb []complex128) {
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(k2)/float64(n)))
+	}
+	fb = make([]complex128, m)
+	for k := 0; k < n; k++ {
+		fb[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		fb[m-k] = fb[k]
+	}
+	fftRadix2(fb, false)
+	return chirp, fb
+}
+
+// transform runs the in-place length-n DFT of x through the plan's cached
+// machinery, allocating nothing.
+func (p *fftPlan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("hadamard: fftPlan length %d, want %d", len(x), p.n))
+	}
+	if p.m == 0 {
+		fftRadix2(x, inverse)
+		return
+	}
+	chirp, fb := p.chirpF, p.fbF
+	if inverse {
+		chirp, fb = p.chirpI, p.fbI
+	}
+	a := p.a
+	for i := range a {
+		a[i] = 0
+	}
+	for k := 0; k < p.n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	fftRadix2(a, false)
+	for i := range a {
+		a[i] *= fb[i]
+	}
+	fftRadix2(a, true)
+	for k := 0; k < p.n; k++ {
+		x[k] = a[k] * chirp[k]
+	}
+	if inverse {
+		inv := complex(1/float64(p.n), 0)
+		for k := range x {
+			x[k] *= inv
+		}
+	}
+}
+
 // CircularConvolve returns the cyclic convolution of two equal-length real
 // vectors: out[i] = sum_j a[j] * b[(i-j) mod N].
 func CircularConvolve(a, b []float64) ([]float64, error) {

@@ -20,6 +20,7 @@ package hadamard
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/prs"
 )
@@ -27,6 +28,10 @@ import (
 // FHTDecoder is the fast-Hadamard-transform simplex decoder.  It is exact
 // for the canonical m-sequence produced by prs.MSequence(order) (seed 1) and
 // costs one scatter, one FWHT of size 2ⁿ, and one gather per frame.
+//
+// The decoder carries reusable scratch for its allocation-free entry
+// points (DecodeTo, DecodeBatch), so it must not be shared between
+// goroutines; create one per worker.
 type FHTDecoder struct {
 	order   int
 	n       int   // sequence length 2^order − 1
@@ -34,6 +39,7 @@ type FHTDecoder struct {
 	scatter []int // scatter[i] = int(u_i): position of y[i] in the FWHT input
 	gather  []int // gather[j] = int(v_{-j}): FWHT output index for x[j]
 	scale   float64
+	work    []float64 // transform scratch, grown to m×lanes on demand
 }
 
 // NewFHTDecoder constructs the decoder for the canonical m-sequence of the
@@ -119,18 +125,80 @@ func (d *FHTDecoder) Order() int { return d.order }
 // Len implements Decoder.
 func (d *FHTDecoder) Len() int { return d.n }
 
-// Decode implements Decoder.
+// Decode implements Decoder.  It is a thin allocating wrapper over
+// DecodeTo and shares the decoder's scratch.
 func (d *FHTDecoder) Decode(y []float64) ([]float64, error) {
-	if len(y) != d.n {
-		return nil, fmt.Errorf("hadamard: decode length %d, want %d", len(y), d.n)
-	}
-	work := make([]float64, d.m)
-	d.DecodeInto(y, work)
 	x := make([]float64, d.n)
-	for j := 0; j < d.n; j++ {
-		x[j] = work[d.gather[j]] * d.scale
+	if err := d.DecodeTo(x, y); err != nil {
+		return nil, err
 	}
 	return x, nil
+}
+
+// scratchBuf returns the decoder's scratch grown to at least n elements.
+func (d *FHTDecoder) scratchBuf(n int) []float64 {
+	if cap(d.work) < n {
+		d.work = make([]float64, n)
+	}
+	return d.work[:n]
+}
+
+// DecodeTo implements BatchDecoder: scatter, FWHT and scaled gather into
+// the caller's dst, reusing per-decoder scratch so the steady state
+// allocates nothing.  dst and y must both have length Len().
+func (d *FHTDecoder) DecodeTo(dst, y []float64) error {
+	if len(y) != d.n {
+		return fmt.Errorf("hadamard: decode length %d, want %d", len(y), d.n)
+	}
+	if len(dst) != d.n {
+		return fmt.Errorf("hadamard: decode output length %d, want %d", len(dst), d.n)
+	}
+	work := d.scratchBuf(d.m)
+	// The scatter permutation is a bijection onto 1..m−1 (selfCheck), so
+	// only slot 0 survives from the previous use and needs clearing.
+	work[0] = 0
+	for i, p := range d.scatter {
+		work[p] = y[i]
+	}
+	// Length is a power of two by construction; FWHT cannot fail.
+	if err := FWHT(work); err != nil {
+		panic(err)
+	}
+	for j, g := range d.gather {
+		dst[j] = work[g] * d.scale
+	}
+	return nil
+}
+
+// DecodeBatch implements BatchDecoder with the column-blocked kernel: the
+// scatter, the FWHT butterflies and the gather each run with unit-stride
+// inner loops over the tile's lanes, and every lane's result is
+// bit-identical to the scalar DecodeTo path (same butterfly order, same
+// rounding).  The steady state allocates nothing.
+func (d *FHTDecoder) DecodeBatch(dst, src *ColumnBlock) error {
+	if err := checkBlockDims(d.n, dst, src); err != nil {
+		return err
+	}
+	L := src.Lanes
+	work := d.scratchBuf(d.m * L)
+	// As in DecodeTo, the scatter covers rows 1..m−1; only row 0 needs
+	// clearing.
+	for i := range work[:L] {
+		work[i] = 0
+	}
+	for i, p := range d.scatter {
+		copy(work[p*L:(p+1)*L], src.Data[i*L:(i+1)*L])
+	}
+	fwhtBlock(work, d.m, L)
+	scale := d.scale
+	for j, g := range d.gather {
+		w := work[g*L : g*L+L]
+		out := dst.Data[j*L : j*L+L]
+		for l, v := range w {
+			out[l] = v * scale
+		}
+	}
+	return nil
 }
 
 // DecodeInto runs scatter + FWHT into the caller-provided work buffer of
@@ -165,10 +233,5 @@ func (d *FHTDecoder) Permutations() (scatter, gather []int) {
 func (d *FHTDecoder) Scale() float64 { return d.scale }
 
 func popcount32(v uint32) uint32 {
-	var c uint32
-	for v != 0 {
-		c += v & 1
-		v >>= 1
-	}
-	return c
+	return uint32(bits.OnesCount32(v))
 }

@@ -243,6 +243,13 @@ func AnalyzeOffload(c OffloadConfig) (OffloadReport, error) {
 	if err != nil {
 		return OffloadReport{}, err
 	}
+	return analyzeOffloadWithCore(c, core)
+}
+
+// analyzeOffloadWithCore is AnalyzeOffload against an already-built core,
+// so per-frame re-analysis (the column count varies per frame) does not
+// reconstruct the FHT core and its permutation ROMs each time.
+func analyzeOffloadWithCore(c OffloadConfig, core *fpga.FHTCore) (OffloadReport, error) {
 	dma, err := xd1.NewDMA(c.Node.Fabric, c.DMABurstBytes)
 	if err != nil {
 		return OffloadReport{}, err
@@ -298,35 +305,86 @@ const ctxCheckStride = 16
 // when ctx is cancelled (a server deadline, a disconnected client) the
 // column loop stops within ctxCheckStride columns and returns ctx.Err(),
 // so in-flight work is actually abandoned rather than completed and thrown
-// away.
+// away.  It builds a fresh Offloader per call; steady-state serving paths
+// hold one Offloader per worker and use DeconvolveFrameInto instead.
 func HybridDeconvolveFrameContext(ctx context.Context, f *instrument.Frame, c OffloadConfig) (*HybridResult, error) {
 	if f == nil {
 		return nil, fmt.Errorf("hybrid: nil frame")
+	}
+	o, err := NewOffloader(c)
+	if err != nil {
+		return nil, err
+	}
+	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
+	res, err := o.DeconvolveFrameInto(ctx, out, f)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Offloader is a reusable executable offload engine: one validated config
+// with its persistent fixed-point FHT core and the per-column scratch the
+// core decodes through, so repeated frames pay no core reconstruction and
+// no per-column allocation.  The scratch makes an Offloader
+// single-threaded; create one per worker.
+type Offloader struct {
+	cfg  OffloadConfig
+	core *fpga.FHTCore
+	col  []float64 // staged input column
+	out  []float64 // decoded output column
+}
+
+// NewOffloader validates the config and builds the persistent core,
+// instrumented into c.Metrics when set.
+func NewOffloader(c OffloadConfig) (*Offloader, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	core, err := fpga.NewFHTCore(c.Order, c.Format, c.Growth, c.ButterflyUnits, c.MemPorts)
+	if err != nil {
+		return nil, err
+	}
+	core.Instrument(c.Metrics)
+	n := core.Len()
+	return &Offloader{cfg: c, core: core, col: make([]float64, n), out: make([]float64, n)}, nil
+}
+
+// Len reports the core's waveform length (frame drift bins).
+func (o *Offloader) Len() int { return o.core.Len() }
+
+// DeconvolveFrameInto runs one frame through the modeled FPGA offload into
+// the caller-owned dst frame (same geometry as f, typically from an
+// instrument.FramePool).  Column data moves through the offloader's
+// persistent scratch, so the steady state allocates nothing beyond the
+// per-frame report bookkeeping.  The returned HybridResult's Decoded field
+// is dst; Saturations counts this frame's events only.
+func (o *Offloader) DeconvolveFrameInto(ctx context.Context, dst, f *instrument.Frame) (*HybridResult, error) {
+	if f == nil || dst == nil {
+		return nil, fmt.Errorf("hybrid: nil frame")
+	}
+	if dst.DriftBins != f.DriftBins || dst.TOFBins != f.TOFBins {
+		return nil, fmt.Errorf("hybrid: dst frame %dx%d != src %dx%d", dst.DriftBins, dst.TOFBins, f.DriftBins, f.TOFBins)
+	}
+	if o.core.Len() != f.DriftBins {
+		return nil, fmt.Errorf("hybrid: core length %d != frame drift bins %d", o.core.Len(), f.DriftBins)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	span := trace.SpanFromContext(ctx).Child("hybrid_offload")
 	defer span.End()
-	cfg := c
+	cfg := o.cfg
 	cfg.TOFColumns = f.TOFBins
-	rep, err := AnalyzeOffload(cfg)
+	rep, err := analyzeOffloadWithCore(cfg, o.core)
 	if err != nil {
 		return nil, err
 	}
-	core, err := fpga.NewFHTCore(cfg.Order, cfg.Format, cfg.Growth, cfg.ButterflyUnits, cfg.MemPorts)
-	if err != nil {
-		return nil, err
-	}
-	core.Instrument(cfg.Metrics)
-	if core.Len() != f.DriftBins {
-		return nil, fmt.Errorf("hybrid: core length %d != frame drift bins %d", core.Len(), f.DriftBins)
-	}
+	satBefore := o.core.Saturations()
 	cursor := emitModeledFrontEnd(span, cfg, f, rep)
 	fht := span.Child("fpga_fht")
 	fht.SetInt("columns", int64(f.TOFBins))
 	fht.SetInt("modeled_ns", int64(rep.ComputeTimeS*1e9))
-	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
 	for t := 0; t < f.TOFBins; t++ {
 		if t%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -334,25 +392,25 @@ func HybridDeconvolveFrameContext(ctx context.Context, f *instrument.Frame, c Of
 				return nil, err
 			}
 		}
-		x, _, err := core.Deconvolve(f.DriftVector(t))
-		if err != nil {
+		f.DriftVectorInto(t, o.col)
+		if _, err := o.core.DeconvolveTo(o.out, o.col); err != nil {
 			fht.End()
 			return nil, err
 		}
-		out.SetDriftVector(t, x)
+		dst.SetDriftVector(t, o.out)
 	}
-	fht.SetInt("saturations", core.Saturations())
+	fht.SetInt("saturations", o.core.Saturations())
 	fht.End()
 	dmaOut := span.ChildAt("xd1_dma_out", cursor)
-	dmaOut.SetInt("bytes", int64(float64(core.Len())*float64(cfg.TOFColumns)*float64(cfg.WordBytes)))
+	dmaOut.SetInt("bytes", int64(float64(o.core.Len())*float64(cfg.TOFColumns)*float64(cfg.WordBytes)))
 	dmaOut.EndAfter(time.Duration(rep.TransferOutS * 1e9))
 	if reg := cfg.Metrics; reg != nil {
-		recordOffloadTransfers(reg, cfg, core, rep)
+		recordOffloadTransfers(reg, cfg, o.core, rep)
 	}
 	return &HybridResult{
-		Decoded:        out,
+		Decoded:        dst,
 		SimulatedTimeS: rep.FrameTimeS,
-		Saturations:    core.Saturations(),
+		Saturations:    o.core.Saturations() - satBefore,
 		Report:         rep,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -298,5 +299,67 @@ func TestAnalyzeCluster(t *testing.T) {
 	bad.Order = 1
 	if _, err := AnalyzeCluster(bad, 2, host); err == nil {
 		t.Error("invalid offload")
+	}
+}
+
+// TestOffloaderMatchesHybridDeconvolve pins the reusable Offloader path to
+// the one-shot entry point bit for bit across repeated frames, and checks
+// the per-frame saturation accounting and geometry guards.
+func TestOffloaderMatchesHybridDeconvolve(t *testing.T) {
+	order := 7
+	s := prs.MustMSequence(order)
+	n := len(s)
+	rng := rand.New(rand.NewSource(91))
+	cols := 12
+	cfg := DefaultOffloadConfig()
+	cfg.Order = order
+	cfg.Format = fpga.MustQ(40, 10)
+	o, err := NewOffloader(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != n {
+		t.Fatalf("offloader length %d, want %d", o.Len(), n)
+	}
+	for frame := 0; frame < 3; frame++ {
+		enc := instrument.NewFrame(n, cols)
+		for c := 0; c < cols; c++ {
+			x := make([]float64, n)
+			x[rng.Intn(n)] = 100 + rng.Float64()*900
+			y, _ := hadamard.Encode(s, x)
+			enc.SetDriftVector(c, y)
+		}
+		want, err := HybridDeconvolveFrame(enc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := instrument.NewFrame(n, cols)
+		got, err := o.DeconvolveFrameInto(context.Background(), dst, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Decoded != dst {
+			t.Error("result frame is not the caller's dst")
+		}
+		for i := range dst.Data {
+			if dst.Data[i] != want.Decoded.Data[i] {
+				t.Fatalf("frame %d cell %d: offloader %v != one-shot %v", frame, i, dst.Data[i], want.Decoded.Data[i])
+			}
+		}
+		if got.Saturations != want.Saturations {
+			t.Errorf("frame %d: saturations %d != %d", frame, got.Saturations, want.Saturations)
+		}
+	}
+	if _, err := o.DeconvolveFrameInto(context.Background(), nil, instrument.NewFrame(n, cols)); err == nil {
+		t.Error("nil dst accepted")
+	}
+	if _, err := o.DeconvolveFrameInto(context.Background(), instrument.NewFrame(n, cols+1), instrument.NewFrame(n, cols)); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+	if _, err := o.DeconvolveFrameInto(context.Background(), instrument.NewFrame(10, cols), instrument.NewFrame(10, cols)); err == nil {
+		t.Error("wrong drift bins accepted")
+	}
+	if _, err := NewOffloader(OffloadConfig{}); err == nil {
+		t.Error("invalid config accepted")
 	}
 }

@@ -261,10 +261,40 @@ func (f *Frame) DriftVector(t int) []float64 {
 	return out
 }
 
+// DriftVectorInto fills dst with the drift-axis waveform at m/z bin t,
+// the allocation-free variant of DriftVector.  Extra dst capacity is left
+// untouched.
+func (f *Frame) DriftVectorInto(t int, dst []float64) {
+	for d := 0; d < f.DriftBins && d < len(dst); d++ {
+		dst[d] = f.Data[d*f.TOFBins+t]
+	}
+}
+
 // SetDriftVector writes a drift-axis waveform into m/z column t.
 func (f *Frame) SetDriftVector(t int, v []float64) {
 	for d := 0; d < f.DriftBins && d < len(v); d++ {
 		f.Data[d*f.TOFBins+t] = v[d]
+	}
+}
+
+// GatherColumns transposes the lanes m/z columns [t0, t0+lanes) into a
+// row-major column-blocked tile (tile[d*lanes+l] = cell (d, t0+l)) in one
+// cache-friendly pass: both the read of each frame row segment and the
+// write of each tile row are unit-stride copies, unlike the per-column
+// DriftVector gather whose accesses stride by TOFBins.  tile must hold
+// DriftBins×lanes values and is fully overwritten.
+func (f *Frame) GatherColumns(t0, lanes int, tile []float64) {
+	for d := 0; d < f.DriftBins; d++ {
+		copy(tile[d*lanes:(d+1)*lanes], f.Data[d*f.TOFBins+t0:d*f.TOFBins+t0+lanes])
+	}
+}
+
+// ScatterColumns writes a row-major column-blocked tile (the GatherColumns
+// layout) back into m/z columns [t0, t0+lanes), again as unit-stride row
+// segment copies.
+func (f *Frame) ScatterColumns(t0, lanes int, tile []float64) {
+	for d := 0; d < f.DriftBins; d++ {
+		copy(f.Data[d*f.TOFBins+t0:d*f.TOFBins+t0+lanes], tile[d*lanes:(d+1)*lanes])
 	}
 }
 

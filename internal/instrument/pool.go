@@ -1,0 +1,45 @@
+// pool.go: a sync.Pool-backed Frame recycler for steady-state serving
+// paths that decode one frame per request and would otherwise allocate
+// (and zero) a multi-megabyte Data slice each time.
+//
+// Ownership rules (see docs/PERFORMANCE.md): whoever Gets a frame owns it
+// until it is Put back exactly once; a frame must not be touched after
+// Put, and a frame must never be Put while another goroutine can still
+// reach it.  Frames obtained elsewhere (NewFrame, frameio) may also be
+// Put — the pool only cares about Data capacity.
+package instrument
+
+import "sync"
+
+// FramePool recycles Frames through a sync.Pool.  The zero value is ready
+// to use.  Get returns a zeroed frame, so pooled frames behave exactly
+// like NewFrame output.
+type FramePool struct {
+	pool sync.Pool
+}
+
+// Get returns a zeroed driftBins×tofBins frame, reusing a pooled backing
+// array when one with enough capacity is available.
+func (p *FramePool) Get(driftBins, tofBins int) *Frame {
+	n := driftBins * tofBins
+	if v := p.pool.Get(); v != nil {
+		f := v.(*Frame)
+		if cap(f.Data) >= n {
+			f.DriftBins, f.TOFBins = driftBins, tofBins
+			f.Data = f.Data[:n]
+			for i := range f.Data {
+				f.Data[i] = 0
+			}
+			return f
+		}
+		// Too small to reuse; drop it and fall through to a fresh frame.
+	}
+	return NewFrame(driftBins, tofBins)
+}
+
+// Put returns a frame to the pool.  nil is ignored.
+func (p *FramePool) Put(f *Frame) {
+	if f != nil {
+		p.pool.Put(f)
+	}
+}

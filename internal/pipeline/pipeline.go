@@ -4,12 +4,20 @@
 // bounded channels.  It follows the Effective Go concurrency idiom: share
 // the frames by communicating them, not by locking them.
 //
+// Frames are decoded in column blocks (DefaultBlockColumns m/z columns at a
+// time) through hadamard.BatchDecoder when the configured decoder supports
+// it: workers claim whole blocks with one atomic increment, gather the
+// block into a lane-contiguous tile, run the blocked kernel, and scatter
+// the result back — no per-column allocation and ~B× less claim contention
+// than the per-column scheme (see docs/PERFORMANCE.md).
+//
 // Both entry points accept an optional telemetry registry; passing nil
 // costs one nil check per event (see BenchmarkTelemetryOverhead in
 // internal/telemetry).  Exported families: pipeline_frames_total,
-// pipeline_columns_total, pipeline_errors_total, pipeline_column_decode_ns,
-// pipeline_worker_busy_ns_total, pipeline_workers, and the stream-processor
-// families pipeline_stream_* (see docs/OBSERVABILITY.md).
+// pipeline_columns_total, pipeline_errors_total, pipeline_block_decode_ns,
+// pipeline_column_decode_ns, pipeline_worker_busy_ns_total,
+// pipeline_workers, and the stream-processor families pipeline_stream_*
+// (see docs/OBSERVABILITY.md).
 package pipeline
 
 import (
@@ -19,12 +27,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hadamard"
 	"repro/internal/instrument"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
+
+// DefaultBlockColumns is the column-block width of the batched decode
+// path: the number of m/z columns gathered into one lane-contiguous tile
+// per claim.  16 lanes keep an order-9 work tile (512 rows × 16 lanes ×
+// 8 B = 64 KiB) inside L2 while amortizing index arithmetic and the
+// atomic claim over the block.
+const DefaultBlockColumns = 16
 
 // DecoderFactory builds one decoder per worker, so workers never share
 // mutable decoder state.
@@ -34,25 +50,134 @@ type DecoderFactory func() (hadamard.Decoder, error)
 // deconvolution path; the zero value (all-nil handles) is the
 // un-instrumented no-op configuration.
 type frameMetrics struct {
-	frames     *telemetry.Counter
-	columns    *telemetry.Counter
-	errs       *telemetry.Counter
-	colLatency *telemetry.Histogram
-	workerBusy *telemetry.Counter
-	workers    *telemetry.Gauge
+	frames       *telemetry.Counter
+	columns      *telemetry.Counter
+	errs         *telemetry.Counter
+	blockLatency *telemetry.Histogram
+	colLatency   *telemetry.Histogram
+	workerBusy   *telemetry.Counter
+	workers      *telemetry.Gauge
 }
 
 // newFrameMetrics resolves the handles once per frame; on a nil registry
 // every handle is nil.
 func newFrameMetrics(reg *telemetry.Registry) frameMetrics {
 	return frameMetrics{
-		frames:     reg.Counter("pipeline_frames_total", "frames deconvolved by the CPU pipeline"),
-		columns:    reg.Counter("pipeline_columns_total", "m/z columns decoded by the CPU pipeline"),
-		errs:       reg.Counter("pipeline_errors_total", "worker errors during frame deconvolution"),
-		colLatency: reg.Histogram("pipeline_column_decode_ns", "per-column software decode latency, nanoseconds"),
-		workerBusy: reg.Counter("pipeline_worker_busy_ns_total", "cumulative wall time workers spent decoding, nanoseconds"),
-		workers:    reg.Gauge("pipeline_workers", "worker count of the most recent frame deconvolution"),
+		frames:       reg.Counter("pipeline_frames_total", "frames deconvolved by the CPU pipeline"),
+		columns:      reg.Counter("pipeline_columns_total", "m/z columns decoded by the CPU pipeline"),
+		errs:         reg.Counter("pipeline_errors_total", "worker errors during frame deconvolution"),
+		blockLatency: reg.Histogram("pipeline_block_decode_ns", "per-block software decode latency, nanoseconds"),
+		colLatency:   reg.Histogram("pipeline_column_decode_ns", "per-column software decode latency, nanoseconds"),
+		workerBusy:   reg.Counter("pipeline_worker_busy_ns_total", "cumulative wall time workers spent decoding, nanoseconds"),
+		workers:      reg.Gauge("pipeline_workers", "worker count of the most recent frame deconvolution"),
 	}
+}
+
+// timed reports whether block decodes need a clock read at all; with a
+// nil registry both latency handles are nil and timing is skipped.
+func (m *frameMetrics) timed() bool {
+	return m.blockLatency != nil || m.colLatency != nil
+}
+
+// observeBlock records one decoded block: one observation in the block
+// histogram and lanes amortized observations in the per-column histogram,
+// so per-column consumers (EXPERIMENTS E3, the fpga-pipeline example) keep
+// a count equal to columns decoded.
+func (m *frameMetrics) observeBlock(ns int64, lanes int) {
+	m.blockLatency.Observe(float64(ns))
+	perCol := float64(ns) / float64(lanes)
+	for i := 0; i < lanes; i++ {
+		m.colLatency.Observe(perCol)
+	}
+}
+
+// FrameDecoder is a reusable per-worker frame decoding engine: one decoder
+// plus the column-block tiles it decodes through.  When the decoder
+// implements hadamard.BatchDecoder, DecodeColumns runs the blocked
+// gather → DecodeBatch → scatter path with zero steady-state allocation;
+// otherwise it falls back to per-column Decode calls.  A FrameDecoder
+// holds mutable scratch and must not be shared between goroutines.
+type FrameDecoder struct {
+	dec   hadamard.Decoder
+	batch hadamard.BatchDecoder // nil when dec has no blocked kernel
+	block int
+	src   *hadamard.ColumnBlock
+	dst   *hadamard.ColumnBlock
+	col   []float64 // per-column staging for the fallback path
+}
+
+// NewFrameDecoder builds a FrameDecoder from one factory invocation.
+// block <= 0 selects DefaultBlockColumns.
+func NewFrameDecoder(factory DecoderFactory, block int) (*FrameDecoder, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("pipeline: nil decoder factory")
+	}
+	if block <= 0 {
+		block = DefaultBlockColumns
+	}
+	dec, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	fd := &FrameDecoder{dec: dec, block: block}
+	if b, ok := dec.(hadamard.BatchDecoder); ok {
+		fd.batch = b
+		fd.src = hadamard.NewColumnBlock(dec.Len(), block)
+		fd.dst = hadamard.NewColumnBlock(dec.Len(), block)
+	}
+	return fd, nil
+}
+
+// Len reports the decoder's waveform length (frame drift bins).
+func (fd *FrameDecoder) Len() int { return fd.dec.Len() }
+
+// BlockColumns reports the column-block width.
+func (fd *FrameDecoder) BlockColumns() int { return fd.block }
+
+// DecodeColumns decodes columns [t0, t0+lanes) of src into the same
+// columns of dst.  On the batch path this allocates nothing once the
+// tiles are warm; lanes may be any value in [1, BlockColumns] (shorter
+// tail blocks reuse the same tiles).
+func (fd *FrameDecoder) DecodeColumns(dst, src *instrument.Frame, t0, lanes int) error {
+	if src == nil || dst == nil {
+		return fmt.Errorf("pipeline: nil frame")
+	}
+	n := fd.dec.Len()
+	if src.DriftBins != n {
+		return fmt.Errorf("pipeline: decoder length %d != drift bins %d", n, src.DriftBins)
+	}
+	if dst.DriftBins != src.DriftBins || dst.TOFBins != src.TOFBins {
+		return fmt.Errorf("pipeline: dst frame %dx%d != src %dx%d",
+			dst.DriftBins, dst.TOFBins, src.DriftBins, src.TOFBins)
+	}
+	if t0 < 0 || lanes < 1 || t0+lanes > src.TOFBins {
+		return fmt.Errorf("pipeline: column range [%d,%d) outside frame of %d columns", t0, t0+lanes, src.TOFBins)
+	}
+	if fd.batch == nil {
+		// Fallback for decoders without a blocked kernel (e.g. weighted
+		// matched filters): per-column Decode, which allocates its result.
+		if cap(fd.col) < n {
+			fd.col = make([]float64, n)
+		}
+		col := fd.col[:n]
+		for t := t0; t < t0+lanes; t++ {
+			src.DriftVectorInto(t, col)
+			x, err := fd.dec.Decode(col)
+			if err != nil {
+				return err
+			}
+			dst.SetDriftVector(t, x)
+		}
+		return nil
+	}
+	fd.src.Reset(n, lanes)
+	fd.dst.Reset(n, lanes)
+	src.GatherColumns(t0, lanes, fd.src.Data)
+	if err := fd.batch.DecodeBatch(fd.dst, fd.src); err != nil {
+		return err
+	}
+	dst.ScatterColumns(t0, lanes, fd.dst.Data)
+	return nil
 }
 
 // DeconvolveFrame deconvolves every m/z column of a frame in parallel and
@@ -63,9 +188,9 @@ func DeconvolveFrame(f *instrument.Frame, newDecoder DecoderFactory, workers int
 	return DeconvolveFrameWithMetrics(f, newDecoder, workers, nil)
 }
 
-// DeconvolveFrameWithMetrics is DeconvolveFrame with per-column decode
-// latency, worker utilization and error telemetry recorded into reg (nil
-// reg disables instrumentation at ~zero cost).  If several workers fail,
+// DeconvolveFrameWithMetrics is DeconvolveFrame with decode latency,
+// worker utilization and error telemetry recorded into reg (nil reg
+// disables instrumentation at ~zero cost).  If several workers fail,
 // every distinct error is returned, joined with errors.Join — no failure
 // is silently dropped.
 func DeconvolveFrameWithMetrics(f *instrument.Frame, newDecoder DecoderFactory, workers int, reg *telemetry.Registry) (*instrument.Frame, error) {
@@ -73,29 +198,52 @@ func DeconvolveFrameWithMetrics(f *instrument.Frame, newDecoder DecoderFactory, 
 }
 
 // DeconvolveFrameContext is DeconvolveFrameWithMetrics under a context:
-// each worker checks for cancellation before claiming its next column, so
-// a server deadline stops the frame within one column's work per worker
-// and the call returns ctx.Err().
+// each worker checks for cancellation before claiming its next column
+// block, so a server deadline stops the frame within one block's work per
+// worker and the call returns ctx.Err().
 func DeconvolveFrameContext(ctx context.Context, f *instrument.Frame, newDecoder DecoderFactory, workers int, reg *telemetry.Registry) (*instrument.Frame, error) {
 	if f == nil {
 		return nil, fmt.Errorf("pipeline: nil frame")
 	}
-	if newDecoder == nil {
-		return nil, fmt.Errorf("pipeline: nil decoder factory")
+	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
+	if err := DeconvolveFrameIntoContext(ctx, out, f, newDecoder, workers, reg); err != nil {
+		return nil, err
 	}
+	return out, nil
+}
+
+// DeconvolveFrameIntoContext deconvolves f into the caller-owned dst frame
+// (same geometry as f, typically from an instrument.FramePool), so the
+// steady-state serving path allocates no output frame.  Workers claim
+// whole column blocks of DefaultBlockColumns columns with one atomic
+// increment each and decode them through per-worker FrameDecoders.
+// workers <= 0 selects GOMAXPROCS; the count is clamped to the number of
+// blocks.  On error dst holds partial results and must not be used.
+func DeconvolveFrameIntoContext(ctx context.Context, dst, f *instrument.Frame, newDecoder DecoderFactory, workers int, reg *telemetry.Registry) error {
+	if f == nil || dst == nil {
+		return fmt.Errorf("pipeline: nil frame")
+	}
+	if dst.DriftBins != f.DriftBins || dst.TOFBins != f.TOFBins {
+		return fmt.Errorf("pipeline: dst frame %dx%d != src %dx%d", dst.DriftBins, dst.TOFBins, f.DriftBins, f.TOFBins)
+	}
+	if newDecoder == nil {
+		return fmt.Errorf("pipeline: nil decoder factory")
+	}
+	block := DefaultBlockColumns
+	blocks := (f.TOFBins + block - 1) / block
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > f.TOFBins {
-		workers = f.TOFBins
+	if workers > blocks {
+		workers = blocks
 	}
 	span := trace.SpanFromContext(ctx).Child("cpu_decode")
 	span.SetInt("columns", int64(f.TOFBins))
 	span.SetInt("workers", int64(workers))
+	span.SetInt("block_columns", int64(block))
 	defer span.End()
 	m := newFrameMetrics(reg)
 	m.workers.Set(float64(workers))
-	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
 	var next int64 = -1
 	errs := make(chan error, workers)
 	var wg sync.WaitGroup
@@ -105,13 +253,13 @@ func DeconvolveFrameContext(ctx context.Context, f *instrument.Frame, newDecoder
 			defer wg.Done()
 			busy := m.workerBusy.StartSpan()
 			defer busy.Stop()
-			dec, err := newDecoder()
+			fd, err := NewFrameDecoder(newDecoder, block)
 			if err != nil {
 				errs <- err
 				return
 			}
-			if dec.Len() != f.DriftBins {
-				errs <- fmt.Errorf("pipeline: decoder length %d != drift bins %d", dec.Len(), f.DriftBins)
+			if fd.Len() != f.DriftBins {
+				errs <- fmt.Errorf("pipeline: decoder length %d != drift bins %d", fd.Len(), f.DriftBins)
 				return
 			}
 			for {
@@ -119,19 +267,27 @@ func DeconvolveFrameContext(ctx context.Context, f *instrument.Frame, newDecoder
 					errs <- err
 					return
 				}
-				t := int(atomic.AddInt64(&next, 1))
-				if t >= f.TOFBins {
+				blk := int(atomic.AddInt64(&next, 1))
+				if blk >= blocks {
 					return
 				}
-				sp := m.colLatency.Start()
-				x, err := dec.Decode(f.DriftVector(t))
-				sp.Stop()
-				if err != nil {
+				t0 := blk * block
+				lanes := block
+				if t0+lanes > f.TOFBins {
+					lanes = f.TOFBins - t0
+				}
+				var start time.Time
+				if m.timed() {
+					start = time.Now()
+				}
+				if err := fd.DecodeColumns(dst, f, t0, lanes); err != nil {
 					errs <- err
 					return
 				}
-				m.columns.Inc()
-				out.SetDriftVector(t, x)
+				if m.timed() {
+					m.observeBlock(time.Since(start).Nanoseconds(), lanes)
+				}
+				m.columns.Add(int64(lanes))
 			}
 		}()
 	}
@@ -145,10 +301,10 @@ func DeconvolveFrameContext(ctx context.Context, f *instrument.Frame, newDecoder
 		}
 	}
 	if len(all) > 0 {
-		return nil, errors.Join(all...)
+		return errors.Join(all...)
 	}
 	m.frames.Inc()
-	return out, nil
+	return nil
 }
 
 // Job is one frame travelling through the stream processor.
@@ -173,8 +329,8 @@ type StreamStats struct {
 
 // StreamProcessor consumes a stream of multiplexed frames and emits
 // deconvolved frames in input order, processing up to Workers frames
-// concurrently (each frame itself deconvolved column-parallel by one
-// worker).
+// concurrently (each frame itself deconvolved block-serially by one
+// worker through a reusable FrameDecoder).
 type StreamProcessor struct {
 	Workers    int
 	NewDecoder DecoderFactory
@@ -203,9 +359,11 @@ func NewStreamProcessor(workers int, depth int, factory DecoderFactory) (*Stream
 }
 
 // Run consumes jobs from `in` until it closes, emitting ordered results on
-// the returned channel.  Each worker decodes whole frames serially;
-// ordering is restored with a reorder buffer sized by Depth.  A decoding
-// error is delivered in its slot's Result and processing continues.
+// the returned channel.  Each worker builds one FrameDecoder up front and
+// decodes whole frames serially through it, so the per-frame steady state
+// allocates only the output frame; ordering is restored with a reorder
+// buffer sized by Depth.  A decoding error is delivered in its slot's
+// Result and processing continues.
 func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
 	unordered := make(chan Result, sp.Depth)
 	out := make(chan Result, sp.Depth)
@@ -222,7 +380,7 @@ func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			dec, err := sp.NewDecoder()
+			fd, err := NewFrameDecoder(sp.NewDecoder, DefaultBlockColumns)
 			for job := range in {
 				atomic.AddInt64(&sp.stats.FramesIn, 1)
 				framesIn.Inc()
@@ -231,7 +389,7 @@ func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
 					continue
 				}
 				sp2 := frameLatency.Start()
-				res := sp.processFrame(dec, job)
+				res := sp.processFrame(fd, job)
 				sp2.Stop()
 				wait := backpressure.Start()
 				unordered <- res
@@ -282,21 +440,23 @@ func (sp *StreamProcessor) Run(in <-chan Job) <-chan Result {
 	return out
 }
 
-func (sp *StreamProcessor) processFrame(dec hadamard.Decoder, job Job) Result {
+func (sp *StreamProcessor) processFrame(fd *FrameDecoder, job Job) Result {
 	f := job.Frame
 	if f == nil {
 		return Result{Seq: job.Seq, Err: fmt.Errorf("pipeline: nil frame in job %d", job.Seq)}
 	}
-	if dec.Len() != f.DriftBins {
-		return Result{Seq: job.Seq, Err: fmt.Errorf("pipeline: decoder length %d != drift bins %d", dec.Len(), f.DriftBins)}
+	if fd.Len() != f.DriftBins {
+		return Result{Seq: job.Seq, Err: fmt.Errorf("pipeline: decoder length %d != drift bins %d", fd.Len(), f.DriftBins)}
 	}
 	out := instrument.NewFrame(f.DriftBins, f.TOFBins)
-	for t := 0; t < f.TOFBins; t++ {
-		x, err := dec.Decode(f.DriftVector(t))
-		if err != nil {
+	for t0 := 0; t0 < f.TOFBins; t0 += fd.BlockColumns() {
+		lanes := fd.BlockColumns()
+		if t0+lanes > f.TOFBins {
+			lanes = f.TOFBins - t0
+		}
+		if err := fd.DecodeColumns(out, f, t0, lanes); err != nil {
 			return Result{Seq: job.Seq, Err: err}
 		}
-		out.SetDriftVector(t, x)
 	}
 	return Result{Seq: job.Seq, Frame: out}
 }

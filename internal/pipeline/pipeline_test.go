@@ -258,3 +258,113 @@ func TestDeconvolveFrameContextMidRun(t *testing.T) {
 		t.Fatal("cancelled deconvolution returned a frame")
 	}
 }
+
+func TestDeconvolveFrameIntoContextRecoversTruth(t *testing.T) {
+	enc, truth := encodedFrame(t, 6, 37, 63) // 37 columns: odd tail block
+	var pool instrument.FramePool
+	for _, workers := range []int{1, 3, 0} {
+		dst := pool.Get(enc.DriftBins, enc.TOFBins)
+		if err := DeconvolveFrameIntoContext(context.Background(), dst, enc, fhtFactory(6), workers, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !framesClose(dst, truth, 1e-6) {
+			t.Errorf("workers=%d: deconvolved frame does not match truth", workers)
+		}
+		pool.Put(dst)
+	}
+}
+
+func TestDeconvolveFrameIntoContextErrors(t *testing.T) {
+	enc, _ := encodedFrame(t, 5, 4, 64)
+	dst := instrument.NewFrame(enc.DriftBins, enc.TOFBins)
+	if err := DeconvolveFrameIntoContext(context.Background(), nil, enc, fhtFactory(5), 1, nil); err == nil {
+		t.Error("nil dst accepted")
+	}
+	if err := DeconvolveFrameIntoContext(context.Background(), dst, nil, fhtFactory(5), 1, nil); err == nil {
+		t.Error("nil src accepted")
+	}
+	bad := instrument.NewFrame(enc.DriftBins, enc.TOFBins+1)
+	if err := DeconvolveFrameIntoContext(context.Background(), bad, enc, fhtFactory(5), 1, nil); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+// TestFrameDecoderFallbackMatchesBatch routes the same frame through a
+// WeightedDecoder (no blocked kernel — exercises the per-column fallback)
+// and the batched FHT path; with unit weights the outputs must agree.
+func TestFrameDecoderFallbackMatchesBatch(t *testing.T) {
+	enc, truth := encodedFrame(t, 6, 19, 65)
+	weighted := func() (hadamard.Decoder, error) {
+		base, err := hadamard.NewFHTDecoder(6)
+		if err != nil {
+			return nil, err
+		}
+		return hadamard.NewWeightedDecoder(base), nil
+	}
+	fd, err := NewFrameDecoder(weighted, DefaultBlockColumns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := instrument.NewFrame(enc.DriftBins, enc.TOFBins)
+	for t0 := 0; t0 < enc.TOFBins; t0 += fd.BlockColumns() {
+		lanes := fd.BlockColumns()
+		if t0+lanes > enc.TOFBins {
+			lanes = enc.TOFBins - t0
+		}
+		if err := fd.DecodeColumns(out, enc, t0, lanes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !framesClose(out, truth, 1e-6) {
+		t.Error("fallback path does not recover truth")
+	}
+}
+
+func TestFrameDecoderDecodeColumnsErrors(t *testing.T) {
+	fd, err := NewFrameDecoder(fhtFactory(5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := encodedFrame(t, 5, 8, 66)
+	out := instrument.NewFrame(enc.DriftBins, enc.TOFBins)
+	if err := fd.DecodeColumns(nil, enc, 0, 2); err == nil {
+		t.Error("nil dst accepted")
+	}
+	if err := fd.DecodeColumns(out, enc, 6, 4); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if err := fd.DecodeColumns(out, enc, 0, 0); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	wrong, _ := encodedFrame(t, 6, 8, 67)
+	if err := fd.DecodeColumns(instrument.NewFrame(wrong.DriftBins, wrong.TOFBins), wrong, 0, 2); err == nil {
+		t.Error("decoder length mismatch accepted")
+	}
+	if _, err := NewFrameDecoder(nil, 4); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+// TestFrameDecoderDecodeColumnsAllocs is the pipeline-level allocation
+// gate: once the tiles are warm, decoding a block into a caller-owned
+// frame must not allocate.
+func TestFrameDecoderDecodeColumnsAllocs(t *testing.T) {
+	enc, _ := encodedFrame(t, 8, 64, 68)
+	fd, err := NewFrameDecoder(fhtFactory(8), DefaultBlockColumns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := instrument.NewFrame(enc.DriftBins, enc.TOFBins)
+	if err := fd.DecodeColumns(out, enc, 0, DefaultBlockColumns); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		for t0 := 0; t0 < enc.TOFBins; t0 += DefaultBlockColumns {
+			if err := fd.DecodeColumns(out, enc, t0, DefaultBlockColumns); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); a != 0 {
+		t.Errorf("DecodeColumns allocates %g per frame in steady state", a)
+	}
+}

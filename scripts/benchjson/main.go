@@ -1,0 +1,125 @@
+// benchjson converts `go test -bench` text output (on stdin) into a
+// labelled JSON document so benchmark runs can be diffed across commits:
+//
+//	go test -run XXX -bench Micro -benchmem . | \
+//	    go run ./scripts/benchjson -label after -out BENCH_PR4.json
+//
+// The output file maps label → benchmark name → parsed results (ns/op,
+// B/op, allocs/op and any custom ReportMetric values).  An existing file
+// is merged, so "before" and "after" runs accumulate into one document.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in parsed form.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseLine parses one `BenchmarkName-N  iters  value unit  ...` line,
+// reporting ok=false for non-benchmark lines.
+func parseLine(line string) (name string, r Result, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Result{}, false
+	}
+	name = strings.SplitN(fields[0], "-", 2)[0]
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r = Result{Iterations: iters}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return name, r, true
+}
+
+func main() {
+	label := flag.String("label", "run", "label for this benchmark run (e.g. before, after)")
+	out := flag.String("out", "", "JSON file to merge results into (default stdout only)")
+	flag.Parse()
+
+	doc := map[string]map[string]Result{}
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: existing %s is not mergeable: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if doc[*label] == nil {
+		doc[*label] = map[string]Result{}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the text through so the run stays readable
+		if name, r, ok := parseLine(line); ok {
+			doc[*label][name] = r
+			n++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: merged %d benchmarks into %s under label %q\n", n, *out, *label)
+}
