@@ -7,6 +7,7 @@ GO ?= go
 # telemetry layer, the instrumented entry points it is wired through, and
 # the serving stack.
 DOCLINT_DIRS = internal/telemetry internal/telemetry/trace \
+               internal/telemetry/health internal/telemetry/runtimemetrics \
                internal/pipeline internal/hybrid \
                internal/fpga internal/xd1 internal/acqserver \
                internal/frameio
@@ -55,9 +56,11 @@ bench:
 
 # The zero-steady-state-allocation contract of the batched decode path
 # (docs/PERFORMANCE.md): the testing.AllocsPerRun gates across the
-# hadamard kernels, the pipeline block decoder and the fixed-point core.
+# hadamard kernels, the pipeline block decoder, the fixed-point core, and
+# the telemetry hot path (Observe stays 0-alloc with rolling windows on).
 allocgate:
 	$(GO) test ./internal/hadamard ./internal/pipeline ./internal/fpga \
+		./internal/telemetry \
 		-run 'Allocs|DeconvolveToMatchesDeconvolve' -count=1
 
 # Refresh the decode-path benchmark ledger: the Micro* data-path

@@ -8,20 +8,33 @@
 //
 //	imsd [-addr HOST:PORT] [-shards N] [-depth N] [-workers N]
 //	     [-order N] [-max-tof N] [-read-timeout D] [-write-timeout D]
-//	     [-drain-timeout D] [-metrics ADDR]
+//	     [-drain-timeout D] [-drain-grace D] [-metrics ADDR]
+//	     [-health-interval D] [-slo-latency D] [-slo-latency-target F]
+//	     [-slo-shed-budget F] [-slo-error-budget F]
 //	     [-trace FILE] [-trace-slow D] [-trace-sample N] [-trace-ring N]
 //
 // With -metrics, an HTTP endpoint serves the acq_* telemetry families in
-// Prometheus text format at /metrics (JSON at /metrics.json), the span-tree
-// ring buffer at /debug/traces, plus net/http/pprof under /debug/pprof/.
+// Prometheus text format at /metrics (JSON at /metrics.json, with rolling
+// 60-second window quantiles alongside the cumulative ones), the Go
+// runtime and build-info gauges, the span-tree ring buffer at
+// /debug/traces, plus net/http/pprof under /debug/pprof/.  The same
+// server answers /healthz (liveness: 200 while the process runs) and
+// /readyz (readiness: 503 while draining or while an SLO error budget
+// burns UNHEALTHY — see docs/OBSERVABILITY.md).  Three SLOs are
+// evaluated every -health-interval: frame latency (-slo-latency at
+// -slo-latency-target), shed rate (-slo-shed-budget of frames may be
+// shed), and error rate (-slo-error-budget of responses may be
+// INTERNAL).  While health is DEGRADED or worse the daemon sheds
+// earlier, at half queue depth, to stop the burn from compounding.
 // With -trace, every frame is traced (socket read, queue wait, worker,
 // modeled FPGA/DMA stages, response write) under the tail-sampling policy
 // set by -trace-slow and -trace-sample, and the retained trees are written
 // as Chrome/Perfetto trace-event JSON on exit.  Logs are structured
 // (log/slog text) with trace and request ids attached.  On SIGINT or
-// SIGTERM the daemon drains gracefully: it stops accepting, completes every
-// queued frame, flushes responses, and exits 0; -drain-timeout bounds the
-// wait.
+// SIGTERM the daemon drains gracefully: it flips /readyz to 503, waits
+// -drain-grace for load balancers to notice, stops accepting, completes
+// every queued frame, flushes responses, and exits 0; -drain-timeout
+// bounds the wait.
 package main
 
 import (
@@ -35,11 +48,14 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/acqserver"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/runtimemetrics"
 	"repro/internal/telemetry/trace"
 )
 
@@ -59,7 +75,13 @@ func main() {
 	flag.DurationVar(&cfg.ReadIdleTimeout, "read-timeout", cfg.ReadIdleTimeout, "per-message read deadline")
 	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "per-response write deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
-	metricsAddr := flag.String("metrics", "", "serve telemetry and pprof on this HTTP address (e.g. localhost:9090)")
+	drainGrace := flag.Duration("drain-grace", 0, "after SIGTERM, hold /readyz at 503 this long before draining so load balancers stop routing first")
+	metricsAddr := flag.String("metrics", "", "serve telemetry, health and pprof on this HTTP address (e.g. localhost:9090)")
+	healthInterval := flag.Duration("health-interval", 5*time.Second, "SLO evaluation period")
+	sloLatency := flag.Duration("slo-latency", 250*time.Millisecond, "frame-latency SLO threshold (rounds up to the enclosing power-of-two bucket)")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "fraction of frames that must process under -slo-latency")
+	sloShedBudget := flag.Float64("slo-shed-budget", 0.05, "fraction of offered frames that may be shed before the budget burns")
+	sloErrorBudget := flag.Float64("slo-error-budget", 0.01, "fraction of responses that may be INTERNAL before the budget burns")
 	tracePath := flag.String("trace", "", "trace every frame and write retained span trees as Perfetto JSON to this file on exit")
 	traceSlow := flag.Duration("trace-slow", 0, "keep every trace at least this slow (0 keeps all)")
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "uniformly keep 1 in N traces under the slow threshold")
@@ -70,6 +92,10 @@ func main() {
 	reg := telemetry.NewRegistry()
 	cfg.Metrics = reg
 	cfg.Logger = log
+	runtimemetrics.Register(reg)
+
+	eval := buildEvaluator(reg, *sloLatency, *sloLatencyTarget, *sloShedBudget, *sloErrorBudget)
+	cfg.DegradedMode = func() bool { return eval.Status() >= health.Degraded }
 
 	var tracer *trace.Tracer
 	if *tracePath != "" {
@@ -81,21 +107,36 @@ func main() {
 		cfg.Trace = tracer
 	}
 
+	srv, err := acqserver.NewServer(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	healthCtx, stopHealth := context.WithCancel(context.Background())
+	defer stopHealth()
+	go eval.Run(healthCtx, *healthInterval)
+
+	// drainStarted flips /readyz before Shutdown begins, so with a
+	// -drain-grace load balancers can stop routing while the daemon still
+	// answers — the standard preStop pattern.
+	var drainStarted atomic.Bool
 	if *metricsAddr != "" {
 		http.Handle("/metrics", reg.Handler())
 		http.Handle("/metrics.json", reg.Handler())
 		http.Handle("/debug/traces", tracer.Handler())
+		http.Handle("/healthz", health.LivenessHandler())
+		http.Handle("/readyz", eval.ReadinessHandler(func() (bool, string) {
+			if drainStarted.Load() || srv.Draining() {
+				return true, "draining"
+			}
+			return false, ""
+		}))
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
 				log.Error("metrics server failed", "err", err)
 			}
 		}()
 		log.Info("imsd metrics server up", "url", fmt.Sprintf("http://%s/metrics", *metricsAddr))
-	}
-
-	srv, err := acqserver.NewServer(cfg)
-	if err != nil {
-		fail("%v", err)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -114,6 +155,11 @@ func main() {
 	case err := <-serveErr:
 		fail("serve: %v", err)
 	case sig := <-sigc:
+		drainStarted.Store(true)
+		if *drainGrace > 0 {
+			log.Info("imsd not ready, holding for drain grace", "grace", drainGrace.String())
+			time.Sleep(*drainGrace)
+		}
 		log.Info("imsd draining", "signal", sig.String(), "bound", drainTimeout.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
@@ -128,6 +174,70 @@ func main() {
 		}
 		log.Info("imsd drained cleanly")
 	}
+}
+
+// buildEvaluator declares the daemon's three SLOs over the same telemetry
+// instances the acquisition server updates — the registry hands back the
+// identical handle for a given family name and label set, so nothing
+// internal to acqserver needs exporting.
+func buildEvaluator(reg *telemetry.Registry, latency time.Duration, latencyTarget, shedBudget, errorBudget float64) *health.Evaluator {
+	e := health.New(health.Config{Metrics: reg})
+
+	e.AddLatency(health.LatencySLO{
+		Name: "frame_latency",
+		Hists: []*telemetry.Histogram{
+			reg.Histogram("acq_process_ns", "deconvolution wall time per compute path, nanoseconds", telemetry.L("path", "hybrid")),
+			reg.Histogram("acq_process_ns", "deconvolution wall time per compute path, nanoseconds", telemetry.L("path", "cpu")),
+		},
+		ThresholdNs: float64(latency.Nanoseconds()),
+		Target:      latencyTarget,
+	})
+
+	var sheds, frames []*telemetry.Counter
+	for _, r := range []string{"queue_full", "draining", "degraded"} {
+		sheds = append(sheds, reg.Counter("acq_shed_total", "frames rejected by load shedding, per reason", telemetry.L("reason", r)))
+	}
+	for _, p := range []string{"hybrid", "cpu"} {
+		frames = append(frames, reg.Counter("acq_frames_total", "frames accepted for processing per compute path", telemetry.L("path", p)))
+	}
+	sumShed := func() int64 {
+		var n int64
+		for _, c := range sheds {
+			n += c.Value()
+		}
+		return n
+	}
+	e.AddRatio(health.RatioSLO{
+		Name: "shed_rate",
+		Bad:  sumShed,
+		Total: func() int64 { // offered load = accepted + shed
+			n := sumShed()
+			for _, c := range frames {
+				n += c.Value()
+			}
+			return n
+		},
+		Budget: shedBudget,
+	})
+
+	internal := reg.Counter("acq_responses_total", "responses sent per status code", telemetry.L("code", "INTERNAL"))
+	var responses []*telemetry.Counter
+	for _, code := range []string{"OK", "INVALID_ARGUMENT", "RESOURCE_EXHAUSTED", "DEADLINE_EXCEEDED", "UNAVAILABLE", "INTERNAL", "TOO_LARGE"} {
+		responses = append(responses, reg.Counter("acq_responses_total", "responses sent per status code", telemetry.L("code", code)))
+	}
+	e.AddRatio(health.RatioSLO{
+		Name: "error_rate",
+		Bad:  internal.Value,
+		Total: func() int64 {
+			var n int64
+			for _, c := range responses {
+				n += c.Value()
+			}
+			return n
+		},
+		Budget: errorBudget,
+	})
+	return e
 }
 
 // writeTrace dumps the tracer's retained span trees as Perfetto JSON.

@@ -8,6 +8,13 @@
 //	imsload [-addr HOST:PORT] [-clients N] [-rate R] [-duration D]
 //	        [-tof N] [-path hybrid|cpu] [-deadline D] [-enc raw|delta]
 //	        [-seed N] [-json FILE] [-trace FILE]
+//	        [-wait-ready URL] [-wait-ready-timeout D]
+//
+// With -wait-ready, imsload blocks until the daemon's /readyz endpoint
+// answers 200 (retrying with backoff up to -wait-ready-timeout) before
+// opening any client connection, so a just-started or still-draining
+// daemon is never mistaken for a broken one.  The readiness report it
+// fetches is carried into the -json output under "server_health".
 //
 // With -json, the run's full report — throughput, shed rate, latency
 // quantiles and the server-side span-stage breakdown (queue wait, process,
@@ -28,7 +35,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -89,6 +98,9 @@ type report struct {
 	LatencyNs     map[string]int64 `json:"latency_ns"`
 	Server        serverBreakdown  `json:"server"`
 	ProtoVersion  uint8            `json:"protocol_version"`
+	// ServerHealth is the daemon's /readyz report fetched by -wait-ready,
+	// verbatim; absent when -wait-ready was not used.
+	ServerHealth json.RawMessage `json:"server_health,omitempty"`
 }
 
 func main() {
@@ -103,6 +115,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for synthetic frames")
 	jsonPath := flag.String("json", "", "write the machine-readable run report to this JSON file")
 	tracePath := flag.String("trace", "", "trace every request client-side and write span trees as Perfetto JSON to this file")
+	waitReady := flag.String("wait-ready", "", "block until this /readyz URL answers 200 before generating load")
+	waitReadyTimeout := flag.Duration("wait-ready-timeout", 30*time.Second, "give up on -wait-ready after this long")
 	flag.Parse()
 
 	var path acqserver.Path
@@ -130,6 +144,16 @@ func main() {
 	var tracer *trace.Tracer
 	if *tracePath != "" {
 		tracer = trace.New(trace.Config{})
+	}
+
+	var serverHealth json.RawMessage
+	if *waitReady != "" {
+		body, err := awaitReady(*waitReady, *waitReadyTimeout)
+		if err != nil {
+			fail("wait-ready: %v", err)
+		}
+		serverHealth = body
+		fmt.Printf("imsload: %s is ready\n", *waitReady)
 	}
 
 	// One handshake up front to learn the served order and sanity-check the
@@ -286,6 +310,7 @@ func main() {
 			},
 			Server:       server,
 			ProtoVersion: protoVer,
+			ServerHealth: serverHealth,
 		}
 		if len(rejected) > 0 {
 			rep.Rejected = map[string]int{}
@@ -315,6 +340,63 @@ func main() {
 	if len(errs) > 0 || len(rejected) > 0 {
 		os.Exit(1)
 	}
+}
+
+// awaitReady polls url until it answers 200, backing off from 100 ms to
+// 2 s between attempts, and returns the final response body (the daemon's
+// ReadyReport JSON).  It fails once timeout elapses, reporting the last
+// status or transport error so the operator knows what it was stuck on.
+func awaitReady(url string, timeout time.Duration) (json.RawMessage, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 100 * time.Millisecond
+	var lastErr error
+	for {
+		body, err := fetchOnce(url)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if !time.Now().Add(backoff).Before(deadline) {
+			return nil, fmt.Errorf("%s not ready after %v: %v", url, timeout, lastErr)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// fetchOnce performs one bounded GET, demanding a 200.
+func fetchOnce(url string) (json.RawMessage, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s: %s", resp.Status, firstLine(body))
+	}
+	return json.RawMessage(body), nil
+}
+
+// firstLine trims a response body to its first line for error messages.
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
 }
 
 // writeJSONReport writes the run report, indented, to path.

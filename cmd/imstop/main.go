@@ -1,0 +1,356 @@
+// Command imstop is a live terminal ops console for the imsd daemon: it
+// polls /metrics.json and /readyz on the daemon's metrics address and
+// renders queue occupancy per shard, stage latency quantiles (cumulative
+// and rolling 60 s window), traffic and shed rates, Go runtime state, and
+// the SLO health verdict — a top(1) for the acquisition pipeline, stdlib
+// only.
+//
+// Usage:
+//
+//	imstop [-url http://HOST:PORT] [-interval D] [-once]
+//
+// In live mode the screen redraws every -interval using ANSI clear; rates
+// (req/s, shed/s, MiB/s) are deltas between consecutive polls.  With
+// -once a single snapshot is printed without clearing the screen — usable
+// from scripts and smoke tests — and rate columns show totals instead.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/health"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "imstop: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// poll is one scrape of the daemon: the decoded metrics snapshot, the
+// readiness report (nil when /readyz was unreachable), and when it was
+// taken.
+type poll struct {
+	when  time.Time
+	snap  telemetry.Snapshot
+	ready *health.ReadyReport
+}
+
+// byKey indexes a snapshot by family name and one distinguishing label
+// value, so lookups read like metric("acq_queue_depth", "shard", "3").
+type byKey map[string]telemetry.Metric
+
+func index(s telemetry.Snapshot) byKey {
+	m := byKey{}
+	for _, met := range s.Metrics {
+		key := met.Name
+		labels := make([]string, 0, len(met.Labels))
+		for k, v := range met.Labels {
+			labels = append(labels, k+"="+v)
+		}
+		sort.Strings(labels)
+		if len(labels) > 0 {
+			key += "{" + strings.Join(labels, ",") + "}"
+		}
+		m[key] = met
+	}
+	return m
+}
+
+// value reads a counter/gauge by composed key, 0 when absent.
+func (m byKey) value(key string) float64 {
+	met, ok := m[key]
+	if !ok || met.Value == nil {
+		return 0
+	}
+	return *met.Value
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:9090", "imsd metrics server base URL")
+	interval := flag.Duration("interval", 2*time.Second, "refresh period in live mode")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	flag.Parse()
+	base := strings.TrimRight(*url, "/")
+
+	cur, err := scrape(base)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *once {
+		render(os.Stdout, base, nil, cur)
+		return
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	var prev *poll
+	for {
+		var sb strings.Builder
+		sb.WriteString("\x1b[2J\x1b[H") // clear screen, home cursor
+		render(&sb, base, prev, cur)
+		fmt.Print(sb.String())
+		select {
+		case <-sigc:
+			fmt.Println()
+			return
+		case <-tick.C:
+		}
+		prev = cur
+		next, err := scrape(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\nimstop: %v (retrying)\n", err)
+			prev = nil
+			continue
+		}
+		cur = next
+	}
+}
+
+// scrape fetches and decodes one poll from the daemon.
+func scrape(base string) (*poll, error) {
+	p := &poll{when: time.Now()}
+	body, _, err := get(base + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(body, &p.snap); err != nil {
+		return nil, fmt.Errorf("decode %s/metrics.json: %w", base, err)
+	}
+	// Readiness is optional decoration: a daemon without the endpoint (or
+	// one answering 503 while draining) still renders.
+	if body, _, err := get(base + "/readyz"); err == nil {
+		var rep health.ReadyReport
+		if json.Unmarshal(body, &rep) == nil {
+			p.ready = &rep
+		}
+	}
+	return p, nil
+}
+
+// get performs one bounded GET, returning the body for 200 and 503 alike
+// (/readyz carries its report on both).
+func get(url string) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, resp.StatusCode, fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	return body, resp.StatusCode, nil
+}
+
+// render writes the full console frame.  prev enables rate columns; nil
+// (first frame, -once, or after a failed poll) falls back to totals.
+func render(w io.Writer, base string, prev, cur *poll) {
+	m := index(cur.snap)
+	fmt.Fprintf(w, "imstop — %s — %s\n", base, cur.when.Format("15:04:05"))
+	renderHealth(w, cur, m)
+	renderRuntime(w, m)
+	renderShards(w, cur.snap)
+	renderTraffic(w, prev, cur, m)
+	renderLatency(w, cur.snap)
+}
+
+// renderHealth prints the readiness verdict and per-SLO burn rates.
+func renderHealth(w io.Writer, cur *poll, m byKey) {
+	if cur.ready == nil {
+		fmt.Fprintf(w, "health:     (no /readyz — overall %s)\n", statusName(m.value("health_status")))
+		return
+	}
+	rep := cur.ready
+	verdict := "READY"
+	if !rep.Ready {
+		verdict = "NOT READY (" + rep.Reason + ")"
+	}
+	fmt.Fprintf(w, "health:     %s — overall %s\n", verdict, strings.ToUpper(rep.Health.Status.String()))
+	for _, s := range rep.Health.SLOs {
+		fmt.Fprintf(w, "  slo %-14s %-9s burn fast %6.2f  slow %6.2f  %s\n",
+			s.Name, strings.ToUpper(s.Status.String()), s.BurnFast, s.BurnSlow, s.Reason)
+	}
+}
+
+// statusName maps a health_status gauge value to its name.
+func statusName(v float64) string {
+	return strings.ToUpper(health.Status(int(v)).String())
+}
+
+// renderRuntime prints the process/runtime line from the go_* gauges.
+func renderRuntime(w io.Writer, m byKey) {
+	fmt.Fprintf(w, "runtime:    up %s  goroutines %.0f  heap %s  gc %.0f cycles (%.2f%% cpu)\n",
+		fmtDuration(m.value("process_uptime_seconds")),
+		m.value("go_goroutines"),
+		fmtBytes(m.value("go_heap_alloc_bytes")),
+		m.value("go_gc_cycles_total"),
+		100*m.value("go_gc_cpu_fraction"))
+}
+
+// renderShards draws one occupancy bar per acq_queue_depth instance.
+func renderShards(w io.Writer, snap telemetry.Snapshot) {
+	type sh struct {
+		id    string
+		depth float64
+	}
+	var shards []sh
+	for _, met := range snap.Metrics {
+		if met.Name == "acq_queue_depth" && met.Value != nil {
+			shards = append(shards, sh{met.Labels["shard"], *met.Value})
+		}
+	}
+	if len(shards) == 0 {
+		return
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].id < shards[j].id })
+	max := 1.0
+	for _, s := range shards {
+		if s.depth > max {
+			max = s.depth
+		}
+	}
+	fmt.Fprintf(w, "queues:\n")
+	for _, s := range shards {
+		width := int(s.depth / max * 24)
+		fmt.Fprintf(w, "  shard %-3s %3.0f %s\n", s.id, s.depth, strings.Repeat("█", width))
+	}
+}
+
+// trafficRow is one rate line: a label and the summed counter keys behind it.
+type trafficRow struct {
+	label string
+	keys  []string
+}
+
+// renderTraffic prints request/shed/byte rates (deltas against prev, or
+// totals when prev is nil).
+func renderTraffic(w io.Writer, prev, cur *poll, m byKey) {
+	rows := []trafficRow{
+		{"frames ok", []string{`acq_responses_total{code=OK}`}},
+		{"shed", []string{
+			`acq_shed_total{reason=queue_full}`,
+			`acq_shed_total{reason=draining}`,
+			`acq_shed_total{reason=degraded}`,
+		}},
+		{"errors", []string{`acq_responses_total{code=INTERNAL}`}},
+		{"bytes in", []string{`acq_bytes_in_total`}},
+		{"bytes out", []string{`acq_bytes_out_total`}},
+	}
+	var pm byKey
+	var dt float64
+	if prev != nil {
+		pm = index(prev.snap)
+		dt = cur.when.Sub(prev.when).Seconds()
+	}
+	fmt.Fprintf(w, "traffic:    sessions %0.f active / %.0f total\n",
+		m.value("acq_sessions_active"), m.value(`acq_sessions_total`))
+	for _, row := range rows {
+		var total, prevTotal float64
+		for _, k := range row.keys {
+			total += m.value(k)
+			if pm != nil {
+				prevTotal += pm.value(k)
+			}
+		}
+		isBytes := strings.HasPrefix(row.label, "bytes")
+		if pm != nil && dt > 0 {
+			rate := (total - prevTotal) / dt
+			if isBytes {
+				fmt.Fprintf(w, "  %-10s %10s/s  (%s total)\n", row.label, fmtBytes(rate), fmtBytes(total))
+			} else {
+				fmt.Fprintf(w, "  %-10s %10.1f/s  (%.0f total)\n", row.label, rate, total)
+			}
+		} else if isBytes {
+			fmt.Fprintf(w, "  %-10s %10s total\n", row.label, fmtBytes(total))
+		} else {
+			fmt.Fprintf(w, "  %-10s %10.0f total\n", row.label, total)
+		}
+	}
+}
+
+// latencyFamilies are the stage histograms worth a console line each.
+var latencyFamilies = []string{"acq_read_frame_ns", "acq_queue_wait_ns", "acq_process_ns", "acq_write_ns"}
+
+// renderLatency prints cumulative and rolling-window quantiles per stage
+// histogram instance.
+func renderLatency(w io.Writer, snap telemetry.Snapshot) {
+	var printed bool
+	for _, fam := range latencyFamilies {
+		for _, met := range snap.Metrics {
+			if met.Name != fam || met.Kind != "histogram" || met.Count == 0 {
+				continue
+			}
+			if !printed {
+				fmt.Fprintf(w, "latency:    %-22s %27s %31s\n", "", "cumulative p50/p95/p99", "last 60s p50/p95/p99 (n)")
+				printed = true
+			}
+			name := strings.TrimSuffix(strings.TrimPrefix(fam, "acq_"), "_ns")
+			if p := met.Labels["path"]; p != "" {
+				name += "/" + p
+			}
+			cum := fmt.Sprintf("%s %s %s", fmtNs(met.P50), fmtNs(met.P95), fmtNs(met.P99))
+			win := "—"
+			if met.WCount > 0 {
+				win = fmt.Sprintf("%s %s %s (%d)", fmtNs(met.WP50), fmtNs(met.WP95), fmtNs(met.WP99), met.WCount)
+			}
+			fmt.Fprintf(w, "  %-22s %29s %31s\n", name, cum, win)
+		}
+	}
+}
+
+// fmtNs renders a nanosecond quantity with an adaptive unit.
+func fmtNs(ns float64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// fmtBytes renders a byte quantity with an adaptive binary unit.
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// fmtDuration renders whole seconds as h/m/s.
+func fmtDuration(s float64) string {
+	return (time.Duration(s) * time.Second).String()
+}

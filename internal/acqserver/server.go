@@ -81,6 +81,14 @@ type Config struct {
 	MaxPeaks int
 	// Metrics, when non-nil, receives the acq_* families.
 	Metrics *telemetry.Registry
+	// DegradedMode, when non-nil, is polled on every enqueue; while it
+	// reports true the server tightens load shedding by halving each
+	// shard's effective queue depth, trading throughput for latency so an
+	// already-burning error budget recovers instead of compounding.  The
+	// health evaluator's Status is the intended source (see
+	// internal/telemetry/health).  Frames shed this way are counted under
+	// acq_shed_total{reason="degraded"}.
+	DegradedMode func() bool
 	// Trace, when non-nil, records a span tree per frame (socket read,
 	// queue wait, worker, modeled FPGA stages, response write).  Nil
 	// disables tracing at nil-check cost per span site.
@@ -178,10 +186,12 @@ func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler { return d }
 // WithGroup returns the handler unchanged.
 func (d discardHandler) WithGroup(string) slog.Handler { return d }
 
-// errQueueFull and errDraining discriminate enqueue rejections.
+// errQueueFull, errDraining and errDegraded discriminate enqueue
+// rejections.
 var (
 	errQueueFull = errors.New("acqserver: shard queue full")
 	errDraining  = errors.New("acqserver: draining")
+	errDegraded  = errors.New("acqserver: degraded, shedding early")
 )
 
 // shard is one bounded work queue plus its depth gauge.
@@ -194,12 +204,20 @@ type shard struct {
 }
 
 // enqueue hands a task to the shard without blocking: a full queue is an
-// explicit rejection, never a stalled reader.
-func (sh *shard) enqueue(t *task) error {
+// explicit rejection, never a stalled reader.  maxDepth is the effective
+// occupancy bound for this enqueue — when health degrades it is lowered
+// below the channel's capacity, and an enqueue that would exceed it is
+// rejected with errDegraded even though buffer space remains.  The
+// occupancy check is advisory (len on a channel races with concurrent
+// enqueues), which is fine: shedding is approximate by design.
+func (sh *shard) enqueue(t *task, maxDepth int) error {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	if sh.closed {
 		return errDraining
+	}
+	if maxDepth < cap(sh.ch) && len(sh.ch) >= maxDepth {
+		return errDegraded
 	}
 	select {
 	case sh.ch <- t:
@@ -265,7 +283,7 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		m.responses[c] = reg.Counter("acq_responses_total", "responses sent per status code",
 			telemetry.L("code", c.String()))
 	}
-	for _, r := range []string{"queue_full", "draining"} {
+	for _, r := range []string{"queue_full", "draining", "degraded"} {
 		m.shedByReason[r] = reg.Counter("acq_shed_total", "frames rejected by load shedding, per reason",
 			telemetry.L("reason", r))
 	}
@@ -295,6 +313,7 @@ type Server struct {
 	ln       net.Listener
 	lnMu     sync.Mutex
 	draining atomic.Bool
+	degraded func() bool
 
 	sessMu    sync.Mutex
 	sessions  map[*session]struct{}
@@ -345,6 +364,7 @@ func NewServer(cfg Config) (*Server, error) {
 		log:         cfg.Logger,
 		sessions:    map[*session]struct{}{},
 		shutdownc:   make(chan struct{}),
+		degraded:    cfg.DegradedMode,
 		processHook: cfg.processHook,
 	}
 	if s.log == nil {
@@ -365,6 +385,21 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// effectiveDepth is the shard-queue occupancy bound for the next enqueue:
+// the configured depth normally, half of it (rounded up) while
+// Config.DegradedMode reports true.
+func (s *Server) effectiveDepth() int {
+	if s.degraded != nil && s.degraded() {
+		return (s.cfg.QueueDepth + 1) / 2
+	}
+	return s.cfg.QueueDepth
+}
+
+// Draining reports whether Shutdown has begun.  The daemon's readiness
+// endpoint consults it so load balancers stop routing as soon as the
+// drain starts, before in-flight work finishes.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Addr returns the bound listener address (nil before Serve).
 func (s *Server) Addr() net.Addr {

@@ -581,3 +581,66 @@ func TestConfigValidate(t *testing.T) {
 		}
 	}
 }
+
+// TestDegradedModeShedsEarly pins one worker, toggles DegradedMode on, and
+// expects the shard to shed at half its configured depth — then accept
+// again at full depth once the degraded signal clears.
+func TestDegradedModeShedsEarly(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards, cfg.QueueDepth, cfg.WorkersPerShard = 1, 4, 1
+	var degraded atomic.Bool
+	cfg.DegradedMode = degraded.Load
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	cfg.processHook = func(*task) (*Result, error) {
+		started <- struct{}{}
+		<-release
+		return &Result{}, nil
+	}
+	s, addr := startServer(t, cfg)
+	c := dialClient(t, addr)
+	f := testFrame(4)
+
+	responses := make(chan *Response, 8)
+	do := func() {
+		resp, err := c.Do(context.Background(), f, frameio.Raw, FrameOptions{Path: PathHybrid})
+		if err != nil {
+			t.Error(err)
+			resp = &Response{Code: CodeInternal}
+		}
+		responses <- resp
+	}
+
+	go do() // occupies the worker
+	<-started
+	go do()
+	go do() // fill the queue to the degraded bound: (4+1)/2 = 2
+	waitFor(t, "three frames accepted", func() bool {
+		return s.m.framesByPath[PathHybrid].Value() == 3
+	})
+
+	degraded.Store(true)
+	go do() // occupancy 2 >= degraded bound 2: shed early
+	waitFor(t, "a frame shed as degraded", func() bool {
+		return s.m.shedByReason["degraded"].Value() == 1
+	})
+
+	degraded.Store(false)
+	go do() // occupancy 2 < full depth 4: accepted again
+	waitFor(t, "recovery frame accepted", func() bool {
+		return s.m.framesByPath[PathHybrid].Value() == 4
+	})
+	close(release)
+
+	counts := map[Code]int{}
+	for i := 0; i < 5; i++ {
+		counts[(<-responses).Code]++
+	}
+	if counts[CodeOK] != 4 || counts[CodeResourceExhausted] != 1 {
+		t.Fatalf("response codes %v, want 4 OK + 1 RESOURCE_EXHAUSTED", counts)
+	}
+	if s.m.shedByReason["queue_full"].Value() != 0 {
+		t.Fatalf("queue_full sheds = %d, want 0 (degraded must shed first)",
+			s.m.shedByReason["queue_full"].Value())
+	}
+}

@@ -339,9 +339,15 @@ func (sess *session) handleFrame(h Header) bool {
 	}
 	t.qspan = root.Child("queue_wait")
 	t.qspan.SetInt("shard", int64(sess.shard.id))
-	switch err := sess.shard.enqueue(t); err {
+	switch err := sess.shard.enqueue(t, s.effectiveDepth()); err {
 	case nil:
 		s.m.framesByPath[opts.Path].Inc()
+	case errDegraded:
+		s.m.shedByReason["degraded"].Inc()
+		s.log.Debug("frame shed", "reason", "degraded", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID, "shard", sess.shard.id)
+		t.qspan.End()
+		s.respondError(sess, h.ReqID, traceID, CodeResourceExhausted,
+			fmt.Sprintf("shard %d shedding early: server is degraded", sess.shard.id), root)
 	case errQueueFull:
 		s.m.shedByReason["queue_full"].Inc()
 		s.log.Debug("frame shed", "reason", "queue_full", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID, "shard", sess.shard.id)

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Bucket is one histogram bucket in a snapshot: the count of observations
@@ -37,6 +38,30 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 	}{le, b.Count})
 }
 
+// UnmarshalJSON is the inverse of MarshalJSON, so consumers of
+// /metrics.json (cmd/imstop, scripts) can decode a Snapshot with the
+// stdlib json package; the "+Inf" bound round-trips to math.Inf(1).
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.LE == "+Inf" {
+		b.UpperBound = inf()
+	} else {
+		v, err := strconv.ParseFloat(raw.LE, 64)
+		if err != nil {
+			return fmt.Errorf("telemetry: bucket bound %q: %w", raw.LE, err)
+		}
+		b.UpperBound = v
+	}
+	b.Count = raw.Count
+	return nil
+}
+
 func inf() float64 { return BucketUpperBound(NumBuckets - 1) }
 
 // Metric is one metric instance in a snapshot.
@@ -60,6 +85,18 @@ type Metric struct {
 	P50 float64 `json:"p50,omitempty"`
 	P95 float64 `json:"p95,omitempty"`
 	P99 float64 `json:"p99,omitempty"`
+	// WindowS is the duration actually covered by the rolling-window
+	// fields below, in seconds — at most ExportWindow, shorter while
+	// history is still accumulating, absent before the first rotation.
+	WindowS float64 `json:"window_s,omitempty"`
+	// WCount is the observation count inside the rolling window.
+	WCount int64 `json:"wcount,omitempty"`
+	// WP50, WP95 and WP99 are the rolling-window quantile estimates
+	// (same estimator as P50/P95/P99); present only when the window holds
+	// observations.
+	WP50 float64 `json:"wp50,omitempty"`
+	WP95 float64 `json:"wp95,omitempty"`
+	WP99 float64 `json:"wp99,omitempty"`
 	// Buckets are the non-empty histogram buckets.
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
@@ -71,15 +108,26 @@ type Snapshot struct {
 	Metrics []Metric `json:"metrics"`
 }
 
-// Snapshot copies the registry's current state.  It is safe under
-// concurrent updates; histograms are internally consistent (count equals
-// the sum of bucket counts by construction).  A nil registry yields an
-// empty snapshot.
+// Snapshot copies the registry's current state as of time.Now; see
+// SnapshotAt.
 func (r *Registry) Snapshot() Snapshot {
+	return r.SnapshotAt(time.Now())
+}
+
+// SnapshotAt copies the registry's current state, resolving rolling
+// windows against the given instant (tests pass a fixed clock; everything
+// else goes through Snapshot).  It first runs the registered OnSnapshot
+// collectors, then reads every family.  It is safe under concurrent
+// updates; histograms are internally consistent (count equals the sum of
+// bucket counts by construction) and their rolling-window fields cover the
+// trailing ExportWindow to WindowSlotDuration granularity.  A nil registry
+// yields an empty snapshot.
+func (r *Registry) SnapshotAt(now time.Time) Snapshot {
 	var s Snapshot
 	if r == nil {
 		return s
 	}
+	r.collect()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.families))
@@ -123,6 +171,18 @@ func (r *Registry) Snapshot() Snapshot {
 					m.P50 = QuantileOfCounts(counts, 0.50)
 					m.P95 = QuantileOfCounts(counts, 0.95)
 					m.P99 = QuantileOfCounts(counts, 0.99)
+				}
+				wcounts, covered := in.h.WindowCounts(now, ExportWindow)
+				if covered > 0 {
+					m.WindowS = covered.Seconds()
+					for _, c := range wcounts {
+						m.WCount += c
+					}
+					if m.WCount > 0 {
+						m.WP50 = QuantileOfCounts(wcounts, 0.50)
+						m.WP95 = QuantileOfCounts(wcounts, 0.95)
+						m.WP99 = QuantileOfCounts(wcounts, 0.99)
+					}
 				}
 			}
 			s.Metrics = append(s.Metrics, m)
@@ -226,6 +286,23 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 					value  float64
 				}{{"p50", m.P50}, {"p95", m.P95}, {"p99", m.P99}} {
 					if _, err := fmt.Fprintf(w, "%s_%s%s %s\n", m.Name, q.suffix, formatLabels(m.Labels, "", ""), formatValue(q.value)); err != nil {
+						return err
+					}
+				}
+			}
+			if m.WindowS > 0 {
+				window := [][2]string{
+					{"window_seconds", formatValue(m.WindowS)},
+					{"window_count", strconv.FormatInt(m.WCount, 10)},
+				}
+				if m.WCount > 0 {
+					window = append(window,
+						[2]string{"window_p50", formatValue(m.WP50)},
+						[2]string{"window_p95", formatValue(m.WP95)},
+						[2]string{"window_p99", formatValue(m.WP99)})
+				}
+				for _, q := range window {
+					if _, err := fmt.Fprintf(w, "%s_%s%s %s\n", m.Name, q[0], formatLabels(m.Labels, "", ""), q[1]); err != nil {
 						return err
 					}
 				}

@@ -1,0 +1,267 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// t0 is an arbitrary fixed instant for deterministic evaluation tests.
+var t0 = time.Unix(1_700_000_000, 0)
+
+// tickOver drives the evaluator with one Tick per telemetry slot duration
+// across span, returning the final report.  between runs before each tick
+// so tests can feed observations into each slot.
+func tickOver(e *Evaluator, from time.Time, span time.Duration, between func(now time.Time)) Report {
+	var rep Report
+	steps := int(span / telemetry.WindowSlotDuration)
+	for i := 0; i <= steps; i++ {
+		now := from.Add(time.Duration(i) * telemetry.WindowSlotDuration)
+		if between != nil {
+			between(now)
+		}
+		rep = e.Tick(now)
+	}
+	return rep
+}
+
+func TestLatencySLOBurn(t *testing.T) {
+	var h telemetry.Histogram
+	e := New(Config{})
+	e.AddLatency(LatencySLO{
+		Name:        "frame_latency",
+		Hists:       []*telemetry.Histogram{&h},
+		ThresholdNs: 1 << 20, // ~1 ms
+		Target:      0.99,
+	})
+
+	// Warm-up: plenty of fast observations → OK.
+	rep := tickOver(e, t0, 2*time.Minute, func(time.Time) {
+		for i := 0; i < 100; i++ {
+			h.Observe(1000) // 1 µs, well under threshold
+		}
+	})
+	if rep.Status != OK {
+		t.Fatalf("all-fast status = %v, want ok: %+v", rep.Status, rep.SLOs)
+	}
+
+	// A fast-window regression: 10%% of observations blow the threshold
+	// (10x the 1%% budget) → DEGRADED, not yet UNHEALTHY (slow window
+	// still mostly healthy history).
+	next := t0.Add(2*time.Minute + telemetry.WindowSlotDuration)
+	rep = tickOver(e, next, time.Minute, func(time.Time) {
+		for i := 0; i < 90; i++ {
+			h.Observe(1000)
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(1 << 24) // ~16 ms, over threshold
+		}
+	})
+	if rep.Status != Degraded {
+		t.Fatalf("fast-burn status = %v, want degraded: %+v", rep.Status, rep.SLOs)
+	}
+	if sr := rep.SLOs[0]; sr.BurnFast < 2 || sr.Reason == "" {
+		t.Errorf("fast-burn report = %+v, want burn >= 2 with a reason", sr)
+	}
+
+	// Sustained: keep burning for the whole slow window → UNHEALTHY.
+	next = next.Add(time.Minute + telemetry.WindowSlotDuration)
+	rep = tickOver(e, next, 11*time.Minute, func(time.Time) {
+		for i := 0; i < 80; i++ {
+			h.Observe(1000)
+		}
+		for i := 0; i < 20; i++ {
+			h.Observe(1 << 24)
+		}
+	})
+	if rep.Status != Unhealthy {
+		t.Fatalf("sustained-burn status = %v, want unhealthy: %+v", rep.Status, rep.SLOs)
+	}
+}
+
+func TestRatioSLOBurn(t *testing.T) {
+	var bad, total atomic.Int64
+	e := New(Config{})
+	e.AddRatio(RatioSLO{
+		Name:   "shed_rate",
+		Bad:    bad.Load,
+		Total:  total.Load,
+		Budget: 0.05,
+	})
+
+	// Healthy traffic: 1% shed, well inside the 5% budget.
+	rep := tickOver(e, t0, 2*time.Minute, func(time.Time) {
+		total.Add(1000)
+		bad.Add(10)
+	})
+	if rep.Status != OK {
+		t.Fatalf("healthy shed status = %v, want ok: %+v", rep.Status, rep.SLOs)
+	}
+
+	// Shed storm: 50% shed = 10x budget, sustained across both windows.
+	next := t0.Add(2*time.Minute + telemetry.WindowSlotDuration)
+	rep = tickOver(e, next, 11*time.Minute, func(time.Time) {
+		total.Add(1000)
+		bad.Add(500)
+	})
+	if rep.Status != Unhealthy {
+		t.Fatalf("shed-storm status = %v, want unhealthy: %+v", rep.Status, rep.SLOs)
+	}
+}
+
+func TestInsufficientDataReadsOK(t *testing.T) {
+	var h telemetry.Histogram
+	e := New(Config{})
+	e.AddLatency(LatencySLO{Name: "lat", Hists: []*telemetry.Histogram{&h}, ThresholdNs: 1000, Target: 0.99})
+	// A handful of terrible observations must not flap the verdict.
+	for i := 0; i < 5; i++ {
+		h.Observe(1e9)
+	}
+	rep := tickOver(e, t0, time.Minute, nil)
+	if rep.Status != OK {
+		t.Fatalf("sparse-data status = %v, want ok", rep.Status)
+	}
+	if !strings.Contains(rep.SLOs[0].Reason, "insufficient data") {
+		t.Errorf("reason = %q, want insufficient data", rep.SLOs[0].Reason)
+	}
+}
+
+func TestHealthGaugesPublished(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var bad, total atomic.Int64
+	e := New(Config{Metrics: reg})
+	e.AddRatio(RatioSLO{Name: "err", Bad: bad.Load, Total: total.Load, Budget: 0.01})
+	tickOver(e, t0, 11*time.Minute, func(time.Time) {
+		total.Add(1000)
+		bad.Add(500)
+	})
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"health_status 2",
+		`health_slo_status{slo="err"} 2`,
+		`health_slo_burn{slo="err",window="fast"}`,
+		`health_slo_burn{slo="err",window="slow"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInvalidSLOsPanic(t *testing.T) {
+	e := New(Config{})
+	for name, add := range map[string]func(){
+		"latency without hists": func() { e.AddLatency(LatencySLO{Name: "x", ThresholdNs: 1, Target: 0.5}) },
+		"latency bad target": func() {
+			var h telemetry.Histogram
+			e.AddLatency(LatencySLO{Name: "x", Hists: []*telemetry.Histogram{&h}, ThresholdNs: 1, Target: 1})
+		},
+		"ratio nil samplers": func() { e.AddRatio(RatioSLO{Name: "x", Budget: 0.1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			add()
+		}()
+	}
+}
+
+func TestLivenessHandler(t *testing.T) {
+	h := LivenessHandler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "alive") {
+		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/healthz", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST healthz = %d, want 405", rec.Code)
+	}
+}
+
+func TestReadinessHandlerTransitions(t *testing.T) {
+	var bad, total atomic.Int64
+	e := New(Config{})
+	e.AddRatio(RatioSLO{Name: "err", Bad: bad.Load, Total: total.Load, Budget: 0.01})
+	var draining atomic.Bool
+	h := e.ReadinessHandler(func() (bool, string) {
+		if draining.Load() {
+			return true, "draining"
+		}
+		return false, ""
+	})
+	get := func() (int, ReadyReport) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		var rep ReadyReport
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("readyz body: %v\n%s", err, rec.Body.String())
+		}
+		return rec.Code, rep
+	}
+
+	// Healthy and serving.
+	tickOver(e, t0, time.Minute, func(time.Time) { total.Add(1000) })
+	if code, rep := get(); code != 200 || !rep.Ready {
+		t.Fatalf("healthy readyz = %d %+v, want 200 ready", code, rep)
+	}
+
+	// UNHEALTHY burn flips readiness with the SLO's reason.
+	tickOver(e, t0.Add(2*time.Minute), 11*time.Minute, func(time.Time) {
+		total.Add(1000)
+		bad.Add(500)
+	})
+	code, rep := get()
+	if code != 503 || rep.Ready {
+		t.Fatalf("unhealthy readyz = %d %+v, want 503", code, rep)
+	}
+	if !strings.Contains(rep.Reason, "err") {
+		t.Errorf("unhealthy reason = %q, want the SLO named", rep.Reason)
+	}
+
+	// Drain signal wins regardless of SLO state.
+	// SLO state remains unhealthy; the drain reason must still surface.
+	draining.Store(true)
+	code, rep = get()
+	if code != 503 || rep.Reason != "draining" {
+		t.Fatalf("draining readyz = %d %+v, want 503 draining", code, rep)
+	}
+
+	// A nil evaluator is mountable and ready.
+	var nilE *Evaluator
+	rec := httptest.NewRecorder()
+	nilE.ReadinessHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil evaluator readyz = %d, want 200", rec.Code)
+	}
+}
+
+func TestStatusJSONRoundTrip(t *testing.T) {
+	for _, s := range []Status{OK, Degraded, Unhealthy} {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Status
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Errorf("status %v round-tripped to %v", s, back)
+		}
+	}
+}

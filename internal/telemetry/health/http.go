@@ -1,0 +1,95 @@
+// http.go: the serving surface of the health verdict — the /healthz
+// liveness and /readyz readiness endpoints a daemon mounts next to
+// /metrics.  Liveness answers "is the process running" (always 200 while
+// it is); readiness answers "is it safe to send traffic here" and goes
+// 503 during drain and under a sustained UNHEALTHY burn, with the full
+// SLO report as a JSON body either way so an operator's curl explains
+// itself.
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// LivenessHandler returns the /healthz handler: 200 with a tiny JSON body
+// for GET/HEAD as long as the process can serve HTTP at all.  Orchestrators
+// restart the process when this stops answering; it must not depend on
+// SLO state (an unhealthy-but-alive daemon should be drained, not killed).
+func LivenessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if req.Method == http.MethodHead {
+			return
+		}
+		_, _ = w.Write([]byte(`{"status":"alive"}` + "\n"))
+	})
+}
+
+// ReadyReport is the /readyz response body: the readiness verdict plus the
+// evaluator's latest SLO report.
+type ReadyReport struct {
+	// Ready mirrors the HTTP status: true on 200, false on 503.
+	Ready bool `json:"ready"`
+	// Reason explains a not-ready verdict ("draining", or the unhealthy
+	// SLO's reason).
+	Reason string `json:"reason,omitempty"`
+	// Health is the evaluator's most recent report.
+	Health Report `json:"health"`
+}
+
+// ReadinessHandler returns the /readyz handler.  notReady, when non-nil,
+// is consulted first (the daemon's drain signal: report true with a reason
+// once SIGTERM lands, so load balancers stop routing before connections
+// die); otherwise readiness follows the evaluator — UNHEALTHY is 503,
+// everything else (including DEGRADED, which still serves) is 200.  The
+// body is always the full ReadyReport.  A nil Evaluator is always ready
+// unless notReady fires, so the endpoint can be mounted unconditionally.
+func (e *Evaluator) ReadinessHandler(notReady func() (bool, string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rep := ReadyReport{Ready: true}
+		if e != nil {
+			rep.Health = e.Report()
+		}
+		if notReady != nil {
+			if not, reason := notReady(); not {
+				rep.Ready, rep.Reason = false, reason
+			}
+		}
+		if rep.Ready && rep.Health.Status == Unhealthy {
+			rep.Ready = false
+			rep.Reason = unhealthyReason(rep.Health)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if rep.Ready {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if req.Method == http.MethodHead {
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}
+
+// unhealthyReason names the first unhealthy SLO for the 503 body.
+func unhealthyReason(rep Report) string {
+	for _, s := range rep.SLOs {
+		if s.Status == Unhealthy {
+			return "slo " + s.Name + ": " + s.Reason
+		}
+	}
+	return "unhealthy"
+}

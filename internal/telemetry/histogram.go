@@ -45,9 +45,13 @@ func bucketIndex(v float64) int {
 // their sum.  The zero value is ready to use; methods on a nil *Histogram
 // are no-ops.  The observation count is always derivable as the sum of the
 // bucket counts, so snapshots are internally consistent by construction.
+// Alongside the cumulative state, a rotation ring of bucket snapshots
+// (window.go) serves rolling-window reads — WindowCounts, WindowQuantile —
+// without ever being touched by Observe.
 type Histogram struct {
 	buckets [NumBuckets]atomic.Int64
 	sumBits atomic.Uint64
+	win     histWindow
 }
 
 // Observe records one observation.
@@ -99,8 +103,9 @@ func (h *Histogram) Counts() [NumBuckets]int64 {
 
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
 // returning the geometric midpoint of the bucket holding the quantile — a
-// within-2x estimate by construction of the power-of-two buckets.  It
-// returns 0 when the histogram is empty or nil.
+// within-2x estimate by construction of the power-of-two buckets.  It is
+// total on its domain: an empty or nil histogram yields 0 (never NaN or
+// ±Inf), q outside [0,1] is clamped, and a NaN q reads as 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -111,8 +116,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 // QuantileOfCounts estimates the q-quantile of an arbitrary bucket-count
 // vector laid out like a Histogram's (see NumBuckets).  Callers that need
 // the quantile of a sub-interval of a long-lived histogram can snapshot
-// Counts before and after, subtract, and pass the difference here.  It
-// returns 0 when the counts are empty.
+// Counts before and after, subtract, and pass the difference here (or use
+// Histogram.WindowCounts, which maintains those snapshots itself).  Like
+// Quantile it is total: empty counts yield 0, never NaN or ±Inf; q is
+// clamped to [0,1] and a NaN q reads as 0.
 func QuantileOfCounts(counts [NumBuckets]int64, q float64) float64 {
 	var total int64
 	for _, c := range counts {
@@ -121,7 +128,7 @@ func QuantileOfCounts(counts [NumBuckets]int64, q float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {

@@ -87,11 +87,40 @@ type instance struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	cmu        sync.Mutex
+	collectors []func()
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: map[string]*family{}}
+}
+
+// OnSnapshot registers a collector callback that runs at the start of
+// every Snapshot/SnapshotAt, before any family is read — the hook that
+// lets scrape-time sources (runtime and build-info gauges, see
+// internal/telemetry/runtimemetrics) refresh themselves only when someone
+// is looking.  Callbacks may resolve and set metrics on the registry but
+// must not call Snapshot themselves.  A nil registry ignores the call.
+func (r *Registry) OnSnapshot(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	r.collectors = append(r.collectors, f)
+}
+
+// collect runs the OnSnapshot callbacks (outside the family lock, so they
+// can update metrics freely).
+func (r *Registry) collect() {
+	r.cmu.Lock()
+	fs := r.collectors
+	r.cmu.Unlock()
+	for _, f := range fs {
+		f()
+	}
 }
 
 // labelKey builds the canonical signature of a label set (sorted by key).

@@ -1,0 +1,133 @@
+// window.go: rolling-window views of a Histogram — a rotating ring of
+// cumulative bucket snapshots from which "last N seconds" counts are
+// derived by subtraction.  The Observe hot path never touches the ring
+// (rotation happens only at read time, under a mutex nothing hot ever
+// takes), so the lock-free, zero-allocation Observe contract of
+// histogram.go is preserved bit for bit.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// WindowSlotDuration is the minimum spacing between two ring snapshots: a
+// read-side rotation is a no-op until the newest slot is at least this
+// old.  Windows are therefore resolved to ~10 s granularity.
+const WindowSlotDuration = 10 * time.Second
+
+// WindowSlots is the ring capacity.  64 slots at 10 s spacing retain a
+// little over ten minutes of history — enough for the slow (10 m) burn
+// window of internal/telemetry/health on top of the exported 60 s view.
+const WindowSlots = 64
+
+// ExportWindow is the rolling window reported by Snapshot exports (the
+// wcount/wp50/wp95/wp99 JSON fields and the *_window_* Prometheus
+// series): the last minute, to slot granularity.
+const ExportWindow = 60 * time.Second
+
+// windowSlot is one ring entry: the histogram's cumulative bucket counts
+// as of a rotation instant.
+type windowSlot struct {
+	when   time.Time
+	counts [NumBuckets]int64
+}
+
+// histWindow is the rotation ring.  Its zero value is ready to use (an
+// empty ring), keeping the zero Histogram usable.  Only read-side paths
+// (Snapshot, WindowCounts, health evaluation) take the mutex.
+type histWindow struct {
+	mu    sync.Mutex
+	n     int // valid slots, ≤ WindowSlots
+	head  int // index of the most recent slot (meaningless while n == 0)
+	slots [WindowSlots]windowSlot
+}
+
+// rotateLocked pushes a snapshot of h's cumulative state if the newest
+// slot is at least WindowSlotDuration old (or the ring is empty).  The
+// caller holds h.win.mu.
+func (h *Histogram) rotateLocked(now time.Time) {
+	w := &h.win
+	if w.n > 0 {
+		age := now.Sub(w.slots[w.head].when)
+		if age < WindowSlotDuration {
+			return // newest slot is fresh enough (or the clock went backwards)
+		}
+	}
+	idx := 0
+	if w.n > 0 {
+		idx = (w.head + 1) % WindowSlots
+	}
+	s := &w.slots[idx]
+	s.when = now
+	for i := range h.buckets {
+		s.counts[i] = h.buckets[i].Load()
+	}
+	w.head = idx
+	if w.n < WindowSlots {
+		w.n++
+	}
+}
+
+// baselineLocked returns the ring slot closest to (now − window) from
+// below — the newest snapshot old enough to cover the requested window —
+// falling back to the oldest slot when the ring is younger than the
+// window.  It returns nil on an empty ring.  The caller holds h.win.mu.
+func (h *Histogram) baselineLocked(now time.Time, window time.Duration) *windowSlot {
+	w := &h.win
+	if w.n == 0 {
+		return nil
+	}
+	cutoff := now.Add(-window)
+	for i := 0; i < w.n; i++ {
+		j := (w.head - i + WindowSlots) % WindowSlots
+		if !w.slots[j].when.After(cutoff) {
+			return &w.slots[j]
+		}
+	}
+	oldest := (w.head - (w.n - 1) + WindowSlots) % WindowSlots
+	return &w.slots[oldest]
+}
+
+// WindowCounts returns the per-bucket observation counts over
+// approximately the trailing window ending at now, together with the
+// duration the returned counts actually cover (the age of the baseline
+// snapshot used — shorter than window while history is still
+// accumulating, 0 when no history exists yet).  Calling it also advances
+// the rotation ring, so any periodic reader (a scrape, the health
+// evaluator, the ops console) keeps windows fresh for everyone.  A nil
+// receiver returns zero counts and 0.
+func (h *Histogram) WindowCounts(now time.Time, window time.Duration) (counts [NumBuckets]int64, covered time.Duration) {
+	if h == nil {
+		return counts, 0
+	}
+	h.win.mu.Lock()
+	h.rotateLocked(now)
+	basep := h.baselineLocked(now, window)
+	if basep == nil {
+		h.win.mu.Unlock()
+		return counts, 0
+	}
+	base := *basep // copy before unlocking: a later rotation may reuse the slot
+	h.win.mu.Unlock()
+	for i := range h.buckets {
+		d := h.buckets[i].Load() - base.counts[i]
+		if d < 0 {
+			d = 0 // snapshot raced a concurrent Observe; clamp, never go negative
+		}
+		counts[i] = d
+	}
+	covered = now.Sub(base.when)
+	if covered < 0 {
+		covered = 0
+	}
+	return counts, covered
+}
+
+// WindowQuantile estimates the q-quantile of the observations in the
+// trailing window ending at now (see Quantile for the estimation
+// contract).  It returns 0 when the window is empty or the receiver nil.
+func (h *Histogram) WindowQuantile(now time.Time, window time.Duration, q float64) float64 {
+	counts, _ := h.WindowCounts(now, window)
+	return QuantileOfCounts(counts, q)
+}

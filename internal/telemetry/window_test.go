@@ -1,0 +1,370 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// t0 is an arbitrary fixed instant for deterministic window tests.
+var t0 = time.Unix(1_700_000_000, 0)
+
+func TestWindowCountsEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	counts, covered := nilH.WindowCounts(t0, time.Minute)
+	if covered != 0 {
+		t.Errorf("nil histogram covered = %v, want 0", covered)
+	}
+	for i, c := range counts {
+		if c != 0 {
+			t.Errorf("nil histogram window bucket %d = %d, want 0", i, c)
+		}
+	}
+	if q := nilH.WindowQuantile(t0, time.Minute, 0.99); q != 0 {
+		t.Errorf("nil histogram window quantile = %g, want 0", q)
+	}
+
+	var h Histogram
+	// First read seeds the ring at t0: no history yet, covered 0.
+	if _, covered := h.WindowCounts(t0, time.Minute); covered != 0 {
+		t.Errorf("first read covered = %v, want 0", covered)
+	}
+}
+
+func TestWindowCountsDeltas(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Observe(3)
+	h.WindowCounts(t0, time.Minute) // baseline slot at t0
+
+	h.Observe(3)
+	h.Observe(1000)
+	counts, covered := h.WindowCounts(t0.Add(70*time.Second), time.Minute)
+	if covered != 70*time.Second {
+		t.Errorf("covered = %v, want 70s", covered)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2 {
+		t.Errorf("window count = %d, want 2 (the post-baseline observations)", total)
+	}
+	if counts[bucketIndex(3)] != 1 || counts[bucketIndex(1000)] != 1 {
+		t.Errorf("window deltas landed in the wrong buckets: %v", counts)
+	}
+	// The cumulative view is untouched by window reads.
+	if h.Count() != 4 {
+		t.Errorf("cumulative count = %d, want 4", h.Count())
+	}
+
+	// A window larger than the retained history falls back to the oldest
+	// slot: covered reports what was actually available.
+	counts, covered = h.WindowCounts(t0.Add(70*time.Second), time.Hour)
+	if covered != 70*time.Second {
+		t.Errorf("over-long window covered = %v, want 70s", covered)
+	}
+}
+
+func TestWindowBaselineSelection(t *testing.T) {
+	var h Histogram
+	// Build slots at t0, t0+10s, ..., t0+50s, observing one value before
+	// each rotation so every 10 s slice holds exactly one observation.
+	for i := 0; i < 6; i++ {
+		h.Observe(5)
+		h.WindowCounts(t0.Add(time.Duration(i)*WindowSlotDuration), time.Minute)
+	}
+	// At t0+50s with a 30 s window, the baseline is the t0+20s slot, which
+	// saw 3 observations — so the window holds the remaining 3.
+	counts, covered := h.WindowCounts(t0.Add(50*time.Second), 30*time.Second)
+	if covered != 30*time.Second {
+		t.Errorf("covered = %v, want 30s", covered)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("30s window count = %d, want 3", total)
+	}
+}
+
+func TestWindowRingWrap(t *testing.T) {
+	var h Histogram
+	// Push far more rotations than the ring holds.
+	for i := 0; i < 3*WindowSlots; i++ {
+		h.Observe(7)
+		h.WindowCounts(t0.Add(time.Duration(i)*WindowSlotDuration), time.Minute)
+	}
+	now := t0.Add(time.Duration(3*WindowSlots) * WindowSlotDuration)
+	_, covered := h.WindowCounts(now, time.Hour)
+	// Only WindowSlots of history can be retained; the oldest surviving
+	// slot bounds what an over-long window can cover.
+	max := time.Duration(WindowSlots+1) * WindowSlotDuration
+	if covered <= 0 || covered > max {
+		t.Errorf("covered after wrap = %v, want in (0, %v]", covered, max)
+	}
+	if h.Count() != int64(3*WindowSlots) {
+		t.Errorf("cumulative count = %d, want %d", h.Count(), 3*WindowSlots)
+	}
+}
+
+func TestWindowRotationIsRateLimited(t *testing.T) {
+	var h Histogram
+	h.WindowCounts(t0, time.Minute)
+	for i := 0; i < 100; i++ {
+		// Reads inside one slot duration must not push new slots.
+		h.WindowCounts(t0.Add(time.Duration(i)*time.Millisecond), time.Minute)
+	}
+	h.win.mu.Lock()
+	n := h.win.n
+	h.win.mu.Unlock()
+	if n != 1 {
+		t.Errorf("ring holds %d slots after sub-slot reads, want 1", n)
+	}
+}
+
+// TestQuantileEdgeCases pins the empty / single-observation / saturating
+// behaviours: quantiles are total functions that never return NaN or ±Inf.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	var single Histogram
+	single.Observe(600) // bucket (512,1024]
+	want := math.Sqrt(512 * 1024.0)
+	for _, q := range []float64{-0.5, 0, 0.5, 1, 1.5} {
+		got := single.Quantile(q)
+		if got != want {
+			t.Errorf("single-observation Quantile(%g) = %g, want %g", q, got, want)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("single-observation Quantile(%g) = %g, not finite", q, got)
+		}
+	}
+	if got := single.Quantile(math.NaN()); got != want {
+		t.Errorf("Quantile(NaN) = %g, want %g (clamped to 0)", got, want)
+	}
+
+	var sat Histogram
+	sat.Observe(math.Inf(1)) // lands in the +Inf bucket
+	sat.Observe(math.Ldexp(1, 60))
+	got := sat.Quantile(0.99)
+	wantSat := math.Ldexp(1, NumBuckets-2) // lower bound of the overflow bucket
+	if got != wantSat || math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("saturating-bucket Quantile(0.99) = %g, want finite %g", got, wantSat)
+	}
+}
+
+func TestBucketJSONRoundTrip(t *testing.T) {
+	for _, b := range []Bucket{
+		{UpperBound: 1, Count: 3},
+		{UpperBound: 1024, Count: 7},
+		{UpperBound: math.Inf(1), Count: 2},
+	} {
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Bucket
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.Count != b.Count {
+			t.Errorf("count round-trip: %d != %d", back.Count, b.Count)
+		}
+		if math.IsInf(b.UpperBound, 1) != math.IsInf(back.UpperBound, 1) ||
+			(!math.IsInf(b.UpperBound, 1) && back.UpperBound != b.UpperBound) {
+			t.Errorf("bound round-trip: %g != %g", back.UpperBound, b.UpperBound)
+		}
+	}
+	var bad Bucket
+	if err := json.Unmarshal([]byte(`{"le":"bogus","count":1}`), &bad); err == nil {
+		t.Error("malformed bound should fail to unmarshal")
+	}
+}
+
+// windowedRegistry builds a registry whose histogram has both cumulative
+// and rolling-window state pinned to fixed instants.
+func windowedRegistry() (*Registry, time.Time) {
+	r := NewRegistry()
+	h := r.Histogram("app_lat_ns", "latency")
+	for _, v := range []float64{1, 3, 1000} {
+		h.Observe(v)
+	}
+	r.SnapshotAt(t0) // baseline rotation
+	h.Observe(3)
+	h.Observe(1000)
+	return r, t0.Add(70 * time.Second)
+}
+
+func TestGoldenWindowedJSON(t *testing.T) {
+	r, now := windowedRegistry()
+	var sb strings.Builder
+	if err := r.SnapshotAt(now).WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "metrics": [
+    {
+      "name": "app_lat_ns",
+      "kind": "histogram",
+      "help": "latency",
+      "count": 5,
+      "sum": 2007,
+      "p50": 2.8284271247461903,
+      "p95": 724.0773439350247,
+      "p99": 724.0773439350247,
+      "window_s": 70,
+      "wcount": 2,
+      "wp50": 2.8284271247461903,
+      "wp95": 724.0773439350247,
+      "wp99": 724.0773439350247,
+      "buckets": [
+        {
+          "le": "1",
+          "count": 1
+        },
+        {
+          "le": "4",
+          "count": 2
+        },
+        {
+          "le": "1024",
+          "count": 2
+        }
+      ]
+    }
+  ]
+}
+`
+	if sb.String() != want {
+		t.Errorf("windowed JSON mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestGoldenWindowedPrometheus(t *testing.T) {
+	r, now := windowedRegistry()
+	var sb strings.Builder
+	if err := r.SnapshotAt(now).WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_lat_ns latency
+# TYPE app_lat_ns histogram
+app_lat_ns_bucket{le="1"} 1
+app_lat_ns_bucket{le="4"} 3
+app_lat_ns_bucket{le="1024"} 5
+app_lat_ns_bucket{le="+Inf"} 5
+app_lat_ns_sum 2007
+app_lat_ns_count 5
+app_lat_ns_p50 2.8284271247461903
+app_lat_ns_p95 724.0773439350247
+app_lat_ns_p99 724.0773439350247
+app_lat_ns_window_seconds 70
+app_lat_ns_window_count 2
+app_lat_ns_window_p50 2.8284271247461903
+app_lat_ns_window_p95 724.0773439350247
+app_lat_ns_window_p99 724.0773439350247
+`
+	if sb.String() != want {
+		t.Errorf("windowed exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestConcurrentScrapeAndRotation hammers Observe from several goroutines
+// while scrapes (JSON and Prometheus, through the HTTP handler), synthetic
+// window rotations and health-style window reads run concurrently — the
+// -race proof that window rotation never tears the hot path.
+func TestConcurrentScrapeAndRotation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("acq_process_ns", "wall time", L("path", "hybrid"))
+	handler := r.Handler()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(float64(i%4096 + 1))
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		// Advance a synthetic clock past the slot duration so rotations
+		// genuinely happen while observations are in flight.
+		now := t0.Add(time.Duration(i) * 11 * time.Second)
+		counts, covered := h.WindowCounts(now, time.Minute)
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		if total < 0 || covered < 0 {
+			t.Fatalf("window read went negative: total %d, covered %v", total, covered)
+		}
+		s := r.SnapshotAt(now)
+		for _, m := range s.Metrics {
+			var bt int64
+			for _, b := range m.Buckets {
+				bt += b.Count
+			}
+			if bt != m.Count {
+				t.Fatalf("snapshot count %d != bucket total %d", m.Count, bt)
+			}
+			if m.WCount < 0 {
+				t.Fatalf("negative window count %d", m.WCount)
+			}
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+		if rec.Code != 200 {
+			t.Fatalf("JSON scrape status %d", rec.Code)
+		}
+		rec = httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("text scrape status %d", rec.Code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestObserveAllocs is the allocation gate on the histogram hot path (run
+// by `make allocgate`): Observe and the span timer must stay free of heap
+// allocations on both live and nil receivers, with the window ring
+// present.
+func TestObserveAllocs(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_ns", "")
+	if a := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); a != 0 {
+		t.Errorf("live Observe allocates %v per op, want 0", a)
+	}
+	var nilH *Histogram
+	if a := testing.AllocsPerRun(1000, func() {
+		nilH.Observe(1)
+		nilH.Start().Stop()
+	}); a != 0 {
+		t.Errorf("nil histogram path allocates %v per op, want 0", a)
+	}
+	now := t0
+	if a := testing.AllocsPerRun(100, func() {
+		now = now.Add(time.Second)
+		_, _ = h.WindowCounts(now, time.Minute)
+	}); a != 0 {
+		t.Errorf("WindowCounts allocates %v per op, want 0", a)
+	}
+}

@@ -1,0 +1,71 @@
+// Command httpget is a minimal curl substitute for the repo's smoke
+// scripts (the CI container does not guarantee curl): it GETs one URL,
+// prints the response body to stdout, and exits 0 only when the status
+// code matches -expect — retrying for up to -for so scripts can wait on
+// state transitions (daemon start, readiness flips) without sleep loops.
+//
+// Usage:
+//
+//	httpget [-expect CODE] [-for D] [-interval D] URL
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	expect := flag.Int("expect", 200, "status code required for exit 0")
+	waitFor := flag.Duration("for", 0, "keep retrying until the status matches, up to this long (0 = single attempt)")
+	interval := flag.Duration("interval", 100*time.Millisecond, "delay between retries")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: httpget [-expect CODE] [-for D] [-interval D] URL")
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+
+	deadline := time.Now().Add(*waitFor)
+	for {
+		status, body, err := get(url)
+		if err == nil && status == *expect {
+			os.Stdout.Write(body)
+			return
+		}
+		if !time.Now().Before(deadline) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "httpget: %s: %v\n", url, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "httpget: %s: status %d, want %d\n", url, status, *expect)
+				os.Stdout.Write(body)
+			}
+			os.Exit(1)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// get performs one bounded GET, returning the status and full body.
+func get(url string) (int, []byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, body, nil
+}

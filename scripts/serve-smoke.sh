@@ -1,14 +1,21 @@
 #!/bin/sh
 # serve-smoke.sh: end-to-end smoke test of the acquisition service.
 #
-# Builds imsd and imsload, starts the daemon on an ephemeral port, drives a
-# 2-second burst from 16 concurrent clients, then SIGTERMs the daemon and
-# asserts: imsload exited 0 (zero transport/protocol errors) and imsd
-# drained cleanly (exit 0, "drained cleanly" in its output).
+# Builds imsd, imsload, imstop and the httpget helper, starts the daemon on
+# ephemeral ports with its metrics/health server up, then asserts:
+#   1. /healthz answers 200 and /readyz answers 200 while serving;
+#   2. imsload -wait-ready completes a 2-second, 16-client burst with zero
+#      transport/protocol errors;
+#   3. imstop -once renders a console frame (health verdict + shard queues)
+#      against the live daemon;
+#   4. after SIGTERM, /readyz flips to 503 inside the drain-grace window
+#      while /healthz stays 200 (not-ready but alive);
+#   5. imsd drains cleanly (exit 0, "drained cleanly" in its output).
 set -eu
 
 GO=${GO:-go}
 PORT=${SMOKE_PORT:-17071}
+METRICS_PORT=${SMOKE_METRICS_PORT:-17091}
 TMP=$(mktemp -d)
 DAEMON_PID=""
 
@@ -23,33 +30,57 @@ trap cleanup EXIT
 echo "serve-smoke: building binaries"
 $GO build -o "$TMP/imsd" ./cmd/imsd
 $GO build -o "$TMP/imsload" ./cmd/imsload
+$GO build -o "$TMP/imstop" ./cmd/imstop
+$GO build -o "$TMP/httpget" ./scripts/httpget
 
-echo "serve-smoke: starting imsd on 127.0.0.1:$PORT"
-"$TMP/imsd" -addr "127.0.0.1:$PORT" -drain-timeout 10s >"$TMP/imsd.log" 2>&1 &
+echo "serve-smoke: starting imsd on 127.0.0.1:$PORT (metrics on :$METRICS_PORT)"
+"$TMP/imsd" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$METRICS_PORT" \
+    -drain-timeout 10s -drain-grace 2s >"$TMP/imsd.log" 2>&1 &
 DAEMON_PID=$!
 
-# Wait for the listening line (up to ~5s).
-i=0
-until grep -q "listening on" "$TMP/imsd.log" 2>/dev/null; do
-    i=$((i + 1))
-    if [ "$i" -gt 50 ]; then
-        echo "serve-smoke: FAIL — imsd never started"; cat "$TMP/imsd.log"; exit 1
-    fi
-    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
-        echo "serve-smoke: FAIL — imsd exited early"; cat "$TMP/imsd.log"; exit 1
-    fi
-    sleep 0.1
-done
+echo "serve-smoke: waiting for liveness and readiness"
+if ! "$TMP/httpget" -expect 200 -for 5s "http://127.0.0.1:$METRICS_PORT/healthz" >/dev/null; then
+    echo "serve-smoke: FAIL — /healthz never answered 200"; cat "$TMP/imsd.log"; exit 1
+fi
+if ! "$TMP/httpget" -expect 200 -for 5s "http://127.0.0.1:$METRICS_PORT/readyz" >"$TMP/readyz.json"; then
+    echo "serve-smoke: FAIL — /readyz never answered 200"; cat "$TMP/imsd.log"; exit 1
+fi
+if ! grep -q '"ready": true' "$TMP/readyz.json"; then
+    echo "serve-smoke: FAIL — /readyz body lacks ready:true"; cat "$TMP/readyz.json"; exit 1
+fi
 
-echo "serve-smoke: 2s burst, 16 clients"
-if ! "$TMP/imsload" -addr "127.0.0.1:$PORT" -clients 16 -duration 2s -tof 128; then
+echo "serve-smoke: 2s burst, 16 clients (gated on -wait-ready)"
+if ! "$TMP/imsload" -addr "127.0.0.1:$PORT" -clients 16 -duration 2s -tof 128 \
+    -wait-ready "http://127.0.0.1:$METRICS_PORT/readyz"; then
     echo "serve-smoke: FAIL — imsload reported errors"
     cat "$TMP/imsd.log"
     exit 1
 fi
 
-echo "serve-smoke: draining imsd"
+echo "serve-smoke: imstop -once against the live daemon"
+if ! "$TMP/imstop" -once -url "http://127.0.0.1:$METRICS_PORT" >"$TMP/imstop.out"; then
+    echo "serve-smoke: FAIL — imstop -once exited nonzero"; cat "$TMP/imstop.out"; exit 1
+fi
+for want in "health:" "shard" "latency:"; do
+    if ! grep -q "$want" "$TMP/imstop.out"; then
+        echo "serve-smoke: FAIL — imstop output lacks '$want'"; cat "$TMP/imstop.out"; exit 1
+    fi
+done
+
+echo "serve-smoke: draining imsd, asserting readiness flips"
 kill -TERM "$DAEMON_PID"
+# Inside the 2s drain-grace window the daemon still serves HTTP but must
+# report not-ready; liveness must stay 200 (drained, not restarted).
+if ! "$TMP/httpget" -expect 503 -for 2s -interval 50ms "http://127.0.0.1:$METRICS_PORT/readyz" >"$TMP/readyz-drain.json"; then
+    echo "serve-smoke: FAIL — /readyz never flipped to 503 during drain"; cat "$TMP/imsd.log"; exit 1
+fi
+if ! grep -q '"reason": "draining"' "$TMP/readyz-drain.json"; then
+    echo "serve-smoke: FAIL — draining /readyz body lacks the reason"; cat "$TMP/readyz-drain.json"; exit 1
+fi
+if ! "$TMP/httpget" -expect 200 "http://127.0.0.1:$METRICS_PORT/healthz" >/dev/null; then
+    echo "serve-smoke: FAIL — /healthz not 200 during drain"; exit 1
+fi
+
 rc=0
 wait "$DAEMON_PID" || rc=$?
 DAEMON_PID=""
