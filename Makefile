@@ -10,11 +10,15 @@ DOCLINT_DIRS = internal/telemetry internal/telemetry/trace \
                internal/telemetry/health internal/telemetry/runtimemetrics \
                internal/pipeline internal/hybrid \
                internal/fpga internal/xd1 internal/acqserver \
-               internal/frameio
+               internal/gateway internal/frameio
 
-.PHONY: check fmt vet build test docslint fuzz-short serve-smoke trace-smoke bench bench-json allocgate
+# Markdown files whose relative links `make docs-verify` must keep alive.
+DOCS_MD = README.md docs/ARCHITECTURE.md docs/CLUSTER.md \
+          docs/OBSERVABILITY.md docs/PERFORMANCE.md docs/SERVING.md
 
-check: fmt vet build test docslint allocgate fuzz-short serve-smoke trace-smoke
+.PHONY: check fmt vet build test docslint docs-verify fuzz-short serve-smoke cluster-smoke trace-smoke bench bench-json allocgate
+
+check: fmt vet build test docslint docs-verify allocgate fuzz-short serve-smoke cluster-smoke trace-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -29,8 +33,16 @@ build:
 test:
 	$(GO) test -race ./...
 
+# Doc-comment hygiene on the listed packages, plus the metric-catalogue
+# gate: every telemetry family registered in code must be documented in
+# docs/OBSERVABILITY.md.
 docslint:
-	$(GO) run ./scripts/docslint $(DOCLINT_DIRS)
+	$(GO) run ./scripts/docslint -metrics-doc docs/OBSERVABILITY.md $(DOCLINT_DIRS)
+
+# Docs consistency: docslint plus the relative-link checker over the
+# operator docs — a renamed file or typo'd cross-reference fails here.
+docs-verify: docslint
+	$(GO) run ./scripts/linkcheck $(DOCS_MD)
 
 # A short coverage-guided pass over the frame decoder; regressions in the
 # header guards surface here before they reach the wire.
@@ -41,6 +53,12 @@ fuzz-short:
 # assert zero protocol errors and a clean SIGTERM drain.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# End-to-end cluster smoke: imsgw over three imsd backends, a 6s burst
+# with one backend SIGTERMed mid-burst, asserting the loss bound and
+# multi-backend fan-out (see docs/CLUSTER.md).
+cluster-smoke:
+	./scripts/serve-cluster-smoke.sh
 
 # End-to-end tracing smoke: imsd -trace + a traced imsload burst, then
 # assert the Perfetto JSON parses with a span for every pipeline stage.

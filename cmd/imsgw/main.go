@@ -1,0 +1,208 @@
+// Command imsgw is the cluster gateway: an IMSP/2-speaking front tier
+// that consistent-hashes client sessions over a fleet of imsd backends,
+// proxies frames over pooled multiplexed upstream connections, retries
+// shed or failed requests once on a sibling backend under a per-session
+// budget, and drains backends out of its routing ring the moment their
+// /readyz flips — so a rolling restart of one backend loses nothing
+// beyond the declared shed budget (see docs/CLUSTER.md).
+//
+// Usage:
+//
+//	imsgw -backends ADDR[@READYZ_URL],ADDR[@READYZ_URL],...
+//	      [-addr HOST:PORT] [-replicas N] [-pool N]
+//	      [-probe-interval D] [-dial-timeout D] [-upstream-timeout D]
+//	      [-retry-budget N] [-max-inflight N]
+//	      [-read-timeout D] [-write-timeout D]
+//	      [-drain-timeout D] [-drain-grace D] [-metrics ADDR]
+//	      [-trace FILE] [-trace-slow D] [-trace-sample N] [-trace-ring N]
+//
+// Each backend is named by its IMSP address, optionally followed by
+// @URL pointing at its /readyz endpoint; without a URL the gateway
+// probes by TCP dial.  With -metrics, an HTTP endpoint serves the gw_*
+// telemetry families at /metrics (JSON at /metrics.json), the gateway's
+// span rings at /debug/traces, /healthz liveness, and /readyz readiness
+// — 503 while draining or while zero backends are on the routing ring,
+// so a load balancer in front of several gateways can route around one
+// that has lost its whole fleet.  On SIGINT/SIGTERM the gateway flips
+// /readyz, holds -drain-grace, stops accepting, lets in-flight proxied
+// frames finish on their backends, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/runtimemetrics"
+	"repro/internal/telemetry/trace"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "imsgw: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	cfg := gateway.DefaultConfig()
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address for client sessions")
+	backends := flag.String("backends", "", "comma-separated imsd fleet: ADDR or ADDR@READYZ_URL per backend")
+	flag.IntVar(&cfg.Replicas, "replicas", cfg.Replicas, "virtual nodes per backend on the hash ring")
+	flag.IntVar(&cfg.PoolSize, "pool", cfg.PoolSize, "multiplexed upstream connections per backend")
+	flag.DurationVar(&cfg.ProbeInterval, "probe-interval", cfg.ProbeInterval, "backend readiness poll period")
+	flag.DurationVar(&cfg.DialTimeout, "dial-timeout", cfg.DialTimeout, "upstream dial bound")
+	flag.DurationVar(&cfg.UpstreamTimeout, "upstream-timeout", cfg.UpstreamTimeout, "one proxied request bound (a retried request may take twice this)")
+	flag.IntVar(&cfg.RetryBudget, "retry-budget", cfg.RetryBudget, "sibling retries one client session may consume (0 disables retries)")
+	flag.IntVar(&cfg.MaxInflight, "max-inflight", cfg.MaxInflight, "concurrently proxied frames per session before the read loop applies backpressure")
+	flag.DurationVar(&cfg.ReadIdleTimeout, "read-timeout", cfg.ReadIdleTimeout, "per-message client read deadline")
+	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "per-response client write deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
+	drainGrace := flag.Duration("drain-grace", 0, "after SIGTERM, hold /readyz at 503 this long before draining so load balancers stop routing first")
+	metricsAddr := flag.String("metrics", "", "serve telemetry, health and pprof on this HTTP address (e.g. localhost:9090)")
+	tracePath := flag.String("trace", "", "trace every proxied frame and write retained span trees as Perfetto JSON to this file on exit")
+	traceSlow := flag.Duration("trace-slow", 0, "keep every trace at least this slow (0 keeps all)")
+	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "uniformly keep 1 in N traces under the slow threshold")
+	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "retained traces per ring (slow and sampled)")
+	flag.Parse()
+
+	fleet, err := parseBackends(*backends)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg.Backends = fleet
+
+	log := slog.New(slog.NewTextHandler(os.Stdout, nil))
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	cfg.Logger = log
+	runtimemetrics.Register(reg)
+
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(trace.Config{
+			SlowThreshold: *traceSlow,
+			SampleEvery:   *traceSample,
+			RingSize:      *traceRing,
+		})
+		cfg.Trace = tracer
+	}
+
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var drainStarted atomic.Bool
+	if *metricsAddr != "" {
+		http.Handle("/metrics", reg.Handler())
+		http.Handle("/metrics.json", reg.Handler())
+		http.Handle("/debug/traces", tracer.Handler())
+		http.Handle("/healthz", health.LivenessHandler())
+		var noEval *health.Evaluator
+		http.Handle("/readyz", noEval.ReadinessHandler(func() (bool, string) {
+			if drainStarted.Load() || gw.Draining() {
+				return true, "draining"
+			}
+			if gw.ReadyBackends() == 0 {
+				return true, "no ready backends"
+			}
+			return false, ""
+		}))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				log.Error("metrics server failed", "err", err)
+			}
+		}()
+		log.Info("imsgw metrics server up", "url", fmt.Sprintf("http://%s/metrics", *metricsAddr))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	log.Info("imsgw listening on "+ln.Addr().String(),
+		"backends", len(fleet), "replicas", cfg.Replicas, "pool", cfg.PoolSize,
+		"retry_budget", cfg.RetryBudget, "tracing", tracer != nil)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fail("serve: %v", err)
+	case sig := <-sigc:
+		drainStarted.Store(true)
+		if *drainGrace > 0 {
+			log.Info("imsgw not ready, holding for drain grace", "grace", drainGrace.String())
+			time.Sleep(*drainGrace)
+		}
+		log.Info("imsgw draining", "signal", sig.String(), "bound", drainTimeout.String())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := gw.Shutdown(ctx); err != nil {
+			fail("drain: %v", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, net.ErrClosed) {
+			fail("serve: %v", err)
+		}
+		if err := writeTrace(tracer, *tracePath); err != nil {
+			fail("trace: %v", err)
+		}
+		log.Info("imsgw drained cleanly")
+	}
+}
+
+// parseBackends splits the -backends flag: comma-separated entries, each
+// ADDR or ADDR@READYZ_URL.
+func parseBackends(s string) ([]gateway.BackendConfig, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("no -backends given (want ADDR[@READYZ_URL],...)")
+	}
+	var out []gateway.BackendConfig
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		addr, healthURL, _ := strings.Cut(entry, "@")
+		if addr == "" {
+			return nil, fmt.Errorf("backend entry %q has no address", entry)
+		}
+		out = append(out, gateway.BackendConfig{Addr: addr, HealthURL: healthURL})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no backends parsed from -backends")
+	}
+	return out, nil
+}
+
+// writeTrace dumps the tracer's retained span trees as Perfetto JSON.
+func writeTrace(tracer *trace.Tracer, path string) error {
+	if tracer == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WritePerfetto(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -5,10 +5,21 @@
 //
 // Usage:
 //
-//	imsload [-addr HOST:PORT] [-clients N] [-rate R] [-duration D]
+//	imsload [-addr HOST:PORT] [-topology single|cluster]
+//	        [-clients N] [-rate R] [-duration D]
 //	        [-tof N] [-path hybrid|cpu] [-deadline D] [-enc raw|delta]
 //	        [-seed N] [-json FILE] [-trace FILE]
 //	        [-wait-ready URL] [-wait-ready-timeout D]
+//
+// With -topology cluster, -addr names an imsgw gateway rather than a
+// single daemon.  Gateway results carry a routing trailer (which fleet
+// backend served each frame and in how many delivery attempts), so the
+// run report gains a per-backend breakdown — frames served and sibling
+// retries per backend id — printed on the "fleet:" line and carried into
+// -json under "backends".  The flag is declarative, not behavioural: the
+// wire protocol is identical either way, and trailers that arrive in
+// single mode are still tallied (with a note), so pointing single mode at
+// a gateway degrades gracefully.
 //
 // With -wait-ready, imsload blocks until the daemon's /readyz endpoint
 // answers 200 (retrying with backoff up to -wait-ready-timeout) before
@@ -62,6 +73,36 @@ type clientStats struct {
 	rejected  map[acqserver.Code]int
 	errs      []error
 	server    serverBreakdown
+	backends  map[uint16]*backendTally
+}
+
+// backendTally attributes accepted frames to one gateway fleet member,
+// keyed by the 1-based backend id echoed in the RESULT routing trailer.
+type backendTally struct {
+	// Frames is how many OK results this backend served.
+	Frames int64 `json:"frames"`
+	// Retried counts the frames among them that took a sibling retry
+	// (routing trailer attempts >= 2) to land here.
+	Retried int64 `json:"retried"`
+}
+
+// tallyBackend records one routed result (trailer backend id nonzero).
+func (st *clientStats) tallyBackend(r *acqserver.Result) {
+	if r.Backend == 0 {
+		return
+	}
+	if st.backends == nil {
+		st.backends = map[uint16]*backendTally{}
+	}
+	bt := st.backends[r.Backend]
+	if bt == nil {
+		bt = &backendTally{}
+		st.backends[r.Backend] = bt
+	}
+	bt.Frames++
+	if r.Attempts >= 2 {
+		bt.Retried++
+	}
 }
 
 // serverBreakdown aggregates the server-side span-stage times carried in
@@ -97,7 +138,13 @@ type report struct {
 	SubmittedMiBS float64          `json:"submitted_mib_per_s"`
 	LatencyNs     map[string]int64 `json:"latency_ns"`
 	Server        serverBreakdown  `json:"server"`
-	ProtoVersion  uint8            `json:"protocol_version"`
+	// Topology echoes the -topology flag.
+	Topology string `json:"topology"`
+	// Backends is the per-fleet-member attribution from RESULT routing
+	// trailers, keyed by the gateway's 1-based backend id; absent when no
+	// routed results were seen (single-daemon runs).
+	Backends     map[string]*backendTally `json:"backends,omitempty"`
+	ProtoVersion uint8                    `json:"protocol_version"`
 	// ServerHealth is the daemon's /readyz report fetched by -wait-ready,
 	// verbatim; absent when -wait-ready was not used.
 	ServerHealth json.RawMessage `json:"server_health,omitempty"`
@@ -117,7 +164,12 @@ func main() {
 	tracePath := flag.String("trace", "", "trace every request client-side and write span trees as Perfetto JSON to this file")
 	waitReady := flag.String("wait-ready", "", "block until this /readyz URL answers 200 before generating load")
 	waitReadyTimeout := flag.Duration("wait-ready-timeout", 30*time.Second, "give up on -wait-ready after this long")
+	topology := flag.String("topology", "single", "target topology: single (one imsd) or cluster (an imsgw gateway, per-backend attribution reported)")
 	flag.Parse()
+
+	if *topology != "single" && *topology != "cluster" {
+		fail("unknown topology %q (want single or cluster)", *topology)
+	}
 
 	var path acqserver.Path
 	switch *pathName {
@@ -218,6 +270,7 @@ func main() {
 					root.SetInt("server_queue_wait_ns", int64(resp.Result.QueueWaitNs))
 					root.SetInt("server_process_ns", int64(resp.Result.ProcessNs))
 					st.server.add(resp.Result)
+					st.tallyBackend(resp.Result)
 				}
 				root.End()
 				st.latencies = append(st.latencies, time.Since(reqStart))
@@ -254,6 +307,18 @@ func main() {
 		server.ProcessNs += stats[i].server.ProcessNs
 		server.SimulatedNs += stats[i].server.SimulatedNs
 	}
+	fleet := map[uint16]*backendTally{}
+	for i := range stats {
+		for id, bt := range stats[i].backends {
+			ft := fleet[id]
+			if ft == nil {
+				ft = &backendTally{}
+				fleet[id] = ft
+			}
+			ft.Frames += bt.Frames
+			ft.Retried += bt.Retried
+		}
+	}
 	total := len(all)
 	if total == 0 {
 		for _, err := range errs {
@@ -283,6 +348,24 @@ func main() {
 			time.Duration(server.SimulatedNs/server.Frames).Round(time.Microsecond),
 			server.Frames)
 	}
+	if len(fleet) > 0 {
+		var ids []int
+		for id := range fleet {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		fmt.Printf("fleet:     ")
+		for _, id := range ids {
+			ft := fleet[uint16(id)]
+			fmt.Printf(" backend %d: %d frames (%d retried)", id, ft.Frames, ft.Retried)
+		}
+		fmt.Println()
+		if *topology == "single" {
+			fmt.Println("imsload: note: routed results carry gateway trailers; target looks like a cluster (use -topology cluster)")
+		}
+	} else if *topology == "cluster" {
+		fmt.Println("imsload: note: -topology cluster but no result carried a routing trailer; target looks like a bare daemon")
+	}
 	for code, n := range rejected {
 		fmt.Printf("rejected:   %d x %v\n", n, code)
 	}
@@ -309,8 +392,15 @@ func main() {
 				"max": all[total-1].Nanoseconds(),
 			},
 			Server:       server,
+			Topology:     *topology,
 			ProtoVersion: protoVer,
 			ServerHealth: serverHealth,
+		}
+		if len(fleet) > 0 {
+			rep.Backends = map[string]*backendTally{}
+			for id, ft := range fleet {
+				rep.Backends[fmt.Sprintf("%d", id)] = ft
+			}
 		}
 		if len(rejected) > 0 {
 			rep.Rejected = map[string]int{}

@@ -109,6 +109,11 @@ func (c *Client) Info() ServerInfo { return c.info }
 // ProtocolVersion returns the session's negotiated IMSP version.
 func (c *Client) ProtocolVersion() uint8 { return c.ver }
 
+// Done returns a channel that is closed once the connection has failed or
+// been closed; connection pools use it to discard dead clients before
+// routing a request onto them.
+func (c *Client) Done() <-chan struct{} { return c.closed }
+
 // Close sends a best-effort GOODBYE and closes the connection; in-flight
 // calls fail.
 func (c *Client) Close() error {
@@ -128,6 +133,16 @@ func (c *Client) Do(ctx context.Context, f *instrument.Frame, enc frameio.Encodi
 	if err := frameio.Write(&payload, f, nil, enc); err != nil {
 		return nil, err
 	}
+	return c.DoPayload(ctx, payload.Bytes(), opts.TraceID)
+}
+
+// DoPayload submits one pre-encoded FRAME payload (the 5-byte options
+// prefix followed by a frameio-encoded frame) verbatim and waits for its
+// response or ctx.  It is the raw proxy hook: a gateway that already
+// holds the client's encoded bytes forwards them upstream without ever
+// decoding the frame.  traceID rides the version-2 header, exactly as
+// FrameOptions.TraceID does for Do.
+func (c *Client) DoPayload(ctx context.Context, payload []byte, traceID uint64) (*Response, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan Response, 1)
 	c.pmu.Lock()
@@ -145,7 +160,7 @@ func (c *Client) Do(ctx context.Context, f *instrument.Frame, enc frameio.Encodi
 	} else {
 		_ = c.conn.SetWriteDeadline(time.Time{})
 	}
-	err := WriteMessageV(c.conn, c.ver, MsgFrame, id, opts.TraceID, payload.Bytes())
+	err := WriteMessageV(c.conn, c.ver, MsgFrame, id, traceID, payload)
 	c.wmu.Unlock()
 	if err != nil {
 		return nil, err

@@ -271,6 +271,14 @@ type Result struct {
 	SimulatedNs uint64
 	// Saturations counts fixed-point overflow events (hybrid path).
 	Saturations uint64
+	// Backend identifies the serving backend when the response crossed an
+	// imsgw gateway: the 1-based index of the backend in the gateway's
+	// configured fleet.  0 means the response came straight from a daemon
+	// (no gateway, or a pre-cluster peer that sent no trailer).
+	Backend uint16
+	// Attempts counts the gateway delivery attempts this result took
+	// (1 = first try, 2 = one sibling retry).  0 on a direct response.
+	Attempts uint8
 	// Peaks are the strongest drift-profile peaks, height-descending.
 	Peaks []PeakSummary
 }
@@ -278,12 +286,21 @@ type Result struct {
 // maxResultPeaks bounds the peak list a RESULT may carry.
 const maxResultPeaks = 64
 
-// EncodeResult serializes a RESULT payload.
+// resultTrailerSize is the optional routing trailer a RESULT may end with:
+// backend id u16, attempts u8, reserved u8.  The gateway appends it when
+// re-encoding an upstream result so clients can attribute responses to
+// fleet members; decoders accept payloads with or without it, keeping
+// pre-cluster peers compatible.
+const resultTrailerSize = 4
+
+// EncodeResult serializes a RESULT payload.  The routing trailer is
+// appended only when Backend or Attempts is set, so direct daemon
+// responses are byte-identical to the pre-cluster encoding.
 func EncodeResult(r *Result) ([]byte, error) {
 	if len(r.Peaks) > maxResultPeaks {
 		return nil, fmt.Errorf("acqserver: %d peaks exceed wire bound %d", len(r.Peaks), maxResultPeaks)
 	}
-	buf := make([]byte, 0, 2+8*4+2+32*len(r.Peaks))
+	buf := make([]byte, 0, 2+8*4+2+32*len(r.Peaks)+resultTrailerSize)
 	buf = binary.LittleEndian.AppendUint16(buf, r.Shard)
 	buf = binary.LittleEndian.AppendUint64(buf, r.QueueWaitNs)
 	buf = binary.LittleEndian.AppendUint64(buf, r.ProcessNs)
@@ -295,10 +312,15 @@ func EncodeResult(r *Result) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 		}
 	}
+	if r.Backend != 0 || r.Attempts != 0 {
+		buf = binary.LittleEndian.AppendUint16(buf, r.Backend)
+		buf = append(buf, r.Attempts, 0)
+	}
 	return buf, nil
 }
 
-// DecodeResult parses a RESULT payload.
+// DecodeResult parses a RESULT payload, with or without the routing
+// trailer.
 func DecodeResult(b []byte) (*Result, error) {
 	const fixed = 2 + 8*4 + 2
 	if len(b) < fixed {
@@ -315,8 +337,15 @@ func DecodeResult(b []byte) (*Result, error) {
 	if n > maxResultPeaks {
 		return nil, fmt.Errorf("acqserver: RESULT declares %d peaks, bound is %d", n, maxResultPeaks)
 	}
-	if len(b) != fixed+32*n {
-		return nil, fmt.Errorf("acqserver: RESULT payload %d bytes, want %d for %d peaks", len(b), fixed+32*n, n)
+	switch len(b) {
+	case fixed + 32*n:
+	case fixed + 32*n + resultTrailerSize:
+		pos := fixed + 32*n
+		r.Backend = binary.LittleEndian.Uint16(b[pos : pos+2])
+		r.Attempts = b[pos+2]
+	default:
+		return nil, fmt.Errorf("acqserver: RESULT payload %d bytes, want %d or %d for %d peaks",
+			len(b), fixed+32*n, fixed+32*n+resultTrailerSize, n)
 	}
 	r.Peaks = make([]PeakSummary, n)
 	pos := fixed

@@ -91,6 +91,51 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 }
 
+func TestResultRoutingTrailer(t *testing.T) {
+	// A direct result stays byte-identical to the pre-cluster encoding...
+	direct := &Result{Shard: 1, ProcessNs: 5}
+	plain, err := EncodeResult(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fixed = 2 + 8*4 + 2
+	if len(plain) != fixed {
+		t.Fatalf("direct RESULT is %d bytes, want %d (no trailer)", len(plain), fixed)
+	}
+	got, err := DecodeResult(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backend != 0 || got.Attempts != 0 {
+		t.Fatalf("direct RESULT decoded with routing fields %d/%d", got.Backend, got.Attempts)
+	}
+
+	// ...while a gateway-routed one round-trips the trailer, peaks intact.
+	routed := &Result{
+		Shard: 2, ProcessNs: 9, Backend: 3, Attempts: 2,
+		Peaks: []PeakSummary{{Centroid: 1.5, Height: 10, Area: 20, SNR: 6}},
+	}
+	buf, err := EncodeResult(routed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != fixed+32+resultTrailerSize {
+		t.Fatalf("routed RESULT is %d bytes, want %d", len(buf), fixed+32+resultTrailerSize)
+	}
+	got, err = DecodeResult(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backend != 3 || got.Attempts != 2 || len(got.Peaks) != 1 || got.Peaks[0] != routed.Peaks[0] {
+		t.Fatalf("routed round trip %+v != %+v", got, routed)
+	}
+
+	// A mangled length that is neither with- nor without-trailer fails.
+	if _, err := DecodeResult(buf[:len(buf)-1]); err == nil {
+		t.Error("RESULT with partial trailer accepted")
+	}
+}
+
 func TestErrorRoundTrip(t *testing.T) {
 	buf := EncodeError(CodeResourceExhausted, "shard 2 queue full")
 	code, msg, err := DecodeError(buf)

@@ -1,0 +1,455 @@
+// Package gateway is the cluster front tier: an IMSP/2-speaking proxy
+// (cmd/imsgw) that fans client sessions out over a fleet of imsd
+// backends.  Everything below it — acqserver, the hybrid/CPU compute
+// paths, health and tracing — is single-process; this package is what
+// turns N of those processes into one service (docs/CLUSTER.md).
+//
+// Routing is consistent hashing: each gateway session is hashed onto a
+// ring of virtual nodes (ring.go), so a session sticks to one backend
+// while it lives, and a backend leaving the ring remaps only its own
+// arcs.  Ring membership follows readiness: a prober per backend polls
+// /readyz (backend.go), so a draining daemon — SIGTERM flips its
+// /readyz 503 before connections die — leaves the ring ahead of any
+// request loss, and a transport failure takes a backend out passively
+// the moment it is observed.
+//
+// Frames are proxied raw: the gateway reads the FRAME payload off the
+// client socket and forwards the bytes verbatim over a pooled,
+// multiplexed upstream connection (acqserver.Client.DoPayload) without
+// ever decoding the frame.  The client's trace id rides the IMSP/2
+// header end to end, so gateway spans (gw_request → gw_upstream) and the
+// backend's span tree (frame → worker → …) share one trace identity.
+//
+// A shed or failed upstream request is retried once on a sibling backend
+// — the next distinct backend clockwise on the ring — under an explicit
+// per-session retry budget; retries are annotated on the trace and
+// counted under gw_retries_total.  RESULT payloads are re-encoded with a
+// routing trailer (backend id, attempts) so clients can attribute every
+// response to a fleet member.  All gateway behaviour is observable under
+// the gw_* metric families (docs/OBSERVABILITY.md).
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/acqserver"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
+)
+
+// Config tunes the gateway.  The zero value is not usable; start from
+// DefaultConfig and set Backends.
+type Config struct {
+	// Backends is the imsd fleet, in a stable order: Result.Backend
+	// reported to clients is the 1-based index into this list.
+	Backends []BackendConfig
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (0 = DefaultReplicas).
+	Replicas int
+	// PoolSize is the multiplexed upstream connections kept per backend.
+	PoolSize int
+	// ProbeInterval is the readiness poll period per backend.
+	ProbeInterval time.Duration
+	// DialTimeout bounds one upstream dial (and the TCP fallback probe).
+	DialTimeout time.Duration
+	// UpstreamTimeout bounds one proxied request against one backend;
+	// a request that retries can take up to twice this.
+	UpstreamTimeout time.Duration
+	// RetryBudget is the sibling retries one client session may consume
+	// over its lifetime.  0 disables retries: shed and failed responses
+	// pass through untouched.
+	RetryBudget int
+	// MaxInflight bounds the concurrently proxied frames per session;
+	// the read loop blocks past it, pushing backpressure into the
+	// client's socket instead of buffering without bound.
+	MaxInflight int
+	// MaxPayloadBytes caps one downstream message payload.
+	MaxPayloadBytes uint32
+	// ReadIdleTimeout bounds the wait for a client's next message.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds one downstream response write.
+	WriteTimeout time.Duration
+	// FallbackOrder is the m-sequence order advertised in HELLO_OK while
+	// no backend is reachable to ask (a client that connects during a
+	// full fleet outage still gets a well-formed handshake).
+	FallbackOrder int
+	// Metrics, when non-nil, receives the gw_* families.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, records a gateway span tree per proxied frame.
+	Trace *trace.Tracer
+	// Logger, when non-nil, receives structured session/routing events.
+	Logger *slog.Logger
+}
+
+// DefaultConfig returns production-shaped defaults: 4 pooled upstream
+// connections per backend, 1 s probes, one sibling retry per shed/failed
+// request under a 64-retry session budget.
+func DefaultConfig() Config {
+	return Config{
+		Replicas:        DefaultReplicas,
+		PoolSize:        4,
+		ProbeInterval:   time.Second,
+		DialTimeout:     3 * time.Second,
+		UpstreamTimeout: 30 * time.Second,
+		RetryBudget:     64,
+		MaxInflight:     32,
+		MaxPayloadBytes: 16 << 20,
+		ReadIdleTimeout: 30 * time.Second,
+		WriteTimeout:    10 * time.Second,
+		FallbackOrder:   9,
+	}
+}
+
+// Validate reports the first unusable setting.
+func (c Config) Validate() error {
+	if len(c.Backends) == 0 {
+		return errors.New("gateway: no backends configured")
+	}
+	for i, b := range c.Backends {
+		if b.Addr == "" {
+			return fmt.Errorf("gateway: backend %d has no address", i)
+		}
+	}
+	if c.PoolSize < 1 {
+		return fmt.Errorf("gateway: pool size %d must be positive", c.PoolSize)
+	}
+	if c.ProbeInterval <= 0 || c.DialTimeout <= 0 || c.UpstreamTimeout <= 0 {
+		return errors.New("gateway: probe/dial/upstream timeouts must be positive")
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("gateway: retry budget %d must be >= 0", c.RetryBudget)
+	}
+	if c.MaxInflight < 1 {
+		return fmt.Errorf("gateway: max inflight %d must be positive", c.MaxInflight)
+	}
+	if c.MaxPayloadBytes < 64 {
+		return fmt.Errorf("gateway: max payload %d bytes is too small", c.MaxPayloadBytes)
+	}
+	if c.ReadIdleTimeout <= 0 || c.WriteTimeout <= 0 {
+		return errors.New("gateway: read/write timeouts must be positive")
+	}
+	if c.FallbackOrder < 2 || c.FallbackOrder > 20 {
+		return fmt.Errorf("gateway: fallback order %d out of [2,20]", c.FallbackOrder)
+	}
+	return nil
+}
+
+// gwMetrics bundles the gw_* telemetry handles, resolved once at
+// construction (all nil on a nil registry — free to update).
+type gwMetrics struct {
+	sessionsTotal  *telemetry.Counter
+	sessionsActive *telemetry.Gauge
+	requests       []*telemetry.Counter // per backend
+	upstreamNs     []*telemetry.Histogram
+	backendReady   []*telemetry.Gauge
+	responses      map[acqserver.Code]*telemetry.Counter
+	retries        map[string]*telemetry.Counter
+	shed           map[string]*telemetry.Counter
+	ringRebuilds   *telemetry.Counter
+	ringBackends   *telemetry.Gauge
+	bytesIn        *telemetry.Counter
+	bytesOut       *telemetry.Counter
+	protocolErrs   *telemetry.Counter
+}
+
+// gwRetryOutcomes are the label values of gw_retries_total: a retry that
+// recovered the request, one that did not, and a retry forgone because
+// the session's budget was spent.
+var gwRetryOutcomes = []string{"ok", "failed", "budget_exhausted"}
+
+// gwShedReasons are the label values of gw_shed_total.
+var gwShedReasons = []string{"no_backend", "draining"}
+
+func newGwMetrics(reg *telemetry.Registry, backends []BackendConfig) gwMetrics {
+	m := gwMetrics{
+		sessionsTotal:  reg.Counter("gw_sessions_total", "client sessions accepted by the gateway"),
+		sessionsActive: reg.Gauge("gw_sessions_active", "currently open gateway client sessions"),
+		ringRebuilds:   reg.Counter("gw_ring_rebuilds_total", "consistent-hash ring rebuilds (readiness flips)"),
+		ringBackends:   reg.Gauge("gw_ring_backends", "backends currently on the routing ring"),
+		bytesIn:        reg.Counter("gw_bytes_in_total", "downstream wire bytes received (headers + payloads)"),
+		bytesOut:       reg.Counter("gw_bytes_out_total", "downstream wire bytes sent (headers + payloads)"),
+		protocolErrs:   reg.Counter("gw_protocol_errors_total", "malformed downstream messages and framing violations"),
+		responses:      map[acqserver.Code]*telemetry.Counter{},
+		retries:        map[string]*telemetry.Counter{},
+		shed:           map[string]*telemetry.Counter{},
+	}
+	for _, b := range backends {
+		l := telemetry.L("backend", b.Addr)
+		m.requests = append(m.requests, reg.Counter("gw_requests_total", "frames proxied upstream per backend (attempts, including retries)", l))
+		m.upstreamNs = append(m.upstreamNs, reg.Histogram("gw_upstream_ns", "upstream request latency per backend, nanoseconds", l))
+		m.backendReady = append(m.backendReady, reg.Gauge("gw_backend_ready", "backend readiness as routed (1 on the ring, 0 off)", l))
+	}
+	for _, c := range []acqserver.Code{acqserver.CodeOK, acqserver.CodeInvalidArgument,
+		acqserver.CodeResourceExhausted, acqserver.CodeDeadlineExceeded,
+		acqserver.CodeUnavailable, acqserver.CodeInternal, acqserver.CodeTooLarge} {
+		m.responses[c] = reg.Counter("gw_responses_total", "downstream responses sent per status code",
+			telemetry.L("code", c.String()))
+	}
+	for _, o := range gwRetryOutcomes {
+		m.retries[o] = reg.Counter("gw_retries_total", "sibling retry decisions per outcome",
+			telemetry.L("outcome", o))
+	}
+	for _, r := range gwShedReasons {
+		m.shed[r] = reg.Counter("gw_shed_total", "frames shed at the gateway, per reason",
+			telemetry.L("reason", r))
+	}
+	return m
+}
+
+// Gateway is the cluster front tier: an accept loop, per-session read
+// loops, and the shared routing ring.
+type Gateway struct {
+	cfg      Config
+	backends []*backend
+	m        gwMetrics
+	tracer   *trace.Tracer
+	log      *slog.Logger
+
+	ringMu  sync.RWMutex
+	current *Ring
+
+	ln       net.Listener
+	lnMu     sync.Mutex
+	draining atomic.Bool
+	stopc    chan struct{}
+	stopOnce func()
+
+	proberWG sync.WaitGroup
+	sessWG   sync.WaitGroup
+	proxyWG  sync.WaitGroup
+	nextSess atomic.Uint64
+
+	sessMu   sync.Mutex
+	sessions map[*gwSession]struct{}
+
+	// upstreamInfo caches the first successful backend handshake for
+	// HELLO_OK synthesis.
+	upstreamInfo atomic.Pointer[acqserver.ServerInfo]
+}
+
+// New validates the config and builds the gateway: backend pools, the
+// initial ring (all backends optimistically ready until the first probe
+// says otherwise), telemetry handles, and one prober per backend.  Call
+// Serve or ListenAndServe to start accepting.
+func New(cfg Config) (*Gateway, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(discardHandler{})
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		m:        newGwMetrics(cfg.Metrics, cfg.Backends),
+		tracer:   cfg.Trace,
+		log:      log,
+		stopc:    make(chan struct{}),
+		sessions: map[*gwSession]struct{}{},
+	}
+	g.stopOnce = sync.OnceFunc(func() { close(g.stopc) })
+	for i, bc := range cfg.Backends {
+		b := &backend{
+			id:   i,
+			cfg:  bc,
+			pool: newClientPool(bc.Addr, cfg.PoolSize, cfg.DialTimeout),
+		}
+		b.ready.Store(true)
+		g.backends = append(g.backends, b)
+	}
+	g.rebuildRing()
+	for _, b := range g.backends {
+		g.proberWG.Add(1)
+		go g.proberLoop(b)
+	}
+	return g, nil
+}
+
+// discardHandler is a no-op slog.Handler for a nil Config.Logger.
+type discardHandler struct{}
+
+// Enabled reports false for every level.
+func (discardHandler) Enabled(context.Context, slog.Level) bool { return false }
+
+// Handle drops the record.
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+
+// WithAttrs returns the handler unchanged.
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler { return d }
+
+// WithGroup returns the handler unchanged.
+func (d discardHandler) WithGroup(string) slog.Handler { return d }
+
+// rebuildRing swaps in a ring over the currently-ready backends and
+// refreshes the readiness gauges.
+func (g *Gateway) rebuildRing() {
+	var ready []int
+	for _, b := range g.backends {
+		up := b.ready.Load()
+		if up {
+			ready = append(ready, b.id)
+		}
+		g.m.backendReady[b.id].Set(boolGauge(up))
+	}
+	ring := BuildRing(ready, func(i int) string { return g.backends[i].cfg.Addr }, g.cfg.Replicas)
+	g.ringMu.Lock()
+	g.current = ring
+	g.ringMu.Unlock()
+	g.m.ringRebuilds.Inc()
+	g.m.ringBackends.Set(float64(len(ready)))
+}
+
+// boolGauge renders a readiness bit for a gauge.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ring returns the current routing ring.
+func (g *Gateway) ring() *Ring {
+	g.ringMu.RLock()
+	defer g.ringMu.RUnlock()
+	return g.current
+}
+
+// ReadyBackends reports how many backends are on the routing ring — the
+// gateway's own readiness signal (a gateway with zero ready backends can
+// only shed).
+func (g *Gateway) ReadyBackends() int { return g.ring().Backends() }
+
+// Draining reports whether Shutdown has begun.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Addr returns the bound listener address (nil before Serve).
+func (g *Gateway) Addr() net.Addr {
+	g.lnMu.Lock()
+	defer g.lnMu.Unlock()
+	if g.ln == nil {
+		return nil
+	}
+	return g.ln.Addr()
+}
+
+// ListenAndServe binds addr and runs Serve.
+func (g *Gateway) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return g.Serve(ln)
+}
+
+// Serve accepts client connections on ln until Shutdown closes it.  Like
+// acqserver.Server.Serve it always returns a non-nil error; after a
+// Shutdown-initiated close that error wraps net.ErrClosed.
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.lnMu.Lock()
+	g.ln = ln
+	g.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if g.draining.Load() {
+			_ = conn.Close()
+			continue
+		}
+		sess := g.newSession(conn)
+		g.sessWG.Add(1)
+		go sess.readLoop()
+	}
+}
+
+// Shutdown drains the gateway: stop accepting, answer new frames with
+// UNAVAILABLE, wait for in-flight proxied requests to finish (their
+// backends keep serving them), then close sessions, probers and upstream
+// pools.  Returns nil on a complete drain or ctx.Err() after
+// force-closing everything when the context expires first.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	if !g.draining.CompareAndSwap(false, true) {
+		<-g.stopc
+		return nil
+	}
+	g.lnMu.Lock()
+	if g.ln != nil {
+		_ = g.ln.Close()
+	}
+	g.lnMu.Unlock()
+
+	err := func() error {
+		done := make(chan struct{})
+		go func() { g.proxyWG.Wait(); close(done) }()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}()
+
+	g.sessMu.Lock()
+	open := make([]*gwSession, 0, len(g.sessions))
+	for sess := range g.sessions {
+		open = append(open, sess)
+	}
+	g.sessMu.Unlock()
+	for _, sess := range open {
+		sess.teardown() // deregisters under sessMu itself; don't hold it here
+	}
+	g.stopOnce()
+	g.proberWG.Wait()
+	g.sessWG.Wait()
+	for _, b := range g.backends {
+		b.pool.closeAll()
+	}
+	return err
+}
+
+// serverInfo synthesizes the HELLO_OK summary for a downstream client:
+// the cached (or freshly fetched) upstream handshake with the negotiated
+// version and the gateway's own payload bound applied, or fleet-outage
+// fallbacks when no backend is reachable.
+func (g *Gateway) serverInfo(ver uint8) acqserver.ServerInfo {
+	info := g.upstreamInfo.Load()
+	if info == nil {
+		if b, ok := g.pickBackend(0, -1); ok {
+			if si, err := b.pool.info(); err == nil {
+				info = &si
+				g.upstreamInfo.Store(info)
+			}
+		}
+	}
+	out := acqserver.ServerInfo{
+		Version:         ver,
+		Order:           uint8(g.cfg.FallbackOrder),
+		MaxPayloadBytes: g.cfg.MaxPayloadBytes,
+	}
+	if info != nil {
+		out.Shards = info.Shards
+		out.Order = info.Order
+		if info.MaxPayloadBytes < out.MaxPayloadBytes {
+			out.MaxPayloadBytes = info.MaxPayloadBytes
+		}
+	}
+	return out
+}
+
+// pickBackend routes a session key on the current ring, skipping avoid
+// (pass -1 to skip nothing).
+func (g *Gateway) pickBackend(key uint64, avoid int) (*backend, bool) {
+	id, ok := g.ring().Pick(key, avoid)
+	if !ok {
+		return nil, false
+	}
+	return g.backends[id], true
+}

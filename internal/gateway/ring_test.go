@@ -1,0 +1,93 @@
+package gateway
+
+// ring_test.go: the consistent-hash ring's load balance, its minimal-
+// disruption property under backend removal, and sibling selection.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testAddr names backend i the way the gateway does in production: by a
+// stable address string.
+func testAddr(i int) string { return fmt.Sprintf("10.0.0.%d:6060", i+1) }
+
+func TestRingBalance(t *testing.T) {
+	r := BuildRing([]int{0, 1, 2}, testAddr, DefaultReplicas)
+	if r.Backends() != 3 {
+		t.Fatalf("ring has %d backends, want 3", r.Backends())
+	}
+	const keys = 10000
+	counts := map[int]int{}
+	for k := uint64(0); k < keys; k++ {
+		b, ok := r.Pick(k, -1)
+		if !ok {
+			t.Fatalf("key %d missed a 3-backend ring", k)
+		}
+		counts[b]++
+	}
+	for b, n := range counts {
+		share := float64(n) / keys
+		if share < 0.20 || share > 0.47 {
+			t.Errorf("backend %d got %.1f%% of keys; want a roughly even three-way split", b, 100*share)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	full := BuildRing([]int{0, 1, 2}, testAddr, DefaultReplicas)
+	without1 := BuildRing([]int{0, 2}, testAddr, DefaultReplicas)
+	const keys = 5000
+	moved := 0
+	for k := uint64(0); k < keys; k++ {
+		before, _ := full.Pick(k, -1)
+		after, ok := without1.Pick(k, -1)
+		if !ok {
+			t.Fatalf("key %d missed the 2-backend ring", k)
+		}
+		if before != 1 && after != before {
+			// A key that was NOT on the removed backend must stay put —
+			// this is the property that makes rolling restarts cheap.
+			t.Fatalf("key %d moved %d -> %d though backend 1 was the one removed", k, before, after)
+		}
+		if before == 1 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys mapped to the removed backend; distribution test is vacuous")
+	}
+}
+
+func TestRingSiblingSelection(t *testing.T) {
+	r := BuildRing([]int{0, 1, 2}, testAddr, DefaultReplicas)
+	for k := uint64(0); k < 1000; k++ {
+		primary, _ := r.Pick(k, -1)
+		sibling, ok := r.Pick(k, primary)
+		if !ok {
+			t.Fatalf("key %d found no sibling on a 3-backend ring", k)
+		}
+		if sibling == primary {
+			t.Fatalf("key %d: sibling %d equals avoided primary", k, sibling)
+		}
+		// Sibling selection is deterministic: same key, same answer.
+		again, _ := r.Pick(k, primary)
+		if again != sibling {
+			t.Fatalf("key %d: sibling pick not deterministic (%d then %d)", k, sibling, again)
+		}
+	}
+}
+
+func TestRingEmptyAndExhausted(t *testing.T) {
+	empty := BuildRing(nil, testAddr, DefaultReplicas)
+	if _, ok := empty.Pick(42, -1); ok {
+		t.Error("empty ring answered a lookup")
+	}
+	solo := BuildRing([]int{0}, testAddr, DefaultReplicas)
+	if b, ok := solo.Pick(42, -1); !ok || b != 0 {
+		t.Errorf("solo ring answered (%d, %v), want (0, true)", b, ok)
+	}
+	if _, ok := solo.Pick(42, 0); ok {
+		t.Error("solo ring found a sibling for its only backend")
+	}
+}

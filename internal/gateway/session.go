@@ -1,0 +1,352 @@
+// session.go: one connected downstream client of the gateway.  The read
+// loop speaks the same IMSP framing as acqserver's sessions but never
+// decodes a frame: each FRAME payload is read whole (bounded by the
+// handshake payload cap) and handed to a proxy goroutine, so one slow
+// backend does not serialize the session's other in-flight frames.  A
+// per-session semaphore bounds the in-flight proxies — past it the read
+// loop simply stops reading, pushing backpressure into the client's
+// socket, the same explicit-overload stance the daemon takes with its
+// bounded shard queues.  Responses are written under one mutex (each
+// message is a single Write) with a write deadline per message.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/acqserver"
+	"repro/internal/telemetry/trace"
+)
+
+// gwSession is the per-connection state of one downstream client.
+type gwSession struct {
+	id   uint64
+	gw   *Gateway
+	conn net.Conn
+
+	// ver is the negotiated protocol version (v1 until HELLO proves
+	// newer); atomic because proxy goroutines frame responses while the
+	// read loop may still be negotiating.
+	ver atomic.Uint32
+
+	// retriesLeft is the session's remaining sibling-retry budget.
+	retriesLeft atomic.Int64
+
+	// inflight bounds concurrently proxied frames (see package comment).
+	inflight chan struct{}
+
+	wmu          sync.Mutex // serializes downstream writes
+	done         chan struct{}
+	teardownOnce func()
+}
+
+// newSession registers a downstream connection.
+func (g *Gateway) newSession(conn net.Conn) *gwSession {
+	sess := &gwSession{
+		id:       g.nextSess.Add(1),
+		gw:       g,
+		conn:     conn,
+		inflight: make(chan struct{}, g.cfg.MaxInflight),
+		done:     make(chan struct{}),
+	}
+	sess.ver.Store(acqserver.ProtocolV1)
+	sess.retriesLeft.Store(int64(g.cfg.RetryBudget))
+	sess.teardownOnce = sync.OnceFunc(func() {
+		close(sess.done)
+		_ = conn.Close()
+		g.m.sessionsActive.Add(-1)
+		g.sessMu.Lock()
+		delete(g.sessions, sess)
+		g.sessMu.Unlock()
+		g.log.Info("gw session closed", "session", sess.id, "remote", conn.RemoteAddr().String())
+	})
+	g.sessMu.Lock()
+	g.sessions[sess] = struct{}{}
+	g.sessMu.Unlock()
+	g.m.sessionsTotal.Inc()
+	g.m.sessionsActive.Add(1)
+	g.log.Info("gw session opened", "session", sess.id, "remote", conn.RemoteAddr().String())
+	return sess
+}
+
+// teardown closes the connection; safe to call repeatedly.
+func (sess *gwSession) teardown() { sess.teardownOnce() }
+
+// writeMsg writes one downstream message under the session's write
+// deadline, framed in the negotiated version.  A write failure tears the
+// session down.
+func (sess *gwSession) writeMsg(typ acqserver.MsgType, reqID, traceID uint64, payload []byte) bool {
+	g := sess.gw
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	select {
+	case <-sess.done:
+		return false
+	default:
+	}
+	ver := uint8(sess.ver.Load())
+	_ = sess.conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+	if err := acqserver.WriteMessageV(sess.conn, ver, typ, reqID, traceID, payload); err != nil {
+		sess.teardown()
+		return false
+	}
+	g.m.bytesOut.Add(int64(len(payload)) + 18) // header ≥ 18 bytes; close enough for traffic accounting
+	return true
+}
+
+// respondError counts and writes a typed ERROR downstream.
+func (sess *gwSession) respondError(reqID, traceID uint64, code acqserver.Code, msg string) {
+	sess.gw.m.responses[code].Inc()
+	sess.writeMsg(acqserver.MsgError, reqID, traceID, acqserver.EncodeError(code, msg))
+}
+
+// readLoop owns the inbound half: HELLO first, then FRAME/GOODBYE under
+// the idle read deadline.
+func (sess *gwSession) readLoop() {
+	g := sess.gw
+	defer g.sessWG.Done()
+	defer sess.teardown()
+	defer func() {
+		if r := recover(); r != nil {
+			g.log.Error("gw session panic recovered", "session", sess.id, "panic", fmt.Sprint(r))
+		}
+	}()
+
+	sawHello := false
+	for {
+		_ = sess.conn.SetReadDeadline(time.Now().Add(g.cfg.ReadIdleTimeout))
+		h, err := acqserver.ReadHeader(sess.conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				g.m.protocolErrs.Inc()
+			}
+			return
+		}
+		if h.PayloadLen > g.cfg.MaxPayloadBytes {
+			g.m.protocolErrs.Inc()
+			sess.respondError(h.ReqID, h.TraceID, acqserver.CodeTooLarge,
+				fmt.Sprintf("payload %d bytes exceeds bound %d", h.PayloadLen, g.cfg.MaxPayloadBytes))
+			return // cannot resync across an unbounded payload
+		}
+		g.m.bytesIn.Add(int64(h.PayloadLen) + 18)
+
+		if !sawHello && h.Type != acqserver.MsgHello {
+			g.m.protocolErrs.Inc()
+			sess.respondError(h.ReqID, h.TraceID, acqserver.CodeInvalidArgument, "first message must be HELLO")
+			return
+		}
+		switch h.Type {
+		case acqserver.MsgHello:
+			if !sess.handleHello(h) {
+				return
+			}
+			sawHello = true
+		case acqserver.MsgGoodbye:
+			return
+		case acqserver.MsgFrame:
+			if !sess.handleFrame(h) {
+				return
+			}
+		default:
+			g.m.protocolErrs.Inc()
+			if _, err := io.CopyN(io.Discard, sess.conn, int64(h.PayloadLen)); err != nil {
+				return
+			}
+			sess.respondError(h.ReqID, h.TraceID, acqserver.CodeInvalidArgument,
+				fmt.Sprintf("unexpected message type %v", h.Type))
+		}
+	}
+}
+
+// handleHello negotiates the protocol version exactly as the daemon does
+// and answers HELLO_OK with the synthesized fleet summary.
+func (sess *gwSession) handleHello(h acqserver.Header) bool {
+	clientVer := uint8(acqserver.ProtocolV1)
+	if h.PayloadLen > 0 {
+		buf := make([]byte, h.PayloadLen)
+		if _, err := io.ReadFull(sess.conn, buf); err != nil {
+			return false
+		}
+		if buf[0] >= acqserver.ProtocolV1 {
+			clientVer = buf[0]
+		}
+	}
+	ver := clientVer
+	if ver > acqserver.ProtocolVersion {
+		ver = acqserver.ProtocolVersion
+	}
+	sess.ver.Store(uint32(ver))
+	info := sess.gw.serverInfo(ver)
+	sess.gw.m.responses[acqserver.CodeOK].Inc()
+	return sess.writeMsg(acqserver.MsgHelloOK, h.ReqID, 0, acqserver.EncodeServerInfo(info))
+}
+
+// handleFrame reads one FRAME payload whole and hands it to a proxy
+// goroutine, blocking first on the in-flight semaphore.  It reports
+// whether the connection is still in a consistent state to keep reading.
+func (sess *gwSession) handleFrame(h acqserver.Header) bool {
+	g := sess.gw
+	if h.PayloadLen < 5 { // options prefix
+		g.m.protocolErrs.Inc()
+		sess.respondError(h.ReqID, h.TraceID, acqserver.CodeInvalidArgument, "FRAME payload too short for options")
+		return false
+	}
+	payload := make([]byte, h.PayloadLen)
+	if _, err := io.ReadFull(sess.conn, payload); err != nil {
+		return false
+	}
+	if g.draining.Load() {
+		g.m.shed["draining"].Inc()
+		sess.respondError(h.ReqID, h.TraceID, acqserver.CodeUnavailable, "gateway is draining")
+		return true
+	}
+	select {
+	case sess.inflight <- struct{}{}:
+	case <-sess.done:
+		return false
+	}
+	g.proxyWG.Add(1)
+	go func() {
+		defer g.proxyWG.Done()
+		defer func() { <-sess.inflight }()
+		sess.proxy(h.ReqID, h.TraceID, payload)
+	}()
+	return true
+}
+
+// proxy routes one frame: primary backend by consistent hash of the
+// session id, one budgeted sibling retry on a shed or failed attempt,
+// trace annotation throughout, and the downstream response (with the
+// routing trailer on results).
+func (sess *gwSession) proxy(reqID, clientTraceID uint64, payload []byte) {
+	g := sess.gw
+	root := g.tracer.StartTrace("gw_request", clientTraceID)
+	traceID := clientTraceID
+	if root.Active() {
+		traceID = root.TraceID()
+		root.SetInt("session", int64(sess.id))
+		root.SetInt("req_id", int64(reqID))
+		root.SetInt("frame_bytes", int64(len(payload)))
+	}
+	defer root.End()
+
+	primary, ok := g.pickBackend(sess.id, -1)
+	if !ok {
+		g.m.shed["no_backend"].Inc()
+		root.SetStr("error", "no_backend")
+		g.log.Warn("frame shed", "reason", "no_backend", "session", sess.id, "req_id", reqID, "trace_id", traceID)
+		sess.respondError(reqID, traceID, acqserver.CodeUnavailable, "no ready backend")
+		return
+	}
+	resp, err := sess.attempt(root, primary, 1, payload, traceID)
+
+	attempts := uint8(1)
+	backendID := primary
+	if retryable(resp, err) {
+		if sess.retriesLeft.Add(-1) < 0 {
+			sess.retriesLeft.Add(1) // budget floor: don't wind below zero
+			g.m.retries["budget_exhausted"].Inc()
+			root.SetStr("retry", "budget_exhausted")
+		} else if sibling, ok := g.pickBackend(sess.id, primary.id); ok {
+			root.SetStr("retry", "sibling")
+			root.SetStr("retry_from", primary.cfg.Addr)
+			root.SetStr("retry_to", sibling.cfg.Addr)
+			root.SetStr("retry_reason", attemptOutcome(resp, err))
+			resp, err = sess.attempt(root, sibling, 2, payload, traceID)
+			attempts, backendID = 2, sibling
+			if err == nil && resp.Code == acqserver.CodeOK {
+				g.m.retries["ok"].Inc()
+			} else {
+				g.m.retries["failed"].Inc()
+			}
+		} else {
+			g.m.retries["failed"].Inc()
+			root.SetStr("retry", "no_sibling")
+		}
+	}
+
+	if err != nil {
+		root.SetStr("error", err.Error())
+		g.log.Warn("upstream failed", "session", sess.id, "req_id", reqID, "trace_id", traceID,
+			"backend", backendID.cfg.Addr, "err", err)
+		sess.respondError(reqID, traceID, acqserver.CodeUnavailable,
+			fmt.Sprintf("backend %s unreachable: %v", backendID.cfg.Addr, err))
+		return
+	}
+	root.SetInt("attempts", int64(attempts))
+	root.SetStr("backend", backendID.cfg.Addr)
+	if resp.Code != acqserver.CodeOK {
+		root.SetStr("error", resp.Code.String())
+		sess.respondError(reqID, traceID, resp.Code, resp.Message)
+		return
+	}
+	res := resp.Result
+	res.Backend = uint16(backendID.id + 1)
+	res.Attempts = attempts
+	out, encErr := acqserver.EncodeResult(res)
+	if encErr != nil {
+		sess.respondError(reqID, traceID, acqserver.CodeInternal, encErr.Error())
+		return
+	}
+	g.m.responses[acqserver.CodeOK].Inc()
+	sess.writeMsg(acqserver.MsgResult, reqID, traceID, out)
+}
+
+// attempt proxies the payload to one backend under the upstream timeout,
+// recording a gw_upstream span and the per-backend latency histogram.  A
+// transport failure discards the pooled connection and marks the backend
+// down passively.
+func (sess *gwSession) attempt(root trace.Span, b *backend, n int, payload []byte, traceID uint64) (*acqserver.Response, error) {
+	g := sess.gw
+	span := root.Child("gw_upstream")
+	span.SetStr("backend", b.cfg.Addr)
+	span.SetInt("attempt", int64(n))
+	defer span.End()
+	g.m.requests[b.id].Inc()
+
+	c, err := b.pool.get()
+	if err != nil {
+		span.SetStr("error", "dial: "+err.Error())
+		g.markDown(b, err)
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.UpstreamTimeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := c.DoPayload(ctx, payload, traceID)
+	g.m.upstreamNs[b.id].Observe(float64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		span.SetStr("error", err.Error())
+		b.pool.discard(c)
+		g.markDown(b, err)
+		return nil, err
+	}
+	span.SetStr("code", resp.Code.String())
+	return resp, nil
+}
+
+// retryable reports whether an attempt's outcome should be retried on a
+// sibling: transport failures and the daemon's explicit shed codes
+// (RESOURCE_EXHAUSTED, UNAVAILABLE).  Deterministic rejections
+// (INVALID_ARGUMENT, TOO_LARGE, DEADLINE_EXCEEDED, INTERNAL) would fail
+// identically elsewhere and pass through.
+func retryable(resp *acqserver.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.Code == acqserver.CodeResourceExhausted || resp.Code == acqserver.CodeUnavailable
+}
+
+// attemptOutcome names a failed attempt for trace annotation.
+func attemptOutcome(resp *acqserver.Response, err error) string {
+	if err != nil {
+		return "transport: " + err.Error()
+	}
+	return resp.Code.String()
+}

@@ -1,0 +1,86 @@
+// Command clusterreport asserts the cluster-mode invariants of an imsload
+// -json report — the machine half of scripts/serve-cluster-smoke.sh.  It
+// decodes the report and fails unless:
+//
+//   - the run completed requests and recorded topology "cluster";
+//   - the shed rate is at or under -max-shed (the loss bound the smoke
+//     test grants a mid-burst backend kill);
+//   - at least -min-backends distinct fleet members served frames,
+//     proving the gateway actually fanned out (and re-routed around the
+//     killed backend rather than pinning everything to one survivor).
+//
+// Usage:
+//
+//	clusterreport -report FILE [-max-shed RATE] [-min-backends N]
+//
+// On success it prints a one-line summary; on violation it exits 1 with
+// the failed invariant.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// clusterReport is the slice of imsload's -json report this checker needs.
+type clusterReport struct {
+	// Requests is the total completed request count.
+	Requests int `json:"requests"`
+	// Shed counts RESOURCE_EXHAUSTED/UNAVAILABLE responses.
+	Shed int `json:"shed"`
+	// ShedRate is Shed over Requests.
+	ShedRate float64 `json:"shed_rate"`
+	// Topology echoes imsload's -topology flag.
+	Topology string `json:"topology"`
+	// Backends is the per-fleet-member attribution, keyed by backend id.
+	Backends map[string]struct {
+		// Frames is the OK results the backend served.
+		Frames int64 `json:"frames"`
+		// Retried counts frames that needed a sibling retry to land.
+		Retried int64 `json:"retried"`
+	} `json:"backends"`
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "clusterreport: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	reportPath := flag.String("report", "", "imsload -json report to check")
+	maxShed := flag.Float64("max-shed", 0.05, "maximum tolerated shed rate")
+	minBackends := flag.Int("min-backends", 2, "minimum distinct backends that must have served frames")
+	flag.Parse()
+	if *reportPath == "" {
+		fail("need -report FILE")
+	}
+	body, err := os.ReadFile(*reportPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	var rep clusterReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		fail("parse %s: %v", *reportPath, err)
+	}
+	if rep.Requests == 0 {
+		fail("report has zero completed requests")
+	}
+	if rep.Topology != "cluster" {
+		fail("report topology %q, want cluster", rep.Topology)
+	}
+	if rep.ShedRate > *maxShed {
+		fail("shed rate %.4f (%d/%d) exceeds loss bound %.4f",
+			rep.ShedRate, rep.Shed, rep.Requests, *maxShed)
+	}
+	if len(rep.Backends) < *minBackends {
+		fail("only %d backend(s) served frames, want >= %d", len(rep.Backends), *minBackends)
+	}
+	var retried int64
+	for _, b := range rep.Backends {
+		retried += b.Retried
+	}
+	fmt.Printf("clusterreport: OK — %d requests, shed rate %.4f <= %.4f, %d backends served (%d frames sibling-retried)\n",
+		rep.Requests, rep.ShedRate, *maxShed, len(rep.Backends), retried)
+}

@@ -5,30 +5,42 @@
 //
 // Usage:
 //
-//	docslint DIR [DIR...]
+//	docslint [-metrics-doc FILE] DIR [DIR...]
 //
 // Each DIR is parsed as one package (tests excluded); every exported
 // top-level type, function, method, var and const must carry a doc comment.
 // Offenders are listed as file:line: name and the exit status is 1.
+//
+// With -metrics-doc, the same directories are also scanned for telemetry
+// family registrations — string-literal first arguments to Counter, Gauge
+// and Histogram calls — and every family name found in code must appear in
+// the given catalogue document (docs/OBSERVABILITY.md).  A metric exported
+// by code but missing from the catalogue fails the gate: the catalogue is
+// the operator's contract, and silent families rot it.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
+	"sort"
 	"strings"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: docslint DIR [DIR...]")
+	metricsDoc := flag.String("metrics-doc", "", "metric catalogue markdown; every family registered in code must be named in it")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: docslint [-metrics-doc FILE] DIR [DIR...]")
 		os.Exit(2)
 	}
 	bad := 0
-	for _, dir := range os.Args[1:] {
-		n, err := lintDir(dir)
+	families := map[string][]string{} // family name -> registration sites
+	for _, dir := range flag.Args() {
+		n, err := lintDir(dir, families)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
 			os.Exit(2)
@@ -39,11 +51,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docslint: %d exported identifier(s) without doc comments\n", bad)
 		os.Exit(1)
 	}
+	if *metricsDoc != "" {
+		missing, err := checkCatalogue(*metricsDoc, families)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+			os.Exit(2)
+		}
+		if missing > 0 {
+			fmt.Fprintf(os.Stderr, "docslint: %d metric familie(s) missing from %s\n", missing, *metricsDoc)
+			os.Exit(1)
+		}
+	}
 }
 
-// lintDir checks one package directory and reports each undocumented
-// exported identifier, returning how many it found.
-func lintDir(dir string) (int, error) {
+// checkCatalogue reports every registered family name that the catalogue
+// document never mentions.
+func checkCatalogue(path string, families map[string][]string) (int, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	text := string(doc)
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	missing := 0
+	for _, name := range names {
+		if !strings.Contains(text, name) {
+			for _, site := range families[name] {
+				fmt.Printf("%s: metric family %q not in %s\n", site, name, path)
+			}
+			missing++
+		}
+	}
+	return missing, nil
+}
+
+// lintDir checks one package directory, reporting each undocumented
+// exported identifier and collecting metric-family registrations into
+// families (name -> file:line sites).
+func lintDir(dir string, families map[string][]string) (int, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
@@ -57,9 +106,41 @@ func lintDir(dir string) (int, error) {
 			for _, decl := range f.Decls {
 				bad += lintDecl(fset, decl)
 			}
+			collectFamilies(fset, f, families)
 		}
 	}
 	return bad, nil
+}
+
+// collectFamilies records every Counter/Gauge/Histogram call whose family
+// name is a string literal.  Calls with computed names are skipped — they
+// cannot be matched against a static catalogue.
+func collectFamilies(fset *token.FileSet, f *ast.File, families map[string][]string) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Counter", "Gauge", "Histogram":
+		default:
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || len(lit.Value) < 2 {
+			return true
+		}
+		name := strings.Trim(lit.Value, "`\"")
+		if name == "" {
+			return true
+		}
+		families[name] = append(families[name], fset.Position(call.Pos()).String())
+		return true
+	})
 }
 
 // lintDecl reports the undocumented exported identifiers of one top-level

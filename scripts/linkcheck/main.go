@@ -1,0 +1,95 @@
+// Command linkcheck verifies the relative links in markdown files: every
+// `[text](target)` whose target is not an absolute URL or a pure anchor
+// must resolve to an existing file or directory relative to the linking
+// file.  It is the docs half of `make docs-verify` — a renamed source file
+// or a typo'd cross-reference between docs/*.md fails the gate instead of
+// shipping as a dead link.
+//
+// Usage:
+//
+//	linkcheck FILE [FILE...]
+//
+// Dead links are listed as file: target and the exit status is 1.  Anchor
+// suffixes (`doc.md#section`) are stripped before the existence check;
+// anchors themselves are not validated.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links, capturing the target.  Reference
+// definitions and autolinks are out of scope — the repo's docs use inline
+// links throughout.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck FILE [FILE...]")
+		os.Exit(2)
+	}
+	dead := 0
+	for _, path := range os.Args[1:] {
+		n, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		dead += n
+	}
+	if dead > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d dead relative link(s)\n", dead)
+		os.Exit(1)
+	}
+}
+
+// checkFile scans one markdown file and reports each relative link target
+// that does not exist on disk.
+func checkFile(path string) (int, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	dead := 0
+	inFence := false
+	for _, line := range strings.Split(string(body), "\n") {
+		// Skip fenced code blocks: shell snippets legitimately contain
+		// `](...)`-shaped text that is not a link.
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s: %s\n", path, m[1])
+				dead++
+			}
+		}
+	}
+	return dead, nil
+}
+
+// skippable reports link targets outside the checker's scope: absolute
+// URLs, mail links and pure in-page anchors.
+func skippable(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -1,0 +1,128 @@
+#!/bin/sh
+# serve-cluster-smoke.sh: end-to-end smoke test of the cluster topology —
+# one imsgw gateway consistent-hashing sessions over three imsd backends,
+# with a rolling-restart-shaped failure injected mid-burst.
+#
+# Builds imsd, imsgw, imsload and the httpget/clusterreport helpers, then:
+#   1. starts three imsd backends (each with /readyz up and a drain grace);
+#   2. starts imsgw over the three, probing their /readyz endpoints, and
+#      asserts the gateway's own /healthz and /readyz answer 200;
+#   3. runs a 6-second, 16-client imsload burst in cluster mode against
+#      the gateway, and SIGTERMs one backend two seconds in;
+#   4. asserts the burst finished with zero transport/protocol errors, a
+#      shed rate inside the loss bound (default 5%), and frames served by
+#      at least two distinct backends (scripts/clusterreport);
+#   5. asserts the killed backend drained cleanly, the gateway's /readyz
+#      stayed 200 throughout (two backends remained on the ring), and the
+#      gateway itself drains cleanly on SIGTERM.
+set -eu
+
+GO=${GO:-go}
+GW_PORT=${CLUSTER_SMOKE_GW_PORT:-17170}
+GW_METRICS=${CLUSTER_SMOKE_GW_METRICS_PORT:-17190}
+B1_PORT=17171; B1_METRICS=17191
+B2_PORT=17172; B2_METRICS=17192
+B3_PORT=17173; B3_METRICS=17193
+MAX_SHED=${CLUSTER_SMOKE_MAX_SHED:-0.05}
+TMP=$(mktemp -d)
+PIDS=""
+GW_PID=""
+B2_PID=""
+
+cleanup() {
+    for pid in $PIDS; do
+        if kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "cluster-smoke: building binaries"
+$GO build -o "$TMP/imsd" ./cmd/imsd
+$GO build -o "$TMP/imsgw" ./cmd/imsgw
+$GO build -o "$TMP/imsload" ./cmd/imsload
+$GO build -o "$TMP/httpget" ./scripts/httpget
+$GO build -o "$TMP/clusterreport" ./scripts/clusterreport
+
+# start_backend launches one imsd and leaves its pid in LAST_PID.  (No
+# command substitution: the daemon must be a child of THIS shell so the
+# script can `wait` on it for the clean-drain assertion.)
+start_backend() {
+    port=$1; metrics=$2; log=$3
+    "$TMP/imsd" -addr "127.0.0.1:$port" -metrics "127.0.0.1:$metrics" \
+        -drain-timeout 10s -drain-grace 1s >"$log" 2>&1 &
+    LAST_PID=$!
+}
+
+echo "cluster-smoke: starting three imsd backends"
+start_backend "$B1_PORT" "$B1_METRICS" "$TMP/imsd1.log"; B1_PID=$LAST_PID; PIDS="$PIDS $B1_PID"
+start_backend "$B2_PORT" "$B2_METRICS" "$TMP/imsd2.log"; B2_PID=$LAST_PID; PIDS="$PIDS $B2_PID"
+start_backend "$B3_PORT" "$B3_METRICS" "$TMP/imsd3.log"; B3_PID=$LAST_PID; PIDS="$PIDS $B3_PID"
+for metrics in "$B1_METRICS" "$B2_METRICS" "$B3_METRICS"; do
+    if ! "$TMP/httpget" -expect 200 -for 5s "http://127.0.0.1:$metrics/readyz" >/dev/null; then
+        echo "cluster-smoke: FAIL — backend on :$metrics never became ready"
+        cat "$TMP"/imsd*.log; exit 1
+    fi
+done
+
+echo "cluster-smoke: starting imsgw over the fleet"
+"$TMP/imsgw" -addr "127.0.0.1:$GW_PORT" -metrics "127.0.0.1:$GW_METRICS" \
+    -backends "127.0.0.1:$B1_PORT@http://127.0.0.1:$B1_METRICS/readyz,127.0.0.1:$B2_PORT@http://127.0.0.1:$B2_METRICS/readyz,127.0.0.1:$B3_PORT@http://127.0.0.1:$B3_METRICS/readyz" \
+    -probe-interval 200ms -drain-timeout 10s >"$TMP/imsgw.log" 2>&1 &
+GW_PID=$!; PIDS="$PIDS $GW_PID"
+if ! "$TMP/httpget" -expect 200 -for 5s "http://127.0.0.1:$GW_METRICS/healthz" >/dev/null; then
+    echo "cluster-smoke: FAIL — gateway /healthz never answered 200"; cat "$TMP/imsgw.log"; exit 1
+fi
+if ! "$TMP/httpget" -expect 200 -for 5s "http://127.0.0.1:$GW_METRICS/readyz" >/dev/null; then
+    echo "cluster-smoke: FAIL — gateway /readyz never answered 200"; cat "$TMP/imsgw.log"; exit 1
+fi
+
+echo "cluster-smoke: 6s cluster burst, 16 clients; killing backend 2 mid-burst"
+"$TMP/imsload" -addr "127.0.0.1:$GW_PORT" -topology cluster -clients 16 \
+    -duration 6s -tof 128 -json "$TMP/report.json" \
+    -wait-ready "http://127.0.0.1:$GW_METRICS/readyz" >"$TMP/imsload.out" 2>&1 &
+LOAD_PID=$!; PIDS="$PIDS $LOAD_PID"
+sleep 2
+kill -TERM "$B2_PID"
+
+rc=0
+wait "$LOAD_PID" || rc=$?
+cat "$TMP/imsload.out"
+if [ "$rc" -ne 0 ]; then
+    echo "cluster-smoke: FAIL — imsload reported transport/protocol errors"
+    cat "$TMP/imsgw.log"; exit 1
+fi
+
+echo "cluster-smoke: checking loss bound and fan-out in the report"
+if ! "$TMP/clusterreport" -report "$TMP/report.json" -max-shed "$MAX_SHED" -min-backends 2; then
+    echo "cluster-smoke: FAIL — report violates cluster invariants"
+    cat "$TMP/report.json"; cat "$TMP/imsgw.log"; exit 1
+fi
+
+echo "cluster-smoke: asserting the killed backend drained cleanly"
+rc=0
+wait "$B2_PID" || rc=$?
+B2_PID=""
+if [ "$rc" -ne 0 ] || ! grep -q "drained cleanly" "$TMP/imsd2.log"; then
+    echo "cluster-smoke: FAIL — backend 2 exited $rc without a clean drain"
+    cat "$TMP/imsd2.log"; exit 1
+fi
+
+# With two backends still on the ring the gateway must still be ready.
+if ! "$TMP/httpget" -expect 200 "http://127.0.0.1:$GW_METRICS/readyz" >/dev/null; then
+    echo "cluster-smoke: FAIL — gateway /readyz not 200 after losing one backend"
+    cat "$TMP/imsgw.log"; exit 1
+fi
+
+echo "cluster-smoke: draining imsgw"
+kill -TERM "$GW_PID"
+rc=0
+wait "$GW_PID" || rc=$?
+GW_PID=""
+if [ "$rc" -ne 0 ] || ! grep -q "drained cleanly" "$TMP/imsgw.log"; then
+    echo "cluster-smoke: FAIL — imsgw exited $rc without a clean drain"
+    cat "$TMP/imsgw.log"; exit 1
+fi
+echo "cluster-smoke: OK"
