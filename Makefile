@@ -10,15 +10,16 @@ DOCLINT_DIRS = internal/telemetry internal/telemetry/trace \
                internal/telemetry/health internal/telemetry/runtimemetrics \
                internal/pipeline internal/hybrid \
                internal/fpga internal/xd1 internal/acqserver \
-               internal/gateway internal/frameio
+               internal/gateway internal/frameio internal/framelog
 
 # Markdown files whose relative links `make docs-verify` must keep alive.
 DOCS_MD = README.md docs/ARCHITECTURE.md docs/CLUSTER.md \
-          docs/OBSERVABILITY.md docs/PERFORMANCE.md docs/SERVING.md
+          docs/DURABILITY.md docs/OBSERVABILITY.md docs/PERFORMANCE.md \
+          docs/SERVING.md
 
-.PHONY: check fmt vet build test docslint docs-verify fuzz-short serve-smoke cluster-smoke trace-smoke bench bench-json allocgate
+.PHONY: check fmt vet build test docslint docs-verify fuzz-short serve-smoke cluster-smoke trace-smoke wal-smoke bench bench-json allocgate
 
-check: fmt vet build test docslint docs-verify allocgate fuzz-short serve-smoke cluster-smoke trace-smoke
+check: fmt vet build test docslint docs-verify allocgate fuzz-short serve-smoke cluster-smoke trace-smoke wal-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -44,10 +45,13 @@ docslint:
 docs-verify: docslint
 	$(GO) run ./scripts/linkcheck $(DOCS_MD)
 
-# A short coverage-guided pass over the frame decoder; regressions in the
-# header guards surface here before they reach the wire.
+# Short coverage-guided passes over the two binary-format readers: the
+# frame decoder and the frame-log segment scanner.  Regressions in the
+# header and CRC guards surface here before they reach the wire or a
+# recovery pass.
 fuzz-short:
 	$(GO) test ./internal/frameio -run '^$$' -fuzz FuzzRead -fuzztime 5s
+	$(GO) test ./internal/framelog -run '^$$' -fuzz FuzzSegmentRead -fuzztime 5s
 
 # End-to-end serving smoke: start imsd, hammer it with imsload for 2s,
 # assert zero protocol errors and a clean SIGTERM drain.
@@ -65,6 +69,12 @@ cluster-smoke:
 trace-smoke:
 	./scripts/trace-smoke.sh
 
+# End-to-end durability smoke: capture a burst into the frame log, prove
+# the replay digest is bit-identical, then SIGKILL a daemon mid-burst and
+# prove recovery re-processes every acknowledged frame (docs/DURABILITY.md).
+wal-smoke:
+	./scripts/wal-smoke.sh
+
 # The nil-registry overhead contract (<5 ns/op, 0 allocs/op on the nil
 # path) and the disabled-tracer contract (<10 ns/op, 0 allocs/op across
 # six span sites).
@@ -74,11 +84,12 @@ bench:
 
 # The zero-steady-state-allocation contract of the batched decode path
 # (docs/PERFORMANCE.md): the testing.AllocsPerRun gates across the
-# hadamard kernels, the pipeline block decoder, the fixed-point core, and
-# the telemetry hot path (Observe stays 0-alloc with rolling windows on).
+# hadamard kernels, the pipeline block decoder, the fixed-point core, the
+# telemetry hot path (Observe stays 0-alloc with rolling windows on), and
+# the frame-log append submission path.
 allocgate:
 	$(GO) test ./internal/hadamard ./internal/pipeline ./internal/fpga \
-		./internal/telemetry \
+		./internal/telemetry ./internal/framelog \
 		-run 'Allocs|DeconvolveToMatchesDeconvolve' -count=1
 
 # Refresh the decode-path benchmark ledger: the Micro* data-path

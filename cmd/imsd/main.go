@@ -12,6 +12,17 @@
 //	     [-health-interval D] [-slo-latency D] [-slo-latency-target F]
 //	     [-slo-shed-budget F] [-slo-error-budget F]
 //	     [-trace FILE] [-trace-slow D] [-trace-sample N] [-trace-ring N]
+//	     [-framelog DIR] [-framelog-fsync always|interval|none]
+//	     [-framelog-fsync-interval D] [-framelog-segment-bytes N]
+//	     [-framelog-segment-age D] [-framelog-retain K]
+//
+// With -framelog, every accepted frame is appended to a durable,
+// segmented, CRC-verified write-ahead log before it is enqueued, and on
+// startup any records past the last-completed watermark are re-enqueued
+// through the same worker pools (crash recovery).  Under -framelog-fsync
+// always an acknowledged frame survives power loss; under interval or
+// none, results carry a not-durable flag instead.  See docs/DURABILITY.md
+// for the format, the fsync trade-offs, and the replay runbook.
 //
 // With -metrics, an HTTP endpoint serves the acq_* telemetry families in
 // Prometheus text format at /metrics (JSON at /metrics.json, with rolling
@@ -53,6 +64,7 @@ import (
 	"time"
 
 	"repro/internal/acqserver"
+	"repro/internal/framelog"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/health"
 	"repro/internal/telemetry/runtimemetrics"
@@ -86,6 +98,12 @@ func main() {
 	traceSlow := flag.Duration("trace-slow", 0, "keep every trace at least this slow (0 keeps all)")
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "uniformly keep 1 in N traces under the slow threshold")
 	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "retained traces per ring (slow and sampled)")
+	walDir := flag.String("framelog", "", "append every accepted frame to a durable frame log in this directory (see docs/DURABILITY.md)")
+	walFsync := flag.String("framelog-fsync", "interval", "frame-log fsync policy: always, interval, or none")
+	walFsyncInterval := flag.Duration("framelog-fsync-interval", 50*time.Millisecond, "sync period under -framelog-fsync interval")
+	walSegBytes := flag.Int64("framelog-segment-bytes", 64<<20, "rotate frame-log segments at this size")
+	walSegAge := flag.Duration("framelog-segment-age", 0, "also rotate non-empty segments older than this (0 = never)")
+	walRetain := flag.Int("framelog-retain", 16, "sealed segments kept before the janitor deletes the oldest (0 = keep all)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stdout, nil))
@@ -107,9 +125,50 @@ func main() {
 		cfg.Trace = tracer
 	}
 
+	var wal *framelog.Log
+	if *walDir != "" {
+		policy, err := framelog.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			fail("%v", err)
+		}
+		wcfg := framelog.DefaultConfig(*walDir)
+		wcfg.Fsync = policy
+		wcfg.FsyncInterval = *walFsyncInterval
+		wcfg.SegmentBytes = *walSegBytes
+		wcfg.SegmentMaxAge = *walSegAge
+		wcfg.RetainSegments = *walRetain
+		wcfg.Metrics = reg
+		wcfg.Trace = tracer
+		wcfg.Logger = log
+		wal, err = framelog.Open(wcfg)
+		if err != nil {
+			fail("framelog: %v", err)
+		}
+		info := wal.RecoveryInfo()
+		log.Info("framelog recovered",
+			"dir", *walDir, "fsync", policy.String(),
+			"records", info.Records, "segments", info.Segments,
+			"first_seq", info.FirstSeq, "last_seq", info.LastSeq,
+			"watermark", info.Watermark, "pending", info.Pending,
+			"truncated_bytes", info.TruncatedBytes)
+		cfg.FrameLog = wal
+	}
+
 	srv, err := acqserver.NewServer(cfg)
 	if err != nil {
 		fail("%v", err)
+	}
+	if wal != nil {
+		go func() {
+			n, err := srv.RecoverFrames(context.Background())
+			if err != nil {
+				log.Error("framelog replay stopped", "enqueued", n, "err", err)
+				return
+			}
+			if n > 0 {
+				log.Info("framelog replay enqueued", "frames", n)
+			}
+		}()
 	}
 
 	healthCtx, stopHealth := context.WithCancel(context.Background())

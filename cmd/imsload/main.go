@@ -10,6 +10,23 @@
 //	        [-tof N] [-path hybrid|cpu] [-deadline D] [-enc raw|delta]
 //	        [-seed N] [-json FILE] [-trace FILE]
 //	        [-wait-ready URL] [-wait-ready-timeout D]
+//	        [-replay DIR] [-replay-rate F]
+//
+// With -replay, instead of generating synthetic frames imsload streams a
+// captured frame log (written by imsd -framelog, see docs/DURABILITY.md)
+// back through IMSP: every record's payload is submitted verbatim over a
+// single connection, paced by the recorded inter-frame gaps divided by
+// -replay-rate (1 = recorded rate, 2 = twice as fast, 0 = as fast as
+// possible).  The -json report gains a "replay" block (source directory,
+// segment count, seq range, records, rate multiplier) so replay runs are
+// machine-comparable with live ones.
+//
+// Every run — live or replay — reports a response_digest: an
+// order-insensitive combination of per-result FNV-1a hashes over the
+// returned peak lists (timing, shard and routing fields excluded).  Two
+// runs that deconvolved the same frames to the same peaks carry the same
+// digest, which is how the wal-smoke proves a replayed capture is
+// bit-identical to the original responses.
 //
 // With -topology cluster, -addr names an imsgw gateway rather than a
 // single daemon.  Gateway results carry a routing trailer (which fleet
@@ -43,19 +60,24 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/acqserver"
 	"repro/internal/frameio"
+	"repro/internal/framelog"
 	"repro/internal/instrument"
 	"repro/internal/telemetry/trace"
 )
@@ -74,6 +96,37 @@ type clientStats struct {
 	errs      []error
 	server    serverBreakdown
 	backends  map[uint16]*backendTally
+	// digest is the wrapping sum of per-OK-result FNV-1a hashes over peak
+	// lists (order-insensitive, so concurrent clients combine cleanly).
+	digest uint64
+	// notDurable counts OK responses flagged ResultFlagNotDurable (the
+	// daemon's frame log is not fsyncing before the ACK).
+	notDurable int
+}
+
+// tallyResult folds one OK result into the digest and durability tallies.
+func (st *clientStats) tallyResult(resp *acqserver.Response) {
+	st.digest += resultDigest(resp.Result)
+	if resp.DurabilityError() != nil {
+		st.notDurable++
+	}
+}
+
+// resultDigest hashes the payload-determined part of one result — the
+// peak list — excluding timing, shard and routing fields, so live and
+// replayed responses to the same frame hash identically.
+func resultDigest(r *acqserver.Result) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(r.Peaks)))
+	_, _ = h.Write(b[:])
+	for _, p := range r.Peaks {
+		for _, v := range [4]float64{p.Centroid, p.Height, p.Area, p.SNR} {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			_, _ = h.Write(b[:])
+		}
+	}
+	return h.Sum64()
 }
 
 // backendTally attributes accepted frames to one gateway fleet member,
@@ -148,6 +201,31 @@ type report struct {
 	// ServerHealth is the daemon's /readyz report fetched by -wait-ready,
 	// verbatim; absent when -wait-ready was not used.
 	ServerHealth json.RawMessage `json:"server_health,omitempty"`
+	// ResponseDigest is the order-insensitive hash over all OK results'
+	// peak lists (hex); equal digests mean two runs deconvolved the same
+	// frames to bit-identical peaks.
+	ResponseDigest string `json:"response_digest"`
+	// OKNotDurable counts OK responses flagged as acknowledged before the
+	// daemon's frame log reached stable storage.
+	OKNotDurable int `json:"ok_not_durable"`
+	// Replay describes the capture a -replay run streamed; absent on live
+	// runs.
+	Replay *replayBlock `json:"replay,omitempty"`
+}
+
+// replayBlock is the -json summary of the capture a replay run streamed.
+type replayBlock struct {
+	// Dir is the frame log directory that was replayed.
+	Dir string `json:"dir"`
+	// Segments is how many segment files the capture spans.
+	Segments int `json:"segments"`
+	// FirstSeq and LastSeq bound the replayed records.
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+	// Records is the total record count streamed.
+	Records int64 `json:"records"`
+	// RateMultiplier echoes -replay-rate.
+	RateMultiplier float64 `json:"rate_multiplier"`
 }
 
 func main() {
@@ -165,6 +243,8 @@ func main() {
 	waitReady := flag.String("wait-ready", "", "block until this /readyz URL answers 200 before generating load")
 	waitReadyTimeout := flag.Duration("wait-ready-timeout", 30*time.Second, "give up on -wait-ready after this long")
 	topology := flag.String("topology", "single", "target topology: single (one imsd) or cluster (an imsgw gateway, per-backend attribution reported)")
+	replayDir := flag.String("replay", "", "replay a captured frame log directory (written by imsd -framelog) instead of generating synthetic load")
+	replayRate := flag.Float64("replay-rate", 1, "replay pacing: recorded inter-frame gaps are divided by this multiplier (0 = as fast as possible)")
 	flag.Parse()
 
 	if *topology != "single" && *topology != "cluster" {
@@ -229,68 +309,24 @@ func main() {
 	stats := make([]clientStats, *clients)
 	var wg sync.WaitGroup
 	start := time.Now()
-	stop := start.Add(*duration)
-	for i := 0; i < *clients; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			st := &stats[i]
-			st.rejected = map[acqserver.Code]int{}
-			c, err := acqserver.Dial(*addr, 5*time.Second)
-			if err != nil {
-				st.errs = append(st.errs, err)
-				return
-			}
-			defer c.Close()
-			frame := syntheticFrame(driftBins, *tofBins, *seed+int64(i))
-			next := time.Now()
-			for time.Now().Before(stop) {
-				if interval > 0 {
-					if d := time.Until(next); d > 0 {
-						time.Sleep(d)
-					}
-					next = next.Add(interval)
-				}
-				root := tracer.StartTrace("client_request", 0)
-				root.SetInt("client", int64(i))
-				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-				reqStart := time.Now()
-				resp, err := c.Do(ctx, frame, enc, acqserver.FrameOptions{
-					Path: path, Deadline: *deadline, TraceID: root.TraceID(),
-				})
-				cancel()
-				if err != nil {
-					root.SetStr("error", err.Error())
-					root.End()
-					st.errs = append(st.errs, err)
-					return
-				}
-				root.SetStr("code", resp.Code.String())
-				if resp.Result != nil {
-					root.SetInt("server_queue_wait_ns", int64(resp.Result.QueueWaitNs))
-					root.SetInt("server_process_ns", int64(resp.Result.ProcessNs))
-					st.server.add(resp.Result)
-					st.tallyBackend(resp.Result)
-				}
-				root.End()
-				st.latencies = append(st.latencies, time.Since(reqStart))
-				switch resp.Code {
-				case acqserver.CodeOK:
-					st.ok++
-				case acqserver.CodeResourceExhausted, acqserver.CodeUnavailable:
-					st.shed++
-				default:
-					st.rejected[resp.Code]++
-				}
-			}
-		}(i)
+	var replay *replayBlock
+	var replayBytes int64
+	if *replayDir != "" {
+		stats[0].rejected = map[acqserver.Code]int{}
+		replay, replayBytes = runReplay(*addr, *replayDir, *replayRate, &stats[0], tracer)
+	} else {
+		runLive(*addr, stats, liveOptions{
+			stop: start.Add(*duration), interval: interval, driftBins: driftBins,
+			tofBins: *tofBins, seed: *seed, path: path, enc: enc,
+			deadline: *deadline, tracer: tracer,
+		}, &wg)
 	}
-	wg.Wait()
 	elapsed := time.Since(start)
 
 	// Merge and report.
 	var all []time.Duration
-	var ok, shed int
+	var ok, shed, notDurable int
+	var digest uint64
 	rejected := map[acqserver.Code]int{}
 	var errs []error
 	var server serverBreakdown
@@ -298,6 +334,8 @@ func main() {
 		all = append(all, stats[i].latencies...)
 		ok += stats[i].ok
 		shed += stats[i].shed
+		digest += stats[i].digest
+		notDurable += stats[i].notDurable
 		for c, n := range stats[i].rejected {
 			rejected[c] += n
 		}
@@ -329,9 +367,15 @@ func main() {
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(q float64) time.Duration { return all[int(q*float64(total-1))] }
 
-	encSize, err := frameio.EncodedSize(syntheticFrame(driftBins, *tofBins, *seed), enc)
-	if err != nil {
-		encSize = 0
+	var submittedBytes float64
+	if replay != nil {
+		submittedBytes = float64(replayBytes)
+	} else {
+		encSize, err := frameio.EncodedSize(syntheticFrame(driftBins, *tofBins, *seed), enc)
+		if err != nil {
+			encSize = 0
+		}
+		submittedBytes = float64(total) * float64(encSize)
 	}
 	fmt.Printf("requests:   %d total, %d ok, %d shed (%.2f%% shed rate)\n",
 		total, ok, shed, 100*float64(shed)/float64(total))
@@ -340,7 +384,12 @@ func main() {
 		pct(0.99).Round(time.Microsecond), all[total-1].Round(time.Microsecond))
 	fmt.Printf("throughput: %.1f req/s, %.2f MiB/s submitted\n",
 		float64(total)/elapsed.Seconds(),
-		float64(total)*float64(encSize)/elapsed.Seconds()/(1<<20))
+		submittedBytes/elapsed.Seconds()/(1<<20))
+	fmt.Printf("digest:     response_digest %016x over %d ok results\n", digest, ok)
+	if notDurable > 0 {
+		fmt.Printf("imsload: note: %d of %d acks were not durable (daemon frame log is not fsyncing before the ACK)\n",
+			notDurable, ok)
+	}
 	if server.Frames > 0 {
 		fmt.Printf("server:     mean queue wait %v, process %v, modeled XD1 %v (over %d frames)\n",
 			time.Duration(server.QueueWaitNs/server.Frames).Round(time.Microsecond),
@@ -384,17 +433,23 @@ func main() {
 			Shed:          shed,
 			ShedRate:      float64(shed) / float64(total),
 			ThroughputRPS: float64(total) / elapsed.Seconds(),
-			SubmittedMiBS: float64(total) * float64(encSize) / elapsed.Seconds() / (1 << 20),
+			SubmittedMiBS: submittedBytes / elapsed.Seconds() / (1 << 20),
 			LatencyNs: map[string]int64{
 				"p50": pct(0.50).Nanoseconds(),
 				"p95": pct(0.95).Nanoseconds(),
 				"p99": pct(0.99).Nanoseconds(),
 				"max": all[total-1].Nanoseconds(),
 			},
-			Server:       server,
-			Topology:     *topology,
-			ProtoVersion: protoVer,
-			ServerHealth: serverHealth,
+			Server:         server,
+			Topology:       *topology,
+			ProtoVersion:   protoVer,
+			ServerHealth:   serverHealth,
+			ResponseDigest: fmt.Sprintf("%016x", digest),
+			OKNotDurable:   notDurable,
+			Replay:         replay,
+		}
+		if replay != nil {
+			rep.Clients = 1 // replay streams over a single connection
 		}
 		if len(fleet) > 0 {
 			rep.Backends = map[string]*backendTally{}
@@ -430,6 +485,177 @@ func main() {
 	if len(errs) > 0 || len(rejected) > 0 {
 		os.Exit(1)
 	}
+}
+
+// liveOptions carries the synthetic-load parameters into runLive.
+type liveOptions struct {
+	stop      time.Time
+	interval  time.Duration
+	driftBins int
+	tofBins   int
+	seed      int64
+	path      acqserver.Path
+	enc       frameio.Encoding
+	deadline  time.Duration
+	tracer    *trace.Tracer
+}
+
+// runLive fans out one goroutine per clientStats entry, each driving its
+// own connection with synthetic frames until opts.stop, and waits for all
+// of them.
+func runLive(addr string, stats []clientStats, opts liveOptions, wg *sync.WaitGroup) {
+	for i := range stats {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &stats[i]
+			st.rejected = map[acqserver.Code]int{}
+			c, err := acqserver.Dial(addr, 5*time.Second)
+			if err != nil {
+				st.errs = append(st.errs, err)
+				return
+			}
+			defer c.Close()
+			frame := syntheticFrame(opts.driftBins, opts.tofBins, opts.seed+int64(i))
+			next := time.Now()
+			for time.Now().Before(opts.stop) {
+				if opts.interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(opts.interval)
+				}
+				root := opts.tracer.StartTrace("client_request", 0)
+				root.SetInt("client", int64(i))
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				reqStart := time.Now()
+				resp, err := c.Do(ctx, frame, opts.enc, acqserver.FrameOptions{
+					Path: opts.path, Deadline: opts.deadline, TraceID: root.TraceID(),
+				})
+				cancel()
+				if err != nil {
+					root.SetStr("error", err.Error())
+					root.End()
+					st.errs = append(st.errs, err)
+					return
+				}
+				root.SetStr("code", resp.Code.String())
+				if resp.Result != nil {
+					root.SetInt("server_queue_wait_ns", int64(resp.Result.QueueWaitNs))
+					root.SetInt("server_process_ns", int64(resp.Result.ProcessNs))
+					st.server.add(resp.Result)
+					st.tallyBackend(resp.Result)
+					st.tallyResult(resp)
+				}
+				root.End()
+				st.latencies = append(st.latencies, time.Since(reqStart))
+				switch resp.Code {
+				case acqserver.CodeOK:
+					st.ok++
+				case acqserver.CodeResourceExhausted, acqserver.CodeUnavailable:
+					st.shed++
+				default:
+					st.rejected[resp.Code]++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runReplay streams every record of a captured frame log through one IMSP
+// connection, pacing by the recorded inter-frame gaps divided by rate, and
+// tallies responses into st exactly like a live client.  It returns the
+// replay summary for the report and the total payload bytes submitted.
+// The payloads go out verbatim (DoPayload), so the daemon re-decodes the
+// exact bytes it accepted during the capture — which is what makes the
+// response digest comparable across the two runs.
+func runReplay(addr, dir string, rate float64, st *clientStats, tracer *trace.Tracer) (*replayBlock, int64) {
+	infos, err := framelog.ListSegments(dir)
+	if err != nil {
+		fail("replay %s: %v", dir, err)
+	}
+	blk := &replayBlock{Dir: filepath.Clean(dir), Segments: len(infos), RateMultiplier: rate}
+	for _, si := range infos {
+		if si.Records == 0 {
+			continue
+		}
+		if blk.Records == 0 {
+			blk.FirstSeq = si.FirstSeq
+		}
+		blk.LastSeq = si.LastSeq
+		blk.Records += int64(si.Records)
+	}
+	if blk.Records == 0 {
+		fail("replay %s: no records in %d segment(s)", dir, len(infos))
+	}
+	fmt.Printf("imsload: replaying %d records (seq %d..%d, %d segments) from %s at %gx recorded rate\n",
+		blk.Records, blk.FirstSeq, blk.LastSeq, blk.Segments, blk.Dir, rate)
+
+	c, err := acqserver.Dial(addr, 5*time.Second)
+	if err != nil {
+		fail("replay dial %s: %v", addr, err)
+	}
+	defer c.Close()
+
+	var bytes int64
+	var prevTs int64
+	sent, stopped := false, false
+	for _, si := range infos {
+		if _, err := framelog.ScanSegment(si.Path, func(rec framelog.Record) error {
+			if sent && rate > 0 {
+				if gap := rec.Time - prevTs; gap > 0 {
+					// Reproduce the recorded gap, scaled; cap any single
+					// sleep so an idle stretch in the capture cannot stall
+					// the replay for minutes.
+					d := time.Duration(float64(gap) / rate)
+					if d > time.Second {
+						d = time.Second
+					}
+					time.Sleep(d)
+				}
+			}
+			prevTs, sent = rec.Time, true
+
+			root := tracer.StartTrace("replay_request", rec.SID)
+			root.SetInt("wal_seq", int64(rec.Seq))
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			reqStart := time.Now()
+			resp, err := c.DoPayload(ctx, rec.Payload, rec.SID)
+			cancel()
+			if err != nil {
+				root.SetStr("error", err.Error())
+				root.End()
+				st.errs = append(st.errs, fmt.Errorf("replay seq %d: %w", rec.Seq, err))
+				stopped = true
+				return err
+			}
+			root.SetStr("code", resp.Code.String())
+			if resp.Result != nil {
+				st.server.add(resp.Result)
+				st.tallyBackend(resp.Result)
+				st.tallyResult(resp)
+			}
+			root.End()
+			st.latencies = append(st.latencies, time.Since(reqStart))
+			bytes += int64(len(rec.Payload))
+			switch resp.Code {
+			case acqserver.CodeOK:
+				st.ok++
+			case acqserver.CodeResourceExhausted, acqserver.CodeUnavailable:
+				st.shed++
+			default:
+				st.rejected[resp.Code]++
+			}
+			return nil
+		}); err != nil {
+			if !stopped {
+				st.errs = append(st.errs, fmt.Errorf("replay scan %s: %w", si.Path, err))
+			}
+			break
+		}
+	}
+	return blk, bytes
 }
 
 // awaitReady polls url until it answers 200, backing off from 100 ms to

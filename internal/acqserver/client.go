@@ -9,6 +9,7 @@ package acqserver
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -33,6 +34,24 @@ type Response struct {
 	// sessions; 0 otherwise).  It is echoed on errors too, so a caller can
 	// log exactly which frame was shed.
 	TraceID uint64
+}
+
+// ErrNotDurable reports a successful response whose frame was
+// acknowledged before its frame-log record reached stable storage (the
+// daemon runs its log with fsync policy "interval" or "none").  The frame
+// WAS processed — this is not a failure — but a caller that needs the
+// ACK-implies-durable guarantee can distinguish this mode from a true
+// durable acknowledgement.
+var ErrNotDurable = errors.New("acqserver: frame acknowledged without durability (frame log not fsynced)")
+
+// DurabilityError returns ErrNotDurable when the response carries
+// ResultFlagNotDurable, nil otherwise (including on error responses,
+// which acknowledge nothing).
+func (r *Response) DurabilityError() error {
+	if r.Result != nil && r.Result.Flags&ResultFlagNotDurable != 0 {
+		return ErrNotDurable
+	}
+	return nil
 }
 
 // Client is one IMSP connection.  Safe for concurrent use.

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/frameio"
+	"repro/internal/framelog"
 	"repro/internal/hadamard"
 	"repro/internal/hybrid"
 	"repro/internal/instrument"
@@ -99,6 +100,13 @@ type Config struct {
 	// Offload configures the modeled FPGA backend.  Its Order and Metrics
 	// are overridden by the fields above.
 	Offload hybrid.OffloadConfig
+	// FrameLog, when non-nil, is the durable write-ahead log: every
+	// accepted frame's verbatim payload is appended before the frame is
+	// enqueued, completions are marked as workers finish, and Shutdown
+	// seals the log after the drain.  When the log's fsync policy is not
+	// "always", results carry ResultFlagNotDurable.  The server does not
+	// own the log's lifecycle beyond Shutdown's close.
+	FrameLog *framelog.Log
 
 	// processHook, when non-nil, replaces the compute step — a test seam
 	// for deterministic shedding, drain and panic-isolation tests.  It must
@@ -158,6 +166,8 @@ func (c Config) Validate() error {
 }
 
 // task is one accepted frame waiting for (or undergoing) deconvolution.
+// A nil sess marks a frame re-enqueued from the frame log by crash
+// recovery: it has no client to answer, only a completion to mark.
 type task struct {
 	sess     *session
 	reqID    uint64
@@ -168,6 +178,11 @@ type task struct {
 	enqueued time.Time
 	root     trace.Span // frame root; ended by the write loop
 	qspan    trace.Span // queue_wait; ended when a worker picks the task up
+
+	// walSeq is the frame's frame-log sequence number (0 = not logged);
+	// walNotDurable records that the append was acknowledged before fsync.
+	walSeq        uint64
+	walNotDurable bool
 }
 
 // discardHandler is a no-op slog.Handler for a nil Config.Logger (the
@@ -255,6 +270,7 @@ type serverMetrics struct {
 	bytesOut       *telemetry.Counter
 	panics         map[string]*telemetry.Counter
 	protocolErrs   *telemetry.Counter
+	recovered      map[string]*telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -291,6 +307,12 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		m.panics[w] = reg.Counter("acq_panics_total", "panics recovered without killing the daemon, per site",
 			telemetry.L("where", w))
 	}
+	m.recovered = map[string]*telemetry.Counter{}
+	for _, o := range []string{"ok", "error"} {
+		m.recovered[o] = reg.Counter("acq_recovered_frames_total",
+			"frames replayed from the frame log after a restart, per outcome",
+			telemetry.L("outcome", o))
+	}
 	return m
 }
 
@@ -314,6 +336,7 @@ type Server struct {
 	lnMu     sync.Mutex
 	draining atomic.Bool
 	degraded func() bool
+	wal      *framelog.Log
 
 	sessMu    sync.Mutex
 	sessions  map[*session]struct{}
@@ -365,6 +388,7 @@ func NewServer(cfg Config) (*Server, error) {
 		sessions:    map[*session]struct{}{},
 		shutdownc:   make(chan struct{}),
 		degraded:    cfg.DegradedMode,
+		wal:         cfg.FrameLog,
 		processHook: cfg.processHook,
 	}
 	if s.log == nil {
@@ -475,6 +499,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-workersDone:
 	case <-ctx.Done():
 		s.forceCloseSessions()
+		_ = s.closeWAL()
 		return ctx.Err()
 	}
 
@@ -488,11 +513,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.sessWG.Wait(); close(sessDone) }()
 	select {
 	case <-sessDone:
-		return nil
+		return s.closeWAL()
 	case <-ctx.Done():
 		s.forceCloseSessions()
+		_ = s.closeWAL()
 		return ctx.Err()
 	}
+}
+
+// closeWAL flushes completion marks and seals the frame log; the drain is
+// not reported clean until the log is safely on disk.
+func (s *Server) closeWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Close(); err != nil {
+		s.log.Error("framelog close failed", "err", err)
+		return err
+	}
+	return nil
 }
 
 func (s *Server) forceCloseSessions() {
@@ -543,6 +582,11 @@ func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 			s.respondError(t.sess, t.reqID, t.traceID, CodeInternal, fmt.Sprintf("worker panic: %v", r), t.root)
 		}
 	}()
+	if t.walSeq != 0 && s.wal != nil {
+		// The frame counts as processed once a response (success or typed
+		// error) is owed to the client; a later recovery must not replay it.
+		defer s.wal.MarkCompleted(t.walSeq)
+	}
 	t.qspan.End()
 	wait := time.Since(t.enqueued)
 	s.m.queueWait.Observe(float64(wait.Nanoseconds()))
@@ -583,6 +627,9 @@ func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 	res.Shard = uint16(sh.id)
 	res.QueueWaitNs = uint64(wait.Nanoseconds())
 	res.ProcessNs = uint64(elapsed.Nanoseconds())
+	if t.walNotDurable {
+		res.Flags |= ResultFlagNotDurable
+	}
 	payload, err := EncodeResult(res)
 	if err != nil {
 		s.respondError(t.sess, t.reqID, t.traceID, CodeInternal, err.Error(), t.root)
@@ -649,8 +696,19 @@ func (s *Server) summarize(f *instrument.Frame) []PeakSummary {
 	return out
 }
 
-// respond queues a message on the session's write loop and counts it.
+// respond queues a message on the session's write loop and counts it.  A
+// nil session is a recovered frame replayed from the frame log: there is
+// no client to answer, so the outcome is counted and the trace closed.
 func (s *Server) respond(sess *session, m outMsg, code Code) {
+	if sess == nil {
+		outcome := "ok"
+		if code != CodeOK {
+			outcome = "error"
+		}
+		s.m.recovered[outcome].Inc()
+		m.root.End()
+		return
+	}
 	s.m.responses[code].Inc()
 	sess.send(m)
 }

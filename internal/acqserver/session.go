@@ -30,12 +30,32 @@ type outMsg struct {
 	root    trace.Span
 }
 
+// captureReader tees everything read through it into a reusable buffer,
+// so the exact FRAME payload bytes that were streamed off the socket can
+// be appended to the frame log verbatim (replay is then bit-identical to
+// what the client sent).
+type captureReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// Read forwards to the wrapped reader, appending what it saw.
+func (c *captureReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.buf = append(c.buf, p[:n]...)
+	return n, err
+}
+
 // session is the per-connection state.
 type session struct {
 	id    uint64
 	srv   *Server
 	conn  net.Conn
 	shard *shard
+
+	// capR captures FRAME payload bytes for the frame log; its buffer is
+	// reused across the session's frames (the read loop is sequential).
+	capR captureReader
 
 	// ver is the negotiated protocol version (ProtocolV1 until the HELLO
 	// payload proves the client speaks something newer); atomic because
@@ -290,14 +310,22 @@ func (sess *session) handleFrame(h Header) bool {
 
 	// Stream the frame straight off the socket: the encoded payload is
 	// never buffered whole, and frameio's limits reject absurd headers
-	// before any payload-sized allocation.
+	// before any payload-sized allocation.  With a frame log attached the
+	// stream is teed into the session's capture buffer so the log records
+	// the wire payload byte for byte.
 	lr := &io.LimitedReader{R: sess.conn, N: int64(h.PayloadLen) - frameOptsSize}
+	var src io.Reader = lr
+	if s.wal != nil {
+		sess.capR.buf = append(sess.capR.buf[:0], optsBuf[:]...)
+		sess.capR.r = lr
+		src = &sess.capR
+	}
 	start := time.Now()
-	frame, _, decErr := frameio.ReadLimited(lr, s.limits)
+	frame, _, decErr := frameio.ReadLimited(src, s.limits)
 	s.m.readFrame.Observe(float64(time.Since(start).Nanoseconds()))
 	// Resync to the message boundary regardless of decode success; a
 	// failure here is a connection-level error (timeout, disconnect).
-	if _, err := io.Copy(io.Discard, lr); err != nil {
+	if _, err := io.Copy(io.Discard, src); err != nil {
 		root.End()
 		return false
 	}
@@ -319,20 +347,50 @@ func (sess *session) handleFrame(h Header) bool {
 	}
 	root.SetStr("path", opts.Path.String())
 
+	// Append to the frame log before enqueue: once the append is
+	// acknowledged the frame survives a crash (per the fsync policy) even
+	// if it is still queued when the daemon dies.
+	var walSeq uint64
+	var walNotDurable bool
+	if s.wal != nil {
+		aspan := root.Child("framelog_append")
+		seq, err := s.wal.Append(traceID, sess.capR.buf)
+		aspan.SetInt("wal_seq", int64(seq))
+		aspan.End()
+		if err != nil {
+			if s.wal.Durable() {
+				// Durability was promised; failing open would lie to the
+				// client.
+				s.respondError(sess, h.ReqID, traceID, CodeInternal,
+					fmt.Sprintf("frame log append failed: %v", err), root)
+				return true
+			}
+			s.log.Warn("framelog append failed; serving without durability",
+				"session", sess.id, "req_id", h.ReqID, "trace_id", traceID, "err", err)
+			walNotDurable = true
+		} else {
+			walSeq = seq
+			walNotDurable = !s.wal.Durable()
+		}
+	}
+
 	t := &task{
-		sess:     sess,
-		reqID:    h.ReqID,
-		traceID:  traceID,
-		frame:    frame,
-		path:     opts.Path,
-		enqueued: time.Now(),
-		root:     root,
+		sess:          sess,
+		reqID:         h.ReqID,
+		traceID:       traceID,
+		frame:         frame,
+		path:          opts.Path,
+		enqueued:      time.Now(),
+		root:          root,
+		walSeq:        walSeq,
+		walNotDurable: walNotDurable,
 	}
 	if opts.Deadline > 0 {
 		t.deadline = t.enqueued.Add(opts.Deadline)
 	}
 	if s.draining.Load() {
 		s.m.shedByReason["draining"].Inc()
+		s.completeWAL(walSeq)
 		s.log.Debug("frame shed", "reason", "draining", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID)
 		s.respondError(sess, h.ReqID, traceID, CodeUnavailable, "daemon is draining", root)
 		return true
@@ -344,18 +402,21 @@ func (sess *session) handleFrame(h Header) bool {
 		s.m.framesByPath[opts.Path].Inc()
 	case errDegraded:
 		s.m.shedByReason["degraded"].Inc()
+		s.completeWAL(walSeq)
 		s.log.Debug("frame shed", "reason", "degraded", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID, "shard", sess.shard.id)
 		t.qspan.End()
 		s.respondError(sess, h.ReqID, traceID, CodeResourceExhausted,
 			fmt.Sprintf("shard %d shedding early: server is degraded", sess.shard.id), root)
 	case errQueueFull:
 		s.m.shedByReason["queue_full"].Inc()
+		s.completeWAL(walSeq)
 		s.log.Debug("frame shed", "reason", "queue_full", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID, "shard", sess.shard.id)
 		t.qspan.End()
 		s.respondError(sess, h.ReqID, traceID, CodeResourceExhausted,
 			fmt.Sprintf("shard %d queue full (depth %d)", sess.shard.id, s.cfg.QueueDepth), root)
 	case errDraining:
 		s.m.shedByReason["draining"].Inc()
+		s.completeWAL(walSeq)
 		s.log.Debug("frame shed", "reason", "draining", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID)
 		t.qspan.End()
 		s.respondError(sess, h.ReqID, traceID, CodeUnavailable, "daemon is draining", root)

@@ -279,22 +279,34 @@ type Result struct {
 	// Attempts counts the gateway delivery attempts this result took
 	// (1 = first try, 2 = one sibling retry).  0 on a direct response.
 	Attempts uint8
+	// Flags carries per-result condition bits (ResultFlag*); it rides the
+	// routing trailer's formerly-reserved byte, so pre-durability peers
+	// that never set it decode unchanged.
+	Flags uint8
 	// Peaks are the strongest drift-profile peaks, height-descending.
 	Peaks []PeakSummary
 }
+
+// ResultFlagNotDurable marks a result whose frame was acknowledged before
+// its frame-log record reached stable storage (fsync policy interval or
+// none): the work succeeded, but a host crash at the wrong moment could
+// have lost the record.  Client.Do surfaces it as ErrNotDurable via
+// Response.DurabilityError.
+const ResultFlagNotDurable uint8 = 1 << 0
 
 // maxResultPeaks bounds the peak list a RESULT may carry.
 const maxResultPeaks = 64
 
 // resultTrailerSize is the optional routing trailer a RESULT may end with:
-// backend id u16, attempts u8, reserved u8.  The gateway appends it when
+// backend id u16, attempts u8, flags u8.  The gateway appends it when
 // re-encoding an upstream result so clients can attribute responses to
-// fleet members; decoders accept payloads with or without it, keeping
+// fleet members, and a daemon running a frame log uses the flags byte to
+// mark durability; decoders accept payloads with or without it, keeping
 // pre-cluster peers compatible.
 const resultTrailerSize = 4
 
 // EncodeResult serializes a RESULT payload.  The routing trailer is
-// appended only when Backend or Attempts is set, so direct daemon
+// appended only when Backend, Attempts or Flags is set, so direct daemon
 // responses are byte-identical to the pre-cluster encoding.
 func EncodeResult(r *Result) ([]byte, error) {
 	if len(r.Peaks) > maxResultPeaks {
@@ -312,9 +324,9 @@ func EncodeResult(r *Result) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 		}
 	}
-	if r.Backend != 0 || r.Attempts != 0 {
+	if r.Backend != 0 || r.Attempts != 0 || r.Flags != 0 {
 		buf = binary.LittleEndian.AppendUint16(buf, r.Backend)
-		buf = append(buf, r.Attempts, 0)
+		buf = append(buf, r.Attempts, r.Flags)
 	}
 	return buf, nil
 }
@@ -343,6 +355,7 @@ func DecodeResult(b []byte) (*Result, error) {
 		pos := fixed + 32*n
 		r.Backend = binary.LittleEndian.Uint16(b[pos : pos+2])
 		r.Attempts = b[pos+2]
+		r.Flags = b[pos+3]
 	default:
 		return nil, fmt.Errorf("acqserver: RESULT payload %d bytes, want %d or %d for %d peaks",
 			len(b), fixed+32*n, fixed+32*n+resultTrailerSize, n)
@@ -448,6 +461,22 @@ func encodeFrameOpts(dst []byte, o FrameOptions) []byte {
 	}
 	dst = append(dst, byte(o.Path))
 	return binary.LittleEndian.AppendUint32(dst, uint32(ms))
+}
+
+// SplitFramePayload splits an encoded FRAME payload — the bytes a client
+// submits and a frame log captures — into its decoded FrameOptions prefix
+// and the frameio-encoded frame bytes that follow.  Offline tools
+// (framedump -log) use it to decode captured records without re-implementing
+// the prefix layout.
+func SplitFramePayload(payload []byte) (FrameOptions, []byte, error) {
+	if len(payload) < frameOptsSize {
+		return FrameOptions{}, nil, fmt.Errorf("acqserver: frame payload %d bytes, shorter than its %d-byte options prefix", len(payload), frameOptsSize)
+	}
+	opts, err := decodeFrameOpts(payload[:frameOptsSize])
+	if err != nil {
+		return FrameOptions{}, nil, err
+	}
+	return opts, payload[frameOptsSize:], nil
 }
 
 // decodeFrameOpts parses the option prefix.

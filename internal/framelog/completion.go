@@ -1,0 +1,154 @@
+// completion.go: the sidecar completion log.  The frame log records what
+// was *accepted*; the completion log records what was *fully processed* —
+// a flat file of little-endian u64 seqs, appended as workers finish.  On
+// startup the two are diffed: every seq in the frame log that is past the
+// contiguous-completion watermark and absent from the completion set is
+// re-enqueued.  Marks are buffered and flushed in small batches, so a
+// crash can lose the most recent few — that only widens the replay set
+// (at-least-once), never narrows it.  A torn 8-byte tail from a crash
+// mid-write is ignored on load.  The file is compacted on open: seqs at
+// or below the new watermark are dropped and the remainder rewritten via
+// tmp+rename.
+package framelog
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// completionFileName is the sidecar completion log inside the log dir.
+const completionFileName = "completed.u64"
+
+// completionFlushEvery bounds how many buffered marks accumulate before
+// the completion writer flushes to the OS.
+const completionFlushEvery = 128
+
+// watermarkFileName persists the contiguous-completion watermark across
+// completion-file compactions: seqs at or below it were completed even
+// though their marks were dropped from the compacted file.
+const watermarkFileName = "watermark.u64"
+
+// loadWatermark reads the persisted watermark (0 when absent or torn).
+func loadWatermark(dir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, watermarkFileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(b) < 8 {
+		return 0, nil
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// saveWatermark atomically persists the watermark via tmp+rename.
+func saveWatermark(dir string, w uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], w)
+	path := filepath.Join(dir, watermarkFileName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b[:], 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// completionLog is the open, append-mode completion sidecar.
+type completionLog struct {
+	f   *os.File
+	buf []byte // pending encoded marks, flushed in batches
+}
+
+// loadCompletionSet reads the completion file (if any) into a set,
+// tolerating a torn trailing write.
+func loadCompletionSet(dir string) (map[uint64]struct{}, error) {
+	set := make(map[uint64]struct{})
+	b, err := os.ReadFile(filepath.Join(dir, completionFileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return set, nil
+		}
+		return nil, err
+	}
+	for len(b) >= 8 {
+		set[binary.LittleEndian.Uint64(b)] = struct{}{}
+		b = b[8:]
+	}
+	return set, nil
+}
+
+// compactCompletionSet rewrites the completion file keeping only seqs
+// above the watermark, then reopens it for appending.  The set itself is
+// left untouched (recovery still consults all of it).
+func compactCompletionSet(dir string, set map[uint64]struct{}, watermark uint64) (*completionLog, error) {
+	keep := make([]uint64, 0, len(set))
+	for seq := range set {
+		if seq > watermark {
+			keep = append(keep, seq)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	buf := make([]byte, 0, 8*len(keep))
+	for _, seq := range keep {
+		buf = binary.LittleEndian.AppendUint64(buf, seq)
+	}
+	path := filepath.Join(dir, completionFileName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &completionLog{f: f, buf: make([]byte, 0, 8*completionFlushEvery)}, nil
+}
+
+// mark buffers one completed seq, flushing when the batch fills.
+func (c *completionLog) mark(seq uint64) error {
+	c.buf = binary.LittleEndian.AppendUint64(c.buf, seq)
+	if len(c.buf) >= 8*completionFlushEvery {
+		return c.flush()
+	}
+	return nil
+}
+
+// flush writes any buffered marks through to the OS.
+func (c *completionLog) flush() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	_, err := c.f.Write(c.buf)
+	c.buf = c.buf[:0]
+	return err
+}
+
+// close flushes and closes the sidecar file.
+func (c *completionLog) close() error {
+	ferr := c.flush()
+	cerr := c.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// completionWatermark computes the largest seq W such that every seq in
+// (base, W] is present in set, starting from base (the seq just before
+// the log's first record).
+func completionWatermark(set map[uint64]struct{}, base uint64) uint64 {
+	w := base
+	for {
+		if _, ok := set[w+1]; !ok {
+			return w
+		}
+		w++
+	}
+}

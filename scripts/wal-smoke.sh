@@ -1,0 +1,168 @@
+#!/bin/sh
+# wal-smoke.sh: end-to-end durability smoke test of the frame log
+# (docs/DURABILITY.md).  Two phases:
+#
+# Phase A — capture determinism.  imsd runs with -framelog-fsync always
+# and small segments; a rate-limited imsload burst is captured, the daemon
+# drains cleanly, framedump verifies every record CRC and that the capture
+# holds exactly the acknowledged frames, then a FRESH daemon replays the
+# capture via `imsload -replay` and the response digests of the live and
+# replayed runs must be bit-identical.
+#
+# Phase B — crash recovery.  A second daemon takes a burst and is killed
+# with SIGKILL mid-traffic.  Every acknowledged frame must be on disk
+# (fsync always), the restarted daemon must report the pending set and
+# re-process all of it (acq_recovered_frames_total), and then drain
+# cleanly.  Zero acknowledged work may be lost.
+set -eu
+
+GO=${GO:-go}
+PORT=${WAL_SMOKE_PORT:-17371}
+METRICS_PORT=${WAL_SMOKE_METRICS_PORT:-17391}
+TMP=$(mktemp -d)
+DAEMON_PID=""
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+die() {
+    echo "wal-smoke: FAIL — $1"
+    shift
+    for f in "$@"; do
+        echo "---- $f ----"
+        cat "$f" 2>/dev/null || true
+    done
+    exit 1
+}
+
+# json_int FILE KEY: pull a top-level integer out of an indented report.
+json_int() {
+    sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1" | head -1
+}
+
+echo "wal-smoke: building binaries"
+$GO build -o "$TMP/imsd" ./cmd/imsd
+$GO build -o "$TMP/imsload" ./cmd/imsload
+$GO build -o "$TMP/framedump" ./cmd/framedump
+$GO build -o "$TMP/httpget" ./scripts/httpget
+
+WAL="$TMP/wal"
+
+echo "wal-smoke: [A] starting imsd with -framelog (fsync always, 256 KiB segments)"
+"$TMP/imsd" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$METRICS_PORT" \
+    -framelog "$WAL" -framelog-fsync always -framelog-segment-bytes 262144 -framelog-retain 0 \
+    -drain-timeout 10s >"$TMP/imsd-a.log" 2>&1 &
+DAEMON_PID=$!
+
+echo "wal-smoke: [A] rate-limited capture burst"
+if ! "$TMP/imsload" -addr "127.0.0.1:$PORT" -clients 4 -rate 40 -duration 2s \
+    -tof 64 -json "$TMP/live.json" \
+    -wait-ready "http://127.0.0.1:$METRICS_PORT/readyz" >"$TMP/live.out" 2>&1; then
+    die "live burst reported errors" "$TMP/live.out" "$TMP/imsd-a.log"
+fi
+LIVE_OK=$(json_int "$TMP/live.json" ok)
+LIVE_SHED=$(json_int "$TMP/live.json" shed)
+LIVE_DIGEST=$(sed -n 's/.*"response_digest": "\([0-9a-f]*\)".*/\1/p' "$TMP/live.json")
+[ -n "$LIVE_OK" ] && [ "$LIVE_OK" -gt 0 ] || die "no frames acknowledged in the live burst" "$TMP/live.out"
+[ "$LIVE_SHED" = 0 ] || die "rate-limited burst shed $LIVE_SHED frames; capture would not be complete" "$TMP/live.out"
+
+echo "wal-smoke: [A] draining imsd"
+kill -TERM "$DAEMON_PID"
+rc=0; wait "$DAEMON_PID" || rc=$?
+DAEMON_PID=""
+[ "$rc" -eq 0 ] || die "imsd exited $rc on drain" "$TMP/imsd-a.log"
+grep -q "drained cleanly" "$TMP/imsd-a.log" || die "no clean drain" "$TMP/imsd-a.log"
+
+echo "wal-smoke: [A] verifying the capture with framedump"
+"$TMP/framedump" -log "$WAL" >"$TMP/dump-a.out" || die "framedump rejected the capture" "$TMP/dump-a.out"
+grep -q "all record CRCs verified" "$TMP/dump-a.out" || die "framedump did not verify CRCs" "$TMP/dump-a.out"
+WAL_RECORDS=$(sed -n 's/^total: [0-9]* segments, \([0-9]*\) records.*/\1/p' "$TMP/dump-a.out")
+[ "$WAL_RECORDS" = "$LIVE_OK" ] || \
+    die "capture holds $WAL_RECORDS records but $LIVE_OK frames were acknowledged" "$TMP/dump-a.out" "$TMP/live.json"
+
+echo "wal-smoke: [A] replaying the capture through a fresh daemon"
+"$TMP/imsd" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$METRICS_PORT" \
+    -drain-timeout 10s >"$TMP/imsd-replay.log" 2>&1 &
+DAEMON_PID=$!
+if ! "$TMP/imsload" -addr "127.0.0.1:$PORT" -replay "$WAL" -replay-rate 0 \
+    -json "$TMP/replay.json" \
+    -wait-ready "http://127.0.0.1:$METRICS_PORT/readyz" >"$TMP/replay.out" 2>&1; then
+    die "replay reported errors" "$TMP/replay.out" "$TMP/imsd-replay.log"
+fi
+REPLAY_OK=$(json_int "$TMP/replay.json" ok)
+REPLAY_DIGEST=$(sed -n 's/.*"response_digest": "\([0-9a-f]*\)".*/\1/p' "$TMP/replay.json")
+grep -q '"replay"' "$TMP/replay.json" || die "replay report lacks the replay block" "$TMP/replay.json"
+[ "$REPLAY_OK" = "$LIVE_OK" ] || die "replay acknowledged $REPLAY_OK frames, live run $LIVE_OK" "$TMP/replay.json"
+[ -n "$LIVE_DIGEST" ] || die "live report lacks a response digest" "$TMP/live.json"
+[ "$REPLAY_DIGEST" = "$LIVE_DIGEST" ] || \
+    die "replay digest $REPLAY_DIGEST != live digest $LIVE_DIGEST (responses not bit-identical)" "$TMP/replay.json" "$TMP/live.json"
+kill -TERM "$DAEMON_PID"; wait "$DAEMON_PID" || true
+DAEMON_PID=""
+echo "wal-smoke: [A] OK — $LIVE_OK frames captured, replay digest matches ($LIVE_DIGEST)"
+
+WAL2="$TMP/wal2"
+
+echo "wal-smoke: [B] starting imsd for the crash run"
+"$TMP/imsd" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$METRICS_PORT" \
+    -framelog "$WAL2" -framelog-fsync always -framelog-segment-bytes 262144 -framelog-retain 0 \
+    >"$TMP/imsd-b.log" 2>&1 &
+DAEMON_PID=$!
+
+echo "wal-smoke: [B] burst, then SIGKILL mid-traffic"
+"$TMP/imsload" -addr "127.0.0.1:$PORT" -clients 4 -rate 40 -duration 5s \
+    -tof 64 -json "$TMP/crash.json" \
+    -wait-ready "http://127.0.0.1:$METRICS_PORT/readyz" >"$TMP/crash.out" 2>&1 &
+LOAD_PID=$!
+sleep 1.2
+kill -9 "$DAEMON_PID"
+DAEMON_PID=""
+wait "$LOAD_PID" || true # transport errors are the point
+CRASH_OK=$(json_int "$TMP/crash.json" ok)
+[ -n "$CRASH_OK" ] && [ "$CRASH_OK" -gt 0 ] || die "no frames acknowledged before the kill" "$TMP/crash.out"
+
+echo "wal-smoke: [B] restarting on the same frame log"
+"$TMP/imsd" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$METRICS_PORT" \
+    -framelog "$WAL2" -framelog-fsync always -framelog-segment-bytes 262144 -framelog-retain 0 \
+    -drain-timeout 10s >"$TMP/imsd-b2.log" 2>&1 &
+DAEMON_PID=$!
+"$TMP/httpget" -expect 200 -for 5s "http://127.0.0.1:$METRICS_PORT/readyz" >/dev/null || \
+    die "restarted daemon never became ready" "$TMP/imsd-b2.log"
+grep -q "framelog recovered" "$TMP/imsd-b2.log" || die "no recovery log line" "$TMP/imsd-b2.log"
+WAL2_RECORDS=$(grep "framelog recovered" "$TMP/imsd-b2.log" | sed -n 's/.*records=\([0-9]*\).*/\1/p')
+PENDING=$(grep "framelog recovered" "$TMP/imsd-b2.log" | sed -n 's/.*pending=\([0-9]*\).*/\1/p')
+# fsync always: every acknowledged frame must be on disk.
+[ "$WAL2_RECORDS" -ge "$CRASH_OK" ] || \
+    die "log holds $WAL2_RECORDS records but $CRASH_OK frames were acknowledged — acked work was lost" "$TMP/imsd-b2.log"
+
+echo "wal-smoke: [B] waiting for $PENDING pending frames to re-process"
+i=0
+while :; do
+    "$TMP/httpget" -expect 200 "http://127.0.0.1:$METRICS_PORT/metrics" >"$TMP/metrics.out" 2>/dev/null || true
+    RECOVERED=$(sed -n 's/^acq_recovered_frames_total{outcome="ok"} \([0-9]*\)$/\1/p' "$TMP/metrics.out")
+    REC_ERRS=$(sed -n 's/^acq_recovered_frames_total{outcome="error"} \([0-9]*\)$/\1/p' "$TMP/metrics.out")
+    [ "${REC_ERRS:-0}" = 0 ] || die "recovery rejected $REC_ERRS records" "$TMP/imsd-b2.log"
+    [ "${RECOVERED:-0}" = "$PENDING" ] && break
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || die "recovered ${RECOVERED:-0}/$PENDING frames after 10s" "$TMP/imsd-b2.log" "$TMP/metrics.out"
+    sleep 0.1
+done
+
+echo "wal-smoke: [B] draining the recovered daemon"
+kill -TERM "$DAEMON_PID"
+rc=0; wait "$DAEMON_PID" || rc=$?
+DAEMON_PID=""
+[ "$rc" -eq 0 ] || die "recovered imsd exited $rc on drain" "$TMP/imsd-b2.log"
+grep -q "drained cleanly" "$TMP/imsd-b2.log" || die "no clean drain after recovery" "$TMP/imsd-b2.log"
+
+# The log survived a SIGKILL and a recovery pass: it must still verify,
+# and nothing may be left pending for a third run.
+"$TMP/framedump" -log "$WAL2" >"$TMP/dump-b.out" || die "post-crash capture corrupt" "$TMP/dump-b.out"
+grep -q "all record CRCs verified" "$TMP/dump-b.out" || die "post-crash CRCs failed" "$TMP/dump-b.out"
+
+echo "wal-smoke: [B] OK — $CRASH_OK acked frames survived SIGKILL, $PENDING replayed, 0 lost"
+echo "wal-smoke: OK"
