@@ -3,11 +3,20 @@
 
 GO ?= go
 
+# Build stamping: the buildinfo package's Version/Commit are injected via
+# ldflags so every binary's build_info metric names the build it came
+# from (scripts/obs-smoke.sh asserts the round trip).
+VERSION ?= dev
+COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS = -X repro/internal/buildinfo.Version=$(VERSION) -X repro/internal/buildinfo.Commit=$(COMMIT)
+
 # Packages whose exported identifiers must all carry doc comments: the
 # telemetry layer, the instrumented entry points it is wired through, and
 # the serving stack.
 DOCLINT_DIRS = internal/telemetry internal/telemetry/trace \
                internal/telemetry/health internal/telemetry/runtimemetrics \
+               internal/telemetry/flightrec internal/telemetry/profiler \
+               internal/buildinfo internal/pprofile \
                internal/pipeline internal/hybrid \
                internal/fpga internal/xd1 internal/acqserver \
                internal/gateway internal/frameio internal/framelog
@@ -17,9 +26,9 @@ DOCS_MD = README.md docs/ARCHITECTURE.md docs/CLUSTER.md \
           docs/DURABILITY.md docs/OBSERVABILITY.md docs/PERFORMANCE.md \
           docs/SERVING.md
 
-.PHONY: check fmt vet build test docslint docs-verify fuzz-short serve-smoke cluster-smoke trace-smoke wal-smoke bench bench-json allocgate
+.PHONY: check fmt vet build test docslint docs-verify fuzz-short serve-smoke cluster-smoke trace-smoke wal-smoke obs-smoke bench bench-json allocgate
 
-check: fmt vet build test docslint docs-verify allocgate fuzz-short serve-smoke cluster-smoke trace-smoke wal-smoke
+check: fmt vet build test docslint docs-verify allocgate fuzz-short serve-smoke cluster-smoke trace-smoke wal-smoke obs-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -29,7 +38,7 @@ vet:
 	$(GO) vet ./...
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "$(LDFLAGS)" ./...
 
 test:
 	$(GO) test -race ./...
@@ -75,6 +84,13 @@ trace-smoke:
 wal-smoke:
 	./scripts/wal-smoke.sh
 
+# End-to-end observability smoke: an imsd+imsgw pair with the full
+# observability plane on, asserting the exemplar -> wide-event join, the
+# forced-degradation black-box dump, the build_info stamp, the fleet
+# rollup and the profile-ring summary (docs/OBSERVABILITY.md).
+obs-smoke:
+	./scripts/obs-smoke.sh
+
 # The nil-registry overhead contract (<5 ns/op, 0 allocs/op on the nil
 # path) and the disabled-tracer contract (<10 ns/op, 0 allocs/op across
 # six span sites).
@@ -94,9 +110,11 @@ allocgate:
 
 # Refresh the decode-path benchmark ledger: the Micro* data-path
 # benchmarks plus the E3/E4 experiment benchmarks, parsed into
-# BENCH_PR4.json under the "after" label (see scripts/benchjson).
+# $(BENCH_OUT) under the "after" label (see scripts/benchjson).
+# Override BENCH_OUT to ledger a new PR (e.g. BENCH_OUT=BENCH_PR8.json).
+BENCH_OUT ?= BENCH_PR4.json
 bench-json:
 	$(GO) test -run XXX -bench 'Micro|E3FPGAvsCPU|E4CPUScaling' -benchmem . | \
-		$(GO) run ./scripts/benchjson -label after -out BENCH_PR4.json
+		$(GO) run ./scripts/benchjson -label after -out $(BENCH_OUT)
 	$(GO) test -run XXX -bench . -benchmem ./internal/hadamard | \
-		$(GO) run ./scripts/benchjson -label after -out BENCH_PR4.json
+		$(GO) run ./scripts/benchjson -label after -out $(BENCH_OUT)

@@ -15,6 +15,9 @@
 //	     [-framelog DIR] [-framelog-fsync always|interval|none]
 //	     [-framelog-fsync-interval D] [-framelog-segment-bytes N]
 //	     [-framelog-segment-age D] [-framelog-retain K]
+//	     [-events N] [-events-dump DIR] [-pprof ADDR]
+//	     [-profile-dir DIR] [-profile-cpu D] [-profile-interval D]
+//	     [-profile-retain K]
 //
 // With -framelog, every accepted frame is appended to a durable,
 // segmented, CRC-verified write-ahead log before it is enqueued, and on
@@ -28,7 +31,14 @@
 // Prometheus text format at /metrics (JSON at /metrics.json, with rolling
 // 60-second window quantiles alongside the cumulative ones), the Go
 // runtime and build-info gauges, the span-tree ring buffer at
-// /debug/traces, plus net/http/pprof under /debug/pprof/.  The same
+// /debug/traces, the wide-event flight recorder at /debug/events (one
+// structured event per answered frame; -events sizes the ring and
+// -events-dump enables black-box dumps on SLO degradation and recovered
+// panics), plus net/http/pprof under /debug/pprof/ (also on a dedicated
+// -pprof address).  With -profile-dir, a sampler continuously captures
+// rotating CPU and heap profiles (-profile-cpu long, every
+// -profile-interval, keeping -profile-retain per kind) that
+// cmd/profiledump summarizes by pprof label.  The same
 // server answers /healthz (liveness: 200 while the process runs) and
 // /readyz (readiness: 503 while draining or while an SLO error budget
 // burns UNHEALTHY — see docs/OBSERVABILITY.md).  Three SLOs are
@@ -66,7 +76,9 @@ import (
 	"repro/internal/acqserver"
 	"repro/internal/framelog"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/profiler"
 	"repro/internal/telemetry/runtimemetrics"
 	"repro/internal/telemetry/trace"
 )
@@ -104,6 +116,13 @@ func main() {
 	walSegBytes := flag.Int64("framelog-segment-bytes", 64<<20, "rotate frame-log segments at this size")
 	walSegAge := flag.Duration("framelog-segment-age", 0, "also rotate non-empty segments older than this (0 = never)")
 	walRetain := flag.Int("framelog-retain", 16, "sealed segments kept before the janitor deletes the oldest (0 = keep all)")
+	eventsRing := flag.Int("events", 4096, "wide events retained in the flight-recorder ring (0 disables)")
+	eventsDump := flag.String("events-dump", "", "write flight-recorder black-box dumps to this directory on SLO degradation and recovered panics")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this dedicated HTTP address (pprof is also on -metrics)")
+	profileDir := flag.String("profile-dir", "", "continuously capture rotating CPU+heap profiles into this directory")
+	profileCPU := flag.Duration("profile-cpu", 10*time.Second, "length of each continuous CPU profile capture")
+	profileInterval := flag.Duration("profile-interval", 60*time.Second, "period between continuous profile captures")
+	profileRetain := flag.Int("profile-retain", 16, "profiles kept per kind before the janitor deletes the oldest")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stdout, nil))
@@ -112,7 +131,18 @@ func main() {
 	cfg.Logger = log
 	runtimemetrics.Register(reg)
 
-	eval := buildEvaluator(reg, *sloLatency, *sloLatencyTarget, *sloShedBudget, *sloErrorBudget)
+	var flight *flightrec.Recorder
+	if *eventsRing > 0 {
+		flight = flightrec.New(flightrec.Config{
+			Size:    *eventsRing,
+			Metrics: reg,
+			DumpDir: *eventsDump,
+			Logger:  log,
+		})
+		cfg.FlightRecorder = flight
+	}
+
+	eval := buildEvaluator(reg, *sloLatency, *sloLatencyTarget, *sloShedBudget, *sloErrorBudget, flight, log)
 	cfg.DegradedMode = func() bool { return eval.Status() >= health.Degraded }
 
 	var tracer *trace.Tracer
@@ -175,6 +205,33 @@ func main() {
 	defer stopHealth()
 	go eval.Run(healthCtx, *healthInterval)
 
+	if *profileDir != "" {
+		sampler, err := profiler.New(profiler.Config{
+			Dir:         *profileDir,
+			CPUDuration: *profileCPU,
+			Interval:    *profileInterval,
+			Retain:      *profileRetain,
+			Metrics:     reg,
+			Logger:      log,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		go sampler.Run(healthCtx)
+		log.Info("continuous profiling on", "dir", *profileDir, "cpu", profileCPU.String(), "interval", profileInterval.String())
+	}
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; serving the default
+		// mux on a second address gives pprof its own port (some deploys
+		// firewall /metrics but want profiling reachable, or vice versa).
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Error("pprof server failed", "err", err)
+			}
+		}()
+		log.Info("imsd pprof server up", "url", fmt.Sprintf("http://%s/debug/pprof/", *pprofAddr))
+	}
+
 	// drainStarted flips /readyz before Shutdown begins, so with a
 	// -drain-grace load balancers can stop routing while the daemon still
 	// answers — the standard preStop pattern.
@@ -183,6 +240,7 @@ func main() {
 		http.Handle("/metrics", reg.Handler())
 		http.Handle("/metrics.json", reg.Handler())
 		http.Handle("/debug/traces", tracer.Handler())
+		http.Handle("/debug/events", flight.Handler())
 		http.Handle("/healthz", health.LivenessHandler())
 		http.Handle("/readyz", eval.ReadinessHandler(func() (bool, string) {
 			if drainStarted.Load() || srv.Draining() {
@@ -238,9 +296,23 @@ func main() {
 // buildEvaluator declares the daemon's three SLOs over the same telemetry
 // instances the acquisition server updates — the registry hands back the
 // identical handle for a given family name and label set, so nothing
-// internal to acqserver needs exporting.
-func buildEvaluator(reg *telemetry.Registry, latency time.Duration, latencyTarget, shedBudget, errorBudget float64) *health.Evaluator {
-	e := health.New(health.Config{Metrics: reg})
+// internal to acqserver needs exporting.  Every slide into DEGRADED or
+// worse trips a flight-recorder black-box dump: the ring's last N wide
+// events are exactly the requests that burned the budget.
+func buildEvaluator(reg *telemetry.Registry, latency time.Duration, latencyTarget, shedBudget, errorBudget float64, flight *flightrec.Recorder, log *slog.Logger) *health.Evaluator {
+	e := health.New(health.Config{
+		Metrics: reg,
+		OnTransition: func(from, to health.Status, rep health.Report) {
+			log.Warn("health status changed", "from", from.String(), "to", to.String())
+			if to >= health.Degraded {
+				if path, err := flight.Dump(to.String()); err != nil {
+					log.Error("flight recorder dump failed", "err", err)
+				} else if path != "" {
+					log.Info("flight recorder dumped", "reason", to.String(), "path", path)
+				}
+			}
+		},
+	})
 
 	e.AddLatency(health.LatencySLO{
 		Name: "frame_latency",

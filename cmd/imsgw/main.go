@@ -15,15 +15,24 @@
 //	      [-read-timeout D] [-write-timeout D]
 //	      [-drain-timeout D] [-drain-grace D] [-metrics ADDR]
 //	      [-trace FILE] [-trace-slow D] [-trace-sample N] [-trace-ring N]
+//	      [-events N] [-events-dump DIR] [-pprof ADDR]
+//	      [-profile-dir DIR] [-profile-cpu D] [-profile-interval D]
+//	      [-profile-retain K]
 //
 // Each backend is named by its IMSP address, optionally followed by
 // @URL pointing at its /readyz endpoint; without a URL the gateway
 // probes by TCP dial.  With -metrics, an HTTP endpoint serves the gw_*
-// telemetry families at /metrics (JSON at /metrics.json), the gateway's
-// span rings at /debug/traces, /healthz liveness, and /readyz readiness
-// — 503 while draining or while zero backends are on the routing ring,
-// so a load balancer in front of several gateways can route around one
-// that has lost its whole fleet.  On SIGINT/SIGTERM the gateway flips
+// telemetry families at /metrics (JSON at /metrics.json), the fleet
+// rollup at /metrics/fleet (the gateway scrapes every backend's metrics
+// and re-exposes the triage families as gw_fleet_* gauges labeled by
+// backend — cmd/imstop -fleet renders it as a one-screen cluster view;
+// it needs @READYZ_URL entries, since the metrics URL is derived from
+// them), the gateway's span rings at /debug/traces, the wide-event
+// flight recorder at /debug/events, /healthz liveness, and /readyz
+// readiness — 503 while draining or while zero backends are on the
+// routing ring, so a load balancer in front of several gateways can
+// route around one that has lost its whole fleet.  -events, -events-dump,
+// -pprof and the -profile-* flags behave exactly as on imsd.  On SIGINT/SIGTERM the gateway flips
 // /readyz, holds -drain-grace, stops accepting, lets in-flight proxied
 // frames finish on their backends, and exits 0.
 package main
@@ -46,7 +55,9 @@ import (
 
 	"repro/internal/gateway"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/profiler"
 	"repro/internal/telemetry/runtimemetrics"
 	"repro/internal/telemetry/trace"
 )
@@ -76,6 +87,13 @@ func main() {
 	traceSlow := flag.Duration("trace-slow", 0, "keep every trace at least this slow (0 keeps all)")
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "uniformly keep 1 in N traces under the slow threshold")
 	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "retained traces per ring (slow and sampled)")
+	eventsRing := flag.Int("events", 4096, "wide events retained in the flight-recorder ring (0 disables)")
+	eventsDump := flag.String("events-dump", "", "write flight-recorder black-box dumps to this directory on recovered panics")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this dedicated HTTP address (pprof is also on -metrics)")
+	profileDir := flag.String("profile-dir", "", "continuously capture rotating CPU+heap profiles into this directory")
+	profileCPU := flag.Duration("profile-cpu", 10*time.Second, "length of each continuous CPU profile capture")
+	profileInterval := flag.Duration("profile-interval", 60*time.Second, "period between continuous profile captures")
+	profileRetain := flag.Int("profile-retain", 16, "profiles kept per kind before the janitor deletes the oldest")
 	flag.Parse()
 
 	fleet, err := parseBackends(*backends)
@@ -100,16 +118,55 @@ func main() {
 		cfg.Trace = tracer
 	}
 
+	var flight *flightrec.Recorder
+	if *eventsRing > 0 {
+		flight = flightrec.New(flightrec.Config{
+			Size:    *eventsRing,
+			Metrics: reg,
+			DumpDir: *eventsDump,
+			Logger:  log,
+		})
+		cfg.FlightRecorder = flight
+	}
+
 	gw, err := gateway.New(cfg)
 	if err != nil {
 		fail("%v", err)
+	}
+
+	if *profileDir != "" {
+		sampler, err := profiler.New(profiler.Config{
+			Dir:         *profileDir,
+			CPUDuration: *profileCPU,
+			Interval:    *profileInterval,
+			Retain:      *profileRetain,
+			Metrics:     reg,
+			Logger:      log,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		profCtx, stopProf := context.WithCancel(context.Background())
+		defer stopProf()
+		go sampler.Run(profCtx)
+		log.Info("continuous profiling on", "dir", *profileDir, "cpu", profileCPU.String(), "interval", profileInterval.String())
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Error("pprof server failed", "err", err)
+			}
+		}()
+		log.Info("imsgw pprof server up", "url", fmt.Sprintf("http://%s/debug/pprof/", *pprofAddr))
 	}
 
 	var drainStarted atomic.Bool
 	if *metricsAddr != "" {
 		http.Handle("/metrics", reg.Handler())
 		http.Handle("/metrics.json", reg.Handler())
+		http.Handle("/metrics/fleet", gw.FleetHandler())
 		http.Handle("/debug/traces", tracer.Handler())
+		http.Handle("/debug/events", flight.Handler())
 		http.Handle("/healthz", health.LivenessHandler())
 		var noEval *health.Evaluator
 		http.Handle("/readyz", noEval.ReadinessHandler(func() (bool, string) {

@@ -79,6 +79,7 @@ import (
 	"repro/internal/frameio"
 	"repro/internal/framelog"
 	"repro/internal/instrument"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/trace"
 )
 
@@ -102,6 +103,43 @@ type clientStats struct {
 	// notDurable counts OK responses flagged ResultFlagNotDurable (the
 	// daemon's frame log is not fsyncing before the ACK).
 	notDurable int
+	// slowest holds the client's slowest requests, latency-descending,
+	// capped at slowestKeep — each with the trace id the server echoed, so
+	// a bad tail quantile resolves straight to /debug/traces and
+	// /debug/events queries.
+	slowest []slowRequest
+}
+
+// slowRequest names one completed request for the slowest-requests report.
+type slowRequest struct {
+	// LatencyNs is the client-observed round-trip time.
+	LatencyNs int64 `json:"latency_ns"`
+	// TraceID is the trace identity echoed on the IMSP/2 response header,
+	// 16 lowercase hex digits; empty when tracing was off server-side.
+	TraceID string `json:"trace_id,omitempty"`
+	// Code is the response status.
+	Code string `json:"code"`
+}
+
+// slowestKeep bounds the slowest-request lists (per client and merged).
+const slowestKeep = 5
+
+// tallySlow folds one completed request into the client's slowest list.
+func (st *clientStats) tallySlow(lat time.Duration, traceID uint64, code acqserver.Code) {
+	st.slowest = trimSlowest(append(st.slowest, slowRequest{
+		LatencyNs: lat.Nanoseconds(),
+		TraceID:   flightrec.TraceIDHex(traceID),
+		Code:      code.String(),
+	}))
+}
+
+// trimSlowest sorts latency-descending and keeps the top slowestKeep.
+func trimSlowest(s []slowRequest) []slowRequest {
+	sort.Slice(s, func(i, j int) bool { return s[i].LatencyNs > s[j].LatencyNs })
+	if len(s) > slowestKeep {
+		s = s[:slowestKeep]
+	}
+	return s
 }
 
 // tallyResult folds one OK result into the digest and durability tallies.
@@ -211,6 +249,11 @@ type report struct {
 	// Replay describes the capture a -replay run streamed; absent on live
 	// runs.
 	Replay *replayBlock `json:"replay,omitempty"`
+	// Slowest lists the run's slowest requests (latency-descending, at most
+	// slowestKeep) with the trace ids the server echoed — paste one into
+	// /debug/traces?trace_id= or grep /debug/events to see where the time
+	// went.
+	Slowest []slowRequest `json:"slowest_requests,omitempty"`
 }
 
 // replayBlock is the -json summary of the capture a replay run streamed.
@@ -329,6 +372,7 @@ func main() {
 	var digest uint64
 	rejected := map[acqserver.Code]int{}
 	var errs []error
+	var slowest []slowRequest
 	var server serverBreakdown
 	for i := range stats {
 		all = append(all, stats[i].latencies...)
@@ -340,6 +384,7 @@ func main() {
 			rejected[c] += n
 		}
 		errs = append(errs, stats[i].errs...)
+		slowest = trimSlowest(append(slowest, stats[i].slowest...))
 		server.Frames += stats[i].server.Frames
 		server.QueueWaitNs += stats[i].server.QueueWaitNs
 		server.ProcessNs += stats[i].server.ProcessNs
@@ -386,6 +431,17 @@ func main() {
 		float64(total)/elapsed.Seconds(),
 		submittedBytes/elapsed.Seconds()/(1<<20))
 	fmt.Printf("digest:     response_digest %016x over %d ok results\n", digest, ok)
+	if len(slowest) > 0 {
+		fmt.Printf("slowest:   ")
+		for _, sr := range slowest {
+			id := sr.TraceID
+			if id == "" {
+				id = "-"
+			}
+			fmt.Printf(" %v/%s(%s)", time.Duration(sr.LatencyNs).Round(time.Microsecond), id, sr.Code)
+		}
+		fmt.Println()
+	}
 	if notDurable > 0 {
 		fmt.Printf("imsload: note: %d of %d acks were not durable (daemon frame log is not fsyncing before the ACK)\n",
 			notDurable, ok)
@@ -447,6 +503,7 @@ func main() {
 			ResponseDigest: fmt.Sprintf("%016x", digest),
 			OKNotDurable:   notDurable,
 			Replay:         replay,
+			Slowest:        slowest,
 		}
 		if replay != nil {
 			rep.Clients = 1 // replay streams over a single connection
@@ -548,7 +605,9 @@ func runLive(addr string, stats []clientStats, opts liveOptions, wg *sync.WaitGr
 					st.tallyResult(resp)
 				}
 				root.End()
-				st.latencies = append(st.latencies, time.Since(reqStart))
+				lat := time.Since(reqStart)
+				st.latencies = append(st.latencies, lat)
+				st.tallySlow(lat, resp.TraceID, resp.Code)
 				switch resp.Code {
 				case acqserver.CodeOK:
 					st.ok++
@@ -637,7 +696,9 @@ func runReplay(addr, dir string, rate float64, st *clientStats, tracer *trace.Tr
 				st.tallyResult(resp)
 			}
 			root.End()
-			st.latencies = append(st.latencies, time.Since(reqStart))
+			lat := time.Since(reqStart)
+			st.latencies = append(st.latencies, lat)
+			st.tallySlow(lat, resp.TraceID, resp.Code)
 			bytes += int64(len(rec.Payload))
 			switch resp.Code {
 			case acqserver.CodeOK:

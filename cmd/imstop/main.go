@@ -7,12 +7,18 @@
 //
 // Usage:
 //
-//	imstop [-url http://HOST:PORT] [-interval D] [-once]
+//	imstop [-url http://HOST:PORT] [-interval D] [-once] [-fleet]
 //
 // In live mode the screen redraws every -interval using ANSI clear; rates
 // (req/s, shed/s, MiB/s) are deltas between consecutive polls.  With
 // -once a single snapshot is printed without clearing the screen — usable
 // from scripts and smoke tests — and rate columns show totals instead.
+//
+// With -fleet the URL must point at an imsgw metrics address: imstop
+// polls the gateway's /metrics/fleet rollup (the gw_fleet_* gauges, one
+// set per backend) and renders the whole cluster as one line per backend
+// — up/down, health verdict, sessions, frame and shed rates, queue depth
+// and worst p99 — a one-screen answer to "how is the fleet doing".
 package main
 
 import (
@@ -78,18 +84,24 @@ func (m byKey) value(key string) float64 {
 }
 
 func main() {
-	url := flag.String("url", "http://127.0.0.1:9090", "imsd metrics server base URL")
+	url := flag.String("url", "http://127.0.0.1:9090", "imsd (or, with -fleet, imsgw) metrics server base URL")
 	interval := flag.Duration("interval", 2*time.Second, "refresh period in live mode")
 	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	fleet := flag.Bool("fleet", false, "render the gateway's /metrics/fleet rollup: one line per backend")
 	flag.Parse()
 	base := strings.TrimRight(*url, "/")
 
-	cur, err := scrape(base)
+	scrapeFn, renderFn := scrape, render
+	if *fleet {
+		scrapeFn, renderFn = scrapeFleet, renderFleet
+	}
+
+	cur, err := scrapeFn(base)
 	if err != nil {
 		fail("%v", err)
 	}
 	if *once {
-		render(os.Stdout, base, nil, cur)
+		renderFn(os.Stdout, base, nil, cur)
 		return
 	}
 
@@ -101,7 +113,7 @@ func main() {
 	for {
 		var sb strings.Builder
 		sb.WriteString("\x1b[2J\x1b[H") // clear screen, home cursor
-		render(&sb, base, prev, cur)
+		renderFn(&sb, base, prev, cur)
 		fmt.Print(sb.String())
 		select {
 		case <-sigc:
@@ -110,7 +122,7 @@ func main() {
 		case <-tick.C:
 		}
 		prev = cur
-		next, err := scrape(base)
+		next, err := scrapeFn(base)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "\nimstop: %v (retrying)\n", err)
 			prev = nil
@@ -118,6 +130,115 @@ func main() {
 		}
 		cur = next
 	}
+}
+
+// scrapeFleet fetches and decodes one poll of the gateway's fleet rollup.
+func scrapeFleet(base string) (*poll, error) {
+	p := &poll{when: time.Now()}
+	body, _, err := get(base + "/metrics/fleet?format=json")
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(body, &p.snap); err != nil {
+		return nil, fmt.Errorf("decode %s/metrics/fleet: %w", base, err)
+	}
+	return p, nil
+}
+
+// fleetRow is one backend's distilled gw_fleet_* gauges.
+type fleetRow struct {
+	backend  string
+	up       bool
+	health   float64
+	sessions float64
+	frames   float64
+	shed     float64
+	depth    float64
+	p99Ns    float64
+}
+
+// fleetRows groups a fleet snapshot by backend label, sorted by address.
+func fleetRows(snap telemetry.Snapshot) []fleetRow {
+	byBackend := map[string]*fleetRow{}
+	for _, met := range snap.Metrics {
+		b := met.Labels["backend"]
+		if b == "" || met.Value == nil {
+			continue
+		}
+		row := byBackend[b]
+		if row == nil {
+			row = &fleetRow{backend: b}
+			byBackend[b] = row
+		}
+		v := *met.Value
+		switch met.Name {
+		case "gw_fleet_up":
+			row.up = v > 0
+		case "gw_fleet_health_status":
+			row.health = v
+		case "gw_fleet_sessions":
+			row.sessions = v
+		case "gw_fleet_frames_total":
+			row.frames = v
+		case "gw_fleet_shed_total":
+			row.shed = v
+		case "gw_fleet_queue_depth":
+			row.depth = v
+		case "gw_fleet_process_p99_ns":
+			row.p99Ns = v
+		}
+	}
+	rows := make([]fleetRow, 0, len(byBackend))
+	for _, row := range byBackend {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].backend < rows[j].backend })
+	return rows
+}
+
+// renderFleet writes the cluster view: one line per backend from the
+// gateway's rollup, with frame/shed rates when prev is available.
+func renderFleet(w io.Writer, base string, prev, cur *poll) {
+	rows := fleetRows(cur.snap)
+	fmt.Fprintf(w, "imstop fleet — %s — %s\n", base, cur.when.Format("15:04:05"))
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "  (no backends in rollup — is -url an imsgw metrics address with @READYZ_URL backends?)")
+		return
+	}
+	var prevRows map[string]fleetRow
+	var dt float64
+	if prev != nil {
+		prevRows = map[string]fleetRow{}
+		for _, row := range fleetRows(prev.snap) {
+			prevRows[row.backend] = row
+		}
+		dt = cur.when.Sub(prev.when).Seconds()
+	}
+	fmt.Fprintf(w, "  %-22s %-10s %8s %12s %12s %6s %9s\n",
+		"backend", "health", "sessions", "frames", "shed", "queue", "p99")
+	var up int
+	var sessions, frames, shed float64
+	for _, row := range rows {
+		if !row.up {
+			fmt.Fprintf(w, "  %-22s %-10s\n", row.backend, "DOWN")
+			continue
+		}
+		up++
+		sessions += row.sessions
+		frames += row.frames
+		shed += row.shed
+		framesCol := fmt.Sprintf("%.0f", row.frames)
+		shedCol := fmt.Sprintf("%.0f", row.shed)
+		if p, ok := prevRows[row.backend]; ok && p.up && dt > 0 {
+			framesCol = fmt.Sprintf("%.1f/s", (row.frames-p.frames)/dt)
+			shedCol = fmt.Sprintf("%.1f/s", (row.shed-p.shed)/dt)
+		}
+		fmt.Fprintf(w, "  %-22s %-10s %8.0f %12s %12s %6.0f %9s\n",
+			row.backend, statusName(row.health), row.sessions,
+			framesCol, shedCol, row.depth, fmtNs(row.p99Ns))
+	}
+	fmt.Fprintf(w, "fleet:      %d/%d backends up, %.0f sessions, %.0f frames, %.0f shed\n",
+		up, len(rows), sessions, frames, shed)
 }
 
 // scrape fetches and decodes one poll from the daemon.

@@ -1,0 +1,180 @@
+// Command profiledump summarizes the rotating profile ring that imsd/imsgw
+// -profile-dir writes: it parses every retained capture of one kind with
+// the stdlib-only profile.proto reader (internal/pprofile), attributes each
+// sample's value to its leaf function, and prints the top functions —
+// optionally sliced by a pprof label (stage, shard, backend), which is what
+// turns "the daemon is burning CPU" into "shard 3's workers are burning it
+// in Deconvolve" without leaving the terminal (docs/OBSERVABILITY.md).
+//
+// Usage:
+//
+//	profiledump -dir DIR [-kind cpu|heap] [-label KEY]
+//	            [-sample-type NAME] [-top N]
+//
+// -kind selects which captures to read (cpu-*.pprof or heap-*.pprof).
+// -sample-type picks the value column (e.g. inuse_space, alloc_space for
+// heap; default is the profile's last column — cpu nanoseconds, heap
+// inuse_space).  With -label, output is grouped by that label's values;
+// samples without the label land in the "(unlabeled)" group.  Heap
+// profiles carry no goroutine labels, so -label is a CPU-profile tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/pprofile"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "profiledump: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// group accumulates flat (leaf-attributed) values for one label slice.
+type group struct {
+	label string
+	total int64
+	flat  map[string]int64
+}
+
+func main() {
+	dir := flag.String("dir", "", "profile ring directory (the daemon's -profile-dir)")
+	kind := flag.String("kind", "cpu", "capture kind to summarize: cpu or heap")
+	labelKey := flag.String("label", "", "slice by this pprof label key (e.g. stage, shard, backend)")
+	sampleType := flag.String("sample-type", "", "value column to rank by (default: the profile's last column)")
+	top := flag.Int("top", 10, "functions shown per slice")
+	flag.Parse()
+
+	if *dir == "" {
+		fail("no -dir given (point it at the daemon's -profile-dir)")
+	}
+	if *kind != "cpu" && *kind != "heap" {
+		fail("unknown -kind %q (want cpu or heap)", *kind)
+	}
+	files, err := filepath.Glob(filepath.Join(*dir, *kind+"-*.pprof"))
+	if err != nil {
+		fail("%v", err)
+	}
+	sort.Strings(files) // unixnano-stamped names: lexical == chronological
+	if len(files) == 0 {
+		fail("no %s-*.pprof captures in %s", *kind, *dir)
+	}
+
+	groups := map[string]*group{}
+	var unit string
+	var parsed int
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiledump: skipping %s: %v\n", path, err)
+			continue
+		}
+		prof, err := pprofile.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiledump: skipping %s: %v\n", path, err)
+			continue
+		}
+		col := prof.ValueIndex(*sampleType)
+		if col < 0 {
+			var have []string
+			for _, st := range prof.SampleTypes {
+				have = append(have, st.Type)
+			}
+			fail("%s has no sample type %q (have %v)", path, *sampleType, have)
+		}
+		unit = prof.SampleTypes[col].Unit
+		parsed++
+		for _, s := range prof.Samples {
+			if col >= len(s.Values) || len(s.Funcs) == 0 {
+				continue
+			}
+			v := s.Values[col]
+			name := "(unlabeled)"
+			if *labelKey != "" {
+				if lv, ok := s.Labels[*labelKey]; ok {
+					name = *labelKey + "=" + lv
+				}
+			} else {
+				name = "(all)"
+			}
+			g := groups[name]
+			if g == nil {
+				g = &group{label: name, flat: map[string]int64{}}
+				groups[name] = g
+			}
+			g.total += v
+			g.flat[s.Funcs[0]] += v
+		}
+	}
+	if parsed == 0 {
+		fail("no captures parsed")
+	}
+
+	ordered := make([]*group, 0, len(groups))
+	var grand int64
+	for _, g := range groups {
+		ordered = append(ordered, g)
+		grand += g.total
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].total > ordered[j].total })
+
+	typeName := *sampleType
+	if typeName == "" {
+		typeName = "default"
+	}
+	fmt.Printf("profiledump: %d %s captures from %s, ranking %s (%s)\n",
+		parsed, *kind, *dir, typeName, unit)
+	for _, g := range ordered {
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(g.total) / float64(grand)
+		}
+		fmt.Printf("\n[%s]  %s total (%.1f%% of all samples)\n", g.label, fmtValue(g.total, unit), share)
+		type entry struct {
+			fn string
+			v  int64
+		}
+		entries := make([]entry, 0, len(g.flat))
+		for fn, v := range g.flat {
+			entries = append(entries, entry{fn, v})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].v > entries[j].v })
+		if len(entries) > *top {
+			entries = entries[:*top]
+		}
+		for _, e := range entries {
+			pct := 0.0
+			if g.total > 0 {
+				pct = 100 * float64(e.v) / float64(g.total)
+			}
+			fmt.Printf("  %6.1f%% %12s  %s\n", pct, fmtValue(e.v, unit), e.fn)
+		}
+	}
+}
+
+// fmtValue renders one sample value in its profile unit.
+func fmtValue(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		return time.Duration(v).Round(time.Microsecond).String()
+	case "bytes":
+		switch {
+		case v >= 1<<30:
+			return fmt.Sprintf("%.2fGiB", float64(v)/(1<<30))
+		case v >= 1<<20:
+			return fmt.Sprintf("%.2fMiB", float64(v)/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.1fKiB", float64(v)/(1<<10))
+		default:
+			return fmt.Sprintf("%dB", v)
+		}
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/peaks"
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/trace"
 )
 
@@ -107,6 +110,12 @@ type Config struct {
 	// "always", results carry ResultFlagNotDurable.  The server does not
 	// own the log's lifecycle beyond Shutdown's close.
 	FrameLog *framelog.Log
+	// FlightRecorder, when non-nil, receives one wide event per answered
+	// frame — recorded at response-write time with the full request
+	// anatomy (shard, queue wait, decode time, write time, WAL sequence,
+	// outcome, shed reason) — and a black-box dump request on every
+	// recovered panic.  Nil disables recording at nil-check cost.
+	FlightRecorder *flightrec.Recorder
 
 	// processHook, when non-nil, replaces the compute step — a test seam
 	// for deterministic shedding, drain and panic-isolation tests.  It must
@@ -277,9 +286,9 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 	m := serverMetrics{
 		sessionsTotal:  reg.Counter("acq_sessions_total", "client sessions accepted by the daemon"),
 		sessionsActive: reg.Gauge("acq_sessions_active", "currently open client sessions"),
-		queueWait:      reg.Histogram("acq_queue_wait_ns", "time a frame sat in its shard queue, nanoseconds"),
-		readFrame:      reg.Histogram("acq_read_frame_ns", "time to stream-decode one frame off the socket, nanoseconds"),
-		write:          reg.Histogram("acq_write_ns", "time to write one response message, nanoseconds"),
+		queueWait:      reg.Histogram("acq_queue_wait_ns", "time a frame sat in its shard queue, nanoseconds").EnableExemplars(),
+		readFrame:      reg.Histogram("acq_read_frame_ns", "time to stream-decode one frame off the socket, nanoseconds").EnableExemplars(),
+		write:          reg.Histogram("acq_write_ns", "time to write one response message, nanoseconds").EnableExemplars(),
 		bytesIn:        reg.Counter("acq_bytes_in_total", "wire bytes received (headers + payloads)"),
 		bytesOut:       reg.Counter("acq_bytes_out_total", "wire bytes sent (headers + payloads)"),
 		protocolErrs:   reg.Counter("acq_protocol_errors_total", "malformed messages and framing violations"),
@@ -292,7 +301,7 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 	for _, p := range []Path{PathHybrid, PathCPU} {
 		l := telemetry.L("path", p.String())
 		m.framesByPath[p] = reg.Counter("acq_frames_total", "frames accepted for processing per compute path", l)
-		m.processByPath[p] = reg.Histogram("acq_process_ns", "deconvolution wall time per compute path, nanoseconds", l)
+		m.processByPath[p] = reg.Histogram("acq_process_ns", "deconvolution wall time per compute path, nanoseconds", l).EnableExemplars()
 	}
 	for _, c := range []Code{CodeOK, CodeInvalidArgument, CodeResourceExhausted,
 		CodeDeadlineExceeded, CodeUnavailable, CodeInternal, CodeTooLarge} {
@@ -337,6 +346,7 @@ type Server struct {
 	draining atomic.Bool
 	degraded func() bool
 	wal      *framelog.Log
+	flight   *flightrec.Recorder
 
 	sessMu    sync.Mutex
 	sessions  map[*session]struct{}
@@ -389,6 +399,7 @@ func NewServer(cfg Config) (*Server, error) {
 		shutdownc:   make(chan struct{}),
 		degraded:    cfg.DegradedMode,
 		wal:         cfg.FrameLog,
+		flight:      cfg.FlightRecorder,
 		processHook: cfg.processHook,
 	}
 	if s.log == nil {
@@ -562,24 +573,67 @@ func (ws *workerState) offloader(c hybrid.OffloadConfig) (*hybrid.Offloader, err
 }
 
 // workerLoop drains one shard until its queue is closed, answering each
-// task with a RESULT or a typed ERROR.
+// task with a RESULT or a typed ERROR.  The whole loop runs under pprof
+// labels (stage=worker, shard=N), so every sample a continuous CPU
+// profile catches in the compute path is attributable to its shard —
+// cmd/profiledump slices on exactly these labels.
 func (s *Server) workerLoop(sh *shard) {
 	defer s.workerWG.Done()
 	ws := &workerState{}
-	for t := range sh.ch {
-		sh.depth.Set(float64(len(sh.ch)))
-		s.serveTask(sh, ws, t)
+	pprof.Do(context.Background(), pprof.Labels("stage", "worker", "shard", strconv.Itoa(sh.id)), func(context.Context) {
+		for t := range sh.ch {
+			sh.depth.Set(float64(len(sh.ch)))
+			s.serveTask(sh, ws, t)
+		}
+	})
+}
+
+// eventFor seeds the wide event for one answered frame: everything known
+// before the response write (the write loop fills WriteNs and the recorder
+// derives TotalNs from Start).  Nil when no recorder is wired — callers
+// pass it through unconditionally.
+func (s *Server) eventFor(t *task, shardID int, code Code, shedReason, detail string, queueWaitNs, processNs int64) *flightrec.Event {
+	if s.flight == nil {
+		return nil
 	}
+	ev := &flightrec.Event{
+		Source:      "acqserver",
+		TraceID:     flightrec.TraceIDHex(t.traceID),
+		ReqID:       t.reqID,
+		Order:       s.cfg.Order,
+		Shard:       shardID,
+		Path:        t.path.String(),
+		QueueWaitNs: queueWaitNs,
+		ProcessNs:   processNs,
+		WALSeq:      t.walSeq,
+		Outcome:     code.String(),
+		ShedReason:  shedReason,
+		Detail:      detail,
+		Start:       t.enqueued,
+	}
+	if t.sess != nil {
+		ev.Session = t.sess.id
+	}
+	return ev
 }
 
 // serveTask runs one task with panic isolation: a panicking compute path
-// answers INTERNAL and the worker lives on.
+// answers INTERNAL, the flight recorder keeps the event and dumps a black
+// box, and the worker lives on.
 func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.panics["worker"].Inc()
 			s.log.Error("worker panic recovered", "shard", sh.id, "req_id", t.reqID, "trace_id", t.traceID, "panic", fmt.Sprint(r))
-			s.respondError(t.sess, t.reqID, t.traceID, CodeInternal, fmt.Sprintf("worker panic: %v", r), t.root)
+			// Record the panicking frame's event directly (not at write
+			// time) so the black box written next includes it.
+			if ev := s.eventFor(t, sh.id, CodeInternal, "", fmt.Sprintf("worker panic: %v", r), 0, 0); ev != nil {
+				s.flight.Record(*ev)
+			}
+			if _, err := s.flight.Dump("panic"); err != nil {
+				s.log.Error("flight recorder dump failed", "err", err)
+			}
+			s.respondError(t.sess, t.reqID, t.traceID, CodeInternal, fmt.Sprintf("worker panic: %v", r), t.root, nil)
 		}
 	}()
 	if t.walSeq != 0 && s.wal != nil {
@@ -589,7 +643,7 @@ func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 	}
 	t.qspan.End()
 	wait := time.Since(t.enqueued)
-	s.m.queueWait.Observe(float64(wait.Nanoseconds()))
+	s.m.queueWait.ObserveExemplar(float64(wait.Nanoseconds()), t.traceID)
 	wspan := t.root.Child("worker")
 	wspan.SetInt("shard", int64(sh.id))
 
@@ -597,8 +651,9 @@ func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 	if !t.deadline.IsZero() {
 		if !time.Now().Before(t.deadline) {
 			wspan.End()
-			s.respondError(t.sess, t.reqID, t.traceID, CodeDeadlineExceeded,
-				fmt.Sprintf("deadline expired after %v in queue", wait), t.root)
+			msg := fmt.Sprintf("deadline expired after %v in queue", wait)
+			s.respondError(t.sess, t.reqID, t.traceID, CodeDeadlineExceeded, msg, t.root,
+				s.eventFor(t, sh.id, CodeDeadlineExceeded, "", msg, wait.Nanoseconds(), 0))
 			return
 		}
 		var cancel context.CancelFunc
@@ -609,7 +664,7 @@ func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 	start := time.Now()
 	res, err := s.compute(ctx, ws, t)
 	elapsed := time.Since(start)
-	s.m.processByPath[t.path].Observe(float64(elapsed.Nanoseconds()))
+	s.m.processByPath[t.path].ObserveExemplar(float64(elapsed.Nanoseconds()), t.traceID)
 	wspan.End()
 	if err != nil {
 		code := CodeInternal
@@ -621,7 +676,8 @@ func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 		if code == CodeInternal {
 			s.log.Error("frame failed", "shard", sh.id, "req_id", t.reqID, "trace_id", t.traceID, "err", err)
 		}
-		s.respondError(t.sess, t.reqID, t.traceID, code, err.Error(), t.root)
+		s.respondError(t.sess, t.reqID, t.traceID, code, err.Error(), t.root,
+			s.eventFor(t, sh.id, code, "", err.Error(), wait.Nanoseconds(), elapsed.Nanoseconds()))
 		return
 	}
 	res.Shard = uint16(sh.id)
@@ -632,10 +688,12 @@ func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 	}
 	payload, err := EncodeResult(res)
 	if err != nil {
-		s.respondError(t.sess, t.reqID, t.traceID, CodeInternal, err.Error(), t.root)
+		s.respondError(t.sess, t.reqID, t.traceID, CodeInternal, err.Error(), t.root,
+			s.eventFor(t, sh.id, CodeInternal, "", err.Error(), wait.Nanoseconds(), elapsed.Nanoseconds()))
 		return
 	}
-	s.respond(t.sess, outMsg{typ: MsgResult, reqID: t.reqID, traceID: t.traceID, payload: payload, root: t.root}, CodeOK)
+	s.respond(t.sess, outMsg{typ: MsgResult, reqID: t.reqID, traceID: t.traceID, payload: payload, root: t.root,
+		ev: s.eventFor(t, sh.id, CodeOK, "", "", wait.Nanoseconds(), elapsed.Nanoseconds())}, CodeOK)
 }
 
 // compute runs the selected backend and summarizes the deconvolved frame.
@@ -698,7 +756,9 @@ func (s *Server) summarize(f *instrument.Frame) []PeakSummary {
 
 // respond queues a message on the session's write loop and counts it.  A
 // nil session is a recovered frame replayed from the frame log: there is
-// no client to answer, so the outcome is counted and the trace closed.
+// no client to answer, so the outcome is counted, the trace closed, and
+// the wide event (which the write loop would otherwise record) recorded
+// here without a write duration.
 func (s *Server) respond(sess *session, m outMsg, code Code) {
 	if sess == nil {
 		outcome := "ok"
@@ -707,6 +767,9 @@ func (s *Server) respond(sess *session, m outMsg, code Code) {
 		}
 		s.m.recovered[outcome].Inc()
 		m.root.End()
+		if m.ev != nil {
+			s.flight.Record(*m.ev)
+		}
 		return
 	}
 	s.m.responses[code].Inc()
@@ -716,10 +779,12 @@ func (s *Server) respond(sess *session, m outMsg, code Code) {
 // respondError queues a typed ERROR.  The trace id is echoed on the wire
 // (version-2 sessions) so the client can tell exactly which frame failed;
 // root, when active, is closed by the write loop after the error goes out.
-func (s *Server) respondError(sess *session, reqID, traceID uint64, code Code, msg string, root trace.Span) {
+// ev, when non-nil, is the frame's wide event, recorded once the write
+// completes; protocol-level errors with no accepted frame pass nil.
+func (s *Server) respondError(sess *session, reqID, traceID uint64, code Code, msg string, root trace.Span, ev *flightrec.Event) {
 	root.SetStr("error", code.String())
 	s.respond(sess, outMsg{
 		typ: MsgError, reqID: reqID, traceID: traceID,
-		payload: EncodeError(code, msg), root: root,
+		payload: EncodeError(code, msg), root: root, ev: ev,
 	}, code)
 }

@@ -16,18 +16,23 @@ import (
 	"time"
 
 	"repro/internal/frameio"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/trace"
 )
 
 // outMsg is one queued response.  root, when active, is the frame's trace
 // root: the write loop records the response write as its final child and
-// ends it, so the span tree covers first socket byte to last.
+// ends it, so the span tree covers first socket byte to last.  ev, when
+// non-nil, is the frame's wide event; the write loop fills its write
+// duration and records it, so the flight recorder sees the request's full
+// anatomy including the response write.
 type outMsg struct {
 	typ     MsgType
 	reqID   uint64
 	traceID uint64
 	payload []byte
 	root    trace.Span
+	ev      *flightrec.Event
 }
 
 // captureReader tees everything read through it into a reusable buffer,
@@ -112,14 +117,18 @@ func (sess *session) startDrain() { sess.drainOnce() }
 // send queues a response for the write loop.  It blocks while the buffer
 // is full (the write timeout bounds how long: a session that cannot absorb
 // responses is torn down, which closes done) and reports whether the
-// message was queued.  An unqueued message still ends the trace root so
-// the span tree is retained even when the client is gone.
+// message was queued.  An unqueued message still ends the trace root and
+// records the wide event, so both are retained even when the client is
+// gone.
 func (sess *session) send(m outMsg) bool {
 	select {
 	case sess.out <- m:
 		return true
 	case <-sess.done:
 		m.root.End()
+		if m.ev != nil {
+			sess.srv.flight.Record(*m.ev)
+		}
 		return false
 	}
 }
@@ -153,8 +162,10 @@ func (sess *session) writeLoop() {
 }
 
 // writeOne writes a single message under the write deadline, framed in
-// the session's negotiated protocol version, and closes the frame's span
-// tree with a write_response child.
+// the session's negotiated protocol version, closes the frame's span tree
+// with a write_response child, and records the frame's wide event — this
+// is "response-write time", the moment the request's full anatomy is
+// known.
 func (sess *session) writeOne(m outMsg) bool {
 	s := sess.srv
 	ver := uint8(sess.ver.Load())
@@ -162,10 +173,15 @@ func (sess *session) writeOne(m outMsg) bool {
 	wspan := m.root.Child("write_response")
 	start := time.Now()
 	err := WriteMessageV(sess.conn, ver, m.typ, m.reqID, m.traceID, m.payload)
-	s.m.write.Observe(float64(time.Since(start).Nanoseconds()))
+	writeNs := time.Since(start).Nanoseconds()
+	s.m.write.ObserveExemplar(float64(writeNs), m.traceID)
 	wspan.SetInt("bytes", int64(headerLen(ver)+len(m.payload)))
 	wspan.End()
 	m.root.End()
+	if m.ev != nil {
+		m.ev.WriteNs = writeNs
+		s.flight.Record(*m.ev)
+	}
 	if err != nil {
 		return false
 	}
@@ -187,6 +203,9 @@ func (sess *session) readLoop() {
 		if r := recover(); r != nil {
 			s.m.panics["session"].Inc()
 			s.log.Error("session panic recovered", "session", sess.id, "panic", fmt.Sprint(r))
+			if _, err := s.flight.Dump("panic"); err != nil {
+				s.log.Error("flight recorder dump failed", "err", err)
+			}
 		}
 	}()
 
@@ -204,7 +223,7 @@ func (sess *session) readLoop() {
 			s.m.protocolErrs.Inc()
 			s.respondError(sess, h.ReqID, h.TraceID, CodeTooLarge,
 				fmt.Sprintf("payload %d bytes exceeds bound %d", h.PayloadLen, s.cfg.MaxPayloadBytes),
-				trace.Span{})
+				trace.Span{}, nil)
 			return // cannot resync across an unbounded payload
 		}
 		s.m.bytesIn.Add(int64(headerLen(h.Version)) + int64(h.PayloadLen))
@@ -212,7 +231,7 @@ func (sess *session) readLoop() {
 		if !sawHello && h.Type != MsgHello {
 			s.m.protocolErrs.Inc()
 			s.respondError(sess, h.ReqID, h.TraceID, CodeInvalidArgument,
-				"first message must be HELLO", trace.Span{})
+				"first message must be HELLO", trace.Span{}, nil)
 			return
 		}
 		switch h.Type {
@@ -233,7 +252,7 @@ func (sess *session) readLoop() {
 				return
 			}
 			s.respondError(sess, h.ReqID, h.TraceID, CodeInvalidArgument,
-				fmt.Sprintf("unexpected message type %v", h.Type), trace.Span{})
+				fmt.Sprintf("unexpected message type %v", h.Type), trace.Span{}, nil)
 		}
 	}
 }
@@ -292,7 +311,7 @@ func (sess *session) handleFrame(h Header) bool {
 	if h.PayloadLen < frameOptsSize {
 		s.m.protocolErrs.Inc()
 		s.respondError(sess, h.ReqID, traceID, CodeInvalidArgument,
-			"FRAME payload too short for options", root)
+			"FRAME payload too short for options", root, nil)
 		return false
 	}
 	rspan := root.Child("socket_read")
@@ -322,7 +341,7 @@ func (sess *session) handleFrame(h Header) bool {
 	}
 	start := time.Now()
 	frame, _, decErr := frameio.ReadLimited(src, s.limits)
-	s.m.readFrame.Observe(float64(time.Since(start).Nanoseconds()))
+	s.m.readFrame.ObserveExemplar(float64(time.Since(start).Nanoseconds()), traceID)
 	// Resync to the message boundary regardless of decode success; a
 	// failure here is a connection-level error (timeout, disconnect).
 	if _, err := io.Copy(io.Discard, src); err != nil {
@@ -331,18 +350,18 @@ func (sess *session) handleFrame(h Header) bool {
 	}
 	rspan.End()
 	if decErr != nil {
-		s.respondError(sess, h.ReqID, traceID, CodeInvalidArgument, decErr.Error(), root)
+		s.respondError(sess, h.ReqID, traceID, CodeInvalidArgument, decErr.Error(), root, nil)
 		return true
 	}
 	if opts.Path != PathHybrid && opts.Path != PathCPU {
 		s.respondError(sess, h.ReqID, traceID, CodeInvalidArgument,
-			fmt.Sprintf("unknown path %v", opts.Path), root)
+			fmt.Sprintf("unknown path %v", opts.Path), root, nil)
 		return true
 	}
 	if frame.DriftBins != s.seqLen {
 		s.respondError(sess, h.ReqID, traceID, CodeInvalidArgument,
 			fmt.Sprintf("frame has %d drift bins, server order %d needs %d",
-				frame.DriftBins, s.cfg.Order, s.seqLen), root)
+				frame.DriftBins, s.cfg.Order, s.seqLen), root, nil)
 		return true
 	}
 	root.SetStr("path", opts.Path.String())
@@ -362,7 +381,7 @@ func (sess *session) handleFrame(h Header) bool {
 				// Durability was promised; failing open would lie to the
 				// client.
 				s.respondError(sess, h.ReqID, traceID, CodeInternal,
-					fmt.Sprintf("frame log append failed: %v", err), root)
+					fmt.Sprintf("frame log append failed: %v", err), root, nil)
 				return true
 			}
 			s.log.Warn("framelog append failed; serving without durability",
@@ -392,7 +411,8 @@ func (sess *session) handleFrame(h Header) bool {
 		s.m.shedByReason["draining"].Inc()
 		s.completeWAL(walSeq)
 		s.log.Debug("frame shed", "reason", "draining", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID)
-		s.respondError(sess, h.ReqID, traceID, CodeUnavailable, "daemon is draining", root)
+		s.respondError(sess, h.ReqID, traceID, CodeUnavailable, "daemon is draining", root,
+			s.eventFor(t, sess.shard.id, CodeUnavailable, "draining", "daemon is draining", 0, 0))
 		return true
 	}
 	t.qspan = root.Child("queue_wait")
@@ -405,21 +425,24 @@ func (sess *session) handleFrame(h Header) bool {
 		s.completeWAL(walSeq)
 		s.log.Debug("frame shed", "reason", "degraded", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID, "shard", sess.shard.id)
 		t.qspan.End()
-		s.respondError(sess, h.ReqID, traceID, CodeResourceExhausted,
-			fmt.Sprintf("shard %d shedding early: server is degraded", sess.shard.id), root)
+		msg := fmt.Sprintf("shard %d shedding early: server is degraded", sess.shard.id)
+		s.respondError(sess, h.ReqID, traceID, CodeResourceExhausted, msg, root,
+			s.eventFor(t, sess.shard.id, CodeResourceExhausted, "degraded", msg, 0, 0))
 	case errQueueFull:
 		s.m.shedByReason["queue_full"].Inc()
 		s.completeWAL(walSeq)
 		s.log.Debug("frame shed", "reason", "queue_full", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID, "shard", sess.shard.id)
 		t.qspan.End()
-		s.respondError(sess, h.ReqID, traceID, CodeResourceExhausted,
-			fmt.Sprintf("shard %d queue full (depth %d)", sess.shard.id, s.cfg.QueueDepth), root)
+		msg := fmt.Sprintf("shard %d queue full (depth %d)", sess.shard.id, s.cfg.QueueDepth)
+		s.respondError(sess, h.ReqID, traceID, CodeResourceExhausted, msg, root,
+			s.eventFor(t, sess.shard.id, CodeResourceExhausted, "queue_full", msg, 0, 0))
 	case errDraining:
 		s.m.shedByReason["draining"].Inc()
 		s.completeWAL(walSeq)
 		s.log.Debug("frame shed", "reason", "draining", "session", sess.id, "req_id", h.ReqID, "trace_id", traceID)
 		t.qspan.End()
-		s.respondError(sess, h.ReqID, traceID, CodeUnavailable, "daemon is draining", root)
+		s.respondError(sess, h.ReqID, traceID, CodeUnavailable, "daemon is draining", root,
+			s.eventFor(t, sess.shard.id, CodeUnavailable, "draining", "daemon is draining", 0, 0))
 	}
 	return true
 }

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/acqserver"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/trace"
 )
 
@@ -84,6 +85,11 @@ type Config struct {
 	Metrics *telemetry.Registry
 	// Trace, when non-nil, records a gateway span tree per proxied frame.
 	Trace *trace.Tracer
+	// FlightRecorder, when non-nil, receives one wide event per proxied
+	// frame — recorded as the response goes downstream, carrying the
+	// serving backend, attempt count and outcome — so an operator can ask
+	// "which backend served the slow requests" from the gateway alone.
+	FlightRecorder *flightrec.Recorder
 	// Logger, when non-nil, receives structured session/routing events.
 	Logger *slog.Logger
 }
@@ -183,7 +189,7 @@ func newGwMetrics(reg *telemetry.Registry, backends []BackendConfig) gwMetrics {
 	for _, b := range backends {
 		l := telemetry.L("backend", b.Addr)
 		m.requests = append(m.requests, reg.Counter("gw_requests_total", "frames proxied upstream per backend (attempts, including retries)", l))
-		m.upstreamNs = append(m.upstreamNs, reg.Histogram("gw_upstream_ns", "upstream request latency per backend, nanoseconds", l))
+		m.upstreamNs = append(m.upstreamNs, reg.Histogram("gw_upstream_ns", "upstream request latency per backend, nanoseconds", l).EnableExemplars())
 		m.backendReady = append(m.backendReady, reg.Gauge("gw_backend_ready", "backend readiness as routed (1 on the ring, 0 off)", l))
 	}
 	for _, c := range []acqserver.Code{acqserver.CodeOK, acqserver.CodeInvalidArgument,
@@ -210,6 +216,7 @@ type Gateway struct {
 	backends []*backend
 	m        gwMetrics
 	tracer   *trace.Tracer
+	flight   *flightrec.Recorder
 	log      *slog.Logger
 
 	ringMu  sync.RWMutex
@@ -250,6 +257,7 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:      cfg,
 		m:        newGwMetrics(cfg.Metrics, cfg.Backends),
 		tracer:   cfg.Trace,
+		flight:   cfg.FlightRecorder,
 		log:      log,
 		stopc:    make(chan struct{}),
 		sessions: map[*gwSession]struct{}{},

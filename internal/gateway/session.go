@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/acqserver"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/trace"
 )
 
@@ -106,6 +108,32 @@ func (sess *gwSession) respondError(reqID, traceID uint64, code acqserver.Code, 
 	sess.writeMsg(acqserver.MsgError, reqID, traceID, acqserver.EncodeError(code, msg))
 }
 
+// recordEvent publishes one gateway wide event into the flight recorder:
+// the proxied frame's trace identity, serving backend, attempt count and
+// outcome, recorded as the response goes downstream.  No-op when no
+// recorder is wired; b is nil for frames shed before routing.
+func (g *Gateway) recordEvent(sess *gwSession, reqID, traceID uint64, start time.Time, b *backend, attempts uint8, code acqserver.Code, shedReason, detail string) {
+	if g.flight == nil {
+		return
+	}
+	ev := flightrec.Event{
+		Source:     "gateway",
+		TraceID:    flightrec.TraceIDHex(traceID),
+		Session:    sess.id,
+		ReqID:      reqID,
+		Attempts:   attempts,
+		Outcome:    code.String(),
+		ShedReason: shedReason,
+		Detail:     detail,
+		Start:      start,
+	}
+	if b != nil {
+		ev.Backend = uint16(b.id + 1) // matches the RESULT routing trailer
+		ev.BackendAddr = b.cfg.Addr
+	}
+	g.flight.Record(ev)
+}
+
 // readLoop owns the inbound half: HELLO first, then FRAME/GOODBYE under
 // the idle read deadline.
 func (sess *gwSession) readLoop() {
@@ -115,6 +143,9 @@ func (sess *gwSession) readLoop() {
 	defer func() {
 		if r := recover(); r != nil {
 			g.log.Error("gw session panic recovered", "session", sess.id, "panic", fmt.Sprint(r))
+			if _, err := g.flight.Dump("panic"); err != nil {
+				g.log.Error("flight recorder dump failed", "err", err)
+			}
 		}
 	}()
 
@@ -203,6 +234,8 @@ func (sess *gwSession) handleFrame(h acqserver.Header) bool {
 	}
 	if g.draining.Load() {
 		g.m.shed["draining"].Inc()
+		g.recordEvent(sess, h.ReqID, h.TraceID, time.Now(), nil, 0,
+			acqserver.CodeUnavailable, "draining", "gateway is draining")
 		sess.respondError(h.ReqID, h.TraceID, acqserver.CodeUnavailable, "gateway is draining")
 		return true
 	}
@@ -226,6 +259,7 @@ func (sess *gwSession) handleFrame(h acqserver.Header) bool {
 // routing trailer on results).
 func (sess *gwSession) proxy(reqID, clientTraceID uint64, payload []byte) {
 	g := sess.gw
+	began := time.Now()
 	root := g.tracer.StartTrace("gw_request", clientTraceID)
 	traceID := clientTraceID
 	if root.Active() {
@@ -241,6 +275,8 @@ func (sess *gwSession) proxy(reqID, clientTraceID uint64, payload []byte) {
 		g.m.shed["no_backend"].Inc()
 		root.SetStr("error", "no_backend")
 		g.log.Warn("frame shed", "reason", "no_backend", "session", sess.id, "req_id", reqID, "trace_id", traceID)
+		g.recordEvent(sess, reqID, traceID, began, nil, 0,
+			acqserver.CodeUnavailable, "no_backend", "no ready backend")
 		sess.respondError(reqID, traceID, acqserver.CodeUnavailable, "no ready backend")
 		return
 	}
@@ -275,6 +311,8 @@ func (sess *gwSession) proxy(reqID, clientTraceID uint64, payload []byte) {
 		root.SetStr("error", err.Error())
 		g.log.Warn("upstream failed", "session", sess.id, "req_id", reqID, "trace_id", traceID,
 			"backend", backendID.cfg.Addr, "err", err)
+		g.recordEvent(sess, reqID, traceID, began, backendID, attempts,
+			acqserver.CodeUnavailable, "", err.Error())
 		sess.respondError(reqID, traceID, acqserver.CodeUnavailable,
 			fmt.Sprintf("backend %s unreachable: %v", backendID.cfg.Addr, err))
 		return
@@ -283,6 +321,7 @@ func (sess *gwSession) proxy(reqID, clientTraceID uint64, payload []byte) {
 	root.SetStr("backend", backendID.cfg.Addr)
 	if resp.Code != acqserver.CodeOK {
 		root.SetStr("error", resp.Code.String())
+		g.recordEvent(sess, reqID, traceID, began, backendID, attempts, resp.Code, "", resp.Message)
 		sess.respondError(reqID, traceID, resp.Code, resp.Message)
 		return
 	}
@@ -291,9 +330,12 @@ func (sess *gwSession) proxy(reqID, clientTraceID uint64, payload []byte) {
 	res.Attempts = attempts
 	out, encErr := acqserver.EncodeResult(res)
 	if encErr != nil {
+		g.recordEvent(sess, reqID, traceID, began, backendID, attempts,
+			acqserver.CodeInternal, "", encErr.Error())
 		sess.respondError(reqID, traceID, acqserver.CodeInternal, encErr.Error())
 		return
 	}
+	g.recordEvent(sess, reqID, traceID, began, backendID, attempts, acqserver.CodeOK, "", "")
 	g.m.responses[acqserver.CodeOK].Inc()
 	sess.writeMsg(acqserver.MsgResult, reqID, traceID, out)
 }
@@ -319,8 +361,14 @@ func (sess *gwSession) attempt(root trace.Span, b *backend, n int, payload []byt
 	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.UpstreamTimeout)
 	defer cancel()
 	start := time.Now()
-	resp, err := c.DoPayload(ctx, payload, traceID)
-	g.m.upstreamNs[b.id].Observe(float64(time.Since(start).Nanoseconds()))
+	// The upstream wait runs under pprof labels (stage=gw_upstream,
+	// backend=addr): continuous CPU profiles attribute proxy-path work to
+	// the backend being awaited, the axis cmd/profiledump slices on.
+	var resp *acqserver.Response
+	pprof.Do(ctx, pprof.Labels("stage", "gw_upstream", "backend", b.cfg.Addr), func(ctx context.Context) {
+		resp, err = c.DoPayload(ctx, payload, traceID)
+	})
+	g.m.upstreamNs[b.id].ObserveExemplar(float64(time.Since(start).Nanoseconds()), traceID)
 	if err != nil {
 		span.SetStr("error", err.Error())
 		b.pool.discard(c)

@@ -1,0 +1,464 @@
+// Package pprofile is a minimal reader for the gzipped profile.proto
+// format that runtime/pprof writes — just enough protobuf wire decoding
+// (stdlib only, no generated code) to recover what the profiledump
+// summarizer needs: per-sample values, the leaf-first function stack, and
+// the pprof labels attached by pprof.Do.  It is a reader, not a writer,
+// and it ignores mappings, addresses and line numbers entirely.
+//
+// Wire format notes: a profile is a gzipped Profile message; repeated
+// scalar fields (Sample.location_id, Sample.value) are packed
+// length-delimited by proto3 but may legally appear unpacked, so both
+// encodings are handled.  String fields index into Profile.string_table.
+package pprofile
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ValueType names one sample value dimension, e.g. cpu/nanoseconds or
+// inuse_space/bytes.
+type ValueType struct {
+	// Type is the dimension name ("cpu", "alloc_space", ...).
+	Type string
+	// Unit is the dimension unit ("nanoseconds", "bytes", "count").
+	Unit string
+}
+
+// Sample is one resolved profile sample.
+type Sample struct {
+	// Funcs is the call stack as function names, leaf first (inlined
+	// frames expanded in innermost-first order, matching profile.proto).
+	Funcs []string
+	// Values holds one value per Profile.SampleTypes entry.
+	Values []int64
+	// Labels are the sample's string-valued pprof labels (pprof.Do).
+	Labels map[string]string
+}
+
+// Profile is the decoded subset of one profile.proto document.
+type Profile struct {
+	// SampleTypes describes the columns of every sample's Values.
+	SampleTypes []ValueType
+	// Samples are all samples with stacks and labels resolved.
+	Samples []Sample
+}
+
+// ValueIndex returns the column index of the named sample type, or the
+// last column when name is empty (the pprof default: cpu nanoseconds for
+// CPU profiles, inuse_space for heap), or -1 when name is unknown.
+func (p *Profile) ValueIndex(name string) int {
+	if name == "" {
+		return len(p.SampleTypes) - 1
+	}
+	for i, st := range p.SampleTypes {
+		if st.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// errTruncated reports a message that ended mid-field.
+var errTruncated = errors.New("pprofile: truncated profile")
+
+// wire holds an in-progress protobuf message decode.
+type wire struct {
+	data []byte
+	pos  int
+}
+
+func (b *wire) done() bool { return b.pos >= len(b.data) }
+
+// varint decodes one base-128 varint.
+func (b *wire) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if b.pos >= len(b.data) {
+			return 0, errTruncated
+		}
+		c := b.data[b.pos]
+		b.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("pprofile: varint overflow")
+}
+
+// tag decodes one field key into (field number, wire type).
+func (b *wire) tag() (int, int, error) {
+	k, err := b.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(k >> 3), int(k & 7), nil
+}
+
+// bytes decodes one length-delimited payload (wire type 2).
+func (b *wire) bytes() ([]byte, error) {
+	n, err := b.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b.data)-b.pos) {
+		return nil, errTruncated
+	}
+	out := b.data[b.pos : b.pos+int(n)]
+	b.pos += int(n)
+	return out, nil
+}
+
+// skip discards one field payload of the given wire type.
+func (b *wire) skip(wt int) error {
+	switch wt {
+	case 0:
+		_, err := b.varint()
+		return err
+	case 1:
+		if len(b.data)-b.pos < 8 {
+			return errTruncated
+		}
+		b.pos += 8
+		return nil
+	case 2:
+		_, err := b.bytes()
+		return err
+	case 5:
+		if len(b.data)-b.pos < 4 {
+			return errTruncated
+		}
+		b.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("pprofile: unsupported wire type %d", wt)
+	}
+}
+
+// uint64s decodes a repeated uint64 field occurrence: one packed payload
+// (wire 2) or one plain varint (wire 0), appended to dst.
+func (b *wire) uint64s(wt int, dst []uint64) ([]uint64, error) {
+	if wt == 0 {
+		v, err := b.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, v), nil
+	}
+	payload, err := b.bytes()
+	if err != nil {
+		return nil, err
+	}
+	packed := wire{data: payload}
+	for !packed.done() {
+		v, err := packed.varint()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// rawLabel is Label before string-table resolution.
+type rawLabel struct{ key, str int64 }
+
+// rawSample is Sample before location/string resolution.
+type rawSample struct {
+	locIDs []uint64
+	values []uint64
+	labels []rawLabel
+}
+
+// Parse reads one gzipped profile.proto document.
+func Parse(r io.Reader) (*Profile, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("pprofile: %w", err)
+	}
+	defer zr.Close()
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("pprofile: %w", err)
+	}
+
+	var (
+		strings   []string
+		sampleVTs [][2]int64 // (type idx, unit idx)
+		samples   []rawSample
+		locFuncs  = map[uint64][]uint64{} // location id -> function ids, innermost first
+		funcNames = map[uint64]int64{}    // function id -> name string index
+		top       = wire{data: data}
+	)
+	for !top.done() {
+		field, wt, err := top.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // sample_type: ValueType
+			msg, err := top.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			sampleVTs = append(sampleVTs, vt)
+		case 2: // sample
+			msg, err := top.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			msg, err := top.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, fns, err := parseLocation(msg)
+			if err != nil {
+				return nil, err
+			}
+			locFuncs[id] = fns
+		case 5: // function
+			msg, err := top.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, name, err := parseFunction(msg)
+			if err != nil {
+				return nil, err
+			}
+			funcNames[id] = name
+		case 6: // string_table
+			msg, err := top.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strings = append(strings, string(msg))
+		default:
+			if err := top.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i < 0 || i >= int64(len(strings)) {
+			return ""
+		}
+		return strings[i]
+	}
+	p := &Profile{}
+	for _, vt := range sampleVTs {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(vt[0]), Unit: str(vt[1])})
+	}
+	for _, rs := range samples {
+		s := Sample{Values: make([]int64, len(rs.values))}
+		for i, v := range rs.values {
+			s.Values[i] = int64(v)
+		}
+		for _, id := range rs.locIDs {
+			for _, fid := range locFuncs[id] {
+				s.Funcs = append(s.Funcs, str(funcNames[fid]))
+			}
+		}
+		for _, l := range rs.labels {
+			if l.str == 0 {
+				continue // numeric label; profiledump only slices by string labels
+			}
+			if s.Labels == nil {
+				s.Labels = map[string]string{}
+			}
+			s.Labels[str(l.key)] = str(l.str)
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+// parseValueType decodes one ValueType message into string indices.
+func parseValueType(data []byte) ([2]int64, error) {
+	var out [2]int64
+	b := wire{data: data}
+	for !b.done() {
+		field, wt, err := b.tag()
+		if err != nil {
+			return out, err
+		}
+		if wt == 0 && (field == 1 || field == 2) {
+			v, err := b.varint()
+			if err != nil {
+				return out, err
+			}
+			out[field-1] = int64(v)
+			continue
+		}
+		if err := b.skip(wt); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// parseSample decodes one Sample message.
+func parseSample(data []byte) (rawSample, error) {
+	var s rawSample
+	b := wire{data: data}
+	for !b.done() {
+		field, wt, err := b.tag()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case 1:
+			if s.locIDs, err = b.uint64s(wt, s.locIDs); err != nil {
+				return s, err
+			}
+		case 2:
+			if s.values, err = b.uint64s(wt, s.values); err != nil {
+				return s, err
+			}
+		case 3:
+			msg, err := b.bytes()
+			if err != nil {
+				return s, err
+			}
+			l, err := parseLabel(msg)
+			if err != nil {
+				return s, err
+			}
+			s.labels = append(s.labels, l)
+		default:
+			if err := b.skip(wt); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseLabel decodes one Label message into string indices.
+func parseLabel(data []byte) (rawLabel, error) {
+	var l rawLabel
+	b := wire{data: data}
+	for !b.done() {
+		field, wt, err := b.tag()
+		if err != nil {
+			return l, err
+		}
+		if wt == 0 && (field == 1 || field == 2) {
+			v, err := b.varint()
+			if err != nil {
+				return l, err
+			}
+			if field == 1 {
+				l.key = int64(v)
+			} else {
+				l.str = int64(v)
+			}
+			continue
+		}
+		if err := b.skip(wt); err != nil {
+			return l, err
+		}
+	}
+	return l, nil
+}
+
+// parseLocation decodes one Location message into its id and function
+// ids (innermost line first, as encoded).
+func parseLocation(data []byte) (uint64, []uint64, error) {
+	var id uint64
+	var fns []uint64
+	b := wire{data: data}
+	for !b.done() {
+		field, wt, err := b.tag()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch {
+		case field == 1 && wt == 0:
+			if id, err = b.varint(); err != nil {
+				return 0, nil, err
+			}
+		case field == 4 && wt == 2:
+			msg, err := b.bytes()
+			if err != nil {
+				return 0, nil, err
+			}
+			fid, err := parseLine(msg)
+			if err != nil {
+				return 0, nil, err
+			}
+			if fid != 0 {
+				fns = append(fns, fid)
+			}
+		default:
+			if err := b.skip(wt); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	return id, fns, nil
+}
+
+// parseLine decodes one Line message into its function id.
+func parseLine(data []byte) (uint64, error) {
+	var fid uint64
+	b := wire{data: data}
+	for !b.done() {
+		field, wt, err := b.tag()
+		if err != nil {
+			return 0, err
+		}
+		if field == 1 && wt == 0 {
+			if fid, err = b.varint(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := b.skip(wt); err != nil {
+			return 0, err
+		}
+	}
+	return fid, nil
+}
+
+// parseFunction decodes one Function message into (id, name string index).
+func parseFunction(data []byte) (uint64, int64, error) {
+	var id uint64
+	var name int64
+	b := wire{data: data}
+	for !b.done() {
+		field, wt, err := b.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		if wt == 0 && (field == 1 || field == 2) {
+			v, err := b.varint()
+			if err != nil {
+				return 0, 0, err
+			}
+			if field == 1 {
+				id = v
+			} else {
+				name = int64(v)
+			}
+			continue
+		}
+		if err := b.skip(wt); err != nil {
+			return 0, 0, err
+		}
+	}
+	return id, name, nil
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	h := (&Histogram{}).EnableExemplars()
+	h.ObserveExemplar(100, 0xabc)
+	h.ObserveExemplar(1e6, 0xdef)
+	h.ObserveExemplar(1e6, 0) // zero trace id observes but never captures
+
+	ex := h.Exemplars()
+	lo, hi := ex[bucketIndex(100)], ex[bucketIndex(1e6)]
+	if lo.TraceID != 0xabc || lo.Value != 100 {
+		t.Fatalf("low bucket exemplar = %+v, want trace 0xabc value 100", lo)
+	}
+	if hi.TraceID != 0xdef || hi.Value != 1e6 {
+		t.Fatalf("high bucket exemplar = %+v, want trace 0xdef (zero id must not overwrite)", hi)
+	}
+	if lo.UnixNano == 0 || time.Since(time.Unix(0, lo.UnixNano)) > time.Minute {
+		t.Fatalf("exemplar timestamp %d not recent", lo.UnixNano)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3 (every ObserveExemplar counts)", h.Count())
+	}
+}
+
+func TestHistogramExemplarLatestWins(t *testing.T) {
+	h := (&Histogram{}).EnableExemplars()
+	h.ObserveExemplar(100, 1)
+	h.ObserveExemplar(101, 2) // same bucket, newer capture
+	if got := h.Exemplars()[bucketIndex(100)]; got.TraceID != 2 || got.Value != 101 {
+		t.Fatalf("exemplar = %+v, want the most recent capture (trace 2, value 101)", got)
+	}
+}
+
+func TestHistogramExemplarsDisabled(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(100, 0xabc)
+	if got := h.Exemplars()[bucketIndex(100)]; got.TraceID != 0 {
+		t.Fatalf("exemplar retained without EnableExemplars: %+v", got)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 (observation must still land)", h.Count())
+	}
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, 1) // must not panic
+	nilH.EnableExemplars().ObserveExemplar(1, 1)
+	_ = nilH.Exemplars()
+}
+
+func TestExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("app_lat_ns", "latency").EnableExemplars()
+	h.ObserveExemplar(100, 0xabc)
+
+	snap := r.Snapshot()
+	var found *Bucket
+	for _, m := range snap.Metrics {
+		for i := range m.Buckets {
+			if m.Buckets[i].ExemplarTraceID != "" {
+				found = &m.Buckets[i]
+			}
+		}
+	}
+	if found == nil {
+		t.Fatal("no bucket carries an exemplar in the snapshot")
+	}
+	if found.ExemplarTraceID != "0000000000000abc" {
+		t.Fatalf("ExemplarTraceID = %q, want 16-hex-digit 0000000000000abc", found.ExemplarTraceID)
+	}
+	if found.ExemplarValue != 100 || found.ExemplarUnixNano == 0 {
+		t.Fatalf("exemplar bucket = %+v, want value 100 and a timestamp", found)
+	}
+
+	var prom strings.Builder
+	if err := snap.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `# {trace_id="0000000000000abc"} 100`) {
+		t.Fatalf("text exposition lacks the OpenMetrics exemplar suffix:\n%s", prom.String())
+	}
+
+	// The JSON exposition must round-trip the exemplar fields (the fleet
+	// rollup and imstop decode snapshots from this document).
+	var buf strings.Builder
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	var roundTripped bool
+	for _, m := range back.Metrics {
+		for _, b := range m.Buckets {
+			if b.ExemplarTraceID == "0000000000000abc" && b.ExemplarValue == 100 {
+				roundTripped = true
+			}
+		}
+	}
+	if !roundTripped {
+		t.Fatalf("exemplar lost in JSON round-trip:\n%s", buf.String())
+	}
+}
+
+// TestObserveExemplarAllocs is part of the allocgate suite (`make
+// allocgate`): exemplar capture must add zero allocations to the hot
+// path, enabled or not.
+func TestObserveExemplarAllocs(t *testing.T) {
+	r := NewRegistry()
+	enabled := r.Histogram("x_ns", "").EnableExemplars()
+	if a := testing.AllocsPerRun(1000, func() { enabled.ObserveExemplar(12345, 0xabc) }); a != 0 {
+		t.Fatalf("ObserveExemplar (enabled) allocates %.1f/op, want 0", a)
+	}
+	plain := r.Histogram("y_ns", "")
+	if a := testing.AllocsPerRun(1000, func() { plain.ObserveExemplar(12345, 0xabc) }); a != 0 {
+		t.Fatalf("ObserveExemplar (disabled) allocates %.1f/op, want 0", a)
+	}
+	var nilH *Histogram
+	if a := testing.AllocsPerRun(1000, func() { nilH.ObserveExemplar(12345, 0xabc) }); a != 0 {
+		t.Fatalf("ObserveExemplar (nil) allocates %.1f/op, want 0", a)
+	}
+}

@@ -23,6 +23,14 @@ type Bucket struct {
 	UpperBound float64 `json:"le"`
 	// Count is the number of observations that landed in this bucket.
 	Count int64 `json:"count"`
+	// ExemplarTraceID is the most recent trace id retained for this
+	// bucket, as 16 lowercase hex digits (empty when the histogram does
+	// not retain exemplars or none landed here yet).
+	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
+	// ExemplarValue is the retained exemplar's observed value.
+	ExemplarValue float64 `json:"exemplar_value,omitempty"`
+	// ExemplarUnixNano is when the retained exemplar was observed.
+	ExemplarUnixNano int64 `json:"exemplar_unix_nano,omitempty"`
 }
 
 // MarshalJSON renders the +Inf bound as the string "+Inf" (JSON has no
@@ -33,9 +41,12 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
 	}
 	return json.Marshal(struct {
-		LE    string `json:"le"`
-		Count int64  `json:"count"`
-	}{le, b.Count})
+		LE               string  `json:"le"`
+		Count            int64   `json:"count"`
+		ExemplarTraceID  string  `json:"exemplar_trace_id,omitempty"`
+		ExemplarValue    float64 `json:"exemplar_value,omitempty"`
+		ExemplarUnixNano int64   `json:"exemplar_unix_nano,omitempty"`
+	}{le, b.Count, b.ExemplarTraceID, b.ExemplarValue, b.ExemplarUnixNano})
 }
 
 // UnmarshalJSON is the inverse of MarshalJSON, so consumers of
@@ -43,8 +54,11 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 // stdlib json package; the "+Inf" bound round-trips to math.Inf(1).
 func (b *Bucket) UnmarshalJSON(data []byte) error {
 	var raw struct {
-		LE    string `json:"le"`
-		Count int64  `json:"count"`
+		LE               string  `json:"le"`
+		Count            int64   `json:"count"`
+		ExemplarTraceID  string  `json:"exemplar_trace_id,omitempty"`
+		ExemplarValue    float64 `json:"exemplar_value,omitempty"`
+		ExemplarUnixNano int64   `json:"exemplar_unix_nano,omitempty"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
@@ -59,6 +73,9 @@ func (b *Bucket) UnmarshalJSON(data []byte) error {
 		b.UpperBound = v
 	}
 	b.Count = raw.Count
+	b.ExemplarTraceID = raw.ExemplarTraceID
+	b.ExemplarValue = raw.ExemplarValue
+	b.ExemplarUnixNano = raw.ExemplarUnixNano
 	return nil
 }
 
@@ -160,10 +177,17 @@ func (r *Registry) SnapshotAt(now time.Time) Snapshot {
 				m.Value = &v
 			case KindHistogram:
 				counts := in.h.Counts()
+				exemplars := in.h.Exemplars()
 				for i, c := range counts {
 					m.Count += c
 					if c != 0 {
-						m.Buckets = append(m.Buckets, Bucket{UpperBound: BucketUpperBound(i), Count: c})
+						b := Bucket{UpperBound: BucketUpperBound(i), Count: c}
+						if e := exemplars[i]; e.TraceID != 0 {
+							b.ExemplarTraceID = hex16(e.TraceID)
+							b.ExemplarValue = e.Value
+							b.ExemplarUnixNano = e.UnixNano
+						}
+						m.Buckets = append(m.Buckets, b)
 					}
 				}
 				m.Sum = in.h.Sum()
@@ -238,6 +262,31 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// hex16 renders a trace id as 16 lowercase hex digits, the same spelling
+// the trace package and /debug/traces use, so exemplars join textually.
+func hex16(id uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// exemplarSuffix renders a bucket's retained exemplar in the OpenMetrics
+// exemplar syntax — " # {trace_id=\"...\"} value timestamp" — or "" when
+// the bucket holds none.
+func exemplarSuffix(b Bucket) string {
+	if b.ExemplarTraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %s",
+		b.ExemplarTraceID,
+		formatValue(b.ExemplarValue),
+		strconv.FormatFloat(float64(b.ExemplarUnixNano)/1e9, 'f', 3, 64))
+}
+
 // WritePrometheus serializes the snapshot in the Prometheus text
 // exposition format (# HELP / # TYPE lines, cumulative histogram buckets
 // with an explicit +Inf bound, _sum and _count series).
@@ -264,7 +313,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 				if b.UpperBound < inf() {
 					le = formatValue(b.UpperBound)
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, formatLabels(m.Labels, "le", le), cum); err != nil {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", m.Name, formatLabels(m.Labels, "le", le), cum, exemplarSuffix(b)); err != nil {
 					return err
 				}
 			}

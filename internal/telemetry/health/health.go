@@ -105,6 +105,12 @@ type Config struct {
 	// (health_status, health_slo_status, health_slo_burn) on every Tick,
 	// so health rides the same /metrics surface as everything else.
 	Metrics *telemetry.Registry
+	// OnTransition, when non-nil, is called from Tick whenever the overall
+	// status changes, outside the evaluator's lock (the callback may call
+	// Status or Report freely).  The daemon wires the flight recorder's
+	// black-box dump here, so every slide into DEGRADED/UNHEALTHY leaves
+	// an incident file (see internal/telemetry/flightrec).
+	OnTransition func(from, to Status, rep Report)
 }
 
 // withDefaults fills zero fields.
@@ -356,11 +362,11 @@ func (sl *slo) window(now time.Time, w time.Duration) (bad, total int64) {
 
 // Tick samples every SLO's sources, evaluates burn rates against both
 // windows as of now, stores and returns the Report, and refreshes the
-// health_* gauges.  Drive it from Run or call it directly (tests pass a
-// synthetic clock).
+// health_* gauges.  When the overall status changes, Config.OnTransition
+// fires after the lock is released.  Drive it from Run or call it directly
+// (tests pass a synthetic clock).
 func (e *Evaluator) Tick(now time.Time) Report {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	rep := Report{Status: OK, SLOs: make([]SLOReport, 0, len(e.slos))}
 	for _, sl := range e.slos {
 		if sl.ratio != nil {
@@ -377,7 +383,12 @@ func (e *Evaluator) Tick(now time.Time) Report {
 		rep.SLOs = append(rep.SLOs, sr)
 	}
 	e.overallG.Set(float64(rep.Status))
+	prev := e.last.Status
 	e.last = rep
+	e.mu.Unlock()
+	if rep.Status != prev && e.cfg.OnTransition != nil {
+		e.cfg.OnTransition(prev, rep.Status, rep)
+	}
 	return rep
 }
 

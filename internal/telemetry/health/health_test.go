@@ -265,3 +265,68 @@ func TestStatusJSONRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestOnTransition proves the incident hook (what imsd wires to the
+// flight-recorder dump) fires exactly on status changes, with the report
+// that carried the verdict.
+func TestOnTransition(t *testing.T) {
+	var h telemetry.Histogram
+	type hop struct{ from, to Status }
+	var hops []hop
+	e := New(Config{
+		OnTransition: func(from, to Status, rep Report) {
+			if rep.Status != to {
+				t.Errorf("callback report status %v != to %v", rep.Status, to)
+			}
+			hops = append(hops, hop{from, to})
+		},
+	})
+	e.AddLatency(LatencySLO{
+		Name:        "frame_latency",
+		Hists:       []*telemetry.Histogram{&h},
+		ThresholdNs: 1 << 20,
+		Target:      0.99,
+	})
+
+	// Healthy warm-up: staying OK is not a transition.
+	tickOver(e, t0, 2*time.Minute, func(time.Time) {
+		for i := 0; i < 100; i++ {
+			h.Observe(1000)
+		}
+	})
+	if len(hops) != 0 {
+		t.Fatalf("callback fired %d times while steadily OK: %v", len(hops), hops)
+	}
+
+	// Burn the fast window → exactly one OK→DEGRADED hop even though the
+	// evaluator keeps ticking in the degraded state.
+	next := t0.Add(2*time.Minute + telemetry.WindowSlotDuration)
+	rep := tickOver(e, next, time.Minute, func(time.Time) {
+		for i := 0; i < 90; i++ {
+			h.Observe(1000)
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(1 << 24)
+		}
+	})
+	if rep.Status != Degraded {
+		t.Fatalf("burn status = %v, want degraded", rep.Status)
+	}
+	if len(hops) != 1 || hops[0] != (hop{OK, Degraded}) {
+		t.Fatalf("hops = %v, want exactly [OK->Degraded]", hops)
+	}
+
+	// Recovery fires the way back down too.
+	next = next.Add(time.Minute + telemetry.WindowSlotDuration)
+	rep = tickOver(e, next, 12*time.Minute, func(time.Time) {
+		for i := 0; i < 100; i++ {
+			h.Observe(1000)
+		}
+	})
+	if rep.Status != OK {
+		t.Fatalf("recovery status = %v, want ok", rep.Status)
+	}
+	if len(hops) < 2 || hops[len(hops)-1].to != OK {
+		t.Fatalf("hops = %v, want a final transition back to OK", hops)
+	}
+}

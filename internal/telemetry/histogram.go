@@ -48,10 +48,96 @@ func bucketIndex(v float64) int {
 // Alongside the cumulative state, a rotation ring of bucket snapshots
 // (window.go) serves rolling-window reads — WindowCounts, WindowQuantile —
 // without ever being touched by Observe.
+//
+// A histogram can additionally retain one exemplar per bucket — the most
+// recent trace id, value and timestamp that landed there — after
+// EnableExemplars; see ObserveExemplar.
 type Histogram struct {
 	buckets [NumBuckets]atomic.Int64
 	sumBits atomic.Uint64
 	win     histWindow
+	ex      atomic.Pointer[exemplarSet]
+}
+
+// Exemplar is one retained observation joining a histogram bucket to the
+// trace that produced it: the trace id, the observed value, and when it
+// was observed.  The zero Exemplar (TraceID 0) means "none retained".
+type Exemplar struct {
+	// TraceID is the trace identity of the retained observation.
+	TraceID uint64
+	// Value is the observed value.
+	Value float64
+	// UnixNano is when the observation was recorded.
+	UnixNano int64
+}
+
+// exemplarSet is the per-bucket exemplar storage: three parallel atomic
+// arrays (trace id, value bits, timestamp).  The three stores per capture
+// are individually atomic but not joint — under write contention on one
+// bucket a reader may pair a trace id with a neighbouring capture's value
+// or timestamp.  All candidates are recent observations of the same
+// bucket, so the join an exemplar exists for (trace id → span tree) is
+// never misled, and the hot path stays free of locks and allocations.
+type exemplarSet struct {
+	ids  [NumBuckets]atomic.Uint64
+	vals [NumBuckets]atomic.Uint64
+	ts   [NumBuckets]atomic.Int64
+}
+
+// EnableExemplars switches on per-bucket exemplar retention and returns
+// the histogram for chaining.  Call it once at wiring time, before the
+// histogram is shared; histograms that never enable it pay only an atomic
+// nil-check per ObserveExemplar.  No-op on a nil receiver.
+func (h *Histogram) EnableExemplars() *Histogram {
+	if h != nil && h.ex.Load() == nil {
+		h.ex.Store(&exemplarSet{})
+	}
+	return h
+}
+
+// ObserveExemplar records one observation like Observe and, when exemplar
+// retention is enabled and traceID is nonzero, swaps the observation in as
+// its bucket's exemplar.  The capture path performs only atomic stores —
+// zero allocations (gated by the allocgate suite).
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	ex := h.ex.Load()
+	if ex == nil || traceID == 0 {
+		return
+	}
+	i := bucketIndex(v)
+	ex.ids[i].Store(traceID)
+	ex.vals[i].Store(math.Float64bits(v))
+	ex.ts[i].Store(time.Now().UnixNano())
+}
+
+// Exemplars copies the retained per-bucket exemplars.  Buckets without a
+// capture (and every bucket of a histogram that never enabled retention,
+// or a nil receiver) read as the zero Exemplar.
+func (h *Histogram) Exemplars() [NumBuckets]Exemplar {
+	var out [NumBuckets]Exemplar
+	if h == nil {
+		return out
+	}
+	ex := h.ex.Load()
+	if ex == nil {
+		return out
+	}
+	for i := range out {
+		id := ex.ids[i].Load()
+		if id == 0 {
+			continue
+		}
+		out[i] = Exemplar{
+			TraceID:  id,
+			Value:    math.Float64frombits(ex.vals[i].Load()),
+			UnixNano: ex.ts[i].Load(),
+		}
+	}
+	return out
 }
 
 // Observe records one observation.

@@ -1,0 +1,108 @@
+package profiler
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestSamplerCycleAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	s, err := New(Config{Dir: dir, CPUDuration: 20 * time.Millisecond, Interval: 20 * time.Millisecond, Retain: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.cycle(context.Background())
+		time.Sleep(time.Millisecond) // distinct unixnano stamps
+	}
+	for _, kind := range profileKinds {
+		matches, _ := filepath.Glob(filepath.Join(dir, kind+"-*.pprof"))
+		if len(matches) != 2 {
+			t.Fatalf("%s ring holds %d files after 4 cycles with Retain 2: %v", kind, len(matches), matches)
+		}
+		for _, m := range matches {
+			if fi, err := os.Stat(m); err != nil || fi.Size() == 0 {
+				t.Fatalf("capture %s empty or unreadable: %v", m, err)
+			}
+		}
+	}
+	snap := reg.Snapshot()
+	var captured float64
+	for _, m := range snap.Metrics {
+		if m.Name == "profile_captures_total" && m.Value != nil {
+			captured += *m.Value
+		}
+	}
+	if captured != 8 {
+		t.Fatalf("profile_captures_total sums to %v, want 8 (4 cycles x 2 kinds)", captured)
+	}
+}
+
+func TestSamplerRunStopsOnCancel(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, CPUDuration: 10 * time.Millisecond, Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { s.Run(ctx); close(done) }()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.pprof"))
+	if len(matches) == 0 {
+		t.Fatal("no profiles captured before cancel")
+	}
+}
+
+func TestSamplerConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without Dir must fail")
+	}
+	s, err := New(Config{Dir: t.TempDir(), CPUDuration: time.Second, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Interval < s.cfg.CPUDuration {
+		t.Fatalf("interval %v not clamped to cpu duration %v", s.cfg.Interval, s.cfg.CPUDuration)
+	}
+}
+
+func TestCaptureCPUConflict(t *testing.T) {
+	// A competing CPU profile (an operator on /debug/pprof/profile) must
+	// fail the cycle's CPU capture cleanly and leave no empty file behind.
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, err := os.Create(filepath.Join(dir, "blocker.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Close()
+	if err := pprof.StartCPUProfile(blocker); err != nil {
+		t.Skipf("cannot start blocking profile: %v", err)
+	}
+	defer pprof.StopCPUProfile()
+	path := filepath.Join(dir, fmt.Sprintf("cpu-%d.pprof", time.Now().UnixNano()))
+	if err := s.captureCPU(context.Background(), path); err == nil {
+		t.Fatal("captureCPU succeeded while another CPU profile was running")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed capture left %s behind", path)
+	}
+}

@@ -27,6 +27,7 @@
 //	process_start_time_seconds       Unix time the process started
 //	process_uptime_seconds           seconds since start
 //	go_build_info{...} = 1           go_version / revision / modified labels
+//	build_info{...} = 1              version / commit stamped via ldflags
 package runtimemetrics
 
 import (
@@ -34,6 +35,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/telemetry"
 )
 
@@ -85,6 +87,14 @@ func Register(reg *telemetry.Registry) {
 		telemetry.L("go_version", goVersion),
 		telemetry.L("revision", revision),
 		telemetry.L("modified", modified)).Set(1)
+	commit := buildinfo.Commit
+	if commit == "unknown" && revision != "unknown" {
+		commit = revision // toolchain VCS stamping beats no stamping at all
+	}
+	reg.Gauge("build_info", "release identity stamped at link time; value is always 1",
+		telemetry.L("version", buildinfo.Version),
+		telemetry.L("commit", commit),
+		telemetry.L("go_version", goVersion)).Set(1)
 	reg.OnSnapshot(c.refresh)
 }
 

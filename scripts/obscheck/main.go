@@ -1,0 +1,243 @@
+// Command obscheck is the observability smoke-test assertion helper
+// (scripts/obs-smoke.sh): small subcommands that prove the fleet
+// observability plane actually joins up end to end, instead of each
+// surface merely serving bytes.
+//
+// Usage:
+//
+//	obscheck join -metrics URL -events URL [-family NAME]
+//	    Finds a histogram exemplar trace id in /metrics.json and asserts
+//	    the same trace id appears as a wide event on /debug/events —
+//	    the metrics→events pivot of docs/OBSERVABILITY.md.
+//	obscheck dump -dir DIR -reason SUBSTR
+//	    Asserts a flight-recorder black-box dump whose reason contains
+//	    SUBSTR exists under DIR and carries at least one event.
+//	obscheck buildinfo -metrics URL -version V
+//	    Asserts build_info{version="V"} is exposed with value 1.
+//	obscheck fleet -url URL -min-up N
+//	    Asserts the gateway fleet rollup reports at least N backends up.
+//
+// Every subcommand exits 0 on success and 1 with a diagnostic on failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// getJSON fetches url and decodes its JSON body into out.
+func getJSON(url string, out interface{}) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %s: %s", url, resp.Status, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+	return nil
+}
+
+// metricsDoc is the subset of /metrics.json the checks read.
+type metricsDoc struct {
+	Metrics []struct {
+		Name    string            `json:"name"`
+		Labels  map[string]string `json:"labels,omitempty"`
+		Value   *float64          `json:"value,omitempty"`
+		Buckets []struct {
+			ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
+		} `json:"buckets,omitempty"`
+	} `json:"metrics"`
+}
+
+// eventsDoc is the subset of /debug/events the checks read.
+type eventsDoc struct {
+	Count  int `json:"count"`
+	Events []struct {
+		TraceID string `json:"trace_id"`
+		Outcome string `json:"outcome"`
+	} `json:"events"`
+}
+
+func cmdJoin(args []string) {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	metricsURL := fs.String("metrics", "", "the /metrics.json URL")
+	eventsURL := fs.String("events", "", "the /debug/events URL")
+	family := fs.String("family", "acq_process_ns", "histogram family whose exemplar to join")
+	_ = fs.Parse(args)
+	if *metricsURL == "" || *eventsURL == "" {
+		fail("join: need -metrics and -events")
+	}
+
+	var m metricsDoc
+	if err := getJSON(*metricsURL, &m); err != nil {
+		fail("join: %v", err)
+	}
+	exemplars := map[string]bool{}
+	for _, met := range m.Metrics {
+		if met.Name != *family {
+			continue
+		}
+		for _, b := range met.Buckets {
+			if b.ExemplarTraceID != "" {
+				exemplars[b.ExemplarTraceID] = true
+			}
+		}
+	}
+	if len(exemplars) == 0 {
+		fail("join: %s exposes no exemplars on %s", *family, *metricsURL)
+	}
+
+	var ev eventsDoc
+	if err := getJSON(*eventsURL+"?limit=0", &ev); err != nil {
+		fail("join: %v", err)
+	}
+	if ev.Count == 0 {
+		fail("join: no wide events on %s", *eventsURL)
+	}
+	for _, e := range ev.Events {
+		if exemplars[e.TraceID] {
+			fmt.Printf("obscheck: join OK — exemplar trace %s found among %d wide events\n", e.TraceID, ev.Count)
+			return
+		}
+	}
+	keys := make([]string, 0, len(exemplars))
+	for k := range exemplars {
+		keys = append(keys, k)
+	}
+	fail("join: no exemplar of %v among %d events", keys, ev.Count)
+}
+
+// dumpDoc is the subset of a flight-recorder black-box file the check reads.
+type dumpDoc struct {
+	Reason string `json:"reason"`
+	Events []struct {
+		Outcome string `json:"outcome"`
+	} `json:"events"`
+}
+
+func cmdDump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	dir := fs.String("dir", "", "the daemon's -events-dump directory")
+	reason := fs.String("reason", "", "substring the dump reason must contain")
+	_ = fs.Parse(args)
+	if *dir == "" {
+		fail("dump: need -dir")
+	}
+	matches, err := filepath.Glob(filepath.Join(*dir, "flightrec-*.json"))
+	if err != nil || len(matches) == 0 {
+		fail("dump: no flightrec-*.json under %s", *dir)
+	}
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var d dumpDoc
+		if err := json.Unmarshal(data, &d); err != nil {
+			fail("dump: %s does not parse: %v", path, err)
+		}
+		if strings.Contains(d.Reason, *reason) && len(d.Events) > 0 {
+			fmt.Printf("obscheck: dump OK — %s (reason %q, %d events)\n", path, d.Reason, len(d.Events))
+			return
+		}
+	}
+	fail("dump: no dump with reason containing %q and events under %s (have %v)", *reason, *dir, matches)
+}
+
+func cmdBuildinfo(args []string) {
+	fs := flag.NewFlagSet("buildinfo", flag.ExitOnError)
+	metricsURL := fs.String("metrics", "", "the /metrics.json URL")
+	version := fs.String("version", "", "expected build_info version label")
+	_ = fs.Parse(args)
+	if *metricsURL == "" || *version == "" {
+		fail("buildinfo: need -metrics and -version")
+	}
+	var m metricsDoc
+	if err := getJSON(*metricsURL, &m); err != nil {
+		fail("buildinfo: %v", err)
+	}
+	for _, met := range m.Metrics {
+		if met.Name != "build_info" {
+			continue
+		}
+		if met.Labels["version"] != *version {
+			fail("buildinfo: build_info version = %q, want %q", met.Labels["version"], *version)
+		}
+		if met.Value == nil || *met.Value != 1 {
+			fail("buildinfo: build_info value = %v, want 1", met.Value)
+		}
+		if met.Labels["go_version"] == "" {
+			fail("buildinfo: build_info lacks a go_version label")
+		}
+		fmt.Printf("obscheck: buildinfo OK — version %s commit %s\n", met.Labels["version"], met.Labels["commit"])
+		return
+	}
+	fail("buildinfo: no build_info family on %s", *metricsURL)
+}
+
+func cmdFleet(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	url := fs.String("url", "", "the gateway's /metrics/fleet URL")
+	minUp := fs.Int("min-up", 1, "minimum gw_fleet_up backends")
+	_ = fs.Parse(args)
+	if *url == "" {
+		fail("fleet: need -url")
+	}
+	sep := "?"
+	if strings.Contains(*url, "?") {
+		sep = "&"
+	}
+	var m metricsDoc
+	if err := getJSON(*url+sep+"format=json", &m); err != nil {
+		fail("fleet: %v", err)
+	}
+	up := 0
+	for _, met := range m.Metrics {
+		if met.Name == "gw_fleet_up" && met.Value != nil && *met.Value == 1 {
+			up++
+		}
+	}
+	if up < *minUp {
+		fail("fleet: %d backends up, want at least %d", up, *minUp)
+	}
+	fmt.Printf("obscheck: fleet OK — %d backends up\n", up)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fail("usage: obscheck join|dump|buildinfo|fleet [flags]")
+	}
+	switch os.Args[1] {
+	case "join":
+		cmdJoin(os.Args[2:])
+	case "dump":
+		cmdDump(os.Args[2:])
+	case "buildinfo":
+		cmdBuildinfo(os.Args[2:])
+	case "fleet":
+		cmdFleet(os.Args[2:])
+	default:
+		fail("unknown subcommand %q (want join, dump, buildinfo or fleet)", os.Args[1])
+	}
+}
