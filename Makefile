@@ -26,9 +26,9 @@ DOCS_MD = README.md docs/ARCHITECTURE.md docs/CLUSTER.md \
           docs/DURABILITY.md docs/OBSERVABILITY.md docs/PERFORMANCE.md \
           docs/SERVING.md
 
-.PHONY: check fmt vet build test docslint docs-verify fuzz-short serve-smoke cluster-smoke trace-smoke wal-smoke obs-smoke bench bench-json allocgate
+.PHONY: check fmt vet build test test-purego docslint docs-verify fuzz-short serve-smoke cluster-smoke trace-smoke wal-smoke obs-smoke bench bench-json bench-diff allocgate
 
-check: fmt vet build test docslint docs-verify allocgate fuzz-short serve-smoke cluster-smoke trace-smoke wal-smoke obs-smoke
+check: fmt vet build test test-purego docslint docs-verify allocgate fuzz-short bench-diff serve-smoke cluster-smoke trace-smoke wal-smoke obs-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -42,6 +42,13 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# The kernel dispatch seam's fallback path: under the purego tag the
+# tuned FWHT variant table is empty and SelectKernel must still resolve
+# every registered pure-Go kernel, so the hadamard suite runs again with
+# the tag on (see internal/hadamard/kernel_select_purego.go).
+test-purego:
+	$(GO) test -tags purego ./internal/hadamard
 
 # Doc-comment hygiene on the listed packages, plus the metric-catalogue
 # gate: every telemetry family registered in code must be documented in
@@ -61,6 +68,7 @@ docs-verify: docslint
 fuzz-short:
 	$(GO) test ./internal/frameio -run '^$$' -fuzz FuzzRead -fuzztime 5s
 	$(GO) test ./internal/framelog -run '^$$' -fuzz FuzzSegmentRead -fuzztime 5s
+	$(GO) test ./internal/hadamard -run '^$$' -fuzz FuzzFWHTKernelEquivalence -fuzztime 5s
 
 # End-to-end serving smoke: start imsd, hammer it with imsload for 2s,
 # assert zero protocol errors and a clean SIGTERM drain.
@@ -118,3 +126,14 @@ bench-json:
 		$(GO) run ./scripts/benchjson -label after -out $(BENCH_OUT)
 	$(GO) test -run XXX -bench . -benchmem ./internal/hadamard | \
 		$(GO) run ./scripts/benchjson -label after -out $(BENCH_OUT)
+
+# Decode-path regression gate: rerun the two benchmark families the PR 4
+# ledger pinned (frame deconvolution end-to-end and the blocked FWHT
+# batch kernel) and fail if either slipped more than 5% in ns/op against
+# the $(BENCH_BASELINE) "after" label (see scripts/benchjson -diff).
+BENCH_BASELINE ?= BENCH_PR4.json
+bench-diff:
+	{ $(GO) test -run XXX -bench 'MicroFrameDeconvolve$$' -benchmem . ; \
+	  $(GO) test -run XXX -bench 'FHTDecodeBatch$$' -benchmem ./internal/hadamard ; } | \
+		$(GO) run ./scripts/benchjson -diff $(BENCH_BASELINE) \
+			-match 'MicroFrameDeconvolve$$|FHTDecodeBatch$$' -max-regress 5

@@ -17,7 +17,8 @@
 //	     [-framelog-segment-age D] [-framelog-retain K]
 //	     [-events N] [-events-dump DIR] [-pprof ADDR]
 //	     [-profile-dir DIR] [-profile-cpu D] [-profile-interval D]
-//	     [-profile-retain K]
+//	     [-profile-retain K] [-coalesce-window D] [-coalesce-fill N]
+//	     [-fwht-kernel NAME]
 //
 // With -framelog, every accepted frame is appended to a durable,
 // segmented, CRC-verified write-ahead log before it is enqueued, and on
@@ -56,6 +57,14 @@
 // -drain-grace for load balancers to notice, stops accepting, completes
 // every queued frame, flushes responses, and exits 0; -drain-timeout
 // bounds the wait.
+//
+// With -coalesce-window, CPU-path frames from different sessions that
+// land on the same shard are micro-batched: a worker waits up to the
+// window (or until -coalesce-fill frames arrive) and decodes the batch
+// as one concatenated column space, trading bounded per-frame latency
+// for blocked-kernel throughput (see docs/PERFORMANCE.md).  -fwht-kernel
+// pins the FWHT block kernel (radix2, radix4, radix8) instead of the
+// build-time default.
 package main
 
 import (
@@ -75,6 +84,7 @@ import (
 
 	"repro/internal/acqserver"
 	"repro/internal/framelog"
+	"repro/internal/hadamard"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/health"
@@ -98,6 +108,9 @@ func main() {
 	flag.IntVar(&cfg.MaxTOFBins, "max-tof", cfg.MaxTOFBins, "largest accepted m/z axis")
 	flag.DurationVar(&cfg.ReadIdleTimeout, "read-timeout", cfg.ReadIdleTimeout, "per-message read deadline")
 	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "per-response write deadline")
+	flag.DurationVar(&cfg.CoalesceWindow, "coalesce-window", cfg.CoalesceWindow, "coalesce CPU-path frames across sessions for up to this long per batch (0 disables)")
+	flag.IntVar(&cfg.CoalesceFillTarget, "coalesce-fill", cfg.CoalesceFillTarget, "dispatch a coalescing batch early at this many frames (needs -coalesce-window)")
+	fwhtKernel := flag.String("fwht-kernel", "", "override the FWHT block kernel (see internal/hadamard: radix2, radix4, radix8)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
 	drainGrace := flag.Duration("drain-grace", 0, "after SIGTERM, hold /readyz at 503 this long before draining so load balancers stop routing first")
 	metricsAddr := flag.String("metrics", "", "serve telemetry, health and pprof on this HTTP address (e.g. localhost:9090)")
@@ -124,6 +137,12 @@ func main() {
 	profileInterval := flag.Duration("profile-interval", 60*time.Second, "period between continuous profile captures")
 	profileRetain := flag.Int("profile-retain", 16, "profiles kept per kind before the janitor deletes the oldest")
 	flag.Parse()
+
+	if *fwhtKernel != "" {
+		if err := hadamard.SelectKernel(*fwhtKernel); err != nil {
+			fail("%v", err)
+		}
+	}
 
 	log := slog.New(slog.NewTextHandler(os.Stdout, nil))
 	reg := telemetry.NewRegistry()

@@ -9,7 +9,7 @@
 //	        [-clients N] [-rate R] [-duration D]
 //	        [-tof N] [-path hybrid|cpu] [-deadline D] [-enc raw|delta]
 //	        [-seed N] [-json FILE] [-trace FILE]
-//	        [-wait-ready URL] [-wait-ready-timeout D]
+//	        [-wait-ready URL] [-wait-ready-timeout D] [-metrics URL]
 //	        [-replay DIR] [-replay-rate F]
 //
 // With -replay, instead of generating synthetic frames imsload streams a
@@ -43,6 +43,13 @@
 // opening any client connection, so a just-started or still-draining
 // daemon is never mistaken for a broken one.  The readiness report it
 // fetches is carried into the -json output under "server_health".
+//
+// With -metrics, imsload scrapes the daemon's /metrics.json endpoint
+// once after the run and summarizes the acq_coalesce_* families — batches
+// per dispatch trigger (fill target reached vs window timeout vs queue
+// drain), batch-fill and gather-wait quantiles — on a "coalesce:" line
+// and, with -json, under "coalesce", so the -coalesce-window/-coalesce-fill
+// trade-off is measurable from the client side.
 //
 // With -json, the run's full report — throughput, shed rate, latency
 // quantiles and the server-side span-stage breakdown (queue wait, process,
@@ -79,6 +86,7 @@ import (
 	"repro/internal/frameio"
 	"repro/internal/framelog"
 	"repro/internal/instrument"
+	"repro/internal/telemetry"
 	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/trace"
 )
@@ -254,6 +262,66 @@ type report struct {
 	// /debug/traces?trace_id= or grep /debug/events to see where the time
 	// went.
 	Slowest []slowRequest `json:"slowest_requests,omitempty"`
+	// Coalesce summarizes the daemon's cross-session micro-batching
+	// counters scraped from -metrics after the run; absent when -metrics
+	// was not given or the daemon exports no acq_coalesce_* families.
+	Coalesce *coalesceBlock `json:"coalesce,omitempty"`
+}
+
+// coalesceBlock is the -json view of the daemon's acq_coalesce_* metric
+// families (see docs/OBSERVABILITY.md): how many batches dispatched per
+// trigger, how full they were, and how long they waited gathering.
+type coalesceBlock struct {
+	// Batches is the total coalesced batches dispatched.
+	Batches int64 `json:"batches"`
+	// Triggers breaks Batches down by dispatch reason: "fill" (the batch
+	// hit -coalesce-fill), "window" (the -coalesce-window timer fired) or
+	// "drain" (the shard queue closed mid-gather).
+	Triggers map[string]int64 `json:"triggers,omitempty"`
+	// FramesCoalesced counts frames that went through a shared multi-frame
+	// decode (solo dispatches are excluded).
+	FramesCoalesced int64 `json:"frames_coalesced"`
+	// BatchFillP50/P95 are quantiles of frames-per-batch at dispatch.
+	BatchFillP50 float64 `json:"batch_fill_p50,omitempty"`
+	BatchFillP95 float64 `json:"batch_fill_p95,omitempty"`
+	// WaitNsP50/P95 are quantiles of the gather time per batch.
+	WaitNsP50 float64 `json:"wait_ns_p50,omitempty"`
+	WaitNsP95 float64 `json:"wait_ns_p95,omitempty"`
+}
+
+// coalesceFromSnapshot extracts the coalesce block from a decoded
+// /metrics.json snapshot; nil when the daemon predates the coalescer.
+func coalesceFromSnapshot(snap telemetry.Snapshot) *coalesceBlock {
+	cb := &coalesceBlock{Triggers: map[string]int64{}}
+	seen := false
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case "acq_coalesce_batches_total":
+			seen = true
+			if m.Value != nil && *m.Value > 0 {
+				cb.Batches += int64(*m.Value)
+				cb.Triggers[m.Labels["trigger"]] += int64(*m.Value)
+			}
+		case "acq_coalesce_frames_total":
+			seen = true
+			if m.Value != nil {
+				cb.FramesCoalesced = int64(*m.Value)
+			}
+		case "acq_coalesce_batch_fill":
+			seen = true
+			cb.BatchFillP50, cb.BatchFillP95 = m.P50, m.P95
+		case "acq_coalesce_wait_ns":
+			seen = true
+			cb.WaitNsP50, cb.WaitNsP95 = m.P50, m.P95
+		}
+	}
+	if !seen {
+		return nil
+	}
+	if len(cb.Triggers) == 0 {
+		cb.Triggers = nil
+	}
+	return cb
 }
 
 // replayBlock is the -json summary of the capture a replay run streamed.
@@ -284,6 +352,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the machine-readable run report to this JSON file")
 	tracePath := flag.String("trace", "", "trace every request client-side and write span trees as Perfetto JSON to this file")
 	waitReady := flag.String("wait-ready", "", "block until this /readyz URL answers 200 before generating load")
+	metricsURL := flag.String("metrics", "", "scrape this /metrics.json URL after the run for the coalesce block in -json output")
 	waitReadyTimeout := flag.Duration("wait-ready-timeout", 30*time.Second, "give up on -wait-ready after this long")
 	topology := flag.String("topology", "single", "target topology: single (one imsd) or cluster (an imsgw gateway, per-backend attribution reported)")
 	replayDir := flag.String("replay", "", "replay a captured frame log directory (written by imsd -framelog) instead of generating synthetic load")
@@ -471,6 +540,23 @@ func main() {
 	} else if *topology == "cluster" {
 		fmt.Println("imsload: note: -topology cluster but no result carried a routing trailer; target looks like a bare daemon")
 	}
+	var coalesce *coalesceBlock
+	if *metricsURL != "" {
+		if body, err := fetchOnce(*metricsURL); err != nil {
+			fmt.Fprintf(os.Stderr, "imsload: metrics scrape: %v\n", err)
+		} else {
+			var snap telemetry.Snapshot
+			if err := json.Unmarshal(body, &snap); err != nil {
+				fmt.Fprintf(os.Stderr, "imsload: metrics decode: %v\n", err)
+			} else if coalesce = coalesceFromSnapshot(snap); coalesce != nil && coalesce.Batches > 0 {
+				fmt.Printf("coalesce:   %d batches (fill %d / window %d / drain %d), %d frames coalesced, fill p50 %.1f p95 %.1f, wait p50 %v p95 %v\n",
+					coalesce.Batches, coalesce.Triggers["fill"], coalesce.Triggers["window"], coalesce.Triggers["drain"],
+					coalesce.FramesCoalesced, coalesce.BatchFillP50, coalesce.BatchFillP95,
+					time.Duration(coalesce.WaitNsP50).Round(time.Microsecond),
+					time.Duration(coalesce.WaitNsP95).Round(time.Microsecond))
+			}
+		}
+	}
 	for code, n := range rejected {
 		fmt.Printf("rejected:   %d x %v\n", n, code)
 	}
@@ -504,6 +590,7 @@ func main() {
 			OKNotDurable:   notDurable,
 			Replay:         replay,
 			Slowest:        slowest,
+			Coalesce:       coalesce,
 		}
 		if replay != nil {
 			rep.Clients = 1 // replay streams over a single connection

@@ -79,6 +79,17 @@ type Config struct {
 	// CPUWorkersPerFrame is the column parallelism of the CPU path; keep
 	// it small — shard workers already run concurrently.
 	CPUWorkersPerFrame int
+	// CoalesceWindow enables server-side micro-batching when positive: a
+	// worker that picks up a CPU-path frame waits up to this long for
+	// same-shard frames from other sessions, then decodes the whole batch
+	// as one concatenated column space (tiles spanning frame boundaries,
+	// one blocked-kernel call per tile).  Zero disables coalescing and
+	// preserves the frame-at-a-time worker loop.
+	CoalesceWindow time.Duration
+	// CoalesceFillTarget dispatches a gathering batch early once it holds
+	// this many frames (the window is the latency bound, the fill target
+	// the throughput bound).  Must be >= 2 when CoalesceWindow is set.
+	CoalesceFillTarget int
 	// MinSNR is the peak-detection threshold for result summaries.
 	MinSNR float64
 	// MaxPeaks caps the peak list carried in one RESULT (≤ 64).
@@ -140,6 +151,7 @@ func DefaultConfig() Config {
 		CPUWorkersPerFrame: 2,
 		MinSNR:             5,
 		MaxPeaks:           16,
+		CoalesceFillTarget: 8,
 		Offload:            hybrid.DefaultOffloadConfig(),
 	}
 }
@@ -164,6 +176,12 @@ func (c Config) Validate() error {
 	}
 	if c.SessionBuffer < 1 {
 		return fmt.Errorf("acqserver: session buffer %d must be positive", c.SessionBuffer)
+	}
+	if c.CoalesceWindow < 0 {
+		return fmt.Errorf("acqserver: coalesce window %v must not be negative", c.CoalesceWindow)
+	}
+	if c.CoalesceWindow > 0 && (c.CoalesceFillTarget < 2 || c.CoalesceFillTarget > 256) {
+		return fmt.Errorf("acqserver: coalesce fill target %d out of [2,256]", c.CoalesceFillTarget)
 	}
 	if c.MinSNR <= 0 {
 		return fmt.Errorf("acqserver: min SNR %g must be positive", c.MinSNR)
@@ -192,6 +210,15 @@ type task struct {
 	// walNotDurable records that the append was acknowledged before fsync.
 	walSeq        uint64
 	walNotDurable bool
+
+	// qwait is the measured queue wait, set when a worker picks the task
+	// up (pickup); cspan and picked are the coalescer's per-member
+	// bookkeeping — the coalesce_wait span and when the member joined its
+	// gathering batch.  All three are zero outside the coalesced path
+	// except qwait, which every picked task carries.
+	qwait  time.Duration
+	cspan  trace.Span
+	picked time.Time
 }
 
 // discardHandler is a no-op slog.Handler for a nil Config.Logger (the
@@ -280,6 +307,11 @@ type serverMetrics struct {
 	panics         map[string]*telemetry.Counter
 	protocolErrs   *telemetry.Counter
 	recovered      map[string]*telemetry.Counter
+
+	coalesceBatches map[string]*telemetry.Counter
+	coalesceFrames  *telemetry.Counter
+	coalesceFill    *telemetry.Histogram
+	coalesceWait    *telemetry.Histogram
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -322,6 +354,18 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 			"frames replayed from the frame log after a restart, per outcome",
 			telemetry.L("outcome", o))
 	}
+	m.coalesceBatches = map[string]*telemetry.Counter{}
+	for _, tr := range []string{"fill", "window", "drain"} {
+		m.coalesceBatches[tr] = reg.Counter("acq_coalesce_batches_total",
+			"coalesced batches dispatched, per dispatch trigger",
+			telemetry.L("trigger", tr))
+	}
+	m.coalesceFrames = reg.Counter("acq_coalesce_frames_total",
+		"frames decoded through a multi-frame coalesced batch")
+	m.coalesceFill = reg.Histogram("acq_coalesce_batch_fill",
+		"frames in one coalesced batch at dispatch")
+	m.coalesceWait = reg.Histogram("acq_coalesce_wait_ns",
+		"time a dispatched batch spent gathering batch-mates, nanoseconds")
 	return m
 }
 
@@ -580,12 +624,28 @@ func (ws *workerState) offloader(c hybrid.OffloadConfig) (*hybrid.Offloader, err
 func (s *Server) workerLoop(sh *shard) {
 	defer s.workerWG.Done()
 	ws := &workerState{}
+	coalesce := s.cfg.CoalesceWindow > 0
 	pprof.Do(context.Background(), pprof.Labels("stage", "worker", "shard", strconv.Itoa(sh.id)), func(context.Context) {
 		for t := range sh.ch {
 			sh.depth.Set(float64(len(sh.ch)))
-			s.serveTask(sh, ws, t)
+			if coalesce {
+				batch, trigger, waited := s.gatherBatch(sh, t)
+				s.serveBatch(sh, ws, batch, trigger, waited)
+			} else {
+				s.pickup(t)
+				s.serveTask(sh, ws, t)
+			}
 		}
 	})
+}
+
+// pickup marks a task as claimed by a worker: the queue_wait span ends and
+// the measured wait is recorded on the task for every later consumer (the
+// RESULT's QueueWaitNs, the wide event, the queue-wait histogram).
+func (s *Server) pickup(t *task) {
+	t.qspan.End()
+	t.qwait = time.Since(t.enqueued)
+	s.m.queueWait.ObserveExemplar(float64(t.qwait.Nanoseconds()), t.traceID)
 }
 
 // eventFor seeds the wide event for one answered frame: everything known
@@ -617,9 +677,9 @@ func (s *Server) eventFor(t *task, shardID int, code Code, shedReason, detail st
 	return ev
 }
 
-// serveTask runs one task with panic isolation: a panicking compute path
-// answers INTERNAL, the flight recorder keeps the event and dumps a black
-// box, and the worker lives on.
+// serveTask runs one picked-up task (see pickup) with panic isolation: a
+// panicking compute path answers INTERNAL, the flight recorder keeps the
+// event and dumps a black box, and the worker lives on.
 func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -641,9 +701,7 @@ func (s *Server) serveTask(sh *shard, ws *workerState, t *task) {
 		// error) is owed to the client; a later recovery must not replay it.
 		defer s.wal.MarkCompleted(t.walSeq)
 	}
-	t.qspan.End()
-	wait := time.Since(t.enqueued)
-	s.m.queueWait.ObserveExemplar(float64(wait.Nanoseconds()), t.traceID)
+	wait := t.qwait
 	wspan := t.root.Child("worker")
 	wspan.SetInt("shard", int64(sh.id))
 

@@ -1,0 +1,197 @@
+// batch.go is the communication-avoiding restructuring of the modeled
+// FPGA deconvolution path: DeconvolveBatch moves a whole column-blocked
+// tile through the fixed-point FHT core with the stage structure an
+// actual accumulate-and-transform engine would use — the inbound DMA is
+// fused with the quantize+scatter pass (each source word is read once and
+// lands directly in its transform address), the butterfly network runs
+// two radix-2 levels per pass over the tile (each work word is loaded and
+// stored once per fused pass instead of once per butterfly level), and
+// the gather, final rescale and result accumulation into the destination
+// tile are one outbound pass.  The arithmetic — saturating adds and
+// subtracts in the configured format, with the configured growth policy
+// applied after every butterfly level — is operation-for-operation the
+// sequence DeconvolveTo runs per column, so every lane's result is
+// bit-identical to the scalar path (TestDeconvolveBatchMatchesScalar).
+package fpga
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hadamard"
+)
+
+// DeconvolveBatch runs the fixed-point transform on every lane of src
+// into the matching lane of dst — src and dst must both have Rows ==
+// Len() and equal lane counts — and returns the modeled hardware cycles
+// consumed (CyclesPerFrame per lane; the modeled engine processes columns
+// through one physical butterfly network).  Per-core scratch is reused,
+// so the steady state allocates nothing; like DeconvolveTo this makes the
+// core single-threaded.
+func (c *FHTCore) DeconvolveBatch(dst, src *hadamard.ColumnBlock) (int64, error) {
+	n := c.Len()
+	if src == nil || dst == nil {
+		return 0, fmt.Errorf("fpga: nil column block")
+	}
+	if src.Rows != n || dst.Rows != n {
+		return 0, fmt.Errorf("fpga: block rows %d/%d, want %d", src.Rows, dst.Rows, n)
+	}
+	if src.Lanes != dst.Lanes || src.Lanes < 1 {
+		return 0, fmt.Errorf("fpga: block lanes %d/%d invalid", src.Lanes, dst.Lanes)
+	}
+	L := src.Lanes
+	m := n + 1
+	satBefore := c.saturation
+	if cap(c.work) < m*L {
+		c.work = make([]int64, m*L)
+	}
+	work := c.work[:m*L]
+	// Fused DMA-in: quantize and scatter in one pass over the source tile.
+	// The scatter ROM covers addresses 1..m−1, so only row 0 needs
+	// clearing.
+	for i := range work[:L] {
+		work[i] = 0
+	}
+	for i, p := range c.scatter {
+		srow := src.Data[i*L : i*L+L]
+		wrow := work[p*L : p*L+L]
+		for l, v := range srow {
+			raw, sat := c.Format.FromFloat(v)
+			if sat {
+				c.saturation++
+			}
+			wrow[l] = raw
+		}
+	}
+	shifts := c.fhtBlockFixed(work, m, L)
+	// Fused gather + rescale + accumulate into the destination tile: one
+	// outbound pass per result word.
+	scale := c.dec.Scale()
+	if c.Growth == GrowthScalePerStage {
+		scale *= math.Ldexp(1, shifts)
+	}
+	for j, g := range c.gather {
+		wrow := work[g*L : g*L+L]
+		drow := dst.Data[j*L : j*L+L]
+		for l, w := range wrow {
+			drow[l] = c.Format.ToFloat(w) * scale
+		}
+	}
+	cycles := c.CyclesPerFrame() * int64(L)
+	c.columnsC.Add(int64(L))
+	c.cyclesC.Add(cycles)
+	c.saturationsC.Add(c.saturation - satBefore)
+	return cycles, nil
+}
+
+// fhtBlockFixed runs the in-place fixed-point FWHT of `lanes` independent
+// length-`rows` transforms packed row-major in work, fusing two butterfly
+// levels per pass (with a single radix-2 pass first when the level count
+// is odd).  The per-element operation sequence — Add, Sub, then the
+// growth policy's shift after each level — is exactly DeconvolveTo's, so
+// results are bit-identical; only the memory schedule differs.  It
+// returns the number of levels shifted (for undoing GrowthScalePerStage).
+func (c *FHTCore) fhtBlockFixed(work []int64, rows, lanes int) int {
+	perStage := c.Growth == GrowthScalePerStage
+	levels := 0
+	for v := rows; v > 1; v >>= 1 {
+		levels++
+	}
+	h := 1
+	if levels&1 == 1 {
+		c.fhtLevelFixed(work, rows, lanes, 1, perStage)
+		h = 2
+	}
+	for ; h < rows; h <<= 2 {
+		hl := h * lanes
+		step := 4 * hl
+		for i := 0; i < rows*lanes; i += step {
+			for jo := i; jo < i+hl; jo += lanes {
+				a := work[jo : jo+lanes : jo+lanes]
+				b := work[jo+hl : jo+hl+lanes : jo+hl+lanes]
+				d2 := work[jo+2*hl : jo+2*hl+lanes : jo+2*hl+lanes]
+				d3 := work[jo+3*hl : jo+3*hl+lanes : jo+3*hl+lanes]
+				for l, av := range a {
+					bv, cv, dv := b[l], d2[l], d3[l]
+					// Level h.
+					s0, sat0 := c.Format.Add(av, bv)
+					s1, sat1 := c.Format.Sub(av, bv)
+					s2, sat2 := c.Format.Add(cv, dv)
+					s3, sat3 := c.Format.Sub(cv, dv)
+					if sat0 {
+						c.saturation++
+					}
+					if sat1 {
+						c.saturation++
+					}
+					if sat2 {
+						c.saturation++
+					}
+					if sat3 {
+						c.saturation++
+					}
+					if perStage {
+						s0 = c.Format.Shr(s0, 1)
+						s1 = c.Format.Shr(s1, 1)
+						s2 = c.Format.Shr(s2, 1)
+						s3 = c.Format.Shr(s3, 1)
+					}
+					// Level 2h.
+					t0, satT0 := c.Format.Add(s0, s2)
+					t2, satT2 := c.Format.Sub(s0, s2)
+					t1, satT1 := c.Format.Add(s1, s3)
+					t3, satT3 := c.Format.Sub(s1, s3)
+					if satT0 {
+						c.saturation++
+					}
+					if satT1 {
+						c.saturation++
+					}
+					if satT2 {
+						c.saturation++
+					}
+					if satT3 {
+						c.saturation++
+					}
+					if perStage {
+						t0 = c.Format.Shr(t0, 1)
+						t1 = c.Format.Shr(t1, 1)
+						t2 = c.Format.Shr(t2, 1)
+						t3 = c.Format.Shr(t3, 1)
+					}
+					a[l], b[l] = t0, t1
+					d2[l], d3[l] = t2, t3
+				}
+			}
+		}
+	}
+	return levels
+}
+
+// fhtLevelFixed runs one radix-2 fixed-point butterfly level at stride h.
+func (c *FHTCore) fhtLevelFixed(work []int64, rows, lanes, h int, perStage bool) {
+	hl := h * lanes
+	step := 2 * hl
+	for i := 0; i < rows*lanes; i += step {
+		for jo := i; jo < i+hl; jo += lanes {
+			a := work[jo : jo+lanes : jo+lanes]
+			b := work[jo+hl : jo+hl+lanes : jo+hl+lanes]
+			for l, av := range a {
+				bv := b[l]
+				s1, sat1 := c.Format.Add(av, bv)
+				s2, sat2 := c.Format.Sub(av, bv)
+				if sat1 {
+					c.saturation++
+				}
+				if sat2 {
+					c.saturation++
+				}
+				if perStage {
+					s1 = c.Format.Shr(s1, 1)
+					s2 = c.Format.Shr(s2, 1)
+				}
+				a[l], b[l] = s1, s2
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// batch_test.go: property tests pinning the communication-avoiding batch
+// path to the scalar per-column core — bit-identical results, identical
+// saturation accounting and cycle charges — plus the allocation gate for
+// the steady serving state.
+package fpga
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hadamard"
+)
+
+// batchCorePair builds two identical cores so the batch path's mutable
+// counters can be compared against the scalar path's without interference.
+func batchCorePair(t *testing.T, order int, g GrowthPolicy) (*FHTCore, *FHTCore) {
+	t.Helper()
+	mk := func() *FHTCore {
+		c, err := NewFHTCore(order, MustQ(23, 8), g, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	return mk(), mk()
+}
+
+// TestDeconvolveBatchMatchesScalar is the central property test: for both
+// growth policies, every lane of DeconvolveBatch must equal DeconvolveTo
+// on that lane's column bit for bit, with the same total saturation count
+// and the same per-column cycle charge.  Inputs include a saturation-heavy
+// block (values far beyond the Q23.8 range) so the overflow paths are
+// exercised, not just the clean ones.
+func TestDeconvolveBatchMatchesScalar(t *testing.T) {
+	for _, g := range []GrowthPolicy{GrowthSaturate, GrowthScalePerStage} {
+		for _, amp := range []float64{500, 5e6} { // clean and saturating
+			batch, scalar := batchCorePair(t, 6, g)
+			n := batch.Len()
+			rng := rand.New(rand.NewSource(int64(amp) + int64(g)))
+			for _, lanes := range []int{1, 3, 16} {
+				src := hadamard.NewColumnBlock(n, lanes)
+				dst := hadamard.NewColumnBlock(n, lanes)
+				for i := range src.Data {
+					src.Data[i] = rng.NormFloat64() * amp
+				}
+				cycles, err := batch.DeconvolveBatch(dst, src)
+				if err != nil {
+					t.Fatalf("growth %v lanes %d: %v", g, lanes, err)
+				}
+				if want := batch.CyclesPerFrame() * int64(lanes); cycles != want {
+					t.Fatalf("growth %v lanes %d: %d cycles, want %d", g, lanes, cycles, want)
+				}
+				col := make([]float64, n)
+				want := make([]float64, n)
+				for l := 0; l < lanes; l++ {
+					for r := 0; r < n; r++ {
+						col[r] = src.At(r, l)
+					}
+					if _, err := scalar.DeconvolveTo(want, col); err != nil {
+						t.Fatal(err)
+					}
+					for r := 0; r < n; r++ {
+						if got := dst.At(r, l); got != want[r] {
+							t.Fatalf("growth %v amp %g lanes %d lane %d row %d: batch %v != scalar %v",
+								g, amp, lanes, l, r, got, want[r])
+						}
+					}
+				}
+				if batch.Saturations() != scalar.Saturations() {
+					t.Fatalf("growth %v amp %g lanes %d: batch saturations %d != scalar %d",
+						g, amp, lanes, batch.Saturations(), scalar.Saturations())
+				}
+			}
+		}
+	}
+}
+
+// TestDeconvolveBatchGeometryErrors exercises the tile guards.
+func TestDeconvolveBatchGeometryErrors(t *testing.T) {
+	c, _ := batchCorePair(t, 5, GrowthSaturate)
+	n := c.Len()
+	good := hadamard.NewColumnBlock(n, 2)
+	if _, err := c.DeconvolveBatch(nil, good); err == nil {
+		t.Error("nil dst accepted")
+	}
+	if _, err := c.DeconvolveBatch(good, nil); err == nil {
+		t.Error("nil src accepted")
+	}
+	if _, err := c.DeconvolveBatch(hadamard.NewColumnBlock(n+1, 2), good); err == nil {
+		t.Error("wrong dst rows accepted")
+	}
+	if _, err := c.DeconvolveBatch(hadamard.NewColumnBlock(n, 3), good); err == nil {
+		t.Error("lane mismatch accepted")
+	}
+	bad := hadamard.NewColumnBlock(n, 1)
+	bad.Lanes = 0
+	if _, err := c.DeconvolveBatch(hadamard.NewColumnBlock(n, 0), bad); err == nil {
+		t.Error("zero lanes accepted")
+	}
+}
+
+// TestDeconvolveBatchAllocs gates the zero-steady-state-allocation
+// contract of the batch path (the name keeps it inside make allocgate's
+// -run filter).
+func TestDeconvolveBatchAllocs(t *testing.T) {
+	c, _ := batchCorePair(t, 9, GrowthSaturate)
+	n := c.Len()
+	src := hadamard.NewColumnBlock(n, 16)
+	dst := hadamard.NewColumnBlock(n, 16)
+	for i := range src.Data {
+		src.Data[i] = float64(i % 211)
+	}
+	if _, err := c.DeconvolveBatch(dst, src); err != nil { // warm scratch
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		if _, err := c.DeconvolveBatch(dst, src); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("DeconvolveBatch allocates %g/op", a)
+	}
+}
+
+// BenchmarkFHTCoreDeconvolveBatch reports per-column cost of the fused
+// tile path; compare with BenchmarkFHTCoreDeconvolve for the
+// communication-avoiding win.
+func BenchmarkFHTCoreDeconvolveBatch(b *testing.B) {
+	c, err := NewFHTCore(9, MustQ(23, 8), GrowthSaturate, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const lanes = 16
+	src := hadamard.NewColumnBlock(c.Len(), lanes)
+	dst := hadamard.NewColumnBlock(c.Len(), lanes)
+	for i := range src.Data {
+		src.Data[i] = float64(i % 211)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DeconvolveBatch(dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/col")
+}

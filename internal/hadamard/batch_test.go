@@ -148,7 +148,9 @@ func TestFWHTBlockMatchesScalar(t *testing.T) {
 				}
 				want[l] = col
 			}
-			fwhtBlock(tile, rows, lanes)
+			if err := fwhtBlock(tile, rows, lanes); err != nil {
+				t.Fatal(err)
+			}
 			for l := 0; l < lanes; l++ {
 				for r := 0; r < rows; r++ {
 					if tile[r*lanes+l] != want[l][r] {

@@ -189,7 +189,9 @@ func (d *FHTDecoder) DecodeBatch(dst, src *ColumnBlock) error {
 	for i, p := range d.scatter {
 		copy(work[p*L:(p+1)*L], src.Data[i*L:(i+1)*L])
 	}
-	fwhtBlock(work, d.m, L)
+	if err := fwhtBlock(work, d.m, L); err != nil {
+		return err
+	}
 	scale := d.scale
 	for j, g := range d.gather {
 		w := work[g*L : g*L+L]

@@ -30,34 +30,6 @@ func FWHT(x []float64) error {
 	return nil
 }
 
-// fwhtBlock performs the in-place FWHT of `lanes` independent length-`rows`
-// transforms packed row-major in x (x[r*lanes+l] = element r of transform
-// l), applying exactly the same butterfly sequence as FWHT to every lane —
-// so each lane's result is bit-identical to the scalar transform.  The
-// inner loop runs at unit stride over the lanes, amortizing one butterfly
-// index computation across the whole block.  rows must be a power of two.
-func fwhtBlock(x []float64, rows, lanes int) {
-	if lanes == 1 {
-		// Degenerate tile: the scalar loop avoids per-element slicing.
-		if err := FWHT(x); err != nil {
-			panic(err)
-		}
-		return
-	}
-	for h := 1; h < rows; h <<= 1 {
-		for i := 0; i < rows; i += h * 2 {
-			for j := i; j < i+h; j++ {
-				a := x[j*lanes : j*lanes+lanes]
-				b := x[(j+h)*lanes : (j+h)*lanes+lanes]
-				for l, av := range a {
-					bv := b[l]
-					a[l], b[l] = av+bv, av-bv
-				}
-			}
-		}
-	}
-}
-
 // InverseFWHT performs the in-place inverse Walsh–Hadamard transform,
 // i.e. FWHT followed by division by N.
 func InverseFWHT(x []float64) error {

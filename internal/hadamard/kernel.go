@@ -1,0 +1,297 @@
+// kernel.go is the FWHT kernel-dispatch layer: a registry of blocked
+// butterfly implementations ("kernels") selected once at init and
+// swappable at runtime, so per-microarchitecture variants can be slotted
+// in without touching the decode call sites.
+//
+// Every kernel computes exactly the same butterfly sequence as the scalar
+// FWHT — the same pairwise adds and subtracts in the same association
+// order — so each lane's result is bit-identical to FWHT regardless of
+// which kernel ran (TestFWHTKernelsMatchScalar and
+// FuzzFWHTKernelEquivalence pin this).  The kernels differ only in how
+// the sequence is scheduled:
+//
+//   - radix2: one memory pass per butterfly level (log2 N passes) — the
+//     portable baseline and the purego fallback.
+//   - radix4: two levels fused per pass; each tile element is loaded and
+//     stored once per fused pass instead of once per level, halving the
+//     tile traffic, with four independent accumulation chains per lane
+//     for instruction-level parallelism.
+//   - radix8: three levels fused per pass (ceil(log2 N / 3) passes),
+//     eight-way lane-striped accumulation.
+//
+// The default kernel is chosen by build configuration (see
+// kernel_select.go and kernel_select_purego.go — the GOAMD64 /
+// purego seam); SelectKernel overrides it at runtime, e.g. from a daemon
+// flag.
+package hadamard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// KernelFunc is a blocked FWHT implementation: an in-place transform of
+// `lanes` independent length-`rows` transforms packed row-major in x
+// (x[r*lanes+l] = element r of transform l).  rows is a power of two and
+// lanes >= 1; both are validated by the dispatching fwhtBlock before the
+// kernel runs.
+type KernelFunc func(x []float64, rows, lanes int)
+
+// Kernel is one registered FWHT implementation.
+type Kernel struct {
+	// Name identifies the kernel ("radix2", "radix4", "radix8", ...).
+	Name string
+	// Block is the blocked transform.
+	Block KernelFunc
+}
+
+var (
+	kernelMu  sync.Mutex
+	kernels   = map[string]Kernel{}
+	activeKnl atomic.Pointer[Kernel]
+)
+
+// RegisterKernel adds a kernel to the registry, replacing any previous
+// kernel of the same name.  Registering a kernel does not select it.
+func RegisterKernel(k Kernel) error {
+	if k.Name == "" || k.Block == nil {
+		return fmt.Errorf("hadamard: kernel needs a name and a block function")
+	}
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	kernels[k.Name] = k
+	return nil
+}
+
+// Kernels lists the registered kernel names, sorted.
+func Kernels() []string {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	return kernelNamesLocked()
+}
+
+// ActiveKernel reports the name of the kernel the blocked decode path
+// dispatches to.
+func ActiveKernel() string { return activeKnl.Load().Name }
+
+// SelectKernel makes the named kernel the dispatch target for every
+// subsequent blocked decode.  Unknown names are an error and leave the
+// selection unchanged.
+func SelectKernel(name string) error {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	k, ok := kernels[name]
+	if !ok {
+		return fmt.Errorf("hadamard: unknown FWHT kernel %q (have %v)", name, kernelNamesLocked())
+	}
+	activeKnl.Store(&k)
+	return nil
+}
+
+// kernelNamesLocked lists kernel names; the caller holds kernelMu.
+func kernelNamesLocked() []string {
+	out := make([]string, 0, len(kernels))
+	for name := range kernels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	for _, k := range []Kernel{
+		{Name: "radix2", Block: fwhtBlockRadix2},
+		{Name: "radix4", Block: fwhtBlockRadix4},
+		{Name: "radix8", Block: fwhtBlockRadix8},
+	} {
+		if err := RegisterKernel(k); err != nil {
+			panic(err)
+		}
+	}
+	if err := SelectKernel(defaultKernelName()); err != nil {
+		panic(err)
+	}
+}
+
+// fwhtBlock validates the tile geometry and dispatches the in-place FWHT
+// of `lanes` independent length-`rows` transforms packed row-major in x
+// to the active kernel.  Every kernel applies exactly the same butterfly
+// sequence as FWHT, so each lane's result is bit-identical to the scalar
+// transform.
+func fwhtBlock(x []float64, rows, lanes int) error {
+	if rows <= 0 || rows&(rows-1) != 0 {
+		return fmt.Errorf("hadamard: fwhtBlock rows %d is not a power of two", rows)
+	}
+	if lanes < 1 {
+		return fmt.Errorf("hadamard: fwhtBlock needs >= 1 lane, got %d", lanes)
+	}
+	if len(x) < rows*lanes {
+		return fmt.Errorf("hadamard: fwhtBlock tile %d too small for %d×%d", len(x), rows, lanes)
+	}
+	if lanes == 1 {
+		// Degenerate tile: the scalar loop avoids per-element slicing.
+		// Geometry is already validated, so FWHT cannot fail.
+		return FWHT(x[:rows])
+	}
+	activeKnl.Load().Block(x[:rows*lanes], rows, lanes)
+	return nil
+}
+
+// fwhtBlockRadix2 is the portable baseline: the same butterfly order as
+// FWHT, one pass over the tile per level, unit stride over the lanes.
+func fwhtBlockRadix2(x []float64, rows, lanes int) {
+	for h := 1; h < rows; h <<= 1 {
+		step := 2 * h * lanes
+		hl := h * lanes
+		for i := 0; i < rows*lanes; i += step {
+			for jo := i; jo < i+hl; jo += lanes {
+				a := x[jo : jo+lanes : jo+lanes]
+				b := x[jo+hl : jo+hl+lanes : jo+hl+lanes]
+				for l, av := range a {
+					bv := b[l]
+					a[l], b[l] = av+bv, av-bv
+				}
+			}
+		}
+	}
+}
+
+// fwhtBlockRadix4 fuses two butterfly levels per pass.  For levels h and
+// 2h the four tile rows j, j+h, j+2h, j+3h combine as
+//
+//	a' = (a+b)+(c+d)   b' = (a−b)+(c−d)
+//	c' = (a+b)−(c+d)   d' = (a−b)−(c−d)
+//
+// which is exactly the sequential radix-2 result — each output is the
+// same binary operation over the same already-computed intermediates, so
+// the floating-point association (and therefore the bits) are unchanged.
+// When log2(rows) is odd the leftover level runs as one radix-2 pass
+// first (h=1, where the four rows are contiguous anyway).
+func fwhtBlockRadix4(x []float64, rows, lanes int) {
+	h := 1
+	if log2OddStages(rows)&1 == 1 {
+		fwhtLevelRadix2(x, rows, lanes, 1)
+		h = 2
+	}
+	for ; h < rows; h <<= 2 {
+		hl := h * lanes
+		step := 4 * hl
+		for i := 0; i < rows*lanes; i += step {
+			for jo := i; jo < i+hl; jo += lanes {
+				a := x[jo : jo+lanes : jo+lanes]
+				b := x[jo+hl : jo+hl+lanes : jo+hl+lanes]
+				c := x[jo+2*hl : jo+2*hl+lanes : jo+2*hl+lanes]
+				d := x[jo+3*hl : jo+3*hl+lanes : jo+3*hl+lanes]
+				for l, av := range a {
+					bv, cv, dv := b[l], c[l], d[l]
+					s0, s1 := av+bv, av-bv
+					s2, s3 := cv+dv, cv-dv
+					a[l], b[l] = s0+s2, s1+s3
+					c[l], d[l] = s0-s2, s1-s3
+				}
+			}
+		}
+	}
+}
+
+// fwhtBlockRadix8 fuses three butterfly levels per pass: the eight tile
+// rows j, j+h, ..., j+7h move through the radix-2 levels h, 2h and 4h
+// entirely in registers, so each element is loaded and stored once per
+// pass instead of three times.  The op tree per output is identical to
+// the sequential radix-2 schedule, keeping every lane bit-identical to
+// the scalar FWHT.  Leftover levels (log2(rows) mod 3) run first as one
+// radix-2 or one fused radix-4 pass at the smallest strides.
+func fwhtBlockRadix8(x []float64, rows, lanes int) {
+	h := 1
+	switch log2OddStages(rows) % 3 {
+	case 1:
+		fwhtLevelRadix2(x, rows, lanes, 1)
+		h = 2
+	case 2:
+		fwhtLevelRadix4(x, rows, lanes, 1)
+		h = 4
+	}
+	for ; h < rows; h <<= 3 {
+		hl := h * lanes
+		step := 8 * hl
+		for i := 0; i < rows*lanes; i += step {
+			for jo := i; jo < i+hl; jo += lanes {
+				r0 := x[jo : jo+lanes : jo+lanes]
+				r1 := x[jo+hl : jo+hl+lanes : jo+hl+lanes]
+				r2 := x[jo+2*hl : jo+2*hl+lanes : jo+2*hl+lanes]
+				r3 := x[jo+3*hl : jo+3*hl+lanes : jo+3*hl+lanes]
+				r4 := x[jo+4*hl : jo+4*hl+lanes : jo+4*hl+lanes]
+				r5 := x[jo+5*hl : jo+5*hl+lanes : jo+5*hl+lanes]
+				r6 := x[jo+6*hl : jo+6*hl+lanes : jo+6*hl+lanes]
+				r7 := x[jo+7*hl : jo+7*hl+lanes : jo+7*hl+lanes]
+				for l, v0 := range r0 {
+					v1, v2, v3 := r1[l], r2[l], r3[l]
+					v4, v5, v6, v7 := r4[l], r5[l], r6[l], r7[l]
+					// Level h.
+					a0, a1 := v0+v1, v0-v1
+					a2, a3 := v2+v3, v2-v3
+					a4, a5 := v4+v5, v4-v5
+					a6, a7 := v6+v7, v6-v7
+					// Level 2h.
+					b0, b2 := a0+a2, a0-a2
+					b1, b3 := a1+a3, a1-a3
+					b4, b6 := a4+a6, a4-a6
+					b5, b7 := a5+a7, a5-a7
+					// Level 4h.
+					r0[l], r4[l] = b0+b4, b0-b4
+					r1[l], r5[l] = b1+b5, b1-b5
+					r2[l], r6[l] = b2+b6, b2-b6
+					r3[l], r7[l] = b3+b7, b3-b7
+				}
+			}
+		}
+	}
+}
+
+// fwhtLevelRadix2 runs one radix-2 butterfly level at stride h.
+func fwhtLevelRadix2(x []float64, rows, lanes, h int) {
+	hl := h * lanes
+	step := 2 * hl
+	for i := 0; i < rows*lanes; i += step {
+		for jo := i; jo < i+hl; jo += lanes {
+			a := x[jo : jo+lanes : jo+lanes]
+			b := x[jo+hl : jo+hl+lanes : jo+hl+lanes]
+			for l, av := range a {
+				bv := b[l]
+				a[l], b[l] = av+bv, av-bv
+			}
+		}
+	}
+}
+
+// fwhtLevelRadix4 runs the fused levels h and 2h (one radix-4 pass).
+func fwhtLevelRadix4(x []float64, rows, lanes, h int) {
+	hl := h * lanes
+	step := 4 * hl
+	for i := 0; i < rows*lanes; i += step {
+		for jo := i; jo < i+hl; jo += lanes {
+			a := x[jo : jo+lanes : jo+lanes]
+			b := x[jo+hl : jo+hl+lanes : jo+hl+lanes]
+			c := x[jo+2*hl : jo+2*hl+lanes : jo+2*hl+lanes]
+			d := x[jo+3*hl : jo+3*hl+lanes : jo+3*hl+lanes]
+			for l, av := range a {
+				bv, cv, dv := b[l], c[l], d[l]
+				s0, s1 := av+bv, av-bv
+				s2, s3 := cv+dv, cv-dv
+				a[l], b[l] = s0+s2, s1+s3
+				c[l], d[l] = s0-s2, s1-s3
+			}
+		}
+	}
+}
+
+// log2OddStages returns log2(rows) for a power-of-two rows.
+func log2OddStages(rows int) int {
+	n := 0
+	for v := rows; v > 1; v >>= 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,11 @@
+//go:build amd64.v3 && !purego
+
+package hadamard
+
+// tunedKernel is the GOAMD64>=v3 selection: FMA/AVX2-era cores with deep
+// out-of-order windows take the eight-way fused schedule.  This file is
+// the per-microarchitecture selection hook — a hand-tuned (or assembly)
+// variant for v3+ registers itself and changes this one string.  Being a
+// var initializer, the choice lands before any package init() consults
+// defaultKernelName.
+var tunedKernel = "radix8"

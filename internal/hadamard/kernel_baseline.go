@@ -1,0 +1,10 @@
+//go:build !purego && !amd64.v3
+
+package hadamard
+
+// tunedKernel is the baseline tuned selection for builds without a
+// per-microarchitecture override (GOAMD64 < v3, or non-amd64 targets):
+// the three-level-fused radix8 schedule, which wins on every core this
+// repository has been benchmarked on.  GOAMD64-level files
+// (kernel_amd64v3.go) replace this choice at higher levels.
+var tunedKernel = "radix8"

@@ -1,0 +1,9 @@
+//go:build !purego
+
+package hadamard
+
+// defaultKernelName picks the init-time FWHT kernel for tuned builds:
+// whatever the build-tag-selected tunedKernel names.  The purego build
+// tag swaps this file for kernel_select_purego.go, exercising the
+// portable fallback path of the dispatch seam.
+func defaultKernelName() string { return tunedKernel }

@@ -1,0 +1,10 @@
+//go:build purego
+
+package hadamard
+
+// defaultKernelName picks the init-time FWHT kernel under the purego
+// build tag: the portable radix2 baseline, proving the dispatch seam's
+// fallback path stays correct when every tuned variant is compiled out of
+// the default selection (the tuned pure-Go kernels remain registered and
+// selectable at runtime).
+func defaultKernelName() string { return "radix2" }

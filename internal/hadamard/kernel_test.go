@@ -1,0 +1,163 @@
+// kernel_test.go: the kernel-dispatch layer's property tests — every
+// registered kernel must be bit-identical to the scalar FWHT on every
+// lane, selection must be validated, and the dispatching fwhtBlock must
+// reject bad geometry with errors rather than panics.
+package hadamard
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// runKernelNamed runs one registered kernel through the dispatch path by
+// selecting it, restoring the previous selection afterwards.
+func runKernelNamed(t *testing.T, name string, x []float64, rows, lanes int) {
+	t.Helper()
+	prev := ActiveKernel()
+	if err := SelectKernel(name); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := SelectKernel(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := fwhtBlock(x, rows, lanes); err != nil {
+		t.Fatalf("kernel %s rows %d lanes %d: %v", name, rows, lanes, err)
+	}
+}
+
+// TestFWHTKernelsMatchScalar pins every registered kernel to the scalar
+// FWHT, lane by lane, bit for bit, across sizes covering every leftover-
+// stage path (log2 rows ≡ 0,1,2 mod 3 and mod 2) and lane counts
+// including the degenerate single lane.
+func TestFWHTKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, rows := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		for _, lanes := range []int{1, 2, 3, 5, 8, 16, 17} {
+			tile := make([]float64, rows*lanes)
+			for i := range tile {
+				tile[i] = rng.NormFloat64() * 1e3
+			}
+			want := make([][]float64, lanes)
+			for l := 0; l < lanes; l++ {
+				col := make([]float64, rows)
+				for r := 0; r < rows; r++ {
+					col[r] = tile[r*lanes+l]
+				}
+				if err := FWHT(col); err != nil {
+					t.Fatal(err)
+				}
+				want[l] = col
+			}
+			for _, name := range Kernels() {
+				got := make([]float64, len(tile))
+				copy(got, tile)
+				runKernelNamed(t, name, got, rows, lanes)
+				for l := 0; l < lanes; l++ {
+					for r := 0; r < rows; r++ {
+						if got[r*lanes+l] != want[l][r] {
+							t.Fatalf("kernel %s rows %d lanes %d lane %d row %d: %v != scalar %v",
+								name, rows, lanes, l, r, got[r*lanes+l], want[l][r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelRegistry exercises registration, listing and selection.
+func TestKernelRegistry(t *testing.T) {
+	names := Kernels()
+	for _, want := range []string{"radix2", "radix4", "radix8"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("kernel %q not registered (have %v)", want, names)
+		}
+	}
+	if a := ActiveKernel(); a != defaultKernelName() {
+		t.Fatalf("active kernel %q, want build default %q", a, defaultKernelName())
+	}
+	if err := SelectKernel("no-such-kernel"); err == nil {
+		t.Fatal("unknown kernel selected without error")
+	} else if !strings.Contains(err.Error(), "no-such-kernel") {
+		t.Fatalf("unhelpful selection error: %v", err)
+	}
+	if err := RegisterKernel(Kernel{}); err == nil {
+		t.Fatal("empty kernel registered without error")
+	}
+	prev := ActiveKernel()
+	if err := SelectKernel("radix2"); err != nil {
+		t.Fatal(err)
+	}
+	if ActiveKernel() != "radix2" {
+		t.Fatalf("selection did not take: %q", ActiveKernel())
+	}
+	if err := SelectKernel(prev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFWHTBlockGeometryErrors pins the validated error returns that
+// replaced the old panic path: bad row counts, bad lane counts and short
+// tiles must all surface as errors, including through the lanes==1
+// degenerate path.
+func TestFWHTBlockGeometryErrors(t *testing.T) {
+	if err := fwhtBlock(make([]float64, 6), 3, 2); err == nil {
+		t.Fatal("non-power-of-two rows accepted")
+	}
+	if err := fwhtBlock(make([]float64, 8), 8, 0); err == nil {
+		t.Fatal("zero lanes accepted")
+	}
+	if err := fwhtBlock(make([]float64, 8), 8, -1); err == nil {
+		t.Fatal("negative lanes accepted")
+	}
+	if err := fwhtBlock(make([]float64, 7), 8, 1); err == nil {
+		t.Fatal("short single-lane tile accepted")
+	}
+	if err := fwhtBlock(make([]float64, 15), 8, 2); err == nil {
+		t.Fatal("short tile accepted")
+	}
+	if err := fwhtBlock(make([]float64, 8), 0, 1); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	// The valid degenerate cases still work.
+	if err := fwhtBlock(make([]float64, 8), 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fwhtBlock(make([]float64, 1), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkFWHTKernels compares the registered kernels on the serving
+// tile shape (order-9 transform, 16 lanes).
+func BenchmarkFWHTKernels(b *testing.B) {
+	const rows, lanes = 512, 16
+	src := make([]float64, rows*lanes)
+	rng := rand.New(rand.NewSource(5))
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	work := make([]float64, len(src))
+	for _, name := range Kernels() {
+		k := func() Kernel {
+			kernelMu.Lock()
+			defer kernelMu.Unlock()
+			return kernels[name]
+		}()
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(work, src)
+				k.Block(work, rows, lanes)
+			}
+		})
+	}
+}

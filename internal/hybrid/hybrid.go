@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/fpga"
+	"repro/internal/hadamard"
 	"repro/internal/instrument"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
@@ -295,15 +296,9 @@ func HybridDeconvolveFrame(f *instrument.Frame, c OffloadConfig) (*HybridResult,
 	return HybridDeconvolveFrameContext(context.Background(), f, c)
 }
 
-// ctxCheckStride is how many columns (or simulated cycles, for the
-// streaming model) are processed between context-cancellation checks: often
-// enough that a server deadline cuts off in-flight work promptly, rarely
-// enough that the check is free.
-const ctxCheckStride = 16
-
 // HybridDeconvolveFrameContext is HybridDeconvolveFrame under a context:
 // when ctx is cancelled (a server deadline, a disconnected client) the
-// column loop stops within ctxCheckStride columns and returns ctx.Err(),
+// tile loop stops within TileLanes columns and returns ctx.Err(),
 // so in-flight work is actually abandoned rather than completed and thrown
 // away.  It builds a fresh Offloader per call; steady-state serving paths
 // hold one Offloader per worker and use DeconvolveFrameInto instead.
@@ -323,16 +318,22 @@ func HybridDeconvolveFrameContext(ctx context.Context, f *instrument.Frame, c Of
 	return res, nil
 }
 
+// TileLanes is the column-tile width of the modeled offload path: the
+// number of m/z columns moved through the fixed-point core per
+// DeconvolveBatch call.  It matches the CPU pipeline's block width so an
+// order-9 work tile stays cache-resident on the host that models it.
+const TileLanes = 16
+
 // Offloader is a reusable executable offload engine: one validated config
-// with its persistent fixed-point FHT core and the per-column scratch the
-// core decodes through, so repeated frames pay no core reconstruction and
-// no per-column allocation.  The scratch makes an Offloader
-// single-threaded; create one per worker.
+// with its persistent fixed-point FHT core and the column-tile scratch
+// the core decodes through, so repeated frames pay no core
+// reconstruction and no per-column allocation.  The scratch makes an
+// Offloader single-threaded; create one per worker.
 type Offloader struct {
 	cfg  OffloadConfig
 	core *fpga.FHTCore
-	col  []float64 // staged input column
-	out  []float64 // decoded output column
+	src  *hadamard.ColumnBlock // staged input tile
+	dst  *hadamard.ColumnBlock // decoded output tile
 }
 
 // NewOffloader validates the config and builds the persistent core,
@@ -347,7 +348,12 @@ func NewOffloader(c OffloadConfig) (*Offloader, error) {
 	}
 	core.Instrument(c.Metrics)
 	n := core.Len()
-	return &Offloader{cfg: c, core: core, col: make([]float64, n), out: make([]float64, n)}, nil
+	return &Offloader{
+		cfg:  c,
+		core: core,
+		src:  hadamard.NewColumnBlock(n, TileLanes),
+		dst:  hadamard.NewColumnBlock(n, TileLanes),
+	}, nil
 }
 
 // Len reports the core's waveform length (frame drift bins).
@@ -385,19 +391,28 @@ func (o *Offloader) DeconvolveFrameInto(ctx context.Context, dst, f *instrument.
 	fht := span.Child("fpga_fht")
 	fht.SetInt("columns", int64(f.TOFBins))
 	fht.SetInt("modeled_ns", int64(rep.ComputeTimeS*1e9))
-	for t := 0; t < f.TOFBins; t++ {
-		if t%ctxCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				fht.End()
-				return nil, err
-			}
-		}
-		f.DriftVectorInto(t, o.col)
-		if _, err := o.core.DeconvolveTo(o.out, o.col); err != nil {
+	// Communication-avoiding tile loop: gather TileLanes columns into one
+	// row-major tile, push the whole tile through the fixed-point core
+	// (each work word touched once per fused butterfly pass), scatter the
+	// results back.  One ctx check per tile keeps the previous
+	// every-16-columns cancellation cadence.
+	for t0 := 0; t0 < f.TOFBins; t0 += TileLanes {
+		if err := ctx.Err(); err != nil {
 			fht.End()
 			return nil, err
 		}
-		dst.SetDriftVector(t, o.out)
+		lanes := f.TOFBins - t0
+		if lanes > TileLanes {
+			lanes = TileLanes
+		}
+		o.src.Reset(o.core.Len(), lanes)
+		o.dst.Reset(o.core.Len(), lanes)
+		f.GatherColumns(t0, lanes, o.src.Data)
+		if _, err := o.core.DeconvolveBatch(o.dst, o.src); err != nil {
+			fht.End()
+			return nil, err
+		}
+		dst.ScatterColumns(t0, lanes, o.dst.Data)
 	}
 	fht.SetInt("saturations", o.core.Saturations())
 	fht.End()

@@ -87,6 +87,12 @@ type Event struct {
 	ShedReason string `json:"shed_reason,omitempty"`
 	// Detail carries the error message of a non-OK outcome, truncated.
 	Detail string `json:"detail,omitempty"`
+	// CoalesceBatch is how many frames shared this frame's coalesced
+	// decode batch (0 or 1 = served alone; acqserver events only).
+	CoalesceBatch int `json:"coalesce_batch,omitempty"`
+	// CoalesceWaitNs is the time the frame waited in the coalescer for
+	// batch-mates before the batch dispatched.
+	CoalesceWaitNs int64 `json:"coalesce_wait_ns,omitempty"`
 
 	// Start, when non-zero, is the request's accept time; Record derives
 	// TotalNs from it.  Never serialized.

@@ -7,6 +7,19 @@
 // The output file maps label → benchmark name → parsed results (ns/op,
 // B/op, allocs/op and any custom ReportMetric values).  An existing file
 // is merged, so "before" and "after" runs accumulate into one document.
+//
+// With -diff BASELINE.json the tool becomes a regression gate instead of
+// a ledger writer: the fresh run on stdin is compared benchmark-by-
+// benchmark against the named label (-diff-label, default "after") of the
+// baseline ledger, and the exit status is nonzero if any benchmark
+// matching -match regressed by more than -max-regress percent in ns/op:
+//
+//	go test -run XXX -bench 'MicroFrameDeconvolve' -benchmem . | \
+//	    go run ./scripts/benchjson -diff BENCH_PR4.json \
+//	        -match 'MicroFrameDeconvolve|FHTDecodeBatch' -max-regress 5
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate, so adding or retiring a benchmark does not break the diff.
 package main
 
 import (
@@ -15,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -69,9 +84,77 @@ func parseLine(line string) (name string, r Result, ok bool) {
 	return name, r, true
 }
 
+// runDiff compares the fresh results against the baseline ledger's
+// chosen label and returns false if any matched benchmark regressed in
+// ns/op beyond the tolerance.
+func runDiff(fresh map[string]Result, baselinePath, baselineLabel, match string, maxRegressPct float64) bool {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+		return false
+	}
+	doc := map[string]map[string]Result{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", baselinePath, err)
+		return false
+	}
+	base := doc[baselineLabel]
+	if base == nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s has no label %q\n", baselinePath, baselineLabel)
+		return false
+	}
+	re, err := regexp.Compile(match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -match: %v\n", err)
+		return false
+	}
+
+	var names []string
+	for name := range fresh {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no fresh benchmarks match %q\n", match)
+		return false
+	}
+	pass, compared := true, 0
+	for _, name := range names {
+		b, inBase := base[name]
+		if !inBase {
+			fmt.Printf("benchjson: %-40s %12.0f ns/op  (no baseline, skipped)\n", name, fresh[name].NsPerOp)
+			continue
+		}
+		compared++
+		deltaPct := 100 * (fresh[name].NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if deltaPct > maxRegressPct {
+			verdict = "REGRESSED"
+			pass = false
+		}
+		fmt.Printf("benchjson: %-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, b.NsPerOp, fresh[name].NsPerOp, deltaPct, verdict)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: nothing to compare against %s[%s]\n", baselinePath, baselineLabel)
+		return false
+	}
+	if pass {
+		fmt.Printf("benchjson: %d benchmarks within %.1f%% of %s[%s]\n",
+			compared, maxRegressPct, baselinePath, baselineLabel)
+	}
+	return pass
+}
+
 func main() {
 	label := flag.String("label", "run", "label for this benchmark run (e.g. before, after)")
 	out := flag.String("out", "", "JSON file to merge results into (default stdout only)")
+	diff := flag.String("diff", "", "diff mode: compare the fresh run against this baseline ledger and exit nonzero on regression")
+	diffLabel := flag.String("diff-label", "after", "baseline label to diff against")
+	match := flag.String("match", ".", "regexp selecting which benchmarks the diff gate applies to")
+	maxRegress := flag.Float64("max-regress", 5, "fail the diff if ns/op regressed by more than this percent")
 	flag.Parse()
 
 	doc := map[string]map[string]Result{}
@@ -105,6 +188,13 @@ func main() {
 	if n == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
+	}
+
+	if *diff != "" {
+		if !runDiff(doc[*label], *diff, *diffLabel, *match, *maxRegress) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
