@@ -16,6 +16,7 @@ LDFLAGS = -X repro/internal/buildinfo.Version=$(VERSION) -X repro/internal/build
 DOCLINT_DIRS = internal/telemetry internal/telemetry/trace \
                internal/telemetry/health internal/telemetry/runtimemetrics \
                internal/telemetry/flightrec internal/telemetry/profiler \
+               internal/telemetry/tsdb \
                internal/buildinfo internal/pprofile \
                internal/pipeline internal/hybrid \
                internal/fpga internal/xd1 internal/acqserver \

@@ -18,7 +18,9 @@
 //	     [-events N] [-events-dump DIR] [-pprof ADDR]
 //	     [-profile-dir DIR] [-profile-cpu D] [-profile-interval D]
 //	     [-profile-retain K] [-coalesce-window D] [-coalesce-fill N]
-//	     [-fwht-kernel NAME]
+//	     [-fwht-kernel NAME] [-history DIR] [-history-interval D]
+//	     [-history-retain-raw D] [-anomaly-threshold F]
+//	     [-anomaly-warmup N] [-anomaly-hold N]
 //
 // With -framelog, every accepted frame is appended to a durable,
 // segmented, CRC-verified write-ahead log before it is enqueued, and on
@@ -58,6 +60,17 @@
 // every queued frame, flushes responses, and exits 0; -drain-timeout
 // bounds the wait.
 //
+// With -history, a sampler goroutine diffs registry snapshots every
+// -history-interval into an embedded on-disk time-series store (raw, 1m
+// and 10m resolutions with per-resolution retention), served back at
+// /metrics/history with family/label/range/quantile parameters — so
+// "what did p99 look like an hour ago, across the last restart" is
+// answerable without external infrastructure.  An EWMA+MAD anomaly
+// detector watches frame-latency p99 and shed spikes over the sampled
+// stream (tune with -anomaly-threshold/-warmup/-hold); an active episode
+// turns the matching anomaly_* SLO DEGRADED, which sheds earlier and
+// trips the flight-recorder black-box dump.  See docs/OBSERVABILITY.md.
+//
 // With -coalesce-window, CPU-path frames from different sessions that
 // land on the same shard are micro-batched: a worker waits up to the
 // window (or until -coalesce-fill frames arrive) and decodes the batch
@@ -91,6 +104,7 @@ import (
 	"repro/internal/telemetry/profiler"
 	"repro/internal/telemetry/runtimemetrics"
 	"repro/internal/telemetry/trace"
+	"repro/internal/telemetry/tsdb"
 )
 
 func fail(format string, args ...interface{}) {
@@ -132,6 +146,12 @@ func main() {
 	eventsRing := flag.Int("events", 4096, "wide events retained in the flight-recorder ring (0 disables)")
 	eventsDump := flag.String("events-dump", "", "write flight-recorder black-box dumps to this directory on SLO degradation and recovered panics")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this dedicated HTTP address (pprof is also on -metrics)")
+	historyDir := flag.String("history", "", "persist sampled metric history into this directory and serve /metrics/history (see docs/OBSERVABILITY.md)")
+	historyInterval := flag.Duration("history-interval", 5*time.Second, "metric history sampling period")
+	historyRetainRaw := flag.Duration("history-retain-raw", 2*time.Hour, "raw-resolution history retention")
+	anomalyThreshold := flag.Float64("anomaly-threshold", 4, "robust-sigma score at which a watched series is anomalous (0 disables the detector; needs -history)")
+	anomalyWarmup := flag.Int("anomaly-warmup", 12, "history samples a target needs before anomaly scoring starts")
+	anomalyHold := flag.Int("anomaly-hold", 2, "consecutive anomalous samples before the anomaly SLO flips")
 	profileDir := flag.String("profile-dir", "", "continuously capture rotating CPU+heap profiles into this directory")
 	profileCPU := flag.Duration("profile-cpu", 10*time.Second, "length of each continuous CPU profile capture")
 	profileInterval := flag.Duration("profile-interval", 60*time.Second, "period between continuous profile captures")
@@ -163,6 +183,52 @@ func main() {
 
 	eval := buildEvaluator(reg, *sloLatency, *sloLatencyTarget, *sloShedBudget, *sloErrorBudget, flight, log)
 	cfg.DegradedMode = func() bool { return eval.Status() >= health.Degraded }
+
+	// Metric history: an embedded tsdb fed by a snapshot-diff sampler,
+	// with an EWMA+MAD anomaly detector over the stored series wired in
+	// as anomaly SLOs (active episode => DEGRADED => flight-recorder
+	// dump via OnTransition, earlier shedding via DegradedMode).
+	var hist *tsdb.Store
+	var sampler *tsdb.Sampler
+	if *historyDir != "" {
+		hcfg := tsdb.DefaultConfig(*historyDir)
+		hcfg.RetainRaw = *historyRetainRaw
+		hcfg.Metrics = reg
+		hcfg.Logf = func(format string, args ...any) { log.Info(fmt.Sprintf(format, args...)) }
+		var err error
+		hist, err = tsdb.Open(hcfg)
+		if err != nil {
+			fail("history: %v", err)
+		}
+		sampler = tsdb.NewSampler(reg, hist, *historyInterval)
+		if *anomalyThreshold > 0 {
+			detector := tsdb.NewDetector(tsdb.DetectorConfig{
+				Targets: []tsdb.Target{
+					{Name: "frame_latency_p99", Family: "acq_process_ns", Quantile: 0.99},
+					{Name: "shed_spike", Family: "acq_shed_total"},
+				},
+				Threshold: *anomalyThreshold,
+				Warmup:    *anomalyWarmup,
+				Hold:      *anomalyHold,
+				Metrics:   reg,
+			}, hist)
+			detector.WarmupFromStore(30 * time.Minute)
+			sampler.OnSample(detector.Observe)
+			for _, name := range detector.TargetNames() {
+				target := name
+				eval.AddAnomaly(health.AnomalySLO{
+					Name: "anomaly_" + target,
+					Source: func() (float64, bool, string) {
+						score, active, reason := detector.Status(target)
+						return score / detector.Threshold(), active, reason
+					},
+				})
+			}
+		}
+		go sampler.Run()
+		log.Info("metric history on", "dir", *historyDir,
+			"interval", historyInterval.String(), "anomaly_threshold", *anomalyThreshold)
+	}
 
 	var tracer *trace.Tracer
 	if *tracePath != "" {
@@ -258,6 +324,7 @@ func main() {
 	if *metricsAddr != "" {
 		http.Handle("/metrics", reg.Handler())
 		http.Handle("/metrics.json", reg.Handler())
+		http.Handle("/metrics/history", hist.Handler())
 		http.Handle("/debug/traces", tracer.Handler())
 		http.Handle("/debug/events", flight.Handler())
 		http.Handle("/healthz", health.LivenessHandler())
@@ -307,6 +374,13 @@ func main() {
 		}
 		if err := writeTrace(tracer, *tracePath); err != nil {
 			fail("trace: %v", err)
+		}
+		if sampler != nil {
+			sampler.Stop()
+			sampler.SampleOnce(time.Now()) // capture the drain's final deltas
+		}
+		if err := hist.Close(); err != nil {
+			fail("history close: %v", err)
 		}
 		log.Info("imsd drained cleanly")
 	}

@@ -17,7 +17,8 @@
 //	      [-trace FILE] [-trace-slow D] [-trace-sample N] [-trace-ring N]
 //	      [-events N] [-events-dump DIR] [-pprof ADDR]
 //	      [-profile-dir DIR] [-profile-cpu D] [-profile-interval D]
-//	      [-profile-retain K]
+//	      [-profile-retain K] [-history DIR] [-history-interval D]
+//	      [-fleet-record-interval D]
 //
 // Each backend is named by its IMSP address, optionally followed by
 // @URL pointing at its /readyz endpoint; without a URL the gateway
@@ -32,7 +33,17 @@
 // readiness — 503 while draining or while zero backends are on the
 // routing ring, so a load balancer in front of several gateways can
 // route around one that has lost its whole fleet.  -events, -events-dump,
-// -pprof and the -profile-* flags behave exactly as on imsd.  On SIGINT/SIGTERM the gateway flips
+// -pprof and the -profile-* flags behave exactly as on imsd.
+//
+// With -history, the gateway persists sampled metric history exactly as
+// imsd does (embedded tsdb, /metrics/history endpoint) — and, because a
+// fleet recorder re-scrapes every backend each -fleet-record-interval
+// and publishes the gw_fleet_* gauges into the gateway's own registry,
+// the stored history includes per-backend fleet series: one gateway
+// history directory answers "how was backend X doing an hour ago" for
+// the whole cluster (see docs/OBSERVABILITY.md).
+//
+// On SIGINT/SIGTERM the gateway flips
 // /readyz, holds -drain-grace, stops accepting, lets in-flight proxied
 // frames finish on their backends, and exits 0.
 package main
@@ -60,6 +71,7 @@ import (
 	"repro/internal/telemetry/profiler"
 	"repro/internal/telemetry/runtimemetrics"
 	"repro/internal/telemetry/trace"
+	"repro/internal/telemetry/tsdb"
 )
 
 func fail(format string, args ...interface{}) {
@@ -94,6 +106,9 @@ func main() {
 	profileCPU := flag.Duration("profile-cpu", 10*time.Second, "length of each continuous CPU profile capture")
 	profileInterval := flag.Duration("profile-interval", 60*time.Second, "period between continuous profile captures")
 	profileRetain := flag.Int("profile-retain", 16, "profiles kept per kind before the janitor deletes the oldest")
+	historyDir := flag.String("history", "", "persist sampled metric history (including per-backend gw_fleet_* series) into this directory and serve /metrics/history")
+	historyInterval := flag.Duration("history-interval", 5*time.Second, "metric history sampling period")
+	fleetRecordInterval := flag.Duration("fleet-record-interval", 10*time.Second, "how often the fleet recorder scrapes backends into the gateway registry (needs -history to persist)")
 	flag.Parse()
 
 	fleet, err := parseBackends(*backends)
@@ -134,6 +149,28 @@ func main() {
 		fail("%v", err)
 	}
 
+	// Metric history plus the fleet recorder: scrape the backends into
+	// the gateway's own registry so the sampler persists per-backend
+	// gw_fleet_* series alongside the gateway's gw_* families.
+	var hist *tsdb.Store
+	var sampler *tsdb.Sampler
+	if *historyDir != "" {
+		hcfg := tsdb.DefaultConfig(*historyDir)
+		hcfg.Metrics = reg
+		hcfg.Logf = func(format string, args ...any) { log.Info(fmt.Sprintf(format, args...)) }
+		hist, err = tsdb.Open(hcfg)
+		if err != nil {
+			fail("history: %v", err)
+		}
+		sampler = tsdb.NewSampler(reg, hist, *historyInterval)
+		go sampler.Run()
+		recCtx, stopRec := context.WithCancel(context.Background())
+		defer stopRec()
+		go gw.RunFleetRecorder(recCtx, *fleetRecordInterval)
+		log.Info("metric history on", "dir", *historyDir,
+			"interval", historyInterval.String(), "fleet_record_interval", fleetRecordInterval.String())
+	}
+
 	if *profileDir != "" {
 		sampler, err := profiler.New(profiler.Config{
 			Dir:         *profileDir,
@@ -165,6 +202,7 @@ func main() {
 		http.Handle("/metrics", reg.Handler())
 		http.Handle("/metrics.json", reg.Handler())
 		http.Handle("/metrics/fleet", gw.FleetHandler())
+		http.Handle("/metrics/history", hist.Handler())
 		http.Handle("/debug/traces", tracer.Handler())
 		http.Handle("/debug/events", flight.Handler())
 		http.Handle("/healthz", health.LivenessHandler())
@@ -219,6 +257,13 @@ func main() {
 		}
 		if err := writeTrace(tracer, *tracePath); err != nil {
 			fail("trace: %v", err)
+		}
+		if sampler != nil {
+			sampler.Stop()
+			sampler.SampleOnce(time.Now())
+		}
+		if err := hist.Close(); err != nil {
+			fail("history close: %v", err)
 		}
 		log.Info("imsgw drained cleanly")
 	}

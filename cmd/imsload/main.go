@@ -10,7 +10,7 @@
 //	        [-tof N] [-path hybrid|cpu] [-deadline D] [-enc raw|delta]
 //	        [-seed N] [-json FILE] [-trace FILE]
 //	        [-wait-ready URL] [-wait-ready-timeout D] [-metrics URL]
-//	        [-replay DIR] [-replay-rate F]
+//	        [-history URL] [-replay DIR] [-replay-rate F]
 //
 // With -replay, instead of generating synthetic frames imsload streams a
 // captured frame log (written by imsd -framelog, see docs/DURABILITY.md)
@@ -51,6 +51,14 @@
 // and, with -json, under "coalesce", so the -coalesce-window/-coalesce-fill
 // trade-off is measurable from the client side.
 //
+// With -json and a history URL (given via -history, or derived from
+// -metrics when the daemon runs with -history), the report also gains a
+// "server_history" block: the daemon's acq_process_ns p99 and
+// acq_shed_total increase series over the run window, fetched from
+// /metrics/history (docs/OBSERVABILITY.md).  The run report alone is then
+// enough to plot how the server's tail latency and shedding evolved while
+// the load was applied.
+//
 // With -json, the run's full report — throughput, shed rate, latency
 // quantiles and the server-side span-stage breakdown (queue wait, process,
 // modeled XD1 time, from RESULT payloads) — is written as machine-readable
@@ -76,9 +84,11 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -89,6 +99,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/trace"
+	"repro/internal/telemetry/tsdb"
 )
 
 func fail(format string, args ...interface{}) {
@@ -266,6 +277,72 @@ type report struct {
 	// counters scraped from -metrics after the run; absent when -metrics
 	// was not given or the daemon exports no acq_coalesce_* families.
 	Coalesce *coalesceBlock `json:"coalesce,omitempty"`
+	// ServerHistory carries the daemon's own view of the run — the
+	// acq_process_ns p99 and acq_shed_total increase series over the run
+	// window, fetched from /metrics/history after the run; absent when the
+	// daemon runs without -history or no history URL could be derived.
+	ServerHistory *serverHistoryBlock `json:"server_history,omitempty"`
+}
+
+// serverHistoryBlock is the -json view of the daemon's /metrics/history
+// answer over the run window.  The two embedded results are the endpoint's
+// wire shape verbatim (per-series step points), so a run report alone is
+// enough to plot how the server's tail latency and shedding evolved while
+// the load was applied — no live daemon needed afterwards.
+type serverHistoryBlock struct {
+	// SinceUnix and UntilUnix bound the queried window (the run, widened by
+	// one sampler tick on each side so edge samples land inside it).
+	SinceUnix int64 `json:"since_unix"`
+	UntilUnix int64 `json:"until_unix"`
+	// ProcessP99Ns is the acq_process_ns p99 per step, nanoseconds.
+	ProcessP99Ns *tsdb.QueryResult `json:"process_p99_ns,omitempty"`
+	// Shed is the acq_shed_total increase per step.
+	Shed *tsdb.QueryResult `json:"shed,omitempty"`
+}
+
+// fetchServerHistory queries base (a /metrics/history URL) for the run
+// window.  Best-effort: a daemon running without -history answers 404 and
+// the block is simply omitted from the report.
+func fetchServerHistory(base string, since, until time.Time) *serverHistoryBlock {
+	query := func(family string, quantile float64) (*tsdb.QueryResult, error) {
+		v := neturl.Values{}
+		v.Set("family", family)
+		v.Set("since", fmt.Sprintf("%d", since.Unix()))
+		v.Set("until", fmt.Sprintf("%d", until.Unix()))
+		if quantile > 0 {
+			v.Set("quantile", fmt.Sprintf("%g", quantile))
+		}
+		body, err := fetchOnce(base + "?" + v.Encode())
+		if err != nil {
+			return nil, err
+		}
+		var qr tsdb.QueryResult
+		if err := json.Unmarshal(body, &qr); err != nil {
+			return nil, err
+		}
+		if len(qr.Series) == 0 {
+			return nil, nil
+		}
+		return &qr, nil
+	}
+	sh := &serverHistoryBlock{SinceUnix: since.Unix(), UntilUnix: until.Unix()}
+	p99, err := query("acq_process_ns", 0.99)
+	if err != nil {
+		// One note covers both queries: if the endpoint is down or history
+		// is disabled, the shed query would fail identically.
+		fmt.Fprintf(os.Stderr, "imsload: history scrape: %v\n", err)
+		return nil
+	}
+	sh.ProcessP99Ns = p99
+	if shed, err := query("acq_shed_total", 0); err != nil {
+		fmt.Fprintf(os.Stderr, "imsload: history scrape: %v\n", err)
+	} else {
+		sh.Shed = shed
+	}
+	if sh.ProcessP99Ns == nil && sh.Shed == nil {
+		return nil
+	}
+	return sh
 }
 
 // coalesceBlock is the -json view of the daemon's acq_coalesce_* metric
@@ -353,6 +430,7 @@ func main() {
 	tracePath := flag.String("trace", "", "trace every request client-side and write span trees as Perfetto JSON to this file")
 	waitReady := flag.String("wait-ready", "", "block until this /readyz URL answers 200 before generating load")
 	metricsURL := flag.String("metrics", "", "scrape this /metrics.json URL after the run for the coalesce block in -json output")
+	historyURL := flag.String("history", "", "scrape this /metrics/history URL after the run for the server_history block in -json output (default: derived from -metrics)")
 	waitReadyTimeout := flag.Duration("wait-ready-timeout", 30*time.Second, "give up on -wait-ready after this long")
 	topology := flag.String("topology", "single", "target topology: single (one imsd) or cluster (an imsgw gateway, per-backend attribution reported)")
 	replayDir := flag.String("replay", "", "replay a captured frame log directory (written by imsd -framelog) instead of generating synthetic load")
@@ -557,6 +635,18 @@ func main() {
 			}
 		}
 	}
+	var serverHistory *serverHistoryBlock
+	if *jsonPath != "" {
+		hu := *historyURL
+		if hu == "" && strings.HasSuffix(*metricsURL, "/metrics.json") {
+			hu = strings.TrimSuffix(*metricsURL, "/metrics.json") + "/metrics/history"
+		}
+		if hu != "" {
+			// Widen the window by one 5s sampler tick on each side so the
+			// samples bracketing the run land inside it.
+			serverHistory = fetchServerHistory(hu, start.Add(-5*time.Second), time.Now().Add(5*time.Second))
+		}
+	}
 	for code, n := range rejected {
 		fmt.Printf("rejected:   %d x %v\n", n, code)
 	}
@@ -591,6 +681,7 @@ func main() {
 			Replay:         replay,
 			Slowest:        slowest,
 			Coalesce:       coalesce,
+			ServerHistory:  serverHistory,
 		}
 		if replay != nil {
 			rep.Clients = 1 // replay streams over a single connection

@@ -8,6 +8,8 @@
 // Usage:
 //
 //	imstop [-url http://HOST:PORT] [-interval D] [-once] [-fleet]
+//	       [-history FAMILY] [-quantile F] [-since T] [-until T]
+//	       [-step D] [-match k=v,...] [-res raw|1m|10m]
 //
 // In live mode the screen redraws every -interval using ANSI clear; rates
 // (req/s, shed/s, MiB/s) are deltas between consecutive polls.  With
@@ -19,6 +21,15 @@
 // set per backend) and renders the whole cluster as one line per backend
 // — up/down, health verdict, sessions, frame and shed rates, queue depth
 // and worst p99 — a one-screen answer to "how is the fleet doing".
+//
+// With -history FAMILY the daemon must run with -history: imstop queries
+// /metrics/history for the family over the -since..-until range (server
+// resolution picked by -res or retention) and renders one unicode
+// sparkline per matched series, with min/avg/max/last beside it —
+// "what did p99 do over the last hour" in one command.  For histogram
+// families -quantile picks the evaluated quantile (0 renders the mean);
+// -match restricts by labels (comma-separated k=v pairs); -step sets the
+// bucket width.  History mode prints once and exits.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"os/signal"
 	"sort"
@@ -37,6 +49,7 @@ import (
 
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/tsdb"
 )
 
 func fail(format string, args ...interface{}) {
@@ -88,8 +101,30 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "refresh period in live mode")
 	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
 	fleet := flag.Bool("fleet", false, "render the gateway's /metrics/fleet rollup: one line per backend")
+	historyFam := flag.String("history", "", "render sparklines for this family from /metrics/history and exit")
+	histQuantile := flag.Float64("quantile", 0.99, "quantile evaluated for histogram families in -history mode (0 = mean)")
+	histSince := flag.String("since", "-30m", "-history range start (RFC3339, unix seconds, or -duration)")
+	histUntil := flag.String("until", "", "-history range end (default now)")
+	histStep := flag.Duration("step", 0, "-history bucket width (0 = auto)")
+	histMatch := flag.String("match", "", "-history label filter: comma-separated k=v pairs")
+	histRes := flag.String("res", "", "-history resolution: raw, 1m or 10m (default auto by range)")
 	flag.Parse()
 	base := strings.TrimRight(*url, "/")
+
+	if *historyFam != "" {
+		if err := renderHistory(os.Stdout, base, historyParams{
+			family:   *historyFam,
+			quantile: *histQuantile,
+			since:    *histSince,
+			until:    *histUntil,
+			step:     *histStep,
+			match:    *histMatch,
+			res:      *histRes,
+		}); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 
 	scrapeFn, renderFn := scrape, render
 	if *fleet {
@@ -130,6 +165,132 @@ func main() {
 		}
 		cur = next
 	}
+}
+
+// historyParams carries the -history mode query knobs.
+type historyParams struct {
+	family   string
+	quantile float64
+	since    string
+	until    string
+	step     time.Duration
+	match    string
+	res      string
+}
+
+// sparkRunes are the eight block-height glyphs a sparkline is built from.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as one rune per point, scaled to the series'
+// own min..max (a flat series renders mid-height).
+func sparkline(values []float64) string {
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// renderHistory queries /metrics/history and prints one sparkline per
+// matched series.
+func renderHistory(w io.Writer, base string, p historyParams) error {
+	q := neturl.Values{}
+	q.Set("family", p.family)
+	q.Set("since", p.since)
+	if p.until != "" {
+		q.Set("until", p.until)
+	}
+	if p.step > 0 {
+		q.Set("step", p.step.String())
+	}
+	if p.quantile > 0 {
+		q.Set("quantile", fmt.Sprintf("%g", p.quantile))
+	}
+	if p.res != "" {
+		q.Set("res", p.res)
+	}
+	for _, m := range strings.Split(p.match, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			q.Add("match", m)
+		}
+	}
+	body, _, err := get(base + "/metrics/history?" + q.Encode())
+	if err != nil {
+		return err
+	}
+	var res tsdb.QueryResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		return fmt.Errorf("decode %s/metrics/history: %w", base, err)
+	}
+	eval := "value"
+	if res.Kind == "histogram" {
+		eval = "mean"
+		if res.Quantile > 0 {
+			eval = fmt.Sprintf("p%g", res.Quantile*100)
+		}
+	} else if res.Kind == "counter" {
+		eval = "increase/step"
+	}
+	fmt.Fprintf(w, "history — %s — %s (%s, step %gs, %s)\n",
+		base, res.Family, res.Resolution, res.StepS, eval)
+	if len(res.Series) == 0 {
+		fmt.Fprintln(w, "  (no stored points in range — is the daemon running with -history?)")
+		return nil
+	}
+	isNs := strings.HasSuffix(res.Family, "_ns")
+	fv := func(v float64) string {
+		if isNs {
+			return fmtNs(v)
+		}
+		return fmt.Sprintf("%.4g", v)
+	}
+	for _, sr := range res.Series {
+		labels := make([]string, 0, len(sr.Labels))
+		for k, v := range sr.Labels {
+			labels = append(labels, k+"="+v)
+		}
+		sort.Strings(labels)
+		name := "{" + strings.Join(labels, ",") + "}"
+		if len(labels) == 0 {
+			name = "(no labels)"
+		}
+		if len(sr.Points) == 0 {
+			fmt.Fprintf(w, "  %-32s (no points)\n", name)
+			continue
+		}
+		values := make([]float64, len(sr.Points))
+		lo, hi, sum := sr.Points[0].Value, sr.Points[0].Value, 0.0
+		for i, pt := range sr.Points {
+			values[i] = pt.Value
+			if pt.Value < lo {
+				lo = pt.Value
+			}
+			if pt.Value > hi {
+				hi = pt.Value
+			}
+			sum += pt.Value
+		}
+		first := time.Unix(sr.Points[0].T, 0).Format("15:04:05")
+		last := time.Unix(sr.Points[len(sr.Points)-1].T, 0).Format("15:04:05")
+		fmt.Fprintf(w, "  %-32s %s\n", name, sparkline(values))
+		fmt.Fprintf(w, "  %-32s min %s  avg %s  max %s  last %s  (%d pts, %s–%s)\n",
+			"", fv(lo), fv(sum/float64(len(values))), fv(hi),
+			fv(values[len(values)-1]), len(values), first, last)
+	}
+	return nil
 }
 
 // scrapeFleet fetches and decodes one poll of the gateway's fleet rollup.

@@ -10,6 +10,7 @@
 //
 //	profiledump -dir DIR [-kind cpu|heap] [-label KEY]
 //	            [-sample-type NAME] [-top N]
+//	profiledump -diff A B [-kind cpu|heap] [-sample-type NAME] [-top N]
 //
 // -kind selects which captures to read (cpu-*.pprof or heap-*.pprof).
 // -sample-type picks the value column (e.g. inuse_space, alloc_space for
@@ -17,6 +18,14 @@
 // inuse_space).  With -label, output is grouped by that label's values;
 // samples without the label land in the "(unlabeled)" group.  Heap
 // profiles carry no goroutine labels, so -label is a CPU-profile tool.
+//
+// With -diff, profiledump compares two captures instead of summarizing a
+// ring: A and B are each a .pprof file or a profile ring directory (the
+// newest -kind capture in it is used), and the output is the per-function
+// leaf-flat delta B−A sorted by regression — the functions that got most
+// expensive between the two captures first, the biggest improvements
+// last.  Point A at a baseline ring and B at a ring captured after a
+// change to see exactly where the time (or memory) moved.
 package main
 
 import (
@@ -48,13 +57,21 @@ func main() {
 	labelKey := flag.String("label", "", "slice by this pprof label key (e.g. stage, shard, backend)")
 	sampleType := flag.String("sample-type", "", "value column to rank by (default: the profile's last column)")
 	top := flag.Int("top", 10, "functions shown per slice")
+	diff := flag.Bool("diff", false, "compare two captures: profiledump -diff A B, each a .pprof file or a ring dir (newest -kind capture used); prints the leaf-flat delta B-A sorted by regression")
 	flag.Parse()
 
-	if *dir == "" {
-		fail("no -dir given (point it at the daemon's -profile-dir)")
-	}
 	if *kind != "cpu" && *kind != "heap" {
 		fail("unknown -kind %q (want cpu or heap)", *kind)
+	}
+	if *diff {
+		if flag.NArg() != 2 {
+			fail("-diff wants exactly two arguments, A and B (got %d)", flag.NArg())
+		}
+		runDiff(flag.Arg(0), flag.Arg(1), *kind, *sampleType, *top)
+		return
+	}
+	if *dir == "" {
+		fail("no -dir given (point it at the daemon's -profile-dir)")
 	}
 	files, err := filepath.Glob(filepath.Join(*dir, *kind+"-*.pprof"))
 	if err != nil {
@@ -156,6 +173,130 @@ func main() {
 			fmt.Printf("  %6.1f%% %12s  %s\n", pct, fmtValue(e.v, unit), e.fn)
 		}
 	}
+}
+
+// resolveCapture maps one -diff argument to a concrete capture file: a
+// .pprof path is used as-is; a ring directory yields its newest -kind
+// capture (unixnano-stamped names, so lexically last == newest).
+func resolveCapture(arg, kind string) string {
+	st, err := os.Stat(arg)
+	if err != nil {
+		fail("%v", err)
+	}
+	if !st.IsDir() {
+		return arg
+	}
+	files, err := filepath.Glob(filepath.Join(arg, kind+"-*.pprof"))
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(files) == 0 {
+		fail("no %s-*.pprof captures in %s", kind, arg)
+	}
+	sort.Strings(files)
+	return files[len(files)-1]
+}
+
+// loadFlat parses one capture into leaf-attributed flat values per
+// function, plus the total and the value column's unit.
+func loadFlat(path, sampleType string) (flat map[string]int64, total int64, unit string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	prof, err := pprofile.Parse(f)
+	f.Close()
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	col := prof.ValueIndex(sampleType)
+	if col < 0 {
+		var have []string
+		for _, st := range prof.SampleTypes {
+			have = append(have, st.Type)
+		}
+		fail("%s has no sample type %q (have %v)", path, sampleType, have)
+	}
+	flat = map[string]int64{}
+	for _, s := range prof.Samples {
+		if col >= len(s.Values) || len(s.Funcs) == 0 {
+			continue
+		}
+		flat[s.Funcs[0]] += s.Values[col]
+		total += s.Values[col]
+	}
+	return flat, total, prof.SampleTypes[col].Unit
+}
+
+// runDiff prints the per-function leaf-flat delta B−A, regressions
+// (positive deltas) first, capped at top rows on each side.
+func runDiff(a, b, kind, sampleType string, top int) {
+	pathA := resolveCapture(a, kind)
+	pathB := resolveCapture(b, kind)
+	flatA, totalA, unitA := loadFlat(pathA, sampleType)
+	flatB, totalB, unitB := loadFlat(pathB, sampleType)
+	if unitA != unitB {
+		fail("incomparable captures: %s ranks %s, %s ranks %s", pathA, unitA, pathB, unitB)
+	}
+	type row struct {
+		fn    string
+		a, b  int64
+		delta int64
+	}
+	seen := map[string]bool{}
+	var rows []row
+	for fn, v := range flatA {
+		seen[fn] = true
+		rows = append(rows, row{fn: fn, a: v, b: flatB[fn], delta: flatB[fn] - v})
+	}
+	for fn, v := range flatB {
+		if !seen[fn] {
+			rows = append(rows, row{fn: fn, b: v, delta: v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].delta != rows[j].delta {
+			return rows[i].delta > rows[j].delta
+		}
+		return rows[i].fn < rows[j].fn
+	})
+
+	fmt.Printf("profiledump: diff %s (%s)\n  A: %s  total %s\n  B: %s  total %s\n  net %s\n",
+		kind, unitA, pathA, fmtValue(totalA, unitA), pathB, fmtValue(totalB, unitA),
+		fmtDelta(totalB-totalA, unitA))
+	printed := 0
+	fmt.Printf("\nregressions (B slower/bigger):\n")
+	for _, r := range rows {
+		if r.delta <= 0 || printed >= top {
+			break
+		}
+		fmt.Printf("  %12s  %12s -> %-12s %s\n", fmtDelta(r.delta, unitA), fmtValue(r.a, unitA), fmtValue(r.b, unitA), r.fn)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Println("  (none)")
+	}
+	printed = 0
+	fmt.Printf("\nimprovements (B faster/smaller):\n")
+	for i := len(rows) - 1; i >= 0; i-- {
+		r := rows[i]
+		if r.delta >= 0 || printed >= top {
+			break
+		}
+		fmt.Printf("  %12s  %12s -> %-12s %s\n", fmtDelta(r.delta, unitA), fmtValue(r.a, unitA), fmtValue(r.b, unitA), r.fn)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Println("  (none)")
+	}
+}
+
+// fmtDelta renders a signed delta in the profile unit.
+func fmtDelta(v int64, unit string) string {
+	if v < 0 {
+		return "-" + fmtValue(-v, unit)
+	}
+	return "+" + fmtValue(v, unit)
 }
 
 // fmtValue renders one sample value in its profile unit.

@@ -55,12 +55,18 @@ func (b BackendConfig) MetricsURL() string {
 	return u + "/metrics.json"
 }
 
+// fleetFamilyFilter is the ?family= prefix list a fleet scrape requests:
+// the rollup only distills acq_* and health_status, so the backend can
+// skip serializing everything else (PR 10's per-sample scrape diet).
+const fleetFamilyFilter = "acq_,health_"
+
 // scrapeFleetBackend polls one backend's /metrics.json and distills it.
 func scrapeFleetBackend(ctx context.Context, client *http.Client, url string) fleetBackendStats {
 	var st fleetBackendStats
 	if url == "" {
 		return st
 	}
+	url += "?family=" + fleetFamilyFilter
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return st
@@ -109,6 +115,42 @@ func scrapeFleetBackend(ctx context.Context, client *http.Client, url string) fl
 	return st
 }
 
+// scrapeFleet polls every backend concurrently within the scrape timeout.
+func (g *Gateway) scrapeFleet(ctx context.Context, client *http.Client) []fleetBackendStats {
+	ctx, cancel := context.WithTimeout(ctx, fleetScrapeTimeout)
+	defer cancel()
+	stats := make([]fleetBackendStats, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			stats[i] = scrapeFleetBackend(ctx, client, url)
+		}(i, b.cfg.MetricsURL())
+	}
+	wg.Wait()
+	return stats
+}
+
+// publishFleet writes one scrape's distilled stats into reg as the
+// gw_fleet_* gauge families, labeled by backend address.
+func (g *Gateway) publishFleet(reg *telemetry.Registry, stats []fleetBackendStats) {
+	for i, b := range g.backends {
+		l := telemetry.L("backend", b.cfg.Addr)
+		st := stats[i]
+		reg.Gauge("gw_fleet_up", "backend metrics endpoint scrapeable (1) or not (0)", l).Set(boolGauge(st.up))
+		if !st.up {
+			continue
+		}
+		reg.Gauge("gw_fleet_sessions", "open client sessions on the backend", l).Set(st.sessions)
+		reg.Gauge("gw_fleet_frames_total", "frames accepted by the backend (all compute paths)", l).Set(st.frames)
+		reg.Gauge("gw_fleet_shed_total", "frames shed by the backend (all reasons)", l).Set(st.shed)
+		reg.Gauge("gw_fleet_queue_depth", "queued frames on the backend (all shards)", l).Set(st.queueDepth)
+		reg.Gauge("gw_fleet_process_p99_ns", "worst per-path p99 deconvolution latency on the backend, nanoseconds", l).Set(st.processP99Ns)
+		reg.Gauge("gw_fleet_health_status", "backend overall health: 0 healthy, 1 degraded, 2 unhealthy", l).Set(st.healthStatus)
+	}
+}
+
 // FleetHandler returns the /metrics/fleet endpoint: each request scrapes
 // every configured backend concurrently (bounded by fleetScrapeTimeout),
 // rolls the results into a scratch registry, and serves it in the same
@@ -120,34 +162,34 @@ func (g *Gateway) FleetHandler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		ctx, cancel := context.WithTimeout(req.Context(), fleetScrapeTimeout)
-		defer cancel()
-		stats := make([]fleetBackendStats, len(g.backends))
-		var wg sync.WaitGroup
-		for i, b := range g.backends {
-			wg.Add(1)
-			go func(i int, url string) {
-				defer wg.Done()
-				stats[i] = scrapeFleetBackend(ctx, client, url)
-			}(i, b.cfg.MetricsURL())
-		}
-		wg.Wait()
-
 		reg := telemetry.NewRegistry()
-		for i, b := range g.backends {
-			l := telemetry.L("backend", b.cfg.Addr)
-			st := stats[i]
-			reg.Gauge("gw_fleet_up", "backend metrics endpoint scrapeable (1) or not (0)", l).Set(boolGauge(st.up))
-			if !st.up {
-				continue
-			}
-			reg.Gauge("gw_fleet_sessions", "open client sessions on the backend", l).Set(st.sessions)
-			reg.Gauge("gw_fleet_frames_total", "frames accepted by the backend (all compute paths)", l).Set(st.frames)
-			reg.Gauge("gw_fleet_shed_total", "frames shed by the backend (all reasons)", l).Set(st.shed)
-			reg.Gauge("gw_fleet_queue_depth", "queued frames on the backend (all shards)", l).Set(st.queueDepth)
-			reg.Gauge("gw_fleet_process_p99_ns", "worst per-path p99 deconvolution latency on the backend, nanoseconds", l).Set(st.processP99Ns)
-			reg.Gauge("gw_fleet_health_status", "backend overall health: 0 healthy, 1 degraded, 2 unhealthy", l).Set(st.healthStatus)
-		}
+		g.publishFleet(reg, g.scrapeFleet(req.Context(), client))
 		reg.Handler().ServeHTTP(w, req)
 	})
+}
+
+// RunFleetRecorder scrapes the fleet every interval and publishes the
+// gw_fleet_* gauges into the gateway's own metrics registry (not a
+// scratch one), so a history sampler on the gateway persists per-backend
+// fleet series — cluster-wide history from one process.  No-op when the
+// gateway has no metrics registry.  Runs until ctx is cancelled; call in
+// a dedicated goroutine.
+func (g *Gateway) RunFleetRecorder(ctx context.Context, interval time.Duration) {
+	if g.cfg.Metrics == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	client := &http.Client{Timeout: fleetScrapeTimeout}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.publishFleet(g.cfg.Metrics, g.scrapeFleet(ctx, client))
+		}
+	}
 }

@@ -1,11 +1,14 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -113,5 +116,85 @@ func TestFleetHandlerRollup(t *testing.T) {
 	}
 	if body := rec.Body.String(); !strings.Contains(body, "gw_fleet_up") {
 		t.Fatalf("text exposition lacks gw_fleet_up:\n%s", body)
+	}
+}
+
+func TestFleetRecorderPersistsIntoRegistry(t *testing.T) {
+	// A backend that records which ?family= filter the scrape requested.
+	var gotFamily atomic.Value
+	reg := telemetry.NewRegistry()
+	reg.Gauge("acq_sessions_active", "").Set(2)
+	reg.Gauge("health_status", "").Set(0)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		gotFamily.Store(r.URL.Query().Get("family"))
+		reg.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	cfg := testGwConfig("10.0.0.9:1")
+	cfg.Backends[0].HealthURL = ts.URL + "/readyz"
+	gw, _ := startGateway(t, cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		gw.RunFleetRecorder(ctx, 5*time.Millisecond)
+	}()
+
+	// Within a few recorder ticks the gateway's OWN registry — the one a
+	// history sampler diffs — carries the per-backend fleet gauges.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		snap := cfg.Metrics.Snapshot()
+		up, sessions := -1.0, -1.0
+		for _, m := range snap.Metrics {
+			if m.Labels["backend"] != "10.0.0.9:1" || m.Value == nil {
+				continue
+			}
+			switch m.Name {
+			case "gw_fleet_up":
+				up = *m.Value
+			case "gw_fleet_sessions":
+				sessions = *m.Value
+			}
+		}
+		if up == 1 && sessions == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet gauges never landed in the gateway registry (up=%v sessions=%v)", up, sessions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	// The scrape asked the backend for only the families the rollup reads.
+	if f, _ := gotFamily.Load().(string); f != fleetFamilyFilter {
+		t.Fatalf("scrape family filter = %q, want %q", f, fleetFamilyFilter)
+	}
+
+	// A registry-less gateway must treat the recorder as a no-op rather
+	// than publish into nil.
+	cfg2 := testGwConfig("10.0.0.9:1")
+	cfg2.Metrics = nil
+	gw2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = gw2.Shutdown(ctx)
+	}()
+	recDone := make(chan struct{})
+	go func() { defer close(recDone); gw2.RunFleetRecorder(context.Background(), time.Millisecond) }()
+	select {
+	case <-recDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunFleetRecorder with nil registry did not return immediately")
 	}
 }

@@ -215,6 +215,31 @@ func (r *Registry) SnapshotAt(now time.Time) Snapshot {
 	return s
 }
 
+// FilterPrefix returns the snapshot restricted to metrics whose family
+// name starts with any of the given prefixes (order preserved).  Empty
+// prefixes are ignored; no usable prefix returns the snapshot unchanged.
+func (s Snapshot) FilterPrefix(prefixes ...string) Snapshot {
+	var keep []string
+	for _, p := range prefixes {
+		if p = strings.TrimSpace(p); p != "" {
+			keep = append(keep, p)
+		}
+	}
+	if len(keep) == 0 {
+		return s
+	}
+	out := Snapshot{Metrics: make([]Metric, 0, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		for _, p := range keep {
+			if strings.HasPrefix(m.Name, p) {
+				out.Metrics = append(out.Metrics, m)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // WriteJSON serializes the snapshot as indented JSON.
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -164,6 +164,21 @@ type RatioSLO struct {
 	Budget float64
 }
 
+// AnomalySLO declares an anomaly-detector-backed objective (see
+// internal/telemetry/tsdb): Source is polled on every Tick and reports
+// the detector's normalized burn (1.0 = the detector threshold), whether
+// an anomalous episode is currently active, and a reason while one is.
+// An active episode turns the SLO DEGRADED — anomalies tighten admission
+// and trip OnTransition (flight-recorder dumps) but never force
+// UNHEALTHY on their own, because a statistical detector should shed
+// load, not take a backend out of rotation.
+type AnomalySLO struct {
+	// Name identifies the SLO in reports and metric labels.
+	Name string
+	// Source reports (burn, active, reason) for the current instant.
+	Source func() (burn float64, active bool, reason string)
+}
+
 // ratioSample is one Tick's cumulative counter reading.
 type ratioSample struct {
 	when       time.Time
@@ -214,8 +229,9 @@ func (r *ratioRing) baseline(now time.Time, window time.Duration) (ratioSample, 
 type slo struct {
 	name    string
 	budget  float64
-	latency *LatencySLO // nil for ratio SLOs
-	ratio   *RatioSLO   // nil for latency SLOs
+	latency *LatencySLO // nil unless a latency SLO
+	ratio   *RatioSLO   // nil unless a ratio SLO
+	anomaly *AnomalySLO // nil unless an anomaly SLO
 	ring    ratioRing   // ratio SLOs only
 	cur     ratioSample // the current Tick's fresh counter reading
 
@@ -317,6 +333,20 @@ func (e *Evaluator) AddRatio(s RatioSLO) {
 	e.slos = append(e.slos, sl)
 }
 
+// AddAnomaly registers an anomaly-detector-backed objective.  A nil
+// Source panics, matching the other Add* validations.
+func (e *Evaluator) AddAnomaly(s AnomalySLO) {
+	if s.Source == nil {
+		panic(fmt.Sprintf("health: invalid anomaly SLO %q", s.Name))
+	}
+	decl := s
+	sl := e.newSLO(s.Name, 1)
+	sl.anomaly = &decl
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.slos = append(e.slos, sl)
+}
+
 // latencyThresholdBucket returns the first bucket index whose upper bound
 // covers the threshold; observations in later buckets count against the
 // budget.
@@ -394,6 +424,18 @@ func (e *Evaluator) Tick(now time.Time) Report {
 
 // evaluate computes one SLO's verdict at now.  The caller holds e.mu.
 func (e *Evaluator) evaluate(sl *slo, now time.Time) SLOReport {
+	if sl.anomaly != nil {
+		burn, active, reason := sl.anomaly.Source()
+		sr := SLOReport{Name: sl.name, BurnFast: burn, BurnSlow: burn}
+		if active {
+			sr.Status = Degraded
+			sr.Reason = reason
+			if sr.Reason == "" {
+				sr.Reason = fmt.Sprintf("anomaly detector active (burn %.1fx)", burn)
+			}
+		}
+		return sr
+	}
 	badFast, totalFast := sl.window(now, e.cfg.FastWindow)
 	badSlow, totalSlow := sl.window(now, e.cfg.SlowWindow)
 	sr := SLOReport{Name: sl.name, BadFast: badFast, TotalFast: totalFast}

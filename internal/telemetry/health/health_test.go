@@ -330,3 +330,61 @@ func TestOnTransition(t *testing.T) {
 		t.Fatalf("hops = %v, want a final transition back to OK", hops)
 	}
 }
+
+func TestAnomalySLO(t *testing.T) {
+	var (
+		burn   float64
+		active bool
+		reason string
+	)
+	e := New(Config{})
+	e.AddAnomaly(AnomalySLO{
+		Name:   "anomaly_frame_latency_p99",
+		Source: func() (float64, bool, string) { return burn, active, reason },
+	})
+
+	// Quiet detector: score well under threshold reads OK and the burn
+	// gauges carry the normalized score verbatim.
+	burn = 0.2
+	rep := e.Tick(t0)
+	if rep.Status != OK {
+		t.Fatalf("quiet status = %v, want ok: %+v", rep.Status, rep.SLOs)
+	}
+	if sr := rep.SLOs[0]; sr.BurnFast != 0.2 || sr.BurnSlow != 0.2 {
+		t.Fatalf("quiet burns = %+v, want 0.2/0.2", sr)
+	}
+
+	// Tripped: even an enormous score only degrades — anomaly SLOs are
+	// advisory (relative to the process's own baseline) and must never
+	// take readiness down on their own.
+	burn, active, reason = 9.5, true, "p99 9.5x above baseline"
+	rep = e.Tick(t0.Add(time.Second))
+	if rep.Status != Degraded {
+		t.Fatalf("tripped status = %v, want degraded: %+v", rep.Status, rep.SLOs)
+	}
+	if sr := rep.SLOs[0]; sr.Reason != "p99 9.5x above baseline" {
+		t.Fatalf("tripped reason = %q, want the detector's", sr.Reason)
+	}
+
+	// An active detector with no reason still explains itself.
+	reason = ""
+	rep = e.Tick(t0.Add(2 * time.Second))
+	if sr := rep.SLOs[0]; !strings.Contains(sr.Reason, "anomaly detector active") {
+		t.Fatalf("fallback reason = %q", sr.Reason)
+	}
+
+	// Recovery is immediate: no window hysteresis of its own (the
+	// detector's Hold already provides it).
+	burn, active = 0.1, false
+	rep = e.Tick(t0.Add(3 * time.Second))
+	if rep.Status != OK {
+		t.Fatalf("recovered status = %v, want ok: %+v", rep.Status, rep.SLOs)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddAnomaly with nil Source did not panic")
+		}
+	}()
+	e.AddAnomaly(AnomalySLO{Name: "anomaly_bad"})
+}

@@ -11,9 +11,12 @@ import (
 
 // Handler returns an http.Handler that serves a point-in-time snapshot of
 // the registry: Prometheus text exposition by default, indented JSON when
-// the request path ends in ".json" or carries ?format=json.  A nil
-// registry serves empty (but well-formed) documents, so the endpoint can
-// be mounted unconditionally.
+// the request path ends in ".json" or carries ?format=json.  A
+// ?family=prefix[,prefix...] parameter restricts the snapshot to families
+// whose names start with any listed prefix — the gateway's per-backend
+// history scrapes use it so a sample doesn't ship the full snapshot.  A
+// nil registry serves empty (but well-formed) documents, so the endpoint
+// can be mounted unconditionally.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -21,6 +24,9 @@ func (r *Registry) Handler() http.Handler {
 			return
 		}
 		s := r.Snapshot()
+		if fam := req.URL.Query().Get("family"); fam != "" {
+			s = s.FilterPrefix(strings.Split(fam, ",")...)
+		}
 		asJSON := strings.HasSuffix(req.URL.Path, ".json") || req.URL.Query().Get("format") == "json"
 		if asJSON {
 			w.Header().Set("Content-Type", "application/json")

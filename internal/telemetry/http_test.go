@@ -55,3 +55,67 @@ func TestHandlerNilRegistryAndMethods(t *testing.T) {
 		t.Fatalf("POST status %d, want 405", rec.Code)
 	}
 }
+
+func TestSnapshotFilterPrefix(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("acq_frames_total", "").Add(1)
+	reg.Counter("acq_shed_total", "").Add(2)
+	reg.Gauge("health_status", "").Set(1)
+	reg.Gauge("gw_fleet_up", "").Set(1)
+	snap := reg.Snapshot()
+
+	names := func(s Snapshot) []string {
+		var out []string
+		for _, m := range s.Metrics {
+			out = append(out, m.Name)
+		}
+		return out
+	}
+
+	got := snap.FilterPrefix("acq_", "health_")
+	if len(got.Metrics) != 3 {
+		t.Fatalf("FilterPrefix kept %v, want the 2 acq_ + health_status", names(got))
+	}
+	for _, m := range got.Metrics {
+		if !strings.HasPrefix(m.Name, "acq_") && !strings.HasPrefix(m.Name, "health_") {
+			t.Fatalf("FilterPrefix leaked %s", m.Name)
+		}
+	}
+	// Empty and whitespace-only prefixes are ignored; with no usable
+	// prefix left the snapshot passes through unchanged (a degenerate
+	// ?family=,, is a no-op scrape, not an empty one).
+	if got := snap.FilterPrefix("", "  "); len(got.Metrics) != len(snap.Metrics) {
+		t.Fatalf("degenerate prefixes kept %v, want all", names(got))
+	}
+}
+
+func TestHandlerFamilyFilter(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("acq_frames_total", "").Add(3)
+	reg.Gauge("health_status", "").Set(1)
+	reg.Gauge("tsdb_series", "").Set(9)
+	h := reg.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json?family=acq_,health_", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Metrics) != 2 {
+		t.Fatalf("filtered scrape has %d metrics, want 2: %s", len(snap.Metrics), rec.Body.String())
+	}
+	for _, m := range snap.Metrics {
+		if m.Name == "tsdb_series" {
+			t.Fatal("family filter leaked tsdb_series")
+		}
+	}
+
+	// The text exposition honours the same parameter.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?family=acq_", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "acq_frames_total") || strings.Contains(body, "health_status") {
+		t.Fatalf("text family filter wrong:\n%s", body)
+	}
+}

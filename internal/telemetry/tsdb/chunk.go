@@ -1,0 +1,801 @@
+// chunk.go: the on-disk chunk format — the tsdb's unit of storage, built
+// on the same segment/seal/torn-tail discipline as internal/framelog.  A
+// chunk file is named by the unix-nanosecond timestamp of its first
+// sample batch (`chunk-%020d.chk`, so lexical order is time order), opens
+// with an 8-byte magic, and carries back-to-back length-prefixed,
+// CRC32C-checked records.  Two record types exist:
+//
+//	seriesDef — maps a chunk-local varint series id to its identity
+//	            (family, kind, sorted labels); written once per series
+//	            per chunk, before the series' first sample in that chunk
+//	batch     — one sampler tick: a delta-of-delta-encoded timestamp and
+//	            one sample per series that had anything to report
+//
+// Sample values compress per kind: scalar aggregates (count, min, max,
+// sum) store their float64 bits XOR'd against the previous batch's bits
+// for the same series and field, varint-encoded — unchanged fields cost
+// one byte; histogram aggregates store sparse (bucket, delta) varint
+// pairs plus an XOR'd sum.  All per-series compression state is scoped to
+// one chunk, so chunks are self-contained and a reader never needs
+// context from an earlier file.
+//
+// A *sealed* chunk — one the store rotated away from or closed cleanly —
+// ends with a fixed footer (first/last timestamp, batch and sample
+// counts) protected by its own CRC and magic, so reopening trusts sealed
+// summaries with one seek from EOF.  An unsealed chunk (the process died)
+// is scanned record by record; the first torn or corrupt record truncates
+// the tail, exactly like framelog crash recovery.
+package tsdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// chunkMagic opens every chunk file.
+var chunkMagic = [8]byte{'T', 'S', 'C', 'K', '0', '0', '0', '1'}
+
+// chunkHeaderSize is the chunk file preamble length.
+const chunkHeaderSize = 8
+
+// footerMagic closes a sealed chunk's trailer ("TSFX" little-endian).
+const footerMagic = 0x58465354
+
+// footerPayloadSize is the fixed footer payload: firstTs, lastTs (i64),
+// batches, samples (u64).
+const footerPayloadSize = 8 * 4
+
+// footerTrailerSize is payload length u32 | CRC32C u32 | magic u32.
+const footerTrailerSize = 12
+
+// record types.
+const (
+	recSeriesDef = 1
+	recBatch     = 2
+)
+
+// recordPrefixSize is type u8 | payload len u32 | CRC32C u32.
+const recordPrefixSize = 9
+
+// maxRecordPayload bounds one record payload; anything larger is treated
+// as corruption by the scanner.
+const maxRecordPayload = 16 << 20
+
+// castagnoli is the CRC32C table shared by records and footers (the same
+// polynomial the framelog uses).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Series is one stored time series' identity: a metric family, its kind,
+// and a sorted label set.  Histograms are one series (their bucket vector
+// travels inside the sample); counters and gauges are scalar series.
+type Series struct {
+	// Family is the metric family name (e.g. "acq_process_ns").
+	Family string
+	// Kind is the family's telemetry kind.
+	Kind telemetry.Kind
+	// Labels are the instance's dimensions, sorted by key.
+	Labels []telemetry.Label
+}
+
+// Key returns the canonical identity string of the series (family plus
+// sorted label signature) — the map key the store indexes by.
+func (s Series) Key() string {
+	var b strings.Builder
+	b.WriteString(s.Family)
+	for _, l := range s.Labels {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Point is one stored sample: an aggregate over the interval it covers.
+// A raw sampler tick is an aggregate of one (Count 1, Min = Max = Sum =
+// the sampled value for scalars); downsampled points merge many.  For
+// histogram series the scalar fields are unused and the bucket vector,
+// observation count and value sum carry the distribution delta.
+type Point struct {
+	// Count is the number of raw samples merged into this point (scalar
+	// series) — 1 at raw resolution.
+	Count int64
+	// Min, Max and Sum aggregate the sampled values (scalar series).  For
+	// counter series the sampled value is the per-interval increase.
+	Min, Max, Sum float64
+	// HCount is the histogram observation-count delta over the interval.
+	HCount int64
+	// HSum is the histogram sum delta over the interval.
+	HSum float64
+	// HBuckets are the histogram per-bucket count deltas over the interval.
+	HBuckets [telemetry.NumBuckets]int64
+}
+
+// merge folds other into p (histogram buckets add; scalar aggregates
+// combine min/max/sum/count).
+func (p *Point) merge(o *Point, kind telemetry.Kind) {
+	if kind == telemetry.KindHistogram {
+		p.HCount += o.HCount
+		p.HSum += o.HSum
+		for i := range p.HBuckets {
+			p.HBuckets[i] += o.HBuckets[i]
+		}
+		return
+	}
+	if p.Count == 0 {
+		p.Min, p.Max = o.Min, o.Max
+	} else if o.Count > 0 {
+		p.Min = math.Min(p.Min, o.Min)
+		p.Max = math.Max(p.Max, o.Max)
+	}
+	p.Count += o.Count
+	p.Sum += o.Sum
+}
+
+// Sample is one series' point at one batch timestamp.
+type Sample struct {
+	// SeriesID is the store-assigned series identity (stable for the
+	// store's lifetime, re-declared per chunk on disk).
+	SeriesID uint32
+	// Point is the sample's aggregate payload.
+	Point Point
+}
+
+// chunkFileName renders the canonical file name for a chunk whose first
+// batch is stamped ts (unix nanoseconds).
+func chunkFileName(ts int64) string {
+	return fmt.Sprintf("chunk-%020d.chk", ts)
+}
+
+// parseChunkName extracts the first-batch timestamp from a chunk name.
+func parseChunkName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, "chunk-") || !strings.HasSuffix(name, ".chk") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "chunk-"), ".chk")
+	if len(digits) != 20 {
+		return 0, false
+	}
+	ts, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ts, true
+}
+
+// listChunkFiles returns the chunk file names in dir, time-ascending.
+func listChunkFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := parseChunkName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// zigzag encodes a signed value for varint storage.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encState is the per-series XOR compression state within one chunk: the
+// previous batch's float bits per field.
+type encState struct {
+	countPrev                 uint64
+	minBits, maxBits, sumBits uint64
+	hsumBits                  uint64
+	hcountPrev                uint64
+}
+
+// appendFloatXOR appends v's bits XOR'd against *prev (updating it).
+func appendFloatXOR(dst []byte, prev *uint64, v float64) []byte {
+	bits := math.Float64bits(v)
+	dst = binary.AppendUvarint(dst, bits^*prev)
+	*prev = bits
+	return dst
+}
+
+// readFloatXOR reads one XOR-encoded float, updating *prev.
+func readFloatXOR(r *byteReader, prev *uint64) (float64, error) {
+	x, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	*prev ^= x
+	return math.Float64frombits(*prev), nil
+}
+
+// byteReader walks a record payload.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+var errShortPayload = errors.New("tsdb: truncated record payload")
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, errShortPayload
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return "", errShortPayload
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *byteReader) done() bool { return r.pos >= len(r.data) }
+
+// appendStr appends a varint-length-prefixed string.
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// chunkWriter appends records to one open chunk file.  All compression
+// state (series defs emitted, XOR/timestamp state) is chunk-scoped.
+type chunkWriter struct {
+	f    *os.File
+	bw   *bufio.Writer
+	path string
+
+	bytes   int64
+	batches uint64
+	samples uint64
+
+	firstTs, lastTs int64
+	prevDelta       int64
+
+	defined map[uint32]bool
+	enc     map[uint32]*encState
+
+	scratch []byte
+}
+
+// createChunk opens a fresh chunk file named for ts and writes the magic.
+func createChunk(dir string, ts int64) (*chunkWriter, error) {
+	path := filepath.Join(dir, chunkFileName(ts))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &chunkWriter{
+		f:       f,
+		bw:      bufio.NewWriterSize(f, 64<<10),
+		path:    path,
+		defined: map[uint32]bool{},
+		enc:     map[uint32]*encState{},
+	}
+	if _, err := w.bw.Write(chunkMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.bytes = chunkHeaderSize
+	return w, nil
+}
+
+// writeRecord frames and writes one record (type, length, CRC, payload).
+func (w *chunkWriter) writeRecord(typ byte, payload []byte) error {
+	var prefix [recordPrefixSize]byte
+	prefix[0] = typ
+	binary.LittleEndian.PutUint32(prefix[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(prefix[5:9], crc32.Checksum(payload, castagnoli))
+	if _, err := w.bw.Write(prefix[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	w.bytes += recordPrefixSize + int64(len(payload))
+	return nil
+}
+
+// writeDef emits a seriesDef record for id.
+func (w *chunkWriter) writeDef(id uint32, s Series) error {
+	b := w.scratch[:0]
+	b = binary.AppendUvarint(b, uint64(id))
+	b = append(b, byte(s.Kind))
+	b = appendStr(b, s.Family)
+	b = binary.AppendUvarint(b, uint64(len(s.Labels)))
+	for _, l := range s.Labels {
+		b = appendStr(b, l.Key)
+		b = appendStr(b, l.Value)
+	}
+	w.scratch = b
+	if err := w.writeRecord(recSeriesDef, b); err != nil {
+		return err
+	}
+	w.defined[id] = true
+	return nil
+}
+
+// appendBatch writes one sample batch at ts, emitting seriesDef records
+// for any series this chunk has not yet declared.  lookup resolves a
+// series id to its identity.  The write lands in the OS page cache on
+// return (the buffered writer is flushed), so concurrent readers — and a
+// post-crash recovery scan — see every acknowledged batch.
+func (w *chunkWriter) appendBatch(ts int64, samples []Sample, lookup func(uint32) (Series, bool)) error {
+	for _, s := range samples {
+		if !w.defined[s.SeriesID] {
+			series, ok := lookup(s.SeriesID)
+			if !ok {
+				return fmt.Errorf("tsdb: unknown series id %d", s.SeriesID)
+			}
+			if err := w.writeDef(s.SeriesID, series); err != nil {
+				return err
+			}
+		}
+	}
+
+	b := w.scratch[:0]
+	// Timestamps: first batch stores the absolute stamp, the second a
+	// zigzag delta, later ones the delta-of-delta — regular sampler
+	// cadence costs one byte per batch.
+	switch {
+	case w.batches == 0:
+		b = binary.AppendUvarint(b, uint64(ts))
+		w.firstTs = ts
+	case w.batches == 1:
+		delta := ts - w.lastTs
+		b = binary.AppendUvarint(b, zigzag(delta))
+		w.prevDelta = delta
+	default:
+		delta := ts - w.lastTs
+		b = binary.AppendUvarint(b, zigzag(delta-w.prevDelta))
+		w.prevDelta = delta
+	}
+	b = binary.AppendUvarint(b, uint64(len(samples)))
+	for i := range samples {
+		s := &samples[i]
+		series, _ := lookup(s.SeriesID)
+		b = binary.AppendUvarint(b, uint64(s.SeriesID))
+		st := w.enc[s.SeriesID]
+		if st == nil {
+			st = &encState{}
+			w.enc[s.SeriesID] = st
+		}
+		if series.Kind == telemetry.KindHistogram {
+			b = binary.AppendUvarint(b, zigzag(s.Point.HCount-int64(st.hcountPrev)))
+			st.hcountPrev = uint64(s.Point.HCount)
+			b = appendFloatXOR(b, &st.hsumBits, s.Point.HSum)
+			n := 0
+			for _, c := range s.Point.HBuckets {
+				if c != 0 {
+					n++
+				}
+			}
+			b = binary.AppendUvarint(b, uint64(n))
+			for i, c := range s.Point.HBuckets {
+				if c != 0 {
+					b = binary.AppendUvarint(b, uint64(i))
+					b = binary.AppendUvarint(b, zigzag(c))
+				}
+			}
+		} else {
+			b = binary.AppendUvarint(b, zigzag(s.Point.Count-int64(st.countPrev)))
+			st.countPrev = uint64(s.Point.Count)
+			b = appendFloatXOR(b, &st.minBits, s.Point.Min)
+			b = appendFloatXOR(b, &st.maxBits, s.Point.Max)
+			b = appendFloatXOR(b, &st.sumBits, s.Point.Sum)
+		}
+	}
+	w.scratch = b
+	if err := w.writeRecord(recBatch, b); err != nil {
+		return err
+	}
+	w.lastTs = ts
+	w.batches++
+	w.samples += uint64(len(samples))
+	return w.bw.Flush()
+}
+
+// seal writes the footer and closes the file; the chunk is immutable
+// afterwards.
+func (w *chunkWriter) seal() error {
+	var payload [footerPayloadSize]byte
+	binary.LittleEndian.PutUint64(payload[0:8], uint64(w.firstTs))
+	binary.LittleEndian.PutUint64(payload[8:16], uint64(w.lastTs))
+	binary.LittleEndian.PutUint64(payload[16:24], w.batches)
+	binary.LittleEndian.PutUint64(payload[24:32], w.samples)
+	var trailer [footerTrailerSize]byte
+	binary.LittleEndian.PutUint32(trailer[0:4], footerPayloadSize)
+	binary.LittleEndian.PutUint32(trailer[4:8], crc32.Checksum(payload[:], castagnoli))
+	binary.LittleEndian.PutUint32(trailer[8:12], footerMagic)
+	if _, err := w.bw.Write(payload[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(trailer[:]); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// abort closes the file without sealing (the chunk stays scannable).
+func (w *chunkWriter) abort() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// chunkFooter is a parsed sealed-chunk summary.
+type chunkFooter struct {
+	firstTs, lastTs  int64
+	batches, samples uint64
+	// start is the file offset where the footer payload begins.
+	start int64
+}
+
+// probeChunkFooter parses a sealed chunk's footer from the end of f,
+// returning (nil, nil) when the file has none — unsealed or torn.
+func probeChunkFooter(f io.ReaderAt, size int64) (*chunkFooter, error) {
+	if size < chunkHeaderSize+footerPayloadSize+footerTrailerSize {
+		return nil, nil
+	}
+	var tr [footerTrailerSize]byte
+	if _, err := f.ReadAt(tr[:], size-footerTrailerSize); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(tr[8:12]) != footerMagic ||
+		binary.LittleEndian.Uint32(tr[0:4]) != footerPayloadSize {
+		return nil, nil
+	}
+	var payload [footerPayloadSize]byte
+	start := size - footerTrailerSize - footerPayloadSize
+	if _, err := f.ReadAt(payload[:], start); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload[:], castagnoli) != binary.LittleEndian.Uint32(tr[4:8]) {
+		return nil, nil
+	}
+	return &chunkFooter{
+		firstTs: int64(binary.LittleEndian.Uint64(payload[0:8])),
+		lastTs:  int64(binary.LittleEndian.Uint64(payload[8:16])),
+		batches: binary.LittleEndian.Uint64(payload[16:24]),
+		samples: binary.LittleEndian.Uint64(payload[24:32]),
+		start:   start,
+	}, nil
+}
+
+// Batch is one decoded sample batch handed to scan callbacks.
+type Batch struct {
+	// Ts is the batch timestamp, unix nanoseconds.
+	Ts int64
+	// Samples are the batch's decoded samples.  The slice and the series
+	// ids are valid only during the callback.
+	Samples []Sample
+}
+
+// chunkScanState decodes records sequentially, mirroring chunkWriter's
+// compression state.
+type chunkScanState struct {
+	series map[uint32]Series
+	dec    map[uint32]*encState
+
+	batches         uint64
+	firstTs, lastTs int64
+	prevDelta       int64
+
+	samples []Sample
+}
+
+// decodeDef parses a seriesDef payload into the scan dictionary.
+func (st *chunkScanState) decodeDef(payload []byte) error {
+	r := &byteReader{data: payload}
+	id, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if r.pos >= len(r.data) {
+		return errShortPayload
+	}
+	kind := telemetry.Kind(r.data[r.pos])
+	r.pos++
+	family, err := r.str()
+	if err != nil {
+		return err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > 1024 {
+		return errors.New("tsdb: absurd label count")
+	}
+	labels := make([]telemetry.Label, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return err
+		}
+		v, err := r.str()
+		if err != nil {
+			return err
+		}
+		labels = append(labels, telemetry.Label{Key: k, Value: v})
+	}
+	st.series[uint32(id)] = Series{Family: family, Kind: kind, Labels: labels}
+	return nil
+}
+
+// decodeBatch parses one batch payload, returning its timestamp and
+// filling st.samples.
+func (st *chunkScanState) decodeBatch(payload []byte) (int64, error) {
+	r := &byteReader{data: payload}
+	tsw, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	var ts int64
+	switch st.batches {
+	case 0:
+		ts = int64(tsw)
+		st.firstTs = ts
+	case 1:
+		delta := unzigzag(tsw)
+		ts = st.lastTs + delta
+		st.prevDelta = delta
+	default:
+		delta := st.prevDelta + unzigzag(tsw)
+		ts = st.lastTs + delta
+		st.prevDelta = delta
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxRecordPayload {
+		return 0, errors.New("tsdb: absurd sample count")
+	}
+	st.samples = st.samples[:0]
+	for i := uint64(0); i < n; i++ {
+		idw, err := r.uvarint()
+		if err != nil {
+			return 0, err
+		}
+		id := uint32(idw)
+		series, ok := st.series[id]
+		if !ok {
+			return 0, fmt.Errorf("tsdb: sample for undeclared series id %d", id)
+		}
+		dec := st.dec[id]
+		if dec == nil {
+			dec = &encState{}
+			st.dec[id] = dec
+		}
+		var p Point
+		if series.Kind == telemetry.KindHistogram {
+			cd, err := r.uvarint()
+			if err != nil {
+				return 0, err
+			}
+			p.HCount = int64(dec.hcountPrev) + unzigzag(cd)
+			dec.hcountPrev = uint64(p.HCount)
+			if p.HSum, err = readFloatXOR(r, &dec.hsumBits); err != nil {
+				return 0, err
+			}
+			pairs, err := r.uvarint()
+			if err != nil {
+				return 0, err
+			}
+			if pairs > telemetry.NumBuckets {
+				return 0, errors.New("tsdb: absurd bucket count")
+			}
+			for j := uint64(0); j < pairs; j++ {
+				idx, err := r.uvarint()
+				if err != nil {
+					return 0, err
+				}
+				cw, err := r.uvarint()
+				if err != nil {
+					return 0, err
+				}
+				if idx >= telemetry.NumBuckets {
+					return 0, errors.New("tsdb: bucket index out of range")
+				}
+				p.HBuckets[idx] = unzigzag(cw)
+			}
+		} else {
+			cd, err := r.uvarint()
+			if err != nil {
+				return 0, err
+			}
+			p.Count = int64(dec.countPrev) + unzigzag(cd)
+			dec.countPrev = uint64(p.Count)
+			if p.Min, err = readFloatXOR(r, &dec.minBits); err != nil {
+				return 0, err
+			}
+			if p.Max, err = readFloatXOR(r, &dec.maxBits); err != nil {
+				return 0, err
+			}
+			if p.Sum, err = readFloatXOR(r, &dec.sumBits); err != nil {
+				return 0, err
+			}
+		}
+		st.samples = append(st.samples, Sample{SeriesID: id, Point: p})
+	}
+	if !r.done() {
+		return 0, errors.New("tsdb: trailing bytes in batch record")
+	}
+	st.lastTs = ts
+	st.batches++
+	return ts, nil
+}
+
+// chunkScanResult summarizes one pass over a chunk's record region.
+type chunkScanResult struct {
+	batches, samples uint64
+	firstTs, lastTs  int64
+	// validBytes is the record-region byte count that parsed and verified;
+	// the scan stops at the first torn or corrupt record.
+	validBytes int64
+	sealed     bool
+}
+
+// errStopScan lets a scan callback end the pass early without error.
+var errStopScan = errors.New("tsdb: stop scan")
+
+// scanChunk verifies every record of one chunk file, calling fn (when
+// non-nil) with each decoded batch and the chunk's series dictionary.
+// Batch sample slices alias scan scratch and are only valid during the
+// call.  Returning errStopScan from fn ends the pass early.
+func scanChunk(path string, fn func(series map[uint32]Series, b Batch) error) (chunkScanResult, error) {
+	var res chunkScanResult
+	f, err := os.Open(path)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return res, err
+	}
+	size := fi.Size()
+	var magic [chunkHeaderSize]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != chunkMagic {
+		return res, fmt.Errorf("tsdb: %s is not a tsdb chunk", path)
+	}
+	ft, err := probeChunkFooter(f, size)
+	if err != nil {
+		return res, err
+	}
+	limit := size
+	if ft != nil {
+		res.sealed = true
+		limit = ft.start
+	}
+	if _, err := f.Seek(chunkHeaderSize, io.SeekStart); err != nil {
+		return res, err
+	}
+	br := bufio.NewReaderSize(io.LimitReader(f, limit-chunkHeaderSize), 128<<10)
+
+	st := &chunkScanState{series: map[uint32]Series{}, dec: map[uint32]*encState{}}
+	var prefix [recordPrefixSize]byte
+	var payload []byte
+	offset := int64(chunkHeaderSize)
+	for {
+		if _, err := io.ReadFull(br, prefix[:]); err != nil {
+			break // clean EOF or torn prefix: stop here
+		}
+		typ := prefix[0]
+		plen := binary.LittleEndian.Uint32(prefix[1:5])
+		crc := binary.LittleEndian.Uint32(prefix[5:9])
+		if (typ != recSeriesDef && typ != recBatch) || plen > maxRecordPayload {
+			break // garbage after a torn write
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break // corrupt record
+		}
+		switch typ {
+		case recSeriesDef:
+			if st.decodeDef(payload) != nil {
+				break
+			}
+		case recBatch:
+			ts, err := st.decodeBatch(payload)
+			if err != nil {
+				break
+			}
+			if res.batches == 0 {
+				res.firstTs = ts
+			}
+			res.lastTs = ts
+			res.batches++
+			res.samples += uint64(len(st.samples))
+			if fn != nil {
+				if err := fn(st.series, Batch{Ts: ts, Samples: st.samples}); err != nil {
+					if errors.Is(err, errStopScan) {
+						offset += recordPrefixSize + int64(plen)
+						res.validBytes = offset - chunkHeaderSize
+						return res, nil
+					}
+					return res, err
+				}
+			}
+		}
+		offset += recordPrefixSize + int64(plen)
+		res.validBytes = offset - chunkHeaderSize
+	}
+	if ft != nil && (res.batches != ft.batches || res.lastTs != ft.lastTs) {
+		return res, fmt.Errorf("tsdb: %s footer claims %d batches through %d, scan found %d through %d",
+			path, ft.batches, ft.lastTs, res.batches, res.lastTs)
+	}
+	return res, nil
+}
+
+// sealExisting truncates a chunk file to validBytes of record region (the
+// torn-tail cut) and appends a footer built from the scan summary, so a
+// crash-recovered chunk becomes a normal sealed one.
+func sealExisting(path string, res chunkScanResult) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	end := chunkHeaderSize + res.validBytes
+	if err := f.Truncate(end); err != nil {
+		return err
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		return err
+	}
+	var payload [footerPayloadSize]byte
+	binary.LittleEndian.PutUint64(payload[0:8], uint64(res.firstTs))
+	binary.LittleEndian.PutUint64(payload[8:16], uint64(res.lastTs))
+	binary.LittleEndian.PutUint64(payload[16:24], res.batches)
+	binary.LittleEndian.PutUint64(payload[24:32], res.samples)
+	var trailer [footerTrailerSize]byte
+	binary.LittleEndian.PutUint32(trailer[0:4], footerPayloadSize)
+	binary.LittleEndian.PutUint32(trailer[4:8], crc32.Checksum(payload[:], castagnoli))
+	binary.LittleEndian.PutUint32(trailer[8:12], footerMagic)
+	if _, err := f.Write(payload[:]); err != nil {
+		return err
+	}
+	if _, err := f.Write(trailer[:]); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,492 @@
+// Package tsdb is the embedded metric time-series store: the layer that
+// turns the registry's point-in-time snapshots into on-disk history that
+// survives restarts.  A Sampler goroutine diffs periodic snapshots into
+// per-interval aggregate samples; the Store appends them to CRC32C-checked
+// chunk files (see chunk.go) at three resolutions — raw (every sampler
+// tick), 1m and 10m — by folding raw samples into coarser windows as they
+// arrive.  Because every stored point is an aggregate (min/max/sum/count
+// for scalars, mergeable bucket vectors for histograms), downsampling is
+// pure summation and windowed quantiles computed from a 10m point agree
+// exactly with the same window recomputed from raw points.
+//
+// The Store follows the framelog durability discipline: appends land in
+// the OS page cache per batch, chunks seal with a summary footer on
+// rotation and clean close, and Open scans any unsealed chunk record by
+// record, truncating a torn tail and sealing what survived — so history
+// is continuous across SIGKILL.  A retention janitor deletes sealed
+// chunks wholly older than the per-resolution horizon, giving dense
+// recent history and sparse long history in bounded space.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Resolution names accepted by queries and used as subdirectory names.
+const (
+	// ResRaw is the sampler-tick resolution level.
+	ResRaw = "raw"
+	// Res1m is the one-minute downsampled level.
+	Res1m = "1m"
+	// Res10m is the ten-minute downsampled level.
+	Res10m = "10m"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the store's root directory; per-resolution chunk files live
+	// in raw/, 1m/ and 10m/ beneath it.  Created if missing.
+	Dir string
+
+	// RetainRaw, Retain1m and Retain10m bound how far back each
+	// resolution keeps data; sealed chunks wholly older are deleted by
+	// the janitor.  Zero values take the defaults (2h, 26h, 8d).
+	RetainRaw time.Duration
+	Retain1m  time.Duration
+	Retain10m time.Duration
+
+	// MaxChunkBatches, MaxChunkBytes and MaxChunkAge trigger rotation of
+	// the active chunk (whichever trips first).  Zero values take the
+	// defaults (4096 batches, 4 MiB, 30 min).
+	MaxChunkBatches int
+	MaxChunkBytes   int64
+	MaxChunkAge     time.Duration
+
+	// Metrics receives the store's own tsdb_* instrumentation (nil is a
+	// no-op, like everywhere else in the telemetry layer).
+	Metrics *telemetry.Registry
+
+	// Logf reports recovery and janitor activity (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns the production configuration for a store rooted
+// at dir.
+func DefaultConfig(dir string) Config {
+	return Config{Dir: dir}
+}
+
+func (c *Config) fill() {
+	if c.RetainRaw <= 0 {
+		c.RetainRaw = 2 * time.Hour
+	}
+	if c.Retain1m <= 0 {
+		c.Retain1m = 26 * time.Hour
+	}
+	if c.Retain10m <= 0 {
+		c.Retain10m = 8 * 24 * time.Hour
+	}
+	if c.MaxChunkBatches <= 0 {
+		c.MaxChunkBatches = 4096
+	}
+	if c.MaxChunkBytes <= 0 {
+		c.MaxChunkBytes = 4 << 20
+	}
+	if c.MaxChunkAge <= 0 {
+		c.MaxChunkAge = 30 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// janitorInterval is how often an appending store re-checks retention.
+const janitorInterval = time.Minute
+
+// level is one resolution's write state: its directory, the active chunk
+// (nil between rotations), and — for downsampled levels — the pending
+// aggregate window being folded from raw appends.
+type level struct {
+	name   string
+	dir    string
+	window time.Duration // 0 for raw
+	retain time.Duration
+
+	w *chunkWriter
+
+	agg      map[uint32]*Point
+	aggStart int64
+
+	sealed  *telemetry.Counter
+	deleted *telemetry.Counter
+	batches *telemetry.Counter
+}
+
+// Store is the embedded time-series store.  One goroutine appends (the
+// Sampler); any number of goroutines may Query concurrently — queries
+// read chunk files through independent descriptors and stop cleanly at
+// the active chunk's flushed frontier.
+type Store struct {
+	cfg Config
+
+	mu     sync.Mutex
+	closed bool
+	levels [3]*level
+
+	ids    map[string]uint32
+	series []Series
+
+	lastJanitor time.Time
+
+	samplesC *telemetry.Counter
+	seriesG  *telemetry.Gauge
+}
+
+// Open creates or reopens a store rooted at cfg.Dir, recovering any
+// chunk left unsealed by a crash: the torn tail (if any) is truncated and
+// the surviving prefix sealed, so the new process appends to fresh chunks
+// only and history spans the restart.
+func Open(cfg Config) (*Store, error) {
+	cfg.fill()
+	if cfg.Dir == "" {
+		return nil, errors.New("tsdb: Config.Dir is required")
+	}
+	s := &Store{
+		cfg: cfg,
+		ids: map[string]uint32{},
+
+		samplesC: cfg.Metrics.Counter("tsdb_samples_total", "Samples appended to the raw resolution level."),
+		seriesG:  cfg.Metrics.Gauge("tsdb_series", "Distinct time series tracked by the store this process lifetime."),
+	}
+	defs := []struct {
+		name   string
+		window time.Duration
+		retain time.Duration
+	}{
+		{ResRaw, 0, cfg.RetainRaw},
+		{Res1m, time.Minute, cfg.Retain1m},
+		{Res10m, 10 * time.Minute, cfg.Retain10m},
+	}
+	for i, d := range defs {
+		lv := &level{
+			name:   d.name,
+			dir:    filepath.Join(cfg.Dir, d.name),
+			window: d.window,
+			retain: d.retain,
+			agg:    map[uint32]*Point{},
+
+			sealed:  cfg.Metrics.Counter("tsdb_chunks_sealed_total", "Chunks sealed, by resolution.", telemetry.L("res", d.name)),
+			deleted: cfg.Metrics.Counter("tsdb_chunks_deleted_total", "Chunks deleted by the retention janitor, by resolution.", telemetry.L("res", d.name)),
+			batches: cfg.Metrics.Counter("tsdb_batches_total", "Sample batches appended, by resolution.", telemetry.L("res", d.name)),
+		}
+		if err := os.MkdirAll(lv.dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := s.recoverLevel(lv); err != nil {
+			return nil, err
+		}
+		s.levels[i] = lv
+	}
+	return s, nil
+}
+
+// recoverLevel seals (or removes, when empty) every unsealed chunk in a
+// level directory.
+func (s *Store) recoverLevel(lv *level) error {
+	names, err := listChunkFiles(lv.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		path := filepath.Join(lv.dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		fi, statErr := f.Stat()
+		var ft *chunkFooter
+		if statErr == nil {
+			ft, err = probeChunkFooter(f, fi.Size())
+		}
+		f.Close()
+		if statErr != nil {
+			return statErr
+		}
+		if err != nil {
+			return err
+		}
+		if ft != nil {
+			continue // sealed: trust the footer
+		}
+		res, err := scanChunk(path, nil)
+		if err != nil {
+			s.cfg.Logf("tsdb: dropping unreadable chunk %s: %v", path, err)
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			continue
+		}
+		if res.batches == 0 {
+			s.cfg.Logf("tsdb: removing empty unsealed chunk %s", path)
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			continue
+		}
+		s.cfg.Logf("tsdb: recovered %s: sealed %d batches (%d samples), truncated torn tail",
+			path, res.batches, res.samples)
+		if err := sealExisting(path, res); err != nil {
+			return err
+		}
+		lv.sealed.Add(1)
+	}
+	return nil
+}
+
+// SeriesID interns a series identity, returning the id Append samples
+// must carry.  Ids are stable for the store's lifetime (chunks re-declare
+// them on disk, so they need not survive restarts).
+func (s *Store) SeriesID(sr Series) uint32 {
+	key := sr.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[key]; ok {
+		return id
+	}
+	id := uint32(len(s.series))
+	s.ids[key] = id
+	// Copy labels so callers can reuse their slices.
+	cp := sr
+	cp.Labels = append([]telemetry.Label(nil), sr.Labels...)
+	s.series = append(s.series, cp)
+	s.seriesG.Set(float64(len(s.series)))
+	return id
+}
+
+// lookupSeries resolves an id under s.mu.
+func (s *Store) lookupSeries(id uint32) (Series, bool) {
+	if int(id) >= len(s.series) {
+		return Series{}, false
+	}
+	return s.series[id], true
+}
+
+// Append stores one sampler tick: the batch lands in the raw level
+// immediately and folds into each downsampled level's pending window,
+// flushing completed windows as their boundaries are crossed.  Samples
+// must carry ids from SeriesID.  Append is not safe for concurrent use
+// with itself or Close (one sampler owns it); it is safe alongside Query.
+func (s *Store) Append(ts time.Time, samples []Sample) error {
+	if s == nil || len(samples) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("tsdb: store is closed")
+	}
+	tsn := ts.UnixNano()
+	if err := s.appendLevel(s.levels[0], tsn, samples); err != nil {
+		return err
+	}
+	s.samplesC.Add(int64(len(samples)))
+	for _, lv := range s.levels[1:] {
+		ws := tsn - tsn%int64(lv.window)
+		if lv.aggStart != ws && len(lv.agg) > 0 {
+			if err := s.flushAggLocked(lv); err != nil {
+				return err
+			}
+		}
+		lv.aggStart = ws
+		for i := range samples {
+			sm := &samples[i]
+			p := lv.agg[sm.SeriesID]
+			if p == nil {
+				p = &Point{}
+				lv.agg[sm.SeriesID] = p
+			}
+			sr, _ := s.lookupSeries(sm.SeriesID)
+			p.merge(&sm.Point, sr.Kind)
+		}
+	}
+	if time.Since(s.lastJanitor) >= janitorInterval {
+		s.lastJanitor = time.Now()
+		s.janitorLocked()
+	}
+	return nil
+}
+
+// appendLevel writes one batch into a level, opening or rotating its
+// active chunk as needed.
+func (s *Store) appendLevel(lv *level, tsn int64, samples []Sample) error {
+	if lv.w != nil {
+		age := time.Duration(tsn - lv.w.firstTs)
+		if int(lv.w.batches) >= s.cfg.MaxChunkBatches ||
+			lv.w.bytes >= s.cfg.MaxChunkBytes ||
+			age >= s.cfg.MaxChunkAge {
+			if err := lv.w.seal(); err != nil {
+				return err
+			}
+			lv.sealed.Add(1)
+			lv.w = nil
+		}
+	}
+	if lv.w == nil {
+		w, err := createChunkAt(lv.dir, tsn)
+		if err != nil {
+			return err
+		}
+		lv.w = w
+	}
+	if err := lv.w.appendBatch(tsn, samples, s.lookupSeries); err != nil {
+		return err
+	}
+	lv.batches.Add(1)
+	return nil
+}
+
+// createChunkAt creates a chunk named for ts, bumping the stamp past any
+// name collision (possible when a recovered chunk shares the nanosecond).
+func createChunkAt(dir string, ts int64) (*chunkWriter, error) {
+	for i := 0; i < 1024; i++ {
+		w, err := createChunk(dir, ts+int64(i))
+		if err == nil {
+			return w, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("tsdb: cannot find a free chunk name near %d in %s", ts, dir)
+}
+
+// flushAggLocked writes a downsampled level's pending window as one batch
+// stamped at the window start, then clears the pending state.
+func (s *Store) flushAggLocked(lv *level) error {
+	ids := make([]uint32, 0, len(lv.agg))
+	for id := range lv.agg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	batch := make([]Sample, 0, len(ids))
+	for _, id := range ids {
+		batch = append(batch, Sample{SeriesID: id, Point: *lv.agg[id]})
+	}
+	if err := s.appendLevel(lv, lv.aggStart, batch); err != nil {
+		return err
+	}
+	for id := range lv.agg {
+		delete(lv.agg, id)
+	}
+	return nil
+}
+
+// janitorLocked deletes sealed chunks wholly older than each level's
+// retention horizon.  The active chunk is never considered.
+func (s *Store) janitorLocked() {
+	now := time.Now()
+	for _, lv := range s.levels {
+		names, err := listChunkFiles(lv.dir)
+		if err != nil {
+			s.cfg.Logf("tsdb: janitor list %s: %v", lv.dir, err)
+			continue
+		}
+		horizon := now.Add(-lv.retain).UnixNano()
+		for _, name := range names {
+			path := filepath.Join(lv.dir, name)
+			if lv.w != nil && path == lv.w.path {
+				continue
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				continue
+			}
+			fi, statErr := f.Stat()
+			var ft *chunkFooter
+			if statErr == nil {
+				ft, _ = probeChunkFooter(f, fi.Size())
+			}
+			f.Close()
+			if ft == nil || ft.lastTs >= horizon {
+				continue
+			}
+			if err := os.Remove(path); err != nil {
+				s.cfg.Logf("tsdb: janitor remove %s: %v", path, err)
+				continue
+			}
+			lv.deleted.Add(1)
+			s.cfg.Logf("tsdb: retention deleted %s/%s (last sample %s old)",
+				lv.name, name, now.Sub(time.Unix(0, ft.lastTs)).Round(time.Second))
+		}
+	}
+}
+
+// Close flushes pending downsample windows (as partial aggregates — they
+// merge correctly with a post-restart partial covering the same window)
+// and seals every active chunk.  The store rejects appends afterwards;
+// queries against the directory remain valid.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for _, lv := range s.levels[1:] {
+		if len(lv.agg) > 0 {
+			if err := s.flushAggLocked(lv); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, lv := range s.levels {
+		if lv.w == nil {
+			continue
+		}
+		if err := lv.w.seal(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			lv.sealed.Add(1)
+		}
+		lv.w = nil
+	}
+	return firstErr
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+// levelByName maps a resolution name to its level, nil when unknown.
+func (s *Store) levelByName(name string) *level {
+	for _, lv := range s.levels {
+		if lv.name == name {
+			return lv
+		}
+	}
+	return nil
+}
+
+// pickResolution chooses the finest resolution whose retention horizon
+// still covers since ("auto" behaviour); an explicit name wins.
+func (s *Store) pickResolution(name string, since time.Time) (*level, error) {
+	if name != "" && name != "auto" {
+		lv := s.levelByName(name)
+		if lv == nil {
+			return nil, fmt.Errorf("tsdb: unknown resolution %q", name)
+		}
+		return lv, nil
+	}
+	age := time.Since(since)
+	switch {
+	case age <= s.cfg.RetainRaw:
+		return s.levels[0], nil
+	case age <= s.cfg.Retain1m:
+		return s.levels[1], nil
+	default:
+		return s.levels[2], nil
+	}
+}

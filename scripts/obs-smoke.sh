@@ -17,9 +17,18 @@
 #   6. an imsgw in front reports the backend up on /metrics/fleet,
 #   7. both daemons drain cleanly on SIGTERM.
 #
-# With OBS_SMOKE_DIR set, artifacts (logs, dumps, profiles, report) are
-# written there instead of a throwaway mktemp dir, so CI can upload them
-# on failure.
+# Phase 2 exercises the embedded metric history store and the anomaly
+# SLO (PR 10): a fresh imsd runs with -history and a fast sampler, a
+# baseline burst warms the anomaly detector, an injected latency spike
+# (64x the frame size) must flip anomaly_active{target=frame_latency_p99}
+# and degrade health, then the daemon is SIGKILLed and restarted on the
+# same history directory — /metrics/history must serve a continuous
+# acq_process_ns p99 spanning both lifetimes, and the post-restart
+# imsload -json report must carry the server_history block.
+#
+# With OBS_SMOKE_DIR set, artifacts (logs, dumps, profiles, report, the
+# tsdb directory) are written there instead of a throwaway mktemp dir, so
+# CI can upload them on failure.
 set -eu
 
 GO=${GO:-go}
@@ -40,9 +49,10 @@ else
 fi
 DAEMON_PID=""
 GW_PID=""
+H_PID=""
 
 cleanup() {
-    for pid in "$DAEMON_PID" "$GW_PID"; do
+    for pid in "$DAEMON_PID" "$GW_PID" "$H_PID"; do
         if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
             kill -9 "$pid" 2>/dev/null || true
         fi
@@ -158,6 +168,76 @@ wait "$DAEMON_PID" || rc=$?
 DAEMON_PID=""
 if [ "$rc" -ne 0 ]; then
     echo "obs-smoke: FAIL — imsd exited $rc"; cat "$TMP/imsd.log"; exit 1
+fi
+
+# ---------------------------------------------------------------------------
+# Phase 2: metric history store + anomaly SLO.
+# ---------------------------------------------------------------------------
+H_PORT=$((PORT + 5))
+H_MPORT=$((PORT + 6))
+
+start_history_daemon() {
+    "$TMP/imsd" -addr "127.0.0.1:$H_PORT" -metrics "127.0.0.1:$H_MPORT" \
+        -history "$TMP/tsdb" -history-interval 250ms \
+        -anomaly-threshold 3 -anomaly-warmup 4 \
+        -health-interval 200ms -drain-timeout 10s >>"$TMP/imsd-history.log" 2>&1 &
+    H_PID=$!
+    "$TMP/httpget" -expect 200 -for 5s "http://127.0.0.1:$H_MPORT/healthz" >/dev/null || {
+        echo "obs-smoke: FAIL — history imsd never became live"
+        cat "$TMP/imsd-history.log"; exit 1; }
+}
+
+echo "obs-smoke: phase 2 — starting imsd with -history on 127.0.0.1:$H_PORT"
+start_history_daemon
+
+echo "obs-smoke: baseline burst (small frames) to warm the anomaly detector"
+"$TMP/imsload" -addr "127.0.0.1:$H_PORT" -clients 2 -duration 2s -tof 64 -path cpu \
+    >"$TMP/imsload-baseline.log" 2>&1 || {
+    echo "obs-smoke: FAIL — baseline burst errored"; cat "$TMP/imsload-baseline.log"; exit 1; }
+sleep 1
+
+echo "obs-smoke: injected latency spike (64x frame size) must flip the anomaly SLO"
+"$TMP/imsload" -addr "127.0.0.1:$H_PORT" -clients 2 -duration 3s -tof 4096 -path cpu \
+    >"$TMP/imsload-spike.log" 2>&1 || {
+    echo "obs-smoke: FAIL — spike burst errored"; cat "$TMP/imsload-spike.log"; exit 1; }
+"$TMP/obscheck" anomaly -metrics "http://127.0.0.1:$H_MPORT/metrics.json" \
+    -target frame_latency_p99 -want 1 -for 10s || {
+    echo "obs-smoke: FAIL — latency spike never flipped anomaly_active"
+    "$TMP/httpget" "http://127.0.0.1:$H_MPORT/metrics.json" | grep anomaly || true
+    cat "$TMP/imsd-history.log"; exit 1; }
+
+echo "obs-smoke: SIGKILL the daemon mid-flight, restart on the same history dir"
+KILL_TS=$(date +%s)
+kill -9 "$H_PID" 2>/dev/null || true
+wait "$H_PID" 2>/dev/null || true
+H_PID=""
+start_history_daemon
+
+echo "obs-smoke: post-restart burst (report must gain server_history)"
+if ! "$TMP/imsload" -addr "127.0.0.1:$H_PORT" -clients 2 -duration 2s -tof 64 -path cpu \
+    -metrics "http://127.0.0.1:$H_MPORT/metrics.json" \
+    -json "$TMP/report-history.json" >"$TMP/imsload-after.log" 2>&1; then
+    echo "obs-smoke: FAIL — post-restart burst errored"; cat "$TMP/imsload-after.log"; exit 1
+fi
+if ! grep -q '"server_history"' "$TMP/report-history.json"; then
+    echo "obs-smoke: FAIL — report lacks server_history"; cat "$TMP/report-history.json"; exit 1
+fi
+
+echo "obs-smoke: asserting history is continuous across the SIGKILL"
+"$TMP/obscheck" history -url "http://127.0.0.1:$H_MPORT/metrics/history" \
+    -family acq_process_ns -quantile 0.99 -since -10m -min-points 2 \
+    -span-unix "$KILL_TS" -for 10s || {
+    echo "obs-smoke: FAIL — no continuous acq_process_ns history across restart"
+    ls -lR "$TMP/tsdb" 2>/dev/null || true
+    cat "$TMP/imsd-history.log"; exit 1; }
+
+echo "obs-smoke: draining the history daemon"
+kill -TERM "$H_PID"
+rc=0
+wait "$H_PID" || rc=$?
+H_PID=""
+if [ "$rc" -ne 0 ]; then
+    echo "obs-smoke: FAIL — history imsd exited $rc"; cat "$TMP/imsd-history.log"; exit 1
 fi
 
 echo "obs-smoke: OK"

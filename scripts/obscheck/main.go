@@ -16,6 +16,16 @@
 //	    Asserts build_info{version="V"} is exposed with value 1.
 //	obscheck fleet -url URL -min-up N
 //	    Asserts the gateway fleet rollup reports at least N backends up.
+//	obscheck history -url URL -family NAME [-quantile Q] [-since S]
+//	    [-min-points N] [-span-unix T] [-for D]
+//	    Queries /metrics/history and asserts the family answers with at
+//	    least N points (polling up to D); with -span-unix, additionally
+//	    asserts points exist both before and at-or-after T — the
+//	    restart-continuity check (history written by a SIGKILLed daemon
+//	    must still be served, joined with post-restart samples).
+//	obscheck anomaly -metrics URL -target NAME [-want V] [-for D]
+//	    Polls /metrics.json until anomaly_active{target=NAME} equals V
+//	    (default 1), proving an injected regression flipped the detector.
 //
 // Every subcommand exits 0 on success and 1 with a diagnostic on failure.
 package main
@@ -224,9 +234,118 @@ func cmdFleet(args []string) {
 	fmt.Printf("obscheck: fleet OK — %d backends up\n", up)
 }
 
+// historyDoc is the subset of a /metrics/history answer the checks read.
+type historyDoc struct {
+	Family     string `json:"family"`
+	Resolution string `json:"resolution"`
+	Series     []struct {
+		Labels map[string]string `json:"labels,omitempty"`
+		Points []struct {
+			T     int64   `json:"t"`
+			Value float64 `json:"value"`
+		} `json:"points"`
+	} `json:"series"`
+}
+
+func cmdHistory(args []string) {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	url := fs.String("url", "", "the /metrics/history URL")
+	family := fs.String("family", "", "metric family to query")
+	quantile := fs.Float64("quantile", 0, "histogram quantile to evaluate (0 = mean)")
+	since := fs.String("since", "-30m", "window start (relative like -30m, RFC3339, or unix)")
+	minPoints := fs.Int("min-points", 1, "minimum points across all series")
+	spanUnix := fs.Int64("span-unix", 0, "when set, require points both before and at-or-after this unix second")
+	waitFor := fs.Duration("for", 5*time.Second, "poll until the assertion holds, at most this long")
+	_ = fs.Parse(args)
+	if *url == "" || *family == "" {
+		fail("history: need -url and -family")
+	}
+	q := fmt.Sprintf("%s?family=%s&since=%s", *url, *family, *since)
+	if *quantile > 0 {
+		q += fmt.Sprintf("&quantile=%g", *quantile)
+	}
+	deadline := time.Now().Add(*waitFor)
+	var lastErr error
+	for {
+		var h historyDoc
+		if err := getJSON(q, &h); err != nil {
+			lastErr = err
+		} else {
+			points, before, after := 0, 0, 0
+			for _, s := range h.Series {
+				points += len(s.Points)
+				for _, p := range s.Points {
+					if p.T < *spanUnix {
+						before++
+					} else {
+						after++
+					}
+				}
+			}
+			if points >= *minPoints && (*spanUnix == 0 || (before > 0 && after > 0)) {
+				if *spanUnix > 0 {
+					fmt.Printf("obscheck: history OK — %s has %d points at %s resolution (%d before / %d after unix %d)\n",
+						*family, points, h.Resolution, before, after, *spanUnix)
+				} else {
+					fmt.Printf("obscheck: history OK — %s has %d points at %s resolution\n",
+						*family, points, h.Resolution)
+				}
+				return
+			}
+			lastErr = fmt.Errorf("%s: %d points (want >= %d), %d/%d around span mark", *family, points, *minPoints, before, after)
+		}
+		if time.Now().After(deadline) {
+			fail("history: %v", lastErr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func cmdAnomaly(args []string) {
+	fs := flag.NewFlagSet("anomaly", flag.ExitOnError)
+	metricsURL := fs.String("metrics", "", "the /metrics.json URL")
+	target := fs.String("target", "", "anomaly target name (the detector's target label)")
+	want := fs.Float64("want", 1, "expected anomaly_active value")
+	waitFor := fs.Duration("for", 10*time.Second, "poll until the gauge matches, at most this long")
+	_ = fs.Parse(args)
+	if *metricsURL == "" || *target == "" {
+		fail("anomaly: need -metrics and -target")
+	}
+	deadline := time.Now().Add(*waitFor)
+	var last string
+	for {
+		var m metricsDoc
+		if err := getJSON(*metricsURL, &m); err != nil {
+			last = err.Error()
+		} else {
+			active, score := -1.0, 0.0
+			for _, met := range m.Metrics {
+				if met.Labels["target"] != *target || met.Value == nil {
+					continue
+				}
+				switch met.Name {
+				case "anomaly_active":
+					active = *met.Value
+				case "anomaly_score":
+					score = *met.Value
+				}
+			}
+			if active == *want {
+				fmt.Printf("obscheck: anomaly OK — %s active=%g (score %.2f)\n", *target, active, score)
+				return
+			}
+			last = fmt.Sprintf("%s active=%g score=%.2f, want active=%g", *target, active, score, *want)
+		}
+		if time.Now().After(deadline) {
+			fail("anomaly: %s", last)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		fail("usage: obscheck join|dump|buildinfo|fleet [flags]")
+		fail("usage: obscheck join|dump|buildinfo|fleet|history|anomaly [flags]")
 	}
 	switch os.Args[1] {
 	case "join":
@@ -237,7 +356,11 @@ func main() {
 		cmdBuildinfo(os.Args[2:])
 	case "fleet":
 		cmdFleet(os.Args[2:])
+	case "history":
+		cmdHistory(os.Args[2:])
+	case "anomaly":
+		cmdAnomaly(os.Args[2:])
 	default:
-		fail("unknown subcommand %q (want join, dump, buildinfo or fleet)", os.Args[1])
+		fail("unknown subcommand %q (want join, dump, buildinfo, fleet, history or anomaly)", os.Args[1])
 	}
 }
